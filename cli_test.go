@@ -1,0 +1,217 @@
+package repro
+
+// End-to-end tests of the command-line binaries: build each command once,
+// then drive it the way a user would.
+
+import (
+	"encoding/json"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"strings"
+	"sync"
+	"testing"
+)
+
+// buildOnce compiles the commands a single time per test run.
+var (
+	buildGuard sync.Once
+	binDir     string
+	buildErr   error
+)
+
+// binaries builds (once) and returns the directory holding the command
+// binaries.
+func binaries(t *testing.T) string {
+	t.Helper()
+	buildGuard.Do(func() {
+		binDir, buildErr = os.MkdirTemp("", "phpsafe-bins-")
+		if buildErr != nil {
+			return
+		}
+		for _, cmd := range []string{"phpsafe", "corpusgen", "evalrepro"} {
+			out, err := exec.Command("go", "build", "-o",
+				filepath.Join(binDir, cmd), "./cmd/"+cmd).CombinedOutput()
+			if err != nil {
+				buildErr = err
+				_ = out
+				return
+			}
+		}
+	})
+	if buildErr != nil {
+		t.Fatalf("building commands: %v", buildErr)
+	}
+	return binDir
+}
+
+// vulnerablePlugin is a small fixture with one finding per class family.
+const vulnerablePlugin = `<?php
+function fixture_hook() {
+	echo $_GET['q'];
+}
+`
+
+// writeFixture writes the fixture plugin and returns its path.
+func writeFixture(t *testing.T) string {
+	t.Helper()
+	dir := t.TempDir()
+	path := filepath.Join(dir, "fixture.php")
+	if err := os.WriteFile(path, []byte(vulnerablePlugin), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	return path
+}
+
+func TestCLIPhpsafeFindings(t *testing.T) {
+	t.Parallel()
+	bin := filepath.Join(binaries(t), "phpsafe")
+	out, err := exec.Command(bin, writeFixture(t)).CombinedOutput()
+	// Exit status 1 == findings exist.
+	if code := exitCode(err); code != 1 {
+		t.Fatalf("exit = %d, want 1; output:\n%s", code, out)
+	}
+	if !strings.Contains(string(out), "[XSS] GET") {
+		t.Fatalf("output missing finding:\n%s", out)
+	}
+}
+
+func TestCLIPhpsafeCleanFileExitsZero(t *testing.T) {
+	t.Parallel()
+	bin := filepath.Join(binaries(t), "phpsafe")
+	dir := t.TempDir()
+	clean := filepath.Join(dir, "clean.php")
+	if err := os.WriteFile(clean, []byte("<?php echo 'hello';"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	out, err := exec.Command(bin, clean).CombinedOutput()
+	if code := exitCode(err); code != 0 {
+		t.Fatalf("exit = %d, want 0; output:\n%s", code, out)
+	}
+}
+
+func TestCLIPhpsafeJSON(t *testing.T) {
+	t.Parallel()
+	bin := filepath.Join(binaries(t), "phpsafe")
+	out, _ := exec.Command(bin, "-json", writeFixture(t)).Output()
+	var doc struct {
+		Tool     string `json:"tool"`
+		Findings []struct {
+			Class string `json:"class"`
+			Line  int    `json:"line"`
+		} `json:"findings"`
+	}
+	if err := json.Unmarshal(out, &doc); err != nil {
+		t.Fatalf("invalid JSON: %v\n%s", err, out)
+	}
+	if doc.Tool != "phpSAFE" || len(doc.Findings) != 1 || doc.Findings[0].Class != "XSS" {
+		t.Fatalf("unexpected JSON: %+v", doc)
+	}
+}
+
+func TestCLIPhpsafeReports(t *testing.T) {
+	t.Parallel()
+	bin := filepath.Join(binaries(t), "phpsafe")
+	dir := t.TempDir()
+	htmlPath := filepath.Join(dir, "r.html")
+	sarifPath := filepath.Join(dir, "r.sarif")
+	cmd := exec.Command(bin, "-html", htmlPath, "-sarif", sarifPath, writeFixture(t))
+	if out, err := cmd.CombinedOutput(); exitCode(err) != 1 {
+		t.Fatalf("exit = %d; output:\n%s", exitCode(err), out)
+	}
+	html, err := os.ReadFile(htmlPath)
+	if err != nil || !strings.Contains(string(html), "<!DOCTYPE html>") {
+		t.Fatalf("HTML report bad: %v", err)
+	}
+	sarif, err := os.ReadFile(sarifPath)
+	if err != nil || !strings.Contains(string(sarif), "phpsafe/xss") {
+		t.Fatalf("SARIF report bad: %v", err)
+	}
+}
+
+func TestCLIPhpsafeToolSelection(t *testing.T) {
+	t.Parallel()
+	bin := filepath.Join(binaries(t), "phpsafe")
+	fixture := writeFixture(t)
+
+	// RIPS sees the uncalled function's flow too.
+	out, err := exec.Command(bin, "-tool", "rips", fixture).CombinedOutput()
+	if exitCode(err) != 1 || !strings.Contains(string(out), "RIPS") {
+		t.Fatalf("rips run: exit=%d\n%s", exitCode(err), out)
+	}
+	// Pixy does not analyze uncalled functions: no findings.
+	out, err = exec.Command(bin, "-tool", "pixy", fixture).CombinedOutput()
+	if exitCode(err) != 0 || !strings.Contains(string(out), "Pixy") {
+		t.Fatalf("pixy run: exit=%d\n%s", exitCode(err), out)
+	}
+	// Unknown tool → usage error.
+	_, err = exec.Command(bin, "-tool", "nonsense", fixture).CombinedOutput()
+	if exitCode(err) != 2 {
+		t.Fatalf("unknown tool exit = %d, want 2", exitCode(err))
+	}
+}
+
+func TestCLIPhpsafeModel(t *testing.T) {
+	t.Parallel()
+	bin := filepath.Join(binaries(t), "phpsafe")
+	out, err := exec.Command(bin, "-model", writeFixture(t)).CombinedOutput()
+	if exitCode(err) != 0 {
+		t.Fatalf("exit = %d\n%s", exitCode(err), out)
+	}
+	if !strings.Contains(string(out), "fixture_hook") || !strings.Contains(string(out), "*") {
+		t.Fatalf("model output missing uncalled marker:\n%s", out)
+	}
+}
+
+func TestCLICorpusgenAndScan(t *testing.T) {
+	t.Parallel()
+	bins := binaries(t)
+	outDir := t.TempDir()
+
+	gen := exec.Command(filepath.Join(bins, "corpusgen"), "-out", outDir)
+	if out, err := gen.CombinedOutput(); err != nil {
+		t.Fatalf("corpusgen: %v\n%s", err, out)
+	}
+	// The materialized plugin scans with findings.
+	plugin := filepath.Join(outDir, "2014", "mail-subscribe-list")
+	out, err := exec.Command(filepath.Join(bins, "phpsafe"), plugin).CombinedOutput()
+	if exitCode(err) != 1 {
+		t.Fatalf("scan exit = %d\n%s", exitCode(err), out)
+	}
+	if !strings.Contains(string(out), "finding(s)") {
+		t.Fatalf("scan output:\n%s", out)
+	}
+	// Labels file exists with both record types.
+	labels, err := os.ReadFile(filepath.Join(outDir, "2012", "labels.tsv"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(string(labels), "vuln\t") || !strings.Contains(string(labels), "trap\t") {
+		t.Fatal("labels.tsv missing record types")
+	}
+}
+
+func TestCLIEvalreproSingleTable(t *testing.T) {
+	t.Parallel()
+	bin := filepath.Join(binaries(t), "evalrepro")
+	out, err := exec.Command(bin, "-table", "2").Output()
+	if err != nil {
+		t.Fatalf("evalrepro: %v", err)
+	}
+	for _, want := range []string{"TABLE II", "DB", "211", "363", "162"} {
+		if !strings.Contains(string(out), want) {
+			t.Fatalf("Table II output missing %q:\n%s", want, out)
+		}
+	}
+}
+
+// exitCode extracts a process exit code (0 when err is nil).
+func exitCode(err error) int {
+	if err == nil {
+		return 0
+	}
+	if ee, ok := err.(*exec.ExitError); ok {
+		return ee.ExitCode()
+	}
+	return -1
+}

@@ -1,0 +1,48 @@
+// Command corpusgen materializes the synthetic plugin corpus to disk so
+// it can be inspected or fed to external tools. It writes one directory
+// per plugin per version, the WordPress API stub file, and a labels file
+// with the ground truth (one line per seeded vulnerability or trap).
+//
+// Usage:
+//
+//	corpusgen [-seed N] [-out DIR]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+
+	"repro/internal/corpus"
+)
+
+func main() {
+	os.Exit(run())
+}
+
+// run generates and writes both corpus versions.
+func run() int {
+	seed := flag.Int64("seed", corpus.DefaultSpec().Seed, "corpus generation seed")
+	out := flag.String("out", "corpus-out", "output directory")
+	flag.Parse()
+
+	spec := corpus.DefaultSpec()
+	spec.Seed = *seed
+	c12, c14, err := corpus.Generate(spec)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "corpusgen: %v\n", err)
+		return 1
+	}
+
+	for _, c := range []*corpus.Corpus{c12, c14} {
+		if err := c.WriteTo(*out); err != nil {
+			fmt.Fprintf(os.Stderr, "corpusgen: %v\n", err)
+			return 1
+		}
+		fmt.Printf("wrote %s: %d plugins, %d files, %d lines, %d vulnerabilities, %d traps\n",
+			filepath.Join(*out, string(c.Version)), len(c.Targets),
+			c.Files(), c.Lines(), len(c.Truths), len(c.Traps))
+	}
+	return 0
+}

@@ -1,0 +1,113 @@
+// Command evalrepro regenerates the paper's evaluation (DSN 2015, §V) in
+// one shot: it generates the two corpus snapshots, runs phpSAFE, RIPS and
+// Pixy over both, and prints Table I, Fig. 2, Table II, the §V.D inertia
+// analysis and Table III.
+//
+// Usage:
+//
+//	evalrepro                # everything
+//	evalrepro -table 1       # Table I only
+//	evalrepro -table venn    # Fig. 2 only
+//	evalrepro -table 2       # Table II + §V.C root causes
+//	evalrepro -table inertia # §V.D
+//	evalrepro -table 3       # Table III + robustness
+//	evalrepro -seed 7        # alternative corpus seed
+//	evalrepro -parallel 8    # worker pool (detection identical; timings
+//	                         # not comparable with the paper's Table III)
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"repro/internal/corpus"
+	"repro/internal/eval"
+	"repro/internal/report"
+)
+
+func main() {
+	os.Exit(run())
+}
+
+// run executes the reproduction and returns the process exit code.
+func run() int {
+	table := flag.String("table", "all", "which artifact to print: 1, venn, 2, inertia, 3, all")
+	seed := flag.Int64("seed", corpus.DefaultSpec().Seed, "corpus generation seed")
+	parallel := flag.Int("parallel", 0, "worker pool size (0 = serial; parallel wall-clock is not comparable for Table III)")
+	summary := flag.String("summary", "", "also write machine-readable JSON summaries to <file>-2012.json and <file>-2014.json")
+	flag.Parse()
+
+	spec := corpus.DefaultSpec()
+	spec.Seed = *seed
+
+	fmt.Fprintf(os.Stderr, "generating corpus (seed %d)...\n", spec.Seed)
+	c12, c14, err := corpus.Generate(spec)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "evalrepro: %v\n", err)
+		return 1
+	}
+	fmt.Fprintf(os.Stderr, "2012: %d plugins, %d files, %d lines, %d seeded vulnerabilities\n",
+		len(c12.Targets), c12.Files(), c12.Lines(), len(c12.Truths))
+	fmt.Fprintf(os.Stderr, "2014: %d plugins, %d files, %d lines, %d seeded vulnerabilities\n",
+		len(c14.Targets), c14.Files(), c14.Lines(), len(c14.Truths))
+
+	fmt.Fprintln(os.Stderr, "running phpSAFE, RIPS and Pixy on both versions...")
+	evaluate := eval.EvaluateCorpus
+	if *parallel > 0 {
+		workers := *parallel
+		evaluate = func(c *corpus.Corpus) (*eval.Evaluation, error) {
+			return eval.EvaluateCorpusParallel(c, workers)
+		}
+	}
+	ev12, err := evaluate(c12)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "evalrepro: %v\n", err)
+		return 1
+	}
+	ev14, err := evaluate(c14)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "evalrepro: %v\n", err)
+		return 1
+	}
+
+	if *summary != "" {
+		for _, pair := range []struct {
+			ev  *eval.Evaluation
+			tag string
+		}{{ev12, "2012"}, {ev14, "2014"}} {
+			data, err := pair.ev.MarshalSummary()
+			if err != nil {
+				fmt.Fprintf(os.Stderr, "evalrepro: %v\n", err)
+				return 1
+			}
+			path := *summary + "-" + pair.tag + ".json"
+			if err := os.WriteFile(path, data, 0o644); err != nil {
+				fmt.Fprintf(os.Stderr, "evalrepro: %v\n", err)
+				return 1
+			}
+			fmt.Fprintf(os.Stderr, "wrote %s\n", path)
+		}
+	}
+
+	show := func(name string) bool { return *table == "all" || *table == name }
+	if show("1") {
+		fmt.Println(report.TableI(ev12, ev14))
+		fmt.Println(report.Summary(ev12, ev14))
+	}
+	if show("venn") {
+		fmt.Println(report.Fig2(ev12, ev14))
+	}
+	if show("2") {
+		fmt.Println(report.TableII(ev12, ev14))
+		fmt.Println()
+	}
+	if show("inertia") {
+		fmt.Println(report.Inertia(ev14))
+		fmt.Println()
+	}
+	if show("3") {
+		fmt.Println(report.TableIII(ev12, ev14))
+	}
+	return 0
+}

@@ -1,0 +1,205 @@
+// Command phpsafe scans a PHP plugin directory for XSS and SQL-Injection
+// vulnerabilities — the command-line equivalent of the phpSAFE web
+// interface described in the paper (DSN 2015, §III).
+//
+// Usage:
+//
+//	phpsafe [flags] <plugin-dir|file.php>
+//
+//	-profile wordpress|generic   configuration profile (default wordpress)
+//	-tool phpsafe|rips|pixy      analysis engine (default phpsafe)
+//	-no-oop                      disable object-oriented analysis (§III.E)
+//	-no-uncalled                 skip functions never called by the plugin
+//	-trace                       print full data-flow traces (§III.D)
+//	-json                        machine-readable findings output
+//	-html FILE                   also write an HTML report (the paper's
+//	                             web-page output, §III)
+//	-sarif FILE                  also write a SARIF 2.1.0 report for CI
+//	-model                       print the model inventory instead of
+//	                             scanning: functions (with the uncalled
+//	                             ones marked), classes, include edges
+//
+// Exit status is 0 when no vulnerabilities are found, 1 when findings
+// exist, and 2 on usage or I/O errors.
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+
+	"repro/internal/analyzer"
+	"repro/internal/config"
+	"repro/internal/pixy"
+	"repro/internal/report"
+	"repro/internal/rips"
+	"repro/internal/taint"
+	"repro/internal/wordpress"
+)
+
+func main() {
+	os.Exit(run())
+}
+
+// run parses flags, loads the target and scans it.
+func run() int {
+	profile := flag.String("profile", "wordpress", "configuration profile: wordpress or generic")
+	toolName := flag.String("tool", "phpsafe", "engine: phpsafe, rips or pixy")
+	noOOP := flag.Bool("no-oop", false, "disable object-oriented analysis")
+	noUncalled := flag.Bool("no-uncalled", false, "skip functions not called from plugin code")
+	trace := flag.Bool("trace", false, "print full data-flow traces")
+	jsonOut := flag.Bool("json", false, "print findings as JSON")
+	htmlOut := flag.String("html", "", "also write an HTML report to this file")
+	sarifOut := flag.String("sarif", "", "also write a SARIF 2.1.0 report to this file")
+	model := flag.Bool("model", false, "print the model inventory instead of scanning")
+	flag.Parse()
+
+	if flag.NArg() != 1 {
+		fmt.Fprintln(os.Stderr, "usage: phpsafe [flags] <plugin-dir|file.php>")
+		flag.PrintDefaults()
+		return 2
+	}
+
+	target, err := analyzer.Load(flag.Arg(0))
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "phpsafe: %v\n", err)
+		return 2
+	}
+	if len(target.Files) == 0 {
+		fmt.Fprintln(os.Stderr, "phpsafe: no .php files found")
+		return 2
+	}
+
+	tool, err := buildTool(*toolName, *profile, *noOOP, *noUncalled)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "phpsafe: %v\n", err)
+		return 2
+	}
+
+	if *model {
+		return printModel(tool, target)
+	}
+
+	res, err := tool.Analyze(target)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "phpsafe: %v\n", err)
+		return 2
+	}
+
+	if *htmlOut != "" {
+		if err := os.WriteFile(*htmlOut, []byte(report.HTML(res)), 0o644); err != nil {
+			fmt.Fprintf(os.Stderr, "phpsafe: %v\n", err)
+			return 2
+		}
+		fmt.Fprintf(os.Stderr, "wrote HTML report to %s\n", *htmlOut)
+	}
+	if *sarifOut != "" {
+		data, err := report.SARIF(res)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "phpsafe: %v\n", err)
+			return 2
+		}
+		if err := os.WriteFile(*sarifOut, data, 0o644); err != nil {
+			fmt.Fprintf(os.Stderr, "phpsafe: %v\n", err)
+			return 2
+		}
+		fmt.Fprintf(os.Stderr, "wrote SARIF report to %s\n", *sarifOut)
+	}
+
+	switch {
+	case *jsonOut:
+		enc := json.NewEncoder(os.Stdout)
+		enc.SetIndent("", "  ")
+		if err := enc.Encode(res); err != nil {
+			fmt.Fprintf(os.Stderr, "phpsafe: %v\n", err)
+			return 2
+		}
+	case *trace:
+		fmt.Print(report.Findings(res))
+	default:
+		fmt.Printf("%s: %d finding(s) in %s (%d files, %d lines)\n",
+			res.Tool, len(res.Findings), res.Target, res.FilesAnalyzed, res.LinesAnalyzed)
+		for _, f := range res.Findings {
+			fmt.Println("  " + f.String())
+		}
+		for _, failed := range res.FilesFailed {
+			fmt.Printf("  warning: could not analyze %s\n", failed)
+		}
+	}
+	if len(res.Findings) > 0 {
+		return 1
+	}
+	return 0
+}
+
+// printModel prints the §III.D model inventory (phpSAFE engine only).
+func printModel(tool analyzer.Analyzer, target *analyzer.Target) int {
+	engine, ok := tool.(*taint.Engine)
+	if !ok {
+		fmt.Fprintln(os.Stderr, "phpsafe: -model requires -tool phpsafe")
+		return 2
+	}
+	info, err := engine.Model(target)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "phpsafe: %v\n", err)
+		return 2
+	}
+	fmt.Printf("model of %s: %d functions, %d classes, %d include edges\n\n",
+		target.Name, len(info.Functions), len(info.Classes), len(info.Includes))
+	for _, f := range info.Functions {
+		mark := " "
+		if !f.Called {
+			mark = "*" // analyzed by the uncalled pass (§III.B)
+		}
+		fmt.Printf("  func  %s %-32s %s:%d (%d params)\n", mark, f.Name, f.File, f.Line, f.Params)
+	}
+	for _, c := range info.Classes {
+		parent := ""
+		if c.Extends != "" {
+			parent = " extends " + c.Extends
+		}
+		fmt.Printf("  class   %s%s  %s:%d (%d props)\n", c.Name, parent, c.File, c.Line, c.Props)
+		for _, m := range c.Methods {
+			mark := " "
+			if !m.Called {
+				mark = "*"
+			}
+			fmt.Printf("    method %s %-28s line %d\n", mark, m.Name, m.Line)
+		}
+	}
+	for _, e := range info.Includes {
+		fmt.Printf("  include %s -> %s\n", e.From, e.To)
+	}
+	for _, e := range info.ParseErrors {
+		fmt.Printf("  parse-error %s\n", e)
+	}
+	fmt.Println("\n  * = not called from plugin code (hook surface, §III.B)")
+	return 0
+}
+
+// buildTool constructs the selected engine with the selected profile.
+func buildTool(name, profile string, noOOP, noUncalled bool) (analyzer.Analyzer, error) {
+	var cfg *config.Compiled
+	switch profile {
+	case "wordpress":
+		cfg = wordpress.Compiled()
+	case "generic":
+		cfg = config.Compile(config.Generic())
+	default:
+		return nil, fmt.Errorf("unknown profile %q", profile)
+	}
+	switch name {
+	case "phpsafe":
+		opts := taint.DefaultOptions()
+		opts.OOP = !noOOP
+		opts.AnalyzeUncalled = !noUncalled
+		return taint.New(cfg, opts), nil
+	case "rips":
+		return rips.New(cfg), nil
+	case "pixy":
+		return pixy.New(), nil
+	default:
+		return nil, fmt.Errorf("unknown tool %q", name)
+	}
+}

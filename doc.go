@@ -1,0 +1,26 @@
+// Package repro is a from-scratch Go reproduction of "phpSAFE: A Security
+// Analysis Tool for OOP Web Application Plugins" (Nunes, Fonseca, Vieira —
+// DSN 2015).
+//
+// The repository contains the complete system the paper describes and
+// everything its evaluation depends on:
+//
+//   - internal/phplex, internal/phpparse, internal/phpast: a PHP 5 lexer,
+//     parser and AST (the substrate PHP's token_get_all provides in the
+//     original).
+//   - internal/taint: phpSAFE itself — a configuration-driven,
+//     OOP-aware, summary-based taint analyzer for XSS and SQLi.
+//   - internal/rips, internal/pixy: faithful reimplementations of the two
+//     comparison baselines with their documented capability envelopes.
+//   - internal/config, internal/wordpress: the generic-PHP and WordPress
+//     configuration profiles (sources, sanitizers, reverts, sinks).
+//   - internal/corpus: a deterministic generator for the 35-plugin,
+//     two-version evaluation corpus with machine-readable ground truth.
+//   - internal/eval, internal/report: the evaluation harness and the
+//     renderers for the paper's Table I, Fig. 2, Table II, §V.D and
+//     Table III.
+//
+// The benchmarks in bench_test.go regenerate every table and figure of
+// the paper's evaluation section; see EXPERIMENTS.md for paper-vs-measured
+// results and README.md for usage.
+package repro

@@ -1,0 +1,116 @@
+// Custom CMS profile: extend the analyzer's configuration to a different
+// framework — the paper's §III.A extensibility claim ("this ability can
+// be easily extended to other CMSs, by adding their input, filtering and
+// sink functions to the configuration files") and its §VI future work
+// (Drupal, Joomla).
+//
+// The example defines a small profile for a fictional "Joomla-like" CMS
+// with its own database object, escaping API and input wrapper, then
+// shows that the same plugin scans very differently with and without the
+// framework knowledge: the framework-blind scan both misses a real
+// vulnerability and raises a false alarm.
+//
+// Run with:
+//
+//	go run ./examples/custom-cms
+package main
+
+import (
+	"fmt"
+
+	"repro/internal/analyzer"
+	"repro/internal/config"
+	"repro/internal/taint"
+)
+
+// joomlaLikeProfile models the fictional CMS: JFactory-style database
+// access, JInput request wrappers, and an escaping helper.
+func joomlaLikeProfile() config.Profile {
+	xss := []analyzer.VulnClass{analyzer.XSS}
+	sqli := []analyzer.VulnClass{analyzer.SQLi}
+	return config.Profile{
+		Name: "joomla-like",
+		Sources: []config.Source{
+			// $db->loadObjectList() returns attacker-poisonable rows.
+			{Kind: config.MethodSource, Class: "jdatabase", Name: "loadobjectlist",
+				Vector: analyzer.VectorDB, Taints: xss},
+			{Kind: config.MethodSource, Class: "jdatabase", Name: "loadresult",
+				Vector: analyzer.VectorDB, Taints: xss},
+			// $input->getString('x') wraps the request.
+			{Kind: config.MethodSource, Class: "jinput", Name: "getstring",
+				Vector: analyzer.VectorRequest},
+		},
+		Sanitizers: []config.Sanitizer{
+			{Name: "jhtml_escape", Untaints: xss},
+			{Class: "jdatabase", Name: "quote", Untaints: sqli},
+			// $input->getInt() returns an integer: safe everywhere.
+			{Class: "jinput", Name: "getint"},
+		},
+		Sinks: []config.Sink{
+			{Class: "jdatabase", Name: "setquery", Vuln: analyzer.SQLi, Args: []int{0}},
+		},
+		ObjectClasses: map[string]string{
+			"db":    "jdatabase",
+			"input": "jinput",
+		},
+	}
+}
+
+// extension is a plugin for the fictional CMS.
+const extension = `<?php
+function render_items() {
+	global $db;
+	$rows = $db->loadObjectList();
+	foreach ($rows as $row) {
+		echo '<td>' . $row->title . '</td>';        // real XSS: DB data
+	}
+}
+
+function search_items() {
+	global $db;
+	$term = $_GET['q'];
+	$db->setQuery("SELECT * FROM #__items WHERE title = " . $db->quote($term));
+	echo '<p>' . jhtml_escape($term) . '</p>';      // escaped: safe
+}
+
+render_items();
+search_items();
+`
+
+func main() {
+	target := &analyzer.Target{
+		Name:  "joomla-like-extension",
+		Files: []analyzer.SourceFile{{Path: "extension.php", Content: extension}},
+	}
+
+	// Framework-aware scan: generic PHP + the custom CMS layer.
+	aware := config.Compile(config.Merge("generic+joomla-like",
+		config.Generic(), joomlaLikeProfile()))
+	scan(taint.New(aware, taint.DefaultOptions()), target,
+		"WITH the joomla-like profile")
+
+	// Framework-blind scan: generic PHP only.
+	blind := config.Compile(config.Generic())
+	scan(taint.New(blind, taint.DefaultOptions()), target,
+		"WITHOUT framework knowledge")
+
+	fmt.Println("With the profile, the analyzer sees the loadObjectList rows as a")
+	fmt.Println("database source (1 real XSS), knows $db->quote protects the query")
+	fmt.Println("and that jhtml_escape is safe. Without it, the real vulnerability")
+	fmt.Println("disappears AND the escaped echo becomes a false alarm — the paper's")
+	fmt.Println("§III.A argument for CMS-aware configuration, applied to a new CMS")
+	fmt.Println("in about 40 lines.")
+}
+
+// scan runs one configuration and prints a summary.
+func scan(engine *taint.Engine, target *analyzer.Target, label string) {
+	res, err := engine.Analyze(target)
+	if err != nil {
+		panic(err)
+	}
+	fmt.Printf("%s: %d finding(s)\n", label, len(res.Findings))
+	for _, f := range res.Findings {
+		fmt.Println("  " + f.String())
+	}
+	fmt.Println()
+}

@@ -1,0 +1,290 @@
+// Package analyzer defines the common vocabulary shared by the three
+// static analysis tools in this repository: phpSAFE (package taint) and
+// the two comparison baselines RIPS (package rips) and Pixy (package pixy).
+//
+// The paper (DSN 2015, §IV) evaluates all tools over the same plugin
+// corpus and normalizes their reports "into a single repository"; this
+// package is that normalized report model.
+package analyzer
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+)
+
+// VulnClass identifies a vulnerability class. The paper's phpSAFE detects
+// Cross-Site Scripting and SQL Injection (§III).
+type VulnClass int
+
+// Vulnerability classes. XSS and SQLi are the paper's evaluated classes
+// (§III); CmdInjection and FileInclusion extend the coverage along the
+// paper's §VI future work ("improvement of phpSAFE, mainly regarding ...
+// vulnerability coverage").
+const (
+	// XSS is Cross-Site Scripting: tainted data reaching an HTML output
+	// sink.
+	XSS VulnClass = iota + 1
+	// SQLi is SQL Injection: tainted data reaching a query sink.
+	SQLi
+	// CmdInjection is OS command injection: tainted data reaching a
+	// shell-execution sink (system, exec, backticks).
+	CmdInjection
+	// FileInclusion is local/remote file inclusion: tainted data used as
+	// an include/require path.
+	FileInclusion
+)
+
+// Classes lists all vulnerability classes in display order.
+func Classes() []VulnClass {
+	return []VulnClass{XSS, SQLi, CmdInjection, FileInclusion}
+}
+
+// String returns the conventional abbreviation.
+func (c VulnClass) String() string {
+	switch c {
+	case XSS:
+		return "XSS"
+	case SQLi:
+		return "SQLi"
+	case CmdInjection:
+		return "CMDi"
+	case FileInclusion:
+		return "LFI"
+	default:
+		return fmt.Sprintf("VulnClass(%d)", int(c))
+	}
+}
+
+// Vector classifies where the malicious data enters the plugin. It matches
+// the paper's Table II input-vector taxonomy (§V.C).
+type Vector int
+
+// Input vectors.
+const (
+	// VectorGET is direct manipulation through $_GET.
+	VectorGET Vector = iota + 1
+	// VectorPOST is direct manipulation through $_POST.
+	VectorPOST
+	// VectorCookie is manipulation through $_COOKIE.
+	VectorCookie
+	// VectorRequest is mixed GET/POST/COOKIE input ($_REQUEST).
+	VectorRequest
+	// VectorDB is data read back from the database (second-order).
+	VectorDB
+	// VectorFile is data read from files, functions or arrays — the
+	// paper's "unlikely to be easily manipulated" class.
+	VectorFile
+	// VectorOther covers remaining indirect sources (environment, server
+	// variables).
+	VectorOther
+)
+
+// String returns a short vector name.
+func (v Vector) String() string {
+	switch v {
+	case VectorGET:
+		return "GET"
+	case VectorPOST:
+		return "POST"
+	case VectorCookie:
+		return "COOKIE"
+	case VectorRequest:
+		return "POST/GET/COOKIE"
+	case VectorDB:
+		return "DB"
+	case VectorFile:
+		return "File/Function/Array"
+	case VectorOther:
+		return "Other"
+	default:
+		return fmt.Sprintf("Vector(%d)", int(v))
+	}
+}
+
+// TableIIRow maps the vector to the row label of the paper's Table II.
+// COOKIE and REQUEST vectors share the "POST/GET/COOKIE" row; File and
+// Other share "File/Function/Array".
+func (v Vector) TableIIRow() string {
+	switch v {
+	case VectorGET:
+		return "GET"
+	case VectorPOST:
+		return "POST"
+	case VectorCookie, VectorRequest:
+		return "POST/GET/COOKIE"
+	case VectorDB:
+		return "DB"
+	default:
+		return "File/Function/Array"
+	}
+}
+
+// DirectlyManipulable reports whether an attacker controls the vector
+// directly (the paper's root-cause class 1, §V.C): GET, POST and COOKIE
+// input.
+func (v Vector) DirectlyManipulable() bool {
+	switch v {
+	case VectorGET, VectorPOST, VectorCookie, VectorRequest:
+		return true
+	default:
+		return false
+	}
+}
+
+// TraceStep is one hop of a tainted data flow, from the source toward the
+// sink. phpSAFE's results-processing stage exposes this flow "from
+// variable to variable" (§III.D).
+type TraceStep struct {
+	// File is the source file of this hop.
+	File string `json:"file"`
+	// Line is the 1-based line of this hop.
+	Line int `json:"line"`
+	// Var is the variable (or property, or function return) holding the
+	// tainted value at this hop.
+	Var string `json:"var"`
+	// Note describes the hop (e.g. "source $_GET", "assigned", "returned
+	// from get_name", "sanitized by esc_html reverted by stripslashes").
+	Note string `json:"note"`
+}
+
+// Finding is one reported vulnerability.
+type Finding struct {
+	// Tool is the reporting tool's name.
+	Tool string `json:"tool"`
+	// File is the path of the file containing the sink.
+	File string `json:"file"`
+	// Line is the sink's 1-based line.
+	Line int `json:"line"`
+	// Class is the vulnerability class.
+	Class VulnClass `json:"class"`
+	// Sink is the sink function or construct (echo, mysql_query, ...).
+	Sink string `json:"sink"`
+	// Variable is the vulnerable variable reaching the sink, when known.
+	Variable string `json:"variable,omitempty"`
+	// Vector is the input vector the taint entered through.
+	Vector Vector `json:"vector"`
+	// Trace is the data-flow path from source to sink, oldest first.
+	Trace []TraceStep `json:"trace,omitempty"`
+}
+
+// Key returns a stable identity for deduplication: tools reporting the
+// same sink location and class are reporting the same vulnerability.
+func (f Finding) Key() string {
+	return fmt.Sprintf("%s:%d:%s", f.File, f.Line, f.Class)
+}
+
+// String renders a one-line summary.
+func (f Finding) String() string {
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "[%s] %s at %s:%d (sink %s", f.Class, f.Vector, f.File, f.Line, f.Sink)
+	if f.Variable != "" {
+		fmt.Fprintf(&sb, ", var $%s", f.Variable)
+	}
+	sb.WriteString(")")
+	return sb.String()
+}
+
+// Result is the outcome of analyzing one target.
+type Result struct {
+	// Tool is the analyzer's name.
+	Tool string `json:"tool"`
+	// Target is the analyzed plugin's name.
+	Target string `json:"target"`
+	// Findings lists the reported vulnerabilities.
+	Findings []Finding `json:"findings"`
+	// FilesAnalyzed counts files the tool completed.
+	FilesAnalyzed int `json:"files_analyzed"`
+	// FilesFailed lists files the tool could not analyze (robustness,
+	// paper §V.E).
+	FilesFailed []string `json:"files_failed,omitempty"`
+	// Errors lists error messages the tool raised while analyzing.
+	Errors []string `json:"errors,omitempty"`
+	// LinesAnalyzed counts source lines in completed files.
+	LinesAnalyzed int `json:"lines_analyzed"`
+}
+
+// Merge appends other's counters and findings into r.
+func (r *Result) Merge(other *Result) {
+	if other == nil {
+		return
+	}
+	r.Findings = append(r.Findings, other.Findings...)
+	r.FilesAnalyzed += other.FilesAnalyzed
+	r.FilesFailed = append(r.FilesFailed, other.FilesFailed...)
+	r.Errors = append(r.Errors, other.Errors...)
+	r.LinesAnalyzed += other.LinesAnalyzed
+}
+
+// Dedup removes duplicate findings (same key), keeping the first
+// occurrence, and sorts findings by file, line and class for stable
+// output.
+func (r *Result) Dedup() {
+	seen := make(map[string]bool, len(r.Findings))
+	out := r.Findings[:0]
+	for _, f := range r.Findings {
+		k := f.Key()
+		if seen[k] {
+			continue
+		}
+		seen[k] = true
+		out = append(out, f)
+	}
+	r.Findings = out
+	sort.Slice(r.Findings, func(i, j int) bool {
+		a, b := r.Findings[i], r.Findings[j]
+		if a.File != b.File {
+			return a.File < b.File
+		}
+		if a.Line != b.Line {
+			return a.Line < b.Line
+		}
+		return a.Class < b.Class
+	})
+}
+
+// SourceFile is one PHP file of a target.
+type SourceFile struct {
+	// Path is the file's path relative to the plugin root.
+	Path string
+	// Content is the PHP source text.
+	Content string
+}
+
+// Target is one analyzable unit: a plugin with its files.
+type Target struct {
+	// Name identifies the plugin (e.g. "mail-subscribe-list").
+	Name string
+	// Files are the plugin's PHP files.
+	Files []SourceFile
+}
+
+// Lines returns the total number of source lines across all files.
+func (t *Target) Lines() int {
+	total := 0
+	for _, f := range t.Files {
+		total += strings.Count(f.Content, "\n") + 1
+	}
+	return total
+}
+
+// File returns the file with the given path and whether it exists.
+func (t *Target) File(path string) (SourceFile, bool) {
+	for _, f := range t.Files {
+		if f.Path == path {
+			return f, true
+		}
+	}
+	return SourceFile{}, false
+}
+
+// Analyzer is a static vulnerability analysis tool. Implementations must
+// be safe for concurrent use by multiple goroutines on distinct targets.
+type Analyzer interface {
+	// Name returns the tool's display name.
+	Name() string
+	// Analyze scans one target and returns its report. Analyze reports an
+	// error only for total failures; per-file problems are recorded in
+	// the Result (robustness requirement, paper §IV.A).
+	Analyze(target *Target) (*Result, error)
+}

@@ -1,0 +1,161 @@
+package analyzer
+
+import (
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+func TestVulnClassStrings(t *testing.T) {
+	t.Parallel()
+	if XSS.String() != "XSS" || SQLi.String() != "SQLi" {
+		t.Errorf("class names wrong: %s %s", XSS, SQLi)
+	}
+	if s := VulnClass(99).String(); !strings.Contains(s, "99") {
+		t.Errorf("unknown class = %q", s)
+	}
+	if len(Classes()) != 4 {
+		t.Errorf("Classes() = %v, want 4 entries", Classes())
+	}
+	if CmdInjection.String() != "CMDi" || FileInclusion.String() != "LFI" {
+		t.Errorf("extended class names wrong: %s %s", CmdInjection, FileInclusion)
+	}
+}
+
+func TestVectorTableIIRows(t *testing.T) {
+	t.Parallel()
+	tests := []struct {
+		v    Vector
+		want string
+	}{
+		{VectorGET, "GET"},
+		{VectorPOST, "POST"},
+		{VectorCookie, "POST/GET/COOKIE"},
+		{VectorRequest, "POST/GET/COOKIE"},
+		{VectorDB, "DB"},
+		{VectorFile, "File/Function/Array"},
+		{VectorOther, "File/Function/Array"},
+	}
+	for _, tt := range tests {
+		if got := tt.v.TableIIRow(); got != tt.want {
+			t.Errorf("%v.TableIIRow() = %q, want %q", tt.v, got, tt.want)
+		}
+	}
+}
+
+func TestVectorDirectlyManipulable(t *testing.T) {
+	t.Parallel()
+	direct := []Vector{VectorGET, VectorPOST, VectorCookie, VectorRequest}
+	for _, v := range direct {
+		if !v.DirectlyManipulable() {
+			t.Errorf("%v should be directly manipulable", v)
+		}
+	}
+	for _, v := range []Vector{VectorDB, VectorFile, VectorOther} {
+		if v.DirectlyManipulable() {
+			t.Errorf("%v should not be directly manipulable", v)
+		}
+	}
+}
+
+func TestFindingKeyAndString(t *testing.T) {
+	t.Parallel()
+	f := Finding{
+		Tool: "phpSAFE", File: "a.php", Line: 12, Class: XSS,
+		Sink: "echo", Variable: "name", Vector: VectorGET,
+	}
+	if f.Key() != "a.php:12:XSS" {
+		t.Errorf("Key() = %q", f.Key())
+	}
+	s := f.String()
+	for _, want := range []string{"XSS", "GET", "a.php:12", "echo", "$name"} {
+		if !strings.Contains(s, want) {
+			t.Errorf("String() missing %q: %s", want, s)
+		}
+	}
+	// Without a variable, no "$" suffix appears.
+	f.Variable = ""
+	if strings.Contains(f.String(), "$") {
+		t.Errorf("String() should omit empty variable: %s", f.String())
+	}
+}
+
+func TestResultDedup(t *testing.T) {
+	t.Parallel()
+	r := Result{Findings: []Finding{
+		{File: "b.php", Line: 2, Class: XSS},
+		{File: "a.php", Line: 9, Class: SQLi},
+		{File: "b.php", Line: 2, Class: XSS}, // duplicate
+		{File: "a.php", Line: 9, Class: XSS},
+		{File: "a.php", Line: 3, Class: XSS},
+	}}
+	r.Dedup()
+	if len(r.Findings) != 4 {
+		t.Fatalf("len = %d, want 4: %v", len(r.Findings), r.Findings)
+	}
+	// Sorted by file, line, class.
+	want := []string{"a.php:3:XSS", "a.php:9:XSS", "a.php:9:SQLi", "b.php:2:XSS"}
+	for i, f := range r.Findings {
+		if f.Key() != want[i] {
+			t.Errorf("finding %d = %s, want %s", i, f.Key(), want[i])
+		}
+	}
+}
+
+func TestResultMerge(t *testing.T) {
+	t.Parallel()
+	a := Result{FilesAnalyzed: 1, LinesAnalyzed: 10,
+		Findings: []Finding{{File: "x.php", Line: 1, Class: XSS}}}
+	b := Result{FilesAnalyzed: 2, LinesAnalyzed: 20,
+		FilesFailed: []string{"y.php"}, Errors: []string{"boom"},
+		Findings: []Finding{{File: "z.php", Line: 2, Class: SQLi}}}
+	a.Merge(&b)
+	if a.FilesAnalyzed != 3 || a.LinesAnalyzed != 30 {
+		t.Errorf("counters wrong: %+v", a)
+	}
+	if len(a.Findings) != 2 || len(a.FilesFailed) != 1 || len(a.Errors) != 1 {
+		t.Errorf("slices wrong: %+v", a)
+	}
+	a.Merge(nil) // must not panic
+}
+
+func TestTargetHelpers(t *testing.T) {
+	t.Parallel()
+	tg := Target{Name: "p", Files: []SourceFile{
+		{Path: "a.php", Content: "line1\nline2\n"},
+		{Path: "dir/b.php", Content: "x"},
+	}}
+	if got := tg.Lines(); got != 4 {
+		t.Errorf("Lines() = %d, want 4", got)
+	}
+	if _, ok := tg.File("dir/b.php"); !ok {
+		t.Error("File() should find dir/b.php")
+	}
+	if _, ok := tg.File("missing.php"); ok {
+		t.Error("File() should miss missing.php")
+	}
+}
+
+// TestQuickDedupIdempotent checks Dedup is idempotent and never grows the
+// result for arbitrary finding sets.
+func TestQuickDedupIdempotent(t *testing.T) {
+	t.Parallel()
+	f := func(lines []uint8) bool {
+		r := Result{}
+		for _, l := range lines {
+			r.Findings = append(r.Findings, Finding{
+				File: "f.php", Line: int(l % 16), Class: XSS,
+			})
+		}
+		r.Dedup()
+		n := len(r.Findings)
+		if n > len(lines) {
+			return false
+		}
+		r.Dedup()
+		return len(r.Findings) == n
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}

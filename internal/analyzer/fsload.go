@@ -1,0 +1,66 @@
+package analyzer
+
+import (
+	"io/fs"
+	"os"
+	"path/filepath"
+	"strings"
+)
+
+// LoadFile builds a single-file target from a PHP file on disk.
+func LoadFile(path string) (*Target, error) {
+	content, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	return &Target{
+		Name: strings.TrimSuffix(filepath.Base(path), ".php"),
+		Files: []SourceFile{{
+			Path:    filepath.Base(path),
+			Content: string(content),
+		}},
+	}, nil
+}
+
+// LoadDir builds a target from every .php file under root, with paths
+// relative to root (the layout plugin analysis expects).
+func LoadDir(root string) (*Target, error) {
+	target := &Target{Name: filepath.Base(root)}
+	err := filepath.WalkDir(root, func(p string, d fs.DirEntry, err error) error {
+		if err != nil {
+			return err
+		}
+		if d.IsDir() || !strings.HasSuffix(p, ".php") {
+			return nil
+		}
+		content, err := os.ReadFile(p)
+		if err != nil {
+			return err
+		}
+		rel, err := filepath.Rel(root, p)
+		if err != nil {
+			rel = p
+		}
+		target.Files = append(target.Files, SourceFile{
+			Path:    filepath.ToSlash(rel),
+			Content: string(content),
+		})
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	return target, nil
+}
+
+// Load builds a target from a path that may be a file or a directory.
+func Load(path string) (*Target, error) {
+	info, err := os.Stat(path)
+	if err != nil {
+		return nil, err
+	}
+	if info.IsDir() {
+		return LoadDir(path)
+	}
+	return LoadFile(path)
+}

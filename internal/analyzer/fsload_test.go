@@ -1,0 +1,125 @@
+package analyzer
+
+import (
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+func TestLoadFileAndDir(t *testing.T) {
+	t.Parallel()
+	dir := t.TempDir()
+	writeFile(t, dir, "plugin.php", "<?php echo 1;")
+	writeFile(t, dir, "inc/helpers.php", "<?php echo 2;")
+	writeFile(t, dir, "readme.txt", "not php")
+
+	target, err := LoadDir(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(target.Files) != 2 {
+		t.Fatalf("files = %d, want 2 (txt skipped): %+v", len(target.Files), target.Files)
+	}
+	if _, ok := target.File("inc/helpers.php"); !ok {
+		t.Error("relative path should use forward slashes")
+	}
+
+	single, err := LoadFile(filepath.Join(dir, "plugin.php"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if single.Name != "plugin" || len(single.Files) != 1 {
+		t.Fatalf("single = %+v", single)
+	}
+
+	viaLoad, err := Load(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(viaLoad.Files) != 2 {
+		t.Fatalf("Load(dir) files = %d", len(viaLoad.Files))
+	}
+	if _, err := Load(filepath.Join(dir, "missing.php")); err == nil {
+		t.Error("missing path should error")
+	}
+}
+
+// writeFile creates a file under dir, making parent directories.
+func writeFile(t *testing.T, dir, rel, content string) {
+	t.Helper()
+	path := filepath.Join(dir, filepath.FromSlash(rel))
+	if err := os.MkdirAll(filepath.Dir(path), 0o755); err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(path, []byte(content), 0o644); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestJSONRoundTrip(t *testing.T) {
+	t.Parallel()
+	in := Result{
+		Tool:   "phpSAFE",
+		Target: "demo",
+		Findings: []Finding{{
+			Tool: "phpSAFE", File: "a.php", Line: 3, Class: SQLi,
+			Sink: "mysql_query", Variable: "id", Vector: VectorRequest,
+			Trace: []TraceStep{{File: "a.php", Line: 2, Var: "$id", Note: "source"}},
+		}},
+		FilesAnalyzed: 1,
+		LinesAnalyzed: 9,
+	}
+	data, err := json.Marshal(in)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var out Result
+	if err := json.Unmarshal(data, &out); err != nil {
+		t.Fatal(err)
+	}
+	if out.Findings[0].Class != SQLi {
+		t.Errorf("class round-trip = %v", out.Findings[0].Class)
+	}
+	if out.Findings[0].Vector != VectorRequest {
+		t.Errorf("vector round-trip = %v", out.Findings[0].Vector)
+	}
+	if out.Findings[0].Trace[0].Note != "source" {
+		t.Errorf("trace round-trip = %+v", out.Findings[0].Trace)
+	}
+}
+
+func TestJSONRejectsUnknownNames(t *testing.T) {
+	t.Parallel()
+	var c VulnClass
+	if err := json.Unmarshal([]byte(`"CSRF"`), &c); err == nil {
+		t.Error("unknown class should fail to parse")
+	}
+	var v Vector
+	if err := json.Unmarshal([]byte(`"TELEPATHY"`), &v); err == nil {
+		t.Error("unknown vector should fail to parse")
+	}
+	if err := json.Unmarshal([]byte(`5`), &c); err == nil {
+		t.Error("non-string class should fail to parse")
+	}
+}
+
+func TestJSONVectorNames(t *testing.T) {
+	t.Parallel()
+	for _, v := range []Vector{
+		VectorGET, VectorPOST, VectorCookie, VectorRequest,
+		VectorDB, VectorFile, VectorOther,
+	} {
+		data, err := json.Marshal(v)
+		if err != nil {
+			t.Fatal(err)
+		}
+		var back Vector
+		if err := json.Unmarshal(data, &back); err != nil {
+			t.Fatalf("%v: %v", v, err)
+		}
+		if back != v {
+			t.Errorf("round-trip %v -> %v", v, back)
+		}
+	}
+}

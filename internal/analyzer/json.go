@@ -1,0 +1,55 @@
+package analyzer
+
+import (
+	"encoding/json"
+	"fmt"
+)
+
+// MarshalJSON renders the class as its display name.
+func (c VulnClass) MarshalJSON() ([]byte, error) {
+	return json.Marshal(c.String())
+}
+
+// UnmarshalJSON parses a class display name.
+func (c *VulnClass) UnmarshalJSON(data []byte) error {
+	var s string
+	if err := json.Unmarshal(data, &s); err != nil {
+		return err
+	}
+	switch s {
+	case "XSS":
+		*c = XSS
+	case "SQLi":
+		*c = SQLi
+	case "CMDi":
+		*c = CmdInjection
+	case "LFI":
+		*c = FileInclusion
+	default:
+		return fmt.Errorf("analyzer: unknown vulnerability class %q", s)
+	}
+	return nil
+}
+
+// MarshalJSON renders the vector as its display name.
+func (v Vector) MarshalJSON() ([]byte, error) {
+	return json.Marshal(v.String())
+}
+
+// UnmarshalJSON parses a vector display name.
+func (v *Vector) UnmarshalJSON(data []byte) error {
+	var s string
+	if err := json.Unmarshal(data, &s); err != nil {
+		return err
+	}
+	for _, cand := range []Vector{
+		VectorGET, VectorPOST, VectorCookie, VectorRequest,
+		VectorDB, VectorFile, VectorOther,
+	} {
+		if cand.String() == s {
+			*v = cand
+			return nil
+		}
+	}
+	return fmt.Errorf("analyzer: unknown vector %q", s)
+}

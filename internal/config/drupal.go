@@ -1,0 +1,77 @@
+package config
+
+import "repro/internal/analyzer"
+
+// Drupal returns a configuration layer for Drupal 7-era modules — the
+// first of the CMSs the paper names as future targets (§VI: "the
+// analysis of other CMS applications like Drupal or Joomla"). Merge it
+// on top of Generic the same way the WordPress profile is:
+//
+//	cfg := config.Compile(config.Merge("drupal", config.Generic(), config.Drupal()))
+//
+// The entries follow the same taxonomy as phpSAFE's configuration files
+// (§III.A): database readers as second-order sources, the check/filter
+// API as sanitizers, and db_query-style functions as SQL sinks.
+func Drupal() Profile {
+	xss := []analyzer.VulnClass{analyzer.XSS}
+	sqli := []analyzer.VulnClass{analyzer.SQLi}
+
+	return Profile{
+		Name: "drupal",
+		Sources: []Source{
+			// Database fetch API: rows other users may have poisoned.
+			{Kind: FunctionSource, Name: "db_fetch_object", Vector: analyzer.VectorDB, Taints: xss},
+			{Kind: FunctionSource, Name: "db_fetch_array", Vector: analyzer.VectorDB, Taints: xss},
+			{Kind: FunctionSource, Name: "db_result", Vector: analyzer.VectorDB, Taints: xss},
+			{Kind: MethodSource, Class: "databasestatementinterface", Name: "fetchobject",
+				Vector: analyzer.VectorDB, Taints: xss},
+			{Kind: MethodSource, Class: "databasestatementinterface", Name: "fetchassoc",
+				Vector: analyzer.VectorDB, Taints: xss},
+			{Kind: MethodSource, Class: "databasestatementinterface", Name: "fetchfield",
+				Vector: analyzer.VectorDB, Taints: xss},
+
+			// Variable (settings) storage is database backed.
+			{Kind: FunctionSource, Name: "variable_get", Vector: analyzer.VectorDB, Taints: xss},
+
+			// Path/query helpers wrap the request.
+			{Kind: FunctionSource, Name: "arg", Vector: analyzer.VectorGET, Taints: xss},
+			{Kind: FunctionSource, Name: "drupal_get_query_parameters", Vector: analyzer.VectorGET, Taints: xss},
+		},
+
+		Sanitizers: []Sanitizer{
+			// The check/filter API.
+			{Name: "check_plain", Untaints: xss},
+			{Name: "check_markup", Untaints: xss},
+			{Name: "check_url", Untaints: xss},
+			{Name: "filter_xss", Untaints: xss},
+			{Name: "filter_xss_admin", Untaints: xss},
+			{Name: "drupal_clean_css_identifier"},
+			{Name: "drupal_html_id"},
+
+			// SQL escaping helpers.
+			{Name: "db_escape_table", Untaints: sqli},
+			{Name: "db_like", Untaints: sqli},
+		},
+
+		Reverts: []string{
+			"decode_entities",
+		},
+
+		Sinks: []Sink{
+			// Query functions: the query-string argument is sensitive.
+			{Name: "db_query", Vuln: analyzer.SQLi, Args: []int{0}},
+			{Name: "db_query_range", Vuln: analyzer.SQLi, Args: []int{0}},
+			{Name: "pager_query", Vuln: analyzer.SQLi, Args: []int{0}},
+
+			// Message and render helpers that emit HTML.
+			{Name: "drupal_set_message", Vuln: analyzer.XSS, Args: []int{0}},
+			{Name: "drupal_set_title", Vuln: analyzer.XSS, Args: []int{0}},
+		},
+
+		ObjectClasses: map[string]string{
+			// $query = db_select(...); $result = $query->execute();
+			"query":  "databasestatementinterface",
+			"result": "databasestatementinterface",
+		},
+	}
+}

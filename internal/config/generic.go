@@ -1,0 +1,148 @@
+package config
+
+import "repro/internal/analyzer"
+
+// Generic returns the generic PHP profile: the XSS and SQLi sources,
+// sanitizers, reverts and sinks of the PHP language and standard library.
+// The paper notes these entries are "based on the default configurations
+// of the RIPS tool" (§III.A).
+func Generic() Profile {
+	xss := []analyzer.VulnClass{analyzer.XSS}
+	sqli := []analyzer.VulnClass{analyzer.SQLi}
+	cmdi := []analyzer.VulnClass{analyzer.CmdInjection}
+	lfi := []analyzer.VulnClass{analyzer.FileInclusion}
+
+	return Profile{
+		Name: "generic-php",
+		Sources: []Source{
+			// User-input superglobals.
+			{Kind: SuperglobalSource, Name: "_GET", Vector: analyzer.VectorGET},
+			{Kind: SuperglobalSource, Name: "_POST", Vector: analyzer.VectorPOST},
+			{Kind: SuperglobalSource, Name: "_COOKIE", Vector: analyzer.VectorCookie},
+			{Kind: SuperglobalSource, Name: "_REQUEST", Vector: analyzer.VectorRequest},
+			{Kind: SuperglobalSource, Name: "_FILES", Vector: analyzer.VectorRequest},
+			{Kind: SuperglobalSource, Name: "_SERVER", Vector: analyzer.VectorOther},
+			{Kind: SuperglobalSource, Name: "HTTP_GET_VARS", Vector: analyzer.VectorGET},
+			{Kind: SuperglobalSource, Name: "HTTP_POST_VARS", Vector: analyzer.VectorPOST},
+			{Kind: SuperglobalSource, Name: "HTTP_COOKIE_VARS", Vector: analyzer.VectorCookie},
+
+			// File input functions (paper §V.C class 3).
+			{Kind: FunctionSource, Name: "file_get_contents", Vector: analyzer.VectorFile},
+			{Kind: FunctionSource, Name: "file", Vector: analyzer.VectorFile},
+			{Kind: FunctionSource, Name: "fgets", Vector: analyzer.VectorFile},
+			{Kind: FunctionSource, Name: "fgetc", Vector: analyzer.VectorFile},
+			{Kind: FunctionSource, Name: "fread", Vector: analyzer.VectorFile},
+			{Kind: FunctionSource, Name: "fscanf", Vector: analyzer.VectorFile},
+			{Kind: FunctionSource, Name: "readdir", Vector: analyzer.VectorFile},
+			{Kind: FunctionSource, Name: "glob", Vector: analyzer.VectorFile},
+
+			// Database read-back functions (paper §V.C class 2).
+			{Kind: FunctionSource, Name: "mysql_fetch_array", Vector: analyzer.VectorDB},
+			{Kind: FunctionSource, Name: "mysql_fetch_assoc", Vector: analyzer.VectorDB},
+			{Kind: FunctionSource, Name: "mysql_fetch_row", Vector: analyzer.VectorDB},
+			{Kind: FunctionSource, Name: "mysql_fetch_object", Vector: analyzer.VectorDB},
+			{Kind: FunctionSource, Name: "mysql_result", Vector: analyzer.VectorDB},
+			{Kind: FunctionSource, Name: "mysqli_fetch_array", Vector: analyzer.VectorDB},
+			{Kind: FunctionSource, Name: "mysqli_fetch_assoc", Vector: analyzer.VectorDB},
+			{Kind: FunctionSource, Name: "mysqli_fetch_row", Vector: analyzer.VectorDB},
+			{Kind: FunctionSource, Name: "mysqli_fetch_object", Vector: analyzer.VectorDB},
+
+			// Environment and other indirect sources.
+			{Kind: FunctionSource, Name: "getenv", Vector: analyzer.VectorOther},
+			{Kind: FunctionSource, Name: "get_headers", Vector: analyzer.VectorOther},
+		},
+
+		Sanitizers: []Sanitizer{
+			// Numeric conversions neutralize both classes.
+			{Name: "intval"},
+			{Name: "floatval"},
+			{Name: "doubleval"},
+			{Name: "absint"}, // defined by WordPress but harmless here
+			{Name: "count"},
+			{Name: "sizeof"},
+			{Name: "strlen"},
+			{Name: "md5"},
+			{Name: "sha1"},
+			{Name: "crc32"},
+			{Name: "base64_encode"},
+			{Name: "number_format"},
+			{Name: "ctype_digit"},
+			{Name: "ctype_alnum"},
+
+			// HTML-context sanitizers (XSS).
+			{Name: "htmlentities", Untaints: xss},
+			{Name: "htmlspecialchars", Untaints: xss},
+			{Name: "strip_tags", Untaints: xss},
+			{Name: "urlencode", Untaints: xss},
+			{Name: "rawurlencode", Untaints: xss},
+			{Name: "json_encode", Untaints: xss},
+			{Name: "filter_var", Untaints: xss},
+			{Name: "filter_input", Untaints: xss},
+
+			// SQL-context sanitizers (SQLi).
+			{Name: "addslashes", Untaints: sqli},
+			{Name: "mysql_escape_string", Untaints: sqli},
+			{Name: "mysql_real_escape_string", Untaints: sqli},
+			{Name: "mysqli_real_escape_string", Untaints: sqli},
+			{Name: "mysqli_escape_string", Untaints: sqli},
+			{Name: "pg_escape_string", Untaints: sqli},
+			{Name: "sqlite_escape_string", Untaints: sqli},
+			{Name: "preg_quote", Untaints: sqli},
+
+			// Shell-context sanitizers (command injection).
+			{Name: "escapeshellarg", Untaints: cmdi},
+			{Name: "escapeshellcmd", Untaints: cmdi},
+
+			// Path sanitizers (file inclusion).
+			{Name: "basename", Untaints: lfi},
+			{Name: "realpath", Untaints: lfi},
+			{Name: "pathinfo", Untaints: lfi},
+		},
+
+		Reverts: []string{
+			"stripslashes",
+			"stripcslashes",
+			"html_entity_decode",
+			"htmlspecialchars_decode",
+			"urldecode",
+			"rawurldecode",
+			"base64_decode",
+		},
+
+		Sinks: []Sink{
+			// XSS output functions; the echo and print constructs are
+			// handled natively by the engines.
+			{Name: "printf", Vuln: analyzer.XSS},
+			{Name: "vprintf", Vuln: analyzer.XSS},
+			{Name: "print_r", Vuln: analyzer.XSS, Args: []int{0}},
+			{Name: "var_dump", Vuln: analyzer.XSS},
+			{Name: "trigger_error", Vuln: analyzer.XSS, Args: []int{0}},
+
+			// SQL query functions.
+			{Name: "mysql_query", Vuln: analyzer.SQLi, Args: []int{0}},
+			{Name: "mysql_db_query", Vuln: analyzer.SQLi, Args: []int{1}},
+			{Name: "mysql_unbuffered_query", Vuln: analyzer.SQLi, Args: []int{0}},
+			{Name: "mysqli_query", Vuln: analyzer.SQLi, Args: []int{1}},
+			{Name: "mysqli_multi_query", Vuln: analyzer.SQLi, Args: []int{1}},
+			{Name: "pg_query", Vuln: analyzer.SQLi},
+			{Name: "sqlite_query", Vuln: analyzer.SQLi},
+
+			// Shell execution functions (command injection). The backtick
+			// operator is handled natively by the engines.
+			{Name: "exec", Vuln: analyzer.CmdInjection, Args: []int{0}},
+			{Name: "system", Vuln: analyzer.CmdInjection, Args: []int{0}},
+			{Name: "passthru", Vuln: analyzer.CmdInjection, Args: []int{0}},
+			{Name: "shell_exec", Vuln: analyzer.CmdInjection, Args: []int{0}},
+			{Name: "popen", Vuln: analyzer.CmdInjection, Args: []int{0}},
+			{Name: "proc_open", Vuln: analyzer.CmdInjection, Args: []int{0}},
+			{Name: "pcntl_exec", Vuln: analyzer.CmdInjection, Args: []int{0}},
+
+			// Dynamic code and file loading beyond the include family
+			// (handled natively by the engines).
+			{Name: "eval", Vuln: analyzer.CmdInjection, Args: []int{0}},
+			{Name: "virtual", Vuln: analyzer.FileInclusion, Args: []int{0}},
+		},
+
+		ObjectClasses: map[string]string{},
+	}
+}

@@ -1,0 +1,35 @@
+package corpus
+
+import "strings"
+
+// fileBuilder assembles one PHP file line by line, tracking line numbers
+// so snippet emitters can record exact ground-truth sink positions.
+type fileBuilder struct {
+	// path is the plugin-relative file path.
+	path string
+	// lines holds the emitted source lines (no trailing newlines).
+	lines []string
+}
+
+// newFileBuilder starts a PHP file with its open tag.
+func newFileBuilder(path string) *fileBuilder {
+	return &fileBuilder{path: path, lines: []string{"<?php"}}
+}
+
+// add appends lines and returns the 1-based line number of the first one.
+func (fb *fileBuilder) add(lines ...string) int {
+	first := len(fb.lines) + 1
+	fb.lines = append(fb.lines, lines...)
+	return first
+}
+
+// nextLine returns the 1-based number the next added line will get.
+func (fb *fileBuilder) nextLine() int { return len(fb.lines) + 1 }
+
+// lineCount returns the current number of lines.
+func (fb *fileBuilder) lineCount() int { return len(fb.lines) }
+
+// content renders the file.
+func (fb *fileBuilder) content() string {
+	return strings.Join(fb.lines, "\n") + "\n"
+}

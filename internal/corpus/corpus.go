@@ -1,0 +1,192 @@
+// Package corpus generates the synthetic WordPress-plugin corpus that
+// substitutes for the paper's 35 real plugins in their 2012 and 2014
+// versions (DSN 2015, §IV.B).
+//
+// The real plugin snapshots (89,560 LOC in 2012, 180,801 LOC in 2014) are
+// not redistributable and their vulnerability ground truth lives in the
+// authors' manual-verification records. This generator reproduces the
+// *population* the evaluation depends on, with exact machine-readable
+// ground truth instead of a security expert:
+//
+//   - 35 plugins, 19 of them object-oriented (§V.A), in two versions.
+//   - Seeded vulnerabilities distributed over the paper's input-vector
+//     taxonomy (Table II): GET, POST, POST/GET/COOKIE, DB, and
+//     File/Function/Array, including the WordPress-object (wpdb)
+//     vulnerabilities only an OOP-aware tool can find.
+//   - False-positive traps exercising each tool's documented blind spots:
+//     WordPress sanitizers (RIPS/Pixy FPs), validation guards and custom
+//     regex cleaners (phpSAFE FPs), variables defined in included files
+//     (Pixy register_globals FPs).
+//   - Persistence labels: a configurable share of the 2014 vulnerabilities
+//     also exists, verbatim, in the 2012 version (§V.D inertia analysis).
+//   - Robustness fixtures: files with oversized include closures that
+//     phpSAFE cannot analyze, and OOP files Pixy cannot parse (§V.E).
+//
+// Generation is deterministic for a given Spec (including its Seed), so
+// evaluations are reproducible; the analyzers never see the labels.
+package corpus
+
+import (
+	"fmt"
+	"math/rand"
+
+	"repro/internal/analyzer"
+)
+
+// Version identifies a corpus snapshot year.
+type Version string
+
+// Corpus versions, matching the paper's two snapshots.
+const (
+	V2012 Version = "2012"
+	V2014 Version = "2014"
+)
+
+// Spec parameterizes generation. Use DefaultSpec for the paper-calibrated
+// population.
+type Spec struct {
+	// Seed drives all pseudo-random choices.
+	Seed int64
+	// Plugins is the number of plugins (the paper uses 35).
+	Plugins int
+	// OOPPlugins is how many plugins are object-oriented (the paper: 19).
+	OOPPlugins int
+	// TargetLines2012/2014 are the approximate corpus-wide line counts
+	// (the paper: 89,560 and 180,801).
+	TargetLines2012 int
+	TargetLines2014 int
+	// HugeFiles2012/2014 are the number of files with include closures
+	// beyond phpSAFE's budget (the paper: 1 and 3).
+	HugeFiles2012 int
+	HugeFiles2014 int
+	// HugeIncludeParts is how many part files each huge file includes;
+	// it must exceed the analyzer's include budget.
+	HugeIncludeParts int
+}
+
+// DefaultSpec returns the paper-calibrated specification. The seed is the
+// DSN 2015 conference opening date.
+func DefaultSpec() Spec {
+	return Spec{
+		Seed:             20150622,
+		Plugins:          35,
+		OOPPlugins:       19,
+		TargetLines2012:  89560,
+		TargetLines2014:  180801,
+		HugeFiles2012:    1,
+		HugeFiles2014:    3,
+		HugeIncludeParts: 26,
+	}
+}
+
+// GroundTruth is the label of one seeded vulnerability.
+type GroundTruth struct {
+	// ID is stable across versions: a 2014 vulnerability that persists
+	// from 2012 carries the same ID in both corpora (§V.D).
+	ID string
+	// Plugin is the owning plugin's name.
+	Plugin string
+	// File is the plugin-relative path containing the sink.
+	File string
+	// Line is the sink's 1-based line.
+	Line int
+	// Class is the vulnerability class.
+	Class analyzer.VulnClass
+	// Vector is the input vector (Table II taxonomy).
+	Vector analyzer.Vector
+	// OOP marks WordPress-object vulnerabilities (§III.E, §V.A).
+	OOP bool
+	// RegisterGlobals marks vulnerabilities that exist only under the
+	// register_globals=1 directive (§V.A: Pixy's specialty).
+	RegisterGlobals bool
+	// Numeric marks vulnerable variables meant to store numbers (§V.C:
+	// 39% of vulnerable variables).
+	Numeric bool
+	// Persists marks 2014 vulnerabilities already present (and disclosed)
+	// in the 2012 version.
+	Persists bool
+	// Kind names the generator template, for diagnostics.
+	Kind string
+}
+
+// EasyToExploit reports whether the vulnerability is directly
+// attacker-manipulable (§V.C class 1 / §V.D).
+func (g GroundTruth) EasyToExploit() bool { return g.Vector.DirectlyManipulable() }
+
+// Trap is the label of one seeded false-positive trap: code that is
+// actually safe but that at least one tool is expected to flag.
+type Trap struct {
+	// Plugin, File, Line locate the trap's would-be sink.
+	Plugin string
+	File   string
+	Line   int
+	// Class is the vulnerability class a tool would report.
+	Class analyzer.VulnClass
+	// Kind names the trap template (esc-html, numeric-guard, ...).
+	Kind string
+}
+
+// Corpus is one generated snapshot: the analyzable targets plus the
+// labels the evaluation oracle uses.
+type Corpus struct {
+	// Version is the snapshot year.
+	Version Version
+	// Targets lists the plugins.
+	Targets []*analyzer.Target
+	// Truths lists every seeded vulnerability.
+	Truths []GroundTruth
+	// Traps lists every seeded false-positive trap.
+	Traps []Trap
+}
+
+// Lines returns the corpus-wide source line count.
+func (c *Corpus) Lines() int {
+	total := 0
+	for _, t := range c.Targets {
+		total += t.Lines()
+	}
+	return total
+}
+
+// Files returns the corpus-wide file count.
+func (c *Corpus) Files() int {
+	total := 0
+	for _, t := range c.Targets {
+		total += len(t.Files)
+	}
+	return total
+}
+
+// Target returns the plugin with the given name, or nil.
+func (c *Corpus) Target(name string) *analyzer.Target {
+	for _, t := range c.Targets {
+		if t.Name == name {
+			return t
+		}
+	}
+	return nil
+}
+
+// Generate builds both corpus versions from one specification. The same
+// master plan drives both snapshots so persistence labels line up.
+func Generate(spec Spec) (v2012, v2014 *Corpus, err error) {
+	if spec.Plugins <= 0 || spec.OOPPlugins > spec.Plugins {
+		return nil, nil, fmt.Errorf("corpus: invalid spec: %d plugins, %d OOP", spec.Plugins, spec.OOPPlugins)
+	}
+	rng := rand.New(rand.NewSource(spec.Seed))
+	plan := buildMasterPlan(spec, rng)
+
+	v2012 = emitVersion(spec, plan, V2012, rand.New(rand.NewSource(spec.Seed+1)))
+	v2014 = emitVersion(spec, plan, V2014, rand.New(rand.NewSource(spec.Seed+2)))
+	return v2012, v2014, nil
+}
+
+// MustGenerate is Generate for the default spec, panicking on spec errors
+// (which cannot happen for DefaultSpec).
+func MustGenerate() (*Corpus, *Corpus) {
+	a, b, err := Generate(DefaultSpec())
+	if err != nil {
+		panic(err)
+	}
+	return a, b
+}

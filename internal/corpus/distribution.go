@@ -1,0 +1,340 @@
+package corpus
+
+import (
+	"fmt"
+	"math/rand"
+
+	"repro/internal/analyzer"
+)
+
+// placement says where in a plugin a seeded snippet lives. Placement
+// determines which tools can see it, per each tool's documented envelope:
+//
+//	placeTopProc    — top-level code in a purely procedural file:
+//	                  visible to phpSAFE, RIPS and Pixy.
+//	placeTopOOPFile — top-level code in a file that also declares a class:
+//	                  Pixy fails the whole file; phpSAFE and RIPS see it.
+//	placeUncalled   — inside a hook function never called by the plugin:
+//	                  phpSAFE and RIPS analyze it; Pixy does not (§V.A).
+//	placeMethod     — inside a class method: only phpSAFE (OOP, §III.E).
+//	placeHuge       — top-level code in a file whose include closure
+//	                  exceeds phpSAFE's budget: only RIPS (§V.A).
+type placement int
+
+const (
+	placeTopProc placement = iota + 1
+	placeTopOOPFile
+	placeUncalled
+	placeMethod
+	placeHuge
+)
+
+// vulnKind selects the vulnerability snippet template.
+type vulnKind int
+
+const (
+	// vkWpdbRowsEcho: $wpdb->get_results rows echoed (the §III.E
+	// mail-subscribe-list pattern). WordPress-object vulnerability.
+	vkWpdbRowsEcho vulnKind = iota + 1
+	// vkWpdbVarEcho: $wpdb->get_var + stripslashes echo (the §V.C
+	// wp-photo-album-plus pattern). WordPress-object vulnerability.
+	vkWpdbVarEcho
+	// vkGetOptionEcho: get_option (DB-backed WordPress function) echoed.
+	vkGetOptionEcho
+	// vkQueryVarEcho: get_query_var (GET-backed WordPress function).
+	vkQueryVarEcho
+	// vkProcDBEcho: mysql_query + mysql_fetch_assoc row echoed.
+	vkProcDBEcho
+	// vkGetEcho / vkPostEcho / vkCookieEcho / vkRequestEcho: direct
+	// superglobal to echo flows (§V.C class 1, wp-symposium pattern).
+	vkGetEcho
+	vkPostEcho
+	vkCookieEcho
+	vkRequestEcho
+	// vkFileEcho: fgets/file_get_contents echoed (§V.C qtranslate
+	// pattern).
+	vkFileEcho
+	// vkSqliWpdb: $wpdb->query with unsanitized user input (SQLi).
+	vkSqliWpdb
+	// vkRegGlobals: an uninitialized variable echoed — exploitable only
+	// under register_globals=1 (Pixy's specialty, §V.A).
+	vkRegGlobals
+)
+
+// trapKind selects the false-positive trap template.
+type trapKind int
+
+const (
+	// tkEscHtml: echo esc_html($_GET[...]) — safe; RIPS and Pixy do not
+	// know the WordPress escaping API.
+	tkEscHtml trapKind = iota + 1
+	// tkSanitizeField: echo sanitize_text_field($_POST[...]) — same.
+	tkSanitizeField
+	// tkNumericGuard: is_numeric-guarded echo — safe; phpSAFE ignores
+	// validation conditions (§III.C) and flags it.
+	tkNumericGuard
+	// tkNumericGuardSqli: is_numeric-guarded $wpdb query — phpSAFE SQLi
+	// false positive.
+	tkNumericGuardSqli
+	// tkPregWhitelist: a custom cleaner built on a whitelist
+	// preg_replace — safe; phpSAFE cannot interpret the regex.
+	tkPregWhitelist
+	// tkIncludedVar: echo of a variable defined in an included file —
+	// safe; Pixy does not follow includes and suspects register_globals.
+	tkIncludedVar
+	// tkEscSql: mysql_query with esc_sql-escaped input — safe; RIPS and
+	// Pixy do not know esc_sql.
+	tkEscSql
+	// tkPrepared: a $wpdb->prepare parameterized query — safe for every
+	// tool; pure realism.
+	tkPrepared
+)
+
+// vulnRow is one line of the seeding distribution: how many instances of
+// a template/placement exist in both versions, only in 2012, and only in
+// 2014.
+type vulnRow struct {
+	kind    vulnKind
+	class   analyzer.VulnClass
+	vector  analyzer.Vector
+	place   placement
+	oop     bool
+	regGlob bool
+	both    int
+	only12  int
+	only14  int
+}
+
+// vulnDistribution is calibrated so that running the three analyzers over
+// the generated corpus reproduces the shapes of the paper's Table I
+// (per-tool TP/FP/precision ordering), Table II (input-vector mix — the
+// both/only12/only14 sums per vector equal Table II's columns), Fig. 2
+// (overlap structure) and §V.D (persistence). See DESIGN.md §5.
+var vulnDistribution = []vulnRow{
+	// --- GET, XSS (Table II GET row minus the SQLi seeds) ---
+	{kind: vkGetEcho, class: analyzer.XSS, vector: analyzer.VectorGET, place: placeHuge, both: 0, only12: 5, only14: 40},
+	{kind: vkQueryVarEcho, class: analyzer.XSS, vector: analyzer.VectorGET, place: placeTopProc, both: 5, only12: 5, only14: 5},
+	{kind: vkGetEcho, class: analyzer.XSS, vector: analyzer.VectorGET, place: placeMethod, oop: false, both: 8, only12: 12, only14: 3},
+	{kind: vkGetEcho, class: analyzer.XSS, vector: analyzer.VectorGET, place: placeUncalled, both: 12, only12: 18, only14: 12},
+	{kind: vkGetEcho, class: analyzer.XSS, vector: analyzer.VectorGET, place: placeTopProc, both: 4, only12: 8, only14: 0},
+	{kind: vkGetEcho, class: analyzer.XSS, vector: analyzer.VectorGET, place: placeTopOOPFile, both: 1, only12: 10, only14: 12},
+
+	// --- GET, SQLi (only phpSAFE detects: wpdb-encapsulated) ---
+	{kind: vkSqliWpdb, class: analyzer.SQLi, vector: analyzer.VectorGET, place: placeTopProc, oop: true, both: 4, only12: 1, only14: 2},
+	{kind: vkSqliWpdb, class: analyzer.SQLi, vector: analyzer.VectorGET, place: placeMethod, oop: true, both: 2, only12: 1, only14: 1},
+
+	// --- POST, XSS ---
+	{kind: vkPostEcho, class: analyzer.XSS, vector: analyzer.VectorPOST, place: placeMethod, both: 3, only12: 3, only14: 6},
+	{kind: vkPostEcho, class: analyzer.XSS, vector: analyzer.VectorPOST, place: placeUncalled, both: 6, only12: 4, only14: 18},
+	{kind: vkPostEcho, class: analyzer.XSS, vector: analyzer.VectorPOST, place: placeTopProc, both: 2, only12: 4, only14: 0},
+	{kind: vkPostEcho, class: analyzer.XSS, vector: analyzer.VectorPOST, place: placeTopOOPFile, both: 0, only12: 0, only14: 8},
+
+	// --- POST/GET/COOKIE, XSS ---
+	{kind: vkRegGlobals, class: analyzer.XSS, vector: analyzer.VectorRequest, place: placeTopProc, regGlob: true, both: 8, only12: 5, only14: 0},
+	{kind: vkCookieEcho, class: analyzer.XSS, vector: analyzer.VectorCookie, place: placeUncalled, both: 5, only12: 0, only14: 26},
+	{kind: vkRequestEcho, class: analyzer.XSS, vector: analyzer.VectorRequest, place: placeTopProc, both: 3, only12: 0, only14: 0},
+	{kind: vkCookieEcho, class: analyzer.XSS, vector: analyzer.VectorCookie, place: placeMethod, both: 3, only12: 0, only14: 4},
+	{kind: vkRequestEcho, class: analyzer.XSS, vector: analyzer.VectorRequest, place: placeTopOOPFile, both: 0, only12: 0, only14: 8},
+
+	// --- DB, XSS: WordPress-object (OOP) vulnerabilities ---
+	{kind: vkWpdbRowsEcho, class: analyzer.XSS, vector: analyzer.VectorDB, place: placeMethod, oop: true, both: 50, only12: 10, only14: 20},
+	{kind: vkWpdbRowsEcho, class: analyzer.XSS, vector: analyzer.VectorDB, place: placeTopOOPFile, oop: true, both: 30, only12: 5, only14: 10},
+	{kind: vkWpdbVarEcho, class: analyzer.XSS, vector: analyzer.VectorDB, place: placeTopProc, oop: true, both: 25, only12: 5, only14: 10},
+	{kind: vkWpdbRowsEcho, class: analyzer.XSS, vector: analyzer.VectorDB, place: placeUncalled, oop: true, both: 20, only12: 6, only14: 14},
+
+	// --- DB, XSS: WordPress function source (phpSAFE only, not OOP) ---
+	{kind: vkGetOptionEcho, class: analyzer.XSS, vector: analyzer.VectorDB, place: placeTopProc, both: 12, only12: 8, only14: 28},
+
+	// --- DB, XSS: procedural mysql_* flows (RIPS-visible) ---
+	{kind: vkProcDBEcho, class: analyzer.XSS, vector: analyzer.VectorDB, place: placeUncalled, both: 15, only12: 5, only14: 84},
+	{kind: vkProcDBEcho, class: analyzer.XSS, vector: analyzer.VectorDB, place: placeTopProc, both: 6, only12: 2, only14: 0},
+	{kind: vkProcDBEcho, class: analyzer.XSS, vector: analyzer.VectorDB, place: placeTopOOPFile, both: 4, only12: 0, only14: 30},
+	{kind: vkProcDBEcho, class: analyzer.XSS, vector: analyzer.VectorDB, place: placeMethod, both: 0, only12: 8, only14: 5},
+
+	// --- File/Function/Array, XSS ---
+	{kind: vkFileEcho, class: analyzer.XSS, vector: analyzer.VectorFile, place: placeUncalled, both: 2, only12: 18, only14: 3},
+	{kind: vkFileEcho, class: analyzer.XSS, vector: analyzer.VectorFile, place: placeMethod, both: 1, only12: 11, only14: 4},
+	{kind: vkFileEcho, class: analyzer.XSS, vector: analyzer.VectorFile, place: placeTopProc, both: 1, only12: 8, only14: 0},
+}
+
+// trapRow is one line of the false-positive trap distribution.
+type trapRow struct {
+	kind   trapKind
+	class  analyzer.VulnClass
+	place  placement
+	both   int
+	only12 int
+	only14 int
+}
+
+// trapDistribution is calibrated against Table I's FP columns: RIPS's FPs
+// come from the WordPress escaping API it does not know; phpSAFE's from
+// validation guards and custom regex cleaners it cannot interpret; Pixy's
+// (the bulk) from variables defined in files it does not follow.
+var trapDistribution = []trapRow{
+	// RIPS false positives (plus Pixy where Pixy-visible).
+	{kind: tkEscHtml, class: analyzer.XSS, place: placeTopProc, both: 12, only12: 13, only14: 0},
+	{kind: tkEscHtml, class: analyzer.XSS, place: placeUncalled, both: 14, only12: 10, only14: 6},
+	{kind: tkSanitizeField, class: analyzer.XSS, place: placeUncalled, both: 6, only12: 4, only14: 2},
+	{kind: tkEscHtml, class: analyzer.XSS, place: placeTopOOPFile, both: 10, only12: 10, only14: 4},
+	{kind: tkEscSql, class: analyzer.SQLi, place: placeTopOOPFile, both: 0, only12: 0, only14: 1},
+
+	// phpSAFE false positives (guards and custom cleaners).
+	{kind: tkNumericGuard, class: analyzer.XSS, place: placeMethod, both: 22, only12: 8, only14: 6},
+	{kind: tkNumericGuard, class: analyzer.XSS, place: placeTopProc, both: 8, only12: 0, only14: 0},
+	{kind: tkPregWhitelist, class: analyzer.XSS, place: placeMethod, both: 14, only12: 4, only14: 2},
+	{kind: tkPregWhitelist, class: analyzer.XSS, place: placeUncalled, both: 4, only12: 3, only14: 1},
+	{kind: tkNumericGuardSqli, class: analyzer.SQLi, place: placeMethod, both: 2, only12: 0, only14: 3},
+
+	// Pixy false positives (register_globals suspicion on included
+	// definitions).
+	{kind: tkIncludedVar, class: analyzer.XSS, place: placeTopProc, both: 100, only12: 50, only14: 85},
+
+	// Realism: parameterized queries nobody should flag.
+	{kind: tkPrepared, class: analyzer.SQLi, place: placeTopProc, both: 12, only12: 0, only14: 8},
+}
+
+// vulnPlan is one concrete planned vulnerability in the master plan.
+type vulnPlan struct {
+	id      string
+	row     vulnRow
+	plugin  int
+	numeric bool
+	in2012  bool
+	in2014  bool
+	// variant picks among snippet template variations.
+	variant int
+}
+
+// trapPlan is one concrete planned trap.
+type trapPlan struct {
+	row     trapRow
+	plugin  int
+	in2012  bool
+	in2014  bool
+	variant int
+}
+
+// masterPlan is the version-independent generation plan.
+type masterPlan struct {
+	vulns []vulnPlan
+	traps []trapPlan
+	// hugePlugins2012/2014 are the plugin indices hosting oversized
+	// include-closure files per version.
+	hugePlugins2012 []int
+	hugePlugins2014 []int
+}
+
+// buildMasterPlan expands the distribution tables into concrete plans
+// with plugin assignments.
+func buildMasterPlan(spec Spec, rng *rand.Rand) *masterPlan {
+	plan := &masterPlan{
+		hugePlugins2012: hugeHosts(spec.HugeFiles2012, spec.OOPPlugins, 2),
+		hugePlugins2014: hugeHosts(spec.HugeFiles2014, spec.OOPPlugins, 4),
+	}
+
+	nextID := 0
+	assign := newAssigner(spec, rng, plan)
+
+	addVuln := func(row vulnRow, in12, in14 bool) {
+		nextID++
+		plan.vulns = append(plan.vulns, vulnPlan{
+			id:      fmt.Sprintf("V%04d", nextID),
+			row:     row,
+			plugin:  assign.pluginFor(row.place, row.oop, in12, in14),
+			numeric: rng.Intn(100) < 39, // §V.C: 39% numeric variables
+			in2012:  in12,
+			in2014:  in14,
+			variant: rng.Intn(4),
+		})
+	}
+	for _, row := range vulnDistribution {
+		for i := 0; i < row.both; i++ {
+			addVuln(row, true, true)
+		}
+		for i := 0; i < row.only12; i++ {
+			addVuln(row, true, false)
+		}
+		for i := 0; i < row.only14; i++ {
+			addVuln(row, false, true)
+		}
+	}
+
+	addTrap := func(row trapRow, in12, in14 bool) {
+		plan.traps = append(plan.traps, trapPlan{
+			row:     row,
+			plugin:  assign.pluginFor(row.place, false, in12, in14),
+			in2012:  in12,
+			in2014:  in14,
+			variant: rng.Intn(4),
+		})
+	}
+	for _, row := range trapDistribution {
+		for i := 0; i < row.both; i++ {
+			addTrap(row, true, true)
+		}
+		for i := 0; i < row.only12; i++ {
+			addTrap(row, true, false)
+		}
+		for i := 0; i < row.only14; i++ {
+			addTrap(row, false, true)
+		}
+	}
+	return plan
+}
+
+// hugeHosts picks n distinct OOP plugin indices for huge files, spaced
+// from a starting offset.
+func hugeHosts(n, oopCount, start int) []int {
+	hosts := make([]int, 0, n)
+	for i := 0; i < n; i++ {
+		hosts = append(hosts, (start+i*5)%oopCount)
+	}
+	return hosts
+}
+
+// assigner spreads plans over plugins under the placement constraints.
+type assigner struct {
+	spec Spec
+	rng  *rand.Rand
+	plan *masterPlan
+	// rotating cursors per category keep the spread deterministic.
+	oopCursor  int
+	anyCursor  int
+	oopDBSlots []int
+}
+
+func newAssigner(spec Spec, rng *rand.Rand, plan *masterPlan) *assigner {
+	return &assigner{spec: spec, rng: rng, plan: plan}
+}
+
+// pluginFor picks the owning plugin index for a plan.
+func (as *assigner) pluginFor(place placement, oopVuln bool, in12, in14 bool) int {
+	switch place {
+	case placeHuge:
+		// Huge snippets live in their version's designated huge plugins.
+		if in14 {
+			hosts := as.plan.hugePlugins2014
+			return hosts[as.anyCursor%len(hosts)]
+		}
+		hosts := as.plan.hugePlugins2012
+		return hosts[as.anyCursor%len(hosts)]
+
+	case placeMethod, placeTopOOPFile:
+		// Must live in an OOP plugin. WordPress-object vulnerabilities
+		// concentrate in fewer plugins (paper §V.A: 10 plugins in 2012,
+		// 7 in 2014).
+		as.oopCursor++
+		if oopVuln {
+			if in12 {
+				return as.oopCursor % 10
+			}
+			return as.oopCursor % 7
+		}
+		return as.oopCursor % as.spec.OOPPlugins
+
+	default:
+		as.anyCursor++
+		return as.anyCursor % as.spec.Plugins
+	}
+}

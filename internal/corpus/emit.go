@@ -1,0 +1,509 @@
+package corpus
+
+import (
+	"fmt"
+	"math/rand"
+
+	"repro/internal/analyzer"
+)
+
+// emitVersion renders one corpus snapshot from the master plan.
+func emitVersion(spec Spec, plan *masterPlan, ver Version, rng *rand.Rand) *Corpus {
+	c := &Corpus{Version: ver}
+
+	hugeHosts := plan.hugePlugins2012
+	targetLines := spec.TargetLines2012
+	if ver == V2014 {
+		hugeHosts = plan.hugePlugins2014
+		targetLines = spec.TargetLines2014
+	}
+	hostSet := make(map[int]bool, len(hugeHosts))
+	for _, h := range hugeHosts {
+		hostSet[h] = true
+	}
+
+	// Per-plugin line weights ("a very diverse set", §IV.B).
+	weights := make([]float64, spec.Plugins)
+	var weightSum float64
+	for i := range weights {
+		weights[i] = 0.5 + 1.5*rng.Float64()
+		weightSum += weights[i]
+	}
+
+	for i := 0; i < spec.Plugins; i++ {
+		pe := &pluginEmitter{
+			spec:     spec,
+			idx:      i,
+			name:     pluginName(i),
+			oop:      i < spec.OOPPlugins,
+			ver:      ver,
+			rng:      rng,
+			ng:       newNameGen(pluginName(i)),
+			hugeHost: hostSet[i],
+		}
+		for _, vp := range plan.vulns {
+			if vp.plugin == i && vp.inVersion(ver) {
+				pe.vulns = append(pe.vulns, vp)
+			}
+		}
+		for _, tp := range plan.traps {
+			if tp.plugin == i && tp.inVersion(ver) {
+				pe.traps = append(pe.traps, tp)
+			}
+		}
+		pe.targetLines = int(weights[i] / weightSum * float64(targetLines))
+
+		target := pe.emit()
+		c.Targets = append(c.Targets, target)
+		c.Truths = append(c.Truths, pe.truths...)
+		c.Traps = append(c.Traps, pe.trapRecs...)
+	}
+	return c
+}
+
+// inVersion reports plan membership in a snapshot.
+func (p vulnPlan) inVersion(v Version) bool {
+	if v == V2012 {
+		return p.in2012
+	}
+	return p.in2014
+}
+
+// inVersion reports plan membership in a snapshot.
+func (p trapPlan) inVersion(v Version) bool {
+	if v == V2012 {
+		return p.in2012
+	}
+	return p.in2014
+}
+
+// pluginEmitter renders one plugin for one version.
+type pluginEmitter struct {
+	spec        Spec
+	idx         int
+	name        string
+	oop         bool
+	ver         Version
+	rng         *rand.Rand
+	ng          *nameGen
+	vulns       []vulnPlan
+	traps       []trapPlan
+	hugeHost    bool
+	targetLines int
+
+	files    []*fileBuilder
+	hooks    []string // function names registered via add_action
+	truths   []GroundTruth
+	trapRecs []Trap
+
+	// mainExtraVulns/mainExtraTraps hold the share of top-level snippets
+	// routed to the main file (2012 versions; 2014 uses ajax.php).
+	mainExtraVulns []vulnPlan
+	mainExtraTraps []trapPlan
+}
+
+// emit renders the plugin's files.
+func (pe *pluginEmitter) emit() *analyzer.Target {
+	// Partition plans by placement.
+	byPlace := func(p placement) (vs []vulnPlan, ts []trapPlan) {
+		for _, v := range pe.vulns {
+			if v.row.place == p {
+				vs = append(vs, v)
+			}
+		}
+		for _, t := range pe.traps {
+			if t.row.place == p {
+				ts = append(ts, t)
+			}
+		}
+		return vs, ts
+	}
+	topVs, topTs := byPlace(placeTopProc)
+	oopVs, oopTs := byPlace(placeTopOOPFile)
+	funcVs, funcTs := byPlace(placeUncalled)
+	methVs, methTs := byPlace(placeMethod)
+	hugeVs, _ := byPlace(placeHuge)
+
+	// Separate the traps that need the settings file (included-var) from
+	// other top-level traps.
+	var includedTs, plainTopTs []trapPlan
+	for _, t := range topTs {
+		if t.row.kind == tkIncludedVar {
+			includedTs = append(includedTs, t)
+		} else {
+			plainTopTs = append(plainTopTs, t)
+		}
+	}
+
+	settingsVars := pe.buildSettings(len(includedTs))
+	pe.buildAdmin(includedTs, settingsVars, splitVulns(topVs, 2, 0), splitTraps(plainTopTs, 2, 0))
+	pe.buildFunctions(funcVs, funcTs)
+	if pe.oop {
+		pe.buildClassFile(methVs, methTs, oopVs, oopTs)
+		pe.buildWidget()
+	}
+	pe.buildTemplates()
+	if pe.ver == V2014 {
+		pe.buildAjax(splitVulns(topVs, 2, 1), splitTraps(plainTopTs, 2, 1))
+		pe.buildAPI()
+	} else {
+		// 2012 keeps its remaining top-level snippets in the main file.
+		pe.mainExtraVulns = splitVulns(topVs, 2, 1)
+		pe.mainExtraTraps = splitTraps(plainTopTs, 2, 1)
+	}
+	if pe.hugeHost {
+		pe.buildHuge(hugeVs)
+	}
+	pe.buildMain() // last: it references the registered hooks
+
+	pe.pad()
+
+	target := &analyzer.Target{Name: pe.name}
+	for _, fb := range pe.files {
+		target.Files = append(target.Files, analyzer.SourceFile{
+			Path:    fb.path,
+			Content: fb.content(),
+		})
+	}
+	return target
+}
+
+// splitVulns returns the bucket'th of n round-robin shares.
+func splitVulns(vs []vulnPlan, n, bucket int) []vulnPlan {
+	var out []vulnPlan
+	for i, v := range vs {
+		if i%n == bucket {
+			out = append(out, v)
+		}
+	}
+	return out
+}
+
+// splitTraps returns the bucket'th of n round-robin shares.
+func splitTraps(ts []trapPlan, n, bucket int) []trapPlan {
+	var out []trapPlan
+	for i, t := range ts {
+		if i%n == bucket {
+			out = append(out, t)
+		}
+	}
+	return out
+}
+
+// recordVuln appends a ground-truth record for a seeded vulnerability.
+func (pe *pluginEmitter) recordVuln(p vulnPlan, file string, line int) {
+	pe.truths = append(pe.truths, GroundTruth{
+		ID:              p.id,
+		Plugin:          pe.name,
+		File:            file,
+		Line:            line,
+		Class:           p.row.class,
+		Vector:          p.row.vector,
+		OOP:             p.row.oop,
+		RegisterGlobals: p.row.regGlob,
+		Numeric:         p.numeric,
+		Persists:        pe.ver == V2014 && p.in2012 && p.in2014,
+		Kind:            kindName(p.row.kind),
+	})
+}
+
+// recordTrap appends a trap record.
+func (pe *pluginEmitter) recordTrap(p trapPlan, file string, line int) {
+	pe.trapRecs = append(pe.trapRecs, Trap{
+		Plugin: pe.name,
+		File:   file,
+		Line:   line,
+		Class:  p.row.class,
+		Kind:   trapName(p.row.kind),
+	})
+}
+
+// emitVulnTop writes a vulnerability snippet at the top level of a file.
+func (pe *pluginEmitter) emitVulnTop(fb *fileBuilder, p vulnPlan) {
+	sn := vulnSnippet(p, pe.ng)
+	start := fb.add(sn.lines...)
+	fb.add("")
+	pe.recordVuln(p, fb.path, start+sn.sinkIdx)
+}
+
+// emitTrapTop writes a trap snippet at the top level of a file.
+func (pe *pluginEmitter) emitTrapTop(fb *fileBuilder, p trapPlan, settingsVar string) {
+	sn := trapSnippet(p, pe.ng, settingsVar)
+	start := fb.add(sn.lines...)
+	fb.add("")
+	pe.recordTrap(p, fb.path, start+sn.sinkIdx)
+}
+
+// emitVulnFunc wraps a vulnerability snippet in a hook function.
+func (pe *pluginEmitter) emitVulnFunc(fb *fileBuilder, p vulnPlan) {
+	sn := vulnSnippet(p, pe.ng).indent("\t")
+	fname := pe.ng.fn("handler")
+	fb.add(fmt.Sprintf("function %s() {", fname))
+	start := fb.add(sn.lines...)
+	fb.add("}", "")
+	pe.hooks = append(pe.hooks, fname)
+	pe.recordVuln(p, fb.path, start+sn.sinkIdx)
+}
+
+// emitTrapFunc wraps a trap snippet in a hook function.
+func (pe *pluginEmitter) emitTrapFunc(fb *fileBuilder, p trapPlan) {
+	sn := trapSnippet(p, pe.ng, "").indent("\t")
+	fname := pe.ng.fn("handler")
+	fb.add(fmt.Sprintf("function %s() {", fname))
+	start := fb.add(sn.lines...)
+	fb.add("}", "")
+	pe.hooks = append(pe.hooks, fname)
+	pe.recordTrap(p, fb.path, start+sn.sinkIdx)
+}
+
+// buildSettings writes inc/settings.php defining literal configuration
+// variables; the first n are reserved for included-var traps and their
+// names are returned.
+func (pe *pluginEmitter) buildSettings(n int) []string {
+	fb := newFileBuilder("inc/settings.php")
+	fb.add("/** Plugin configuration defaults, included by the admin screens. */", "")
+	vars := make([]string, 0, n)
+	for i := 0; i < n; i++ {
+		v := pe.ng.v("cfg_" + pe.ng.pick(optionPool))
+		vars = append(vars, v)
+		fb.add(fmt.Sprintf("$%s = '%s default %d';", v, pe.ng.pick(nounPool), i+1))
+	}
+	fb.add("")
+	for i := 0; i < 4; i++ {
+		fb.add(fillerBlock(pe.ng, pe.rng)...)
+	}
+	pe.files = append(pe.files, fb)
+	return vars
+}
+
+// buildAdmin writes admin/admin.php: includes the settings, then hosts
+// the included-var traps, register-globals snippets and a share of the
+// top-level plans.
+func (pe *pluginEmitter) buildAdmin(includedTs []trapPlan, settingsVars []string,
+	vs []vulnPlan, ts []trapPlan) {
+	fb := newFileBuilder("admin/admin.php")
+	fb.add("/** Admin screen rendering. */")
+	fb.add("include 'inc/settings.php';", "")
+
+	for i, t := range includedTs {
+		pe.emitTrapTop(fb, t, settingsVars[i])
+	}
+	for _, v := range vs {
+		pe.emitVulnTop(fb, v)
+	}
+	for _, t := range ts {
+		pe.emitTrapTop(fb, t, "")
+	}
+	pe.files = append(pe.files, fb)
+}
+
+// buildFunctions writes includes/functions.php with the uncalled hook
+// functions (§III.B: exported callbacks the CMS calls, not the plugin).
+func (pe *pluginEmitter) buildFunctions(vs []vulnPlan, ts []trapPlan) {
+	fb := newFileBuilder("includes/functions.php")
+	fb.add("/** Hook callbacks registered with the WordPress API. */", "")
+	for _, v := range vs {
+		pe.emitVulnFunc(fb, v)
+	}
+	for _, t := range ts {
+		pe.emitTrapFunc(fb, t)
+	}
+	for i := 0; i < 3; i++ {
+		fb.add(fillerFunction(pe.ng, pe.rng)...)
+	}
+	pe.files = append(pe.files, fb)
+}
+
+// buildClassFile writes the plugin's main class with method-placed
+// snippets, followed by top-level code (the placeTopOOPFile snippets that
+// make Pixy fail the file while phpSAFE and RIPS still see the top
+// level).
+func (pe *pluginEmitter) buildClassFile(methVs []vulnPlan, methTs []trapPlan,
+	topVs []vulnPlan, topTs []trapPlan) {
+	className := classNameFor(pe.name) + "_Core"
+	fb := newFileBuilder("class-" + pe.name + ".php")
+	fb.add(
+		"/**",
+		fmt.Sprintf(" * Core controller for the %s plugin.", pe.name),
+		" */",
+		fmt.Sprintf("class %s {", className),
+		"\tpublic $prefix = '"+funcPrefixFor(pe.name)+"';",
+		"",
+		"\tpublic function __construct() {",
+		"\t\t$this->prefix = 'wp_"+funcPrefixFor(pe.name)+"';",
+		"\t}",
+		"",
+	)
+	for _, v := range methVs {
+		sn := vulnSnippet(v, pe.ng).indent("\t\t")
+		mname := pe.ng.fn("render")
+		fb.add(fmt.Sprintf("\tpublic function %s() {", mname))
+		start := fb.add(sn.lines...)
+		fb.add("\t}", "")
+		pe.recordVuln(v, fb.path, start+sn.sinkIdx)
+	}
+	for _, t := range methTs {
+		sn := trapSnippet(t, pe.ng, "").indent("\t\t")
+		mname := pe.ng.fn("render")
+		fb.add(fmt.Sprintf("\tpublic function %s() {", mname))
+		start := fb.add(sn.lines...)
+		fb.add("\t}", "")
+		pe.recordTrap(t, fb.path, start+sn.sinkIdx)
+	}
+	for i := 0; i < 2; i++ {
+		fb.add(fillerMethod(pe.ng, pe.rng)...)
+	}
+	fb.add("}", "")
+
+	for _, v := range topVs {
+		pe.emitVulnTop(fb, v)
+	}
+	for _, t := range topTs {
+		pe.emitTrapTop(fb, t, "")
+	}
+	pe.files = append(pe.files, fb)
+}
+
+// buildWidget writes a second class file for OOP plugins.
+func (pe *pluginEmitter) buildWidget() {
+	className := classNameFor(pe.name) + "_Widget"
+	fb := newFileBuilder("includes/widget.php")
+	fb.add(
+		fmt.Sprintf("class %s extends WP_Widget {", className),
+		"\tpublic $prefix = 'w';",
+		"",
+		"\tpublic function form() {",
+		"\t\techo '<p class=\"widget-form\">Configure in the admin panel.</p>';",
+		"\t}",
+		"",
+	)
+	for i := 0; i < 2; i++ {
+		fb.add(fillerMethod(pe.ng, pe.rng)...)
+	}
+	fb.add("}", "")
+	pe.files = append(pe.files, fb)
+}
+
+// buildTemplates writes templates/display.php.
+func (pe *pluginEmitter) buildTemplates() {
+	fb := newFileBuilder("templates/display.php")
+	fb.add("/** Front-end display template. */", "")
+	for i := 0; i < 3; i++ {
+		fb.add(fillerTemplate(pe.ng, pe.rng)...)
+	}
+	pe.files = append(pe.files, fb)
+}
+
+// buildAjax writes ajax.php (2014 versions only).
+func (pe *pluginEmitter) buildAjax(vs []vulnPlan, ts []trapPlan) {
+	fb := newFileBuilder("ajax.php")
+	fb.add("/** AJAX endpoints added in the 2.x series. */", "")
+	for _, v := range vs {
+		pe.emitVulnTop(fb, v)
+	}
+	for _, t := range ts {
+		pe.emitTrapTop(fb, t, "")
+	}
+	pe.files = append(pe.files, fb)
+}
+
+// buildAPI writes api/rest.php filler (2014 versions only).
+func (pe *pluginEmitter) buildAPI() {
+	fb := newFileBuilder("api/rest.php")
+	fb.add("/** REST-style endpoints (experimental). */", "")
+	for i := 0; i < 3; i++ {
+		fb.add(fillerFunction(pe.ng, pe.rng)...)
+	}
+	pe.files = append(pe.files, fb)
+}
+
+// buildHuge writes the oversized-include-closure file and its parts: the
+// robustness fixture phpSAFE cannot analyze (include budget) and Pixy
+// cannot parse (class declaration), leaving RIPS as the only detector of
+// the snippets inside (§V.A).
+func (pe *pluginEmitter) buildHuge(vs []vulnPlan) {
+	fb := newFileBuilder("huge-admin.php")
+	fb.add("/** Monolithic admin module: loads every feature part. */", "")
+	for i := 0; i < pe.spec.HugeIncludeParts; i++ {
+		fb.add(fmt.Sprintf("include 'parts/part%02d.php';", i))
+	}
+	fb.add("")
+	fb.add(
+		fmt.Sprintf("class %s_Huge_Module {", classNameFor(pe.name)),
+		"\tpublic $prefix = 'huge';",
+		"",
+		"\tpublic function boot() {",
+		"\t\treturn true;",
+		"\t}",
+		"}",
+		"",
+	)
+	for _, v := range vs {
+		pe.emitVulnTop(fb, v)
+	}
+	pe.files = append(pe.files, fb)
+
+	for i := 0; i < pe.spec.HugeIncludeParts; i++ {
+		part := newFileBuilder(fmt.Sprintf("parts/part%02d.php", i))
+		part.add(fmt.Sprintf("/** Feature part %02d. */", i), "")
+		for part.lineCount() < 40 {
+			part.add(fillerBlock(pe.ng, pe.rng)...)
+		}
+		pe.files = append(pe.files, part)
+	}
+}
+
+// buildMain writes the plugin's main file: header, includes, hook
+// registrations and (in 2012) the remaining top-level snippets.
+func (pe *pluginEmitter) buildMain() {
+	fb := newFileBuilder(pe.name + ".php")
+	version := "1.4.2"
+	if pe.ver == V2014 {
+		version = "2.3.1"
+	}
+	fb.add(
+		"/**",
+		fmt.Sprintf(" * Plugin Name: %s", classNameFor(pe.name)),
+		fmt.Sprintf(" * Version: %s", version),
+		" * Description: Generated corpus plugin (phpSAFE reproduction).",
+		" */",
+		"",
+		"include 'includes/functions.php';",
+		"include 'admin/admin.php';",
+	)
+	if pe.oop {
+		fb.add(fmt.Sprintf("include 'class-%s.php';", pe.name))
+		fb.add("include 'includes/widget.php';")
+	}
+	fb.add("")
+	for i, hook := range pe.hooks {
+		fb.add(fmt.Sprintf("add_action('plugin_hook_%d', '%s');", i, hook))
+	}
+	fb.add("")
+	for _, v := range pe.mainExtraVulns {
+		pe.emitVulnTop(fb, v)
+	}
+	for _, t := range pe.mainExtraTraps {
+		pe.emitTrapTop(fb, t, "")
+	}
+	pe.files = append(pe.files, fb)
+}
+
+// pad appends benign filler until the plugin reaches its line target.
+func (pe *pluginEmitter) pad() {
+	total := 0
+	for _, fb := range pe.files {
+		total += fb.lineCount()
+	}
+	if len(pe.files) == 0 {
+		return
+	}
+	// Pad the procedural, non-settings files; class files get top-level
+	// filler after their class body, which every analyzer accepts.
+	for total < pe.targetLines {
+		fb := pe.files[pe.rng.Intn(len(pe.files))]
+		block := fillerBlock(pe.ng, pe.rng)
+		fb.add(block...)
+		total += len(block)
+	}
+}

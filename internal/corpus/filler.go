@@ -1,0 +1,221 @@
+package corpus
+
+import (
+	"fmt"
+	"math/rand"
+)
+
+// fillerBlock returns a benign top-level code block. Filler is carefully
+// taint-free for every analyzer: no superglobals, no input functions, no
+// undefined variable reads (which would trip Pixy's register_globals
+// modeling), and nothing that echoes framework-sourced data.
+func fillerBlock(ng *nameGen, rng *rand.Rand) []string {
+	switch rng.Intn(8) {
+	case 0: // i18n string table
+		name := ng.v("strings")
+		return []string{
+			"/** Translatable interface strings. */",
+			fmt.Sprintf("$%s = array(", name),
+			"\t'save'   => 'Save Changes',",
+			"\t'cancel' => 'Cancel',",
+			"\t'delete' => 'Delete entry',",
+			fmt.Sprintf("\t'title'  => '%s panel',", ng.pick(nounPool)),
+			");",
+			fmt.Sprintf("update_option('labels_%d', $%s);", ng.next(), name),
+			"",
+		}
+	case 1: // version constant + registration
+		n := ng.next()
+		return []string{
+			fmt.Sprintf("define('PLUGIN_MODULE_%d_VERSION', '1.%d.%d');", n, n%7, n%13),
+			fmt.Sprintf("add_filter('the_content_%d', 'strip_tags');", n),
+			"",
+		}
+	case 2: // defaults bootstrap
+		opt := ng.v("defaults")
+		return []string{
+			fmt.Sprintf("$%s = array('per_page' => 10, 'order' => 'ASC', 'cache' => 300);", opt),
+			fmt.Sprintf("if (false === get_option('boot_%d')) {", ng.next()),
+			fmt.Sprintf("\tupdate_option('boot_%d', $%s);", ng.next(), opt),
+			"}",
+			"",
+		}
+	case 3: // static HTML banner
+		return []string{
+			"if (get_option('show_banner')) {",
+			"\techo '<div class=\"banner\">';",
+			fmt.Sprintf("\techo '<p>Powered by the %s module</p>';", ng.pick(nounPool)),
+			"\techo '</div>';",
+			"}",
+			"",
+		}
+	case 4: // arithmetic bookkeeping
+		a, b := ng.v("count"), ng.v("total")
+		return []string{
+			fmt.Sprintf("$%s = intval(get_option('hits_%d'));", a, ng.next()),
+			fmt.Sprintf("$%s = $%s + 1;", b, a),
+			fmt.Sprintf("update_option('hits_%d', $%s);", ng.next(), b),
+			"",
+		}
+	case 5: // enqueue assets
+		n := ng.next()
+		return []string{
+			fmt.Sprintf("wp_enqueue_style('mod-style-%d', plugin_dir_url(__FILE__) . 'css/style.css');", n),
+			fmt.Sprintf("wp_enqueue_script('mod-script-%d', plugin_dir_url(__FILE__) . 'js/app.js');", n),
+			"",
+		}
+	case 6: // safe echo of sanitized literal-derived value
+		v := ng.v("slug")
+		return []string{
+			fmt.Sprintf("$%s = sanitize_key('section-%d');", v, ng.next()),
+			fmt.Sprintf("echo '<section id=\"' . $%s . '\">';", v),
+			"echo '</section>';",
+			"",
+		}
+	default: // documented no-op hook registration
+		return []string{
+			"/*",
+			" * Compatibility shim retained for installations migrated",
+			" * from the 0.9 branch; the hook is a no-op since 1.2.",
+			" */",
+			fmt.Sprintf("add_action('admin_notices_%d', '__return_false');", ng.next()),
+			"",
+		}
+	}
+}
+
+// fillerFunction returns a benign named function definition (helpers that
+// other parts of the plugin call with literals, or not at all).
+func fillerFunction(ng *nameGen, rng *rand.Rand) []string {
+	name := ng.fn("helper")
+	switch rng.Intn(5) {
+	case 0: // numeric clamp
+		return []string{
+			"/**",
+			" * Clamp a pagination size to a sane range.",
+			" */",
+			fmt.Sprintf("function %s($value) {", name),
+			"\t$n = intval($value);",
+			"\tif ($n < 1) {",
+			"\t\treturn 1;",
+			"\t}",
+			"\tif ($n > 100) {",
+			"\t\treturn 100;",
+			"\t}",
+			"\treturn $n;",
+			"}",
+			"",
+		}
+	case 1: // static markup renderer
+		return []string{
+			fmt.Sprintf("function %s() {", name),
+			"\techo '<table class=\"widefat\">';",
+			"\techo '<thead><tr><th>Name</th><th>Status</th></tr></thead>';",
+			"\techo '<tbody></tbody>';",
+			"\techo '</table>';",
+			"}",
+			"",
+		}
+	case 2: // option round-trip with literals
+		n := ng.next()
+		return []string{
+			fmt.Sprintf("function %s($enabled = false) {", name),
+			fmt.Sprintf("\tupdate_option('feature_%d', $enabled ? 1 : 0);", n),
+			fmt.Sprintf("\treturn intval(get_option('feature_%d'));", n),
+			"}",
+			"",
+		}
+	case 3: // formatting helper that escapes
+		return []string{
+			fmt.Sprintf("function %s($label, $value) {", name),
+			"\t$safe = esc_html($value);",
+			"\treturn '<label>' . esc_html($label) . ': ' . $safe . '</label>';",
+			"}",
+			"",
+		}
+	default: // date helper
+		return []string{
+			fmt.Sprintf("function %s($ts = 0) {", name),
+			"\t$ts = intval($ts);",
+			"\tif ($ts <= 0) {",
+			"\t\treturn '-';",
+			"\t}",
+			"\treturn date('Y-m-d', $ts);",
+			"}",
+			"",
+		}
+	}
+}
+
+// fillerMethod returns a benign method body for class filler.
+func fillerMethod(ng *nameGen, rng *rand.Rand) []string {
+	name := ng.fn("get")
+	switch rng.Intn(4) {
+	case 0:
+		return []string{
+			fmt.Sprintf("\tpublic function %s() {", name),
+			fmt.Sprintf("\t\treturn $this->prefix . '%s';", ng.pick(nounPool)),
+			"\t}",
+			"",
+		}
+	case 1:
+		n := ng.next()
+		return []string{
+			fmt.Sprintf("\tpublic function %s($n = %d) {", name, n%9+1),
+			"\t\treturn intval($n) * 2;",
+			"\t}",
+			"",
+		}
+	case 2:
+		return []string{
+			fmt.Sprintf("\tprotected function %s() {", name),
+			"\t\techo '<div class=\"widget-frame\">';",
+			"\t\techo '</div>';",
+			"\t}",
+			"",
+		}
+	default:
+		return []string{
+			fmt.Sprintf("\tpublic function %s($key = '') {", name),
+			"\t\t$key = sanitize_key($key);",
+			fmt.Sprintf("\t\treturn get_option('cfg_%d_' . $key);", ng.next()),
+			"\t}",
+			"",
+		}
+	}
+}
+
+// fillerTemplate returns template-style filler using PHP's alternative
+// syntax and inline HTML, for templates/display.php files.
+func fillerTemplate(ng *nameGen, rng *rand.Rand) []string {
+	n := ng.next()
+	switch rng.Intn(3) {
+	case 0:
+		return []string{
+			fmt.Sprintf("if (get_option('show_section_%d')): ?>", n),
+			"<div class=\"section\">",
+			"\t<h3>Latest updates</h3>",
+			"\t<p>Nothing new this week.</p>",
+			"</div>",
+			"<?php endif;",
+			"",
+		}
+	case 1:
+		v := ng.v("i")
+		return []string{
+			fmt.Sprintf("for ($%s = 0; $%s < 3; $%s++): ?>", v, v, v),
+			"<hr class=\"divider\" />",
+			"<?php endfor;",
+			"",
+		}
+	default:
+		return []string{
+			"?>",
+			"<footer class=\"plugin-footer\">",
+			fmt.Sprintf("\t<span>Module %d</span>", n),
+			"</footer>",
+			"<?php",
+			"",
+		}
+	}
+}

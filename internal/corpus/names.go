@@ -1,0 +1,147 @@
+package corpus
+
+import (
+	"fmt"
+	"strings"
+)
+
+// pluginNames are the 35 plugin identities. The first OOPPlugins entries
+// are the object-oriented plugins. Several names nod to plugins the paper
+// itself mentions (mail-subscribe-list, wp-photo-album-plus, qtranslate,
+// wp-symposium).
+var pluginNames = []string{
+	// Object-oriented plugins (indices 0..18).
+	"mail-subscribe-list",
+	"wp-photo-album-plus",
+	"wp-symposium",
+	"event-calendar-pro",
+	"simple-forum-engine",
+	"gallery-manager-plus",
+	"contact-form-builder",
+	"newsletter-campaigns",
+	"shop-catalog-lite",
+	"member-directory",
+	"booking-scheduler",
+	"poll-voting-system",
+	"download-monitor-x",
+	"testimonial-rotator",
+	"faq-accordion-pro",
+	"slider-revolutions",
+	"user-profile-fields",
+	"review-rating-stars",
+	"social-share-counts",
+	// Procedural plugins (indices 19..34).
+	"qtranslate",
+	"simple-guestbook",
+	"link-shortener",
+	"random-quotes",
+	"visitor-counter",
+	"sitemap-generator",
+	"related-posts-basic",
+	"rss-feed-importer",
+	"maintenance-mode",
+	"code-highlighter",
+	"archive-widget",
+	"breadcrumb-trail",
+	"custom-footer-text",
+	"image-watermarker",
+	"search-log",
+	"print-friendly-page",
+}
+
+// pluginName returns the canonical name for a plugin index, extending the
+// fixed list deterministically for oversized specs.
+func pluginName(i int) string {
+	if i < len(pluginNames) {
+		return pluginNames[i]
+	}
+	return fmt.Sprintf("extra-plugin-%02d", i)
+}
+
+// classNameFor derives a PHP class name from a plugin name:
+// "mail-subscribe-list" → "Mail_Subscribe_List".
+func classNameFor(plugin string) string {
+	parts := strings.Split(plugin, "-")
+	for i, p := range parts {
+		if p == "" {
+			continue
+		}
+		parts[i] = strings.ToUpper(p[:1]) + p[1:]
+	}
+	return strings.Join(parts, "_")
+}
+
+// funcPrefixFor derives a function prefix: "mail-subscribe-list" → "msl".
+func funcPrefixFor(plugin string) string {
+	var sb strings.Builder
+	for _, part := range strings.Split(plugin, "-") {
+		if part != "" {
+			sb.WriteByte(part[0])
+		}
+	}
+	return sb.String()
+}
+
+// Identifier word pools for generated variables and fields.
+var (
+	nounPool = []string{
+		"item", "entry", "record", "post", "page", "user", "member",
+		"comment", "message", "subscriber", "event", "ticket", "order",
+		"product", "album", "photo", "topic", "reply", "field", "option",
+		"setting", "label", "title", "caption", "note", "tag", "category",
+		"link", "slot", "row",
+	}
+	numericNounPool = []string{
+		"id", "count", "page_id", "item_id", "user_id", "post_id",
+		"offset", "limit", "index", "year", "month", "day", "level",
+		"rank", "score", "qty", "num", "total", "width", "height",
+	}
+	tablePool = []string{
+		"entries", "subscribers", "events", "messages", "albums",
+		"photos", "topics", "orders", "logs", "ratings", "votes",
+		"downloads", "profiles", "reviews", "shares",
+	}
+	fieldPool = []string{
+		"name", "email", "body", "subject", "content", "summary",
+		"address", "phone", "website", "bio", "headline", "excerpt",
+	}
+	optionPool = []string{
+		"site_title", "footer_text", "welcome_message", "theme_color",
+		"date_format", "items_per_page", "admin_email", "cache_ttl",
+		"header_banner", "locale_code", "widget_heading", "button_label",
+	}
+)
+
+// nameGen hands out unique identifiers within one plugin version so
+// generated functions and variables never collide.
+type nameGen struct {
+	prefix  string
+	counter int
+}
+
+// newNameGen returns a generator with the plugin's function prefix.
+func newNameGen(plugin string) *nameGen {
+	return &nameGen{prefix: funcPrefixFor(plugin)}
+}
+
+// next returns a unique suffix number.
+func (ng *nameGen) next() int {
+	ng.counter++
+	return ng.counter
+}
+
+// fn builds a unique plugin-prefixed function name like "msl_show_item_7".
+func (ng *nameGen) fn(stem string) string {
+	return fmt.Sprintf("%s_%s_%d", ng.prefix, stem, ng.next())
+}
+
+// v builds a unique variable name like "item3".
+func (ng *nameGen) v(stem string) string {
+	return fmt.Sprintf("%s%d", stem, ng.next())
+}
+
+// pick selects deterministically from a pool using the generator counter.
+func (ng *nameGen) pick(pool []string) string {
+	ng.counter++
+	return pool[ng.counter%len(pool)]
+}

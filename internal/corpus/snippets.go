@@ -1,0 +1,358 @@
+package corpus
+
+import "fmt"
+
+// snippet is a generated code fragment plus the 0-based offset of its
+// sink line within the fragment.
+type snippet struct {
+	lines   []string
+	sinkIdx int
+}
+
+// indent prefixes every line of a snippet (for function/method bodies).
+func (s snippet) indent(prefix string) snippet {
+	out := make([]string, len(s.lines))
+	for i, l := range s.lines {
+		if l == "" {
+			out[i] = l
+			continue
+		}
+		out[i] = prefix + l
+	}
+	return snippet{lines: out, sinkIdx: s.sinkIdx}
+}
+
+// vulnSnippet renders the body of a planned vulnerability. Variable and
+// key names come from the name generator so no two snippets collide.
+func vulnSnippet(p vulnPlan, ng *nameGen) snippet {
+	noun := ng.pick(nounPool)
+	if p.numeric {
+		noun = ng.pick(numericNounPool)
+	}
+	v := ng.v(noun)
+	key := noun
+
+	switch p.row.kind {
+	case vkGetEcho:
+		return superglobalEcho("_GET", key, v, p.variant)
+	case vkPostEcho:
+		return superglobalEcho("_POST", key, v, p.variant)
+	case vkCookieEcho:
+		return superglobalEcho("_COOKIE", key, v, p.variant)
+	case vkRequestEcho:
+		return superglobalEcho("_REQUEST", key, v, p.variant)
+
+	case vkFileEcho:
+		fh := ng.v("fh")
+		switch p.variant % 3 {
+		case 0:
+			return snippet{lines: []string{
+				fmt.Sprintf("$%s = fopen('data/%s.txt', 'r');", fh, key),
+				fmt.Sprintf("$%s = fgets($%s, 128);", v, fh),
+				fmt.Sprintf("echo $%s;", v),
+			}, sinkIdx: 2}
+		case 1:
+			return snippet{lines: []string{
+				fmt.Sprintf("$%s = file_get_contents('cache/%s.log');", v, key),
+				fmt.Sprintf("echo '<pre>' . $%s . '</pre>';", v),
+			}, sinkIdx: 1}
+		default:
+			rows := ng.v("rows")
+			return snippet{lines: []string{
+				fmt.Sprintf("$%s = file('import/%s.csv');", rows, key),
+				fmt.Sprintf("foreach ($%s as $%s) {", rows, v),
+				fmt.Sprintf("\techo '<li>' . $%s . '</li>';", v),
+				"}",
+			}, sinkIdx: 2}
+		}
+
+	case vkProcDBEcho:
+		res := ng.v("res")
+		table := ng.pick(tablePool)
+		field := ng.pick(fieldPool)
+		switch p.variant % 3 {
+		case 0:
+			row := ng.v("row")
+			return snippet{lines: []string{
+				fmt.Sprintf("$%s = mysql_query(\"SELECT %s FROM %s LIMIT 10\");", res, field, table),
+				fmt.Sprintf("$%s = mysql_fetch_assoc($%s);", row, res),
+				fmt.Sprintf("echo '<td>' . $%s['%s'] . '</td>';", row, field),
+			}, sinkIdx: 2}
+		case 1:
+			row := ng.v("row")
+			return snippet{lines: []string{
+				fmt.Sprintf("$%s = mysql_query(\"SELECT %s FROM %s\");", res, field, table),
+				fmt.Sprintf("while ($%s = mysql_fetch_assoc($%s)) {", row, res),
+				fmt.Sprintf("\techo '<li>' . $%s['%s'] . '</li>';", row, field),
+				"}",
+			}, sinkIdx: 2}
+		default:
+			return snippet{lines: []string{
+				fmt.Sprintf("$%s = mysql_query(\"SELECT %s FROM %s WHERE id=1\");", res, field, table),
+				fmt.Sprintf("$%s = mysql_result($%s, 0);", v, res),
+				fmt.Sprintf("echo \"<span>$%s</span>\";", v),
+			}, sinkIdx: 2}
+		}
+
+	case vkWpdbRowsEcho:
+		rows := ng.v("rows")
+		row := ng.v("row")
+		table := ng.pick(tablePool)
+		field := ng.pick(fieldPool)
+		if p.variant%2 == 0 {
+			// The paper's §III.E mail-subscribe-list pattern.
+			return snippet{lines: []string{
+				"global $wpdb;",
+				fmt.Sprintf("$%s = $wpdb->get_results(\"SELECT * FROM \" . $wpdb->prefix . \"%s\");", rows, table),
+				fmt.Sprintf("foreach ($%s as $%s) {", rows, row),
+				fmt.Sprintf("\techo '<li>' . $%s->%s . '</li>';", row, field),
+				"}",
+			}, sinkIdx: 3}
+		}
+		return snippet{lines: []string{
+			"global $wpdb;",
+			fmt.Sprintf("$%s = $wpdb->get_results(\"SELECT %s FROM {$wpdb->prefix}%s ORDER BY id\");", rows, field, table),
+			fmt.Sprintf("foreach ($%s as $%s) {", rows, row),
+			fmt.Sprintf("\techo \"<td>$%s->%s</td>\";", row, field),
+			"}",
+		}, sinkIdx: 3}
+
+	case vkWpdbVarEcho:
+		table := ng.pick(tablePool)
+		field := ng.pick(fieldPool)
+		if p.variant%2 == 0 {
+			// The paper's §V.C wp-photo-album-plus pattern.
+			return snippet{lines: []string{
+				"global $wpdb;",
+				fmt.Sprintf("$%s = $wpdb->get_var($wpdb->prepare(\"SELECT %s FROM {$wpdb->prefix}%s WHERE id = %%d\", 3));", v, field, table),
+				fmt.Sprintf("echo stripslashes($%s);", v),
+			}, sinkIdx: 2}
+		}
+		return snippet{lines: []string{
+			"global $wpdb;",
+			fmt.Sprintf("$%s = $wpdb->get_var(\"SELECT %s FROM {$wpdb->prefix}%s LIMIT 1\");", v, field, table),
+			fmt.Sprintf("echo '<h3>' . $%s . '</h3>';", v),
+		}, sinkIdx: 2}
+
+	case vkGetOptionEcho:
+		opt := ng.pick(optionPool)
+		if p.variant%2 == 0 {
+			return snippet{lines: []string{
+				fmt.Sprintf("$%s = get_option('%s_%d');", v, opt, ng.next()),
+				fmt.Sprintf("echo '<h2>' . $%s . '</h2>';", v),
+			}, sinkIdx: 1}
+		}
+		return snippet{lines: []string{
+			fmt.Sprintf("echo '<div class=\"opt\">' . get_option('%s_%d') . '</div>';", opt, ng.next()),
+		}, sinkIdx: 0}
+
+	case vkQueryVarEcho:
+		return snippet{lines: []string{
+			fmt.Sprintf("$%s = get_query_var('%s');", v, key),
+			fmt.Sprintf("echo '<p>' . $%s . '</p>';", v),
+		}, sinkIdx: 1}
+
+	case vkSqliWpdb:
+		table := ng.pick(tablePool)
+		if p.variant%2 == 0 {
+			return snippet{lines: []string{
+				"global $wpdb;",
+				fmt.Sprintf("$%s = $_GET['%s'];", v, key),
+				fmt.Sprintf("$wpdb->query(\"DELETE FROM {$wpdb->prefix}%s WHERE id=$%s\");", table, v),
+			}, sinkIdx: 2}
+		}
+		return snippet{lines: []string{
+			"global $wpdb;",
+			fmt.Sprintf("$wpdb->query(\"UPDATE {$wpdb->prefix}%s SET seen=1 WHERE id=\" . $_GET['%s']);", table, key),
+		}, sinkIdx: 1}
+
+	case vkRegGlobals:
+		// Exploitable only under register_globals=1: the variable is
+		// never initialized anywhere in the plugin.
+		flag := ng.v("mode")
+		if p.variant%2 == 0 {
+			return snippet{lines: []string{
+				fmt.Sprintf("if ($%s) {", flag),
+				fmt.Sprintf("\techo $%s;", v),
+				"}",
+			}, sinkIdx: 1}
+		}
+		return snippet{lines: []string{
+			fmt.Sprintf("echo '<div class=\"notice\">' . $%s . '</div>';", v),
+		}, sinkIdx: 0}
+
+	default:
+		return snippet{lines: []string{"// unreachable"}, sinkIdx: 0}
+	}
+}
+
+// superglobalEcho renders the direct superglobal-to-echo variants (the
+// §V.C wp-symposium pattern).
+func superglobalEcho(global, key, v string, variant int) snippet {
+	switch variant % 4 {
+	case 0:
+		return snippet{lines: []string{
+			fmt.Sprintf("$%s = $%s['%s'];", v, global, key),
+			fmt.Sprintf("echo '<div class=\"val\">' . $%s . '</div>';", v),
+		}, sinkIdx: 1}
+	case 1:
+		return snippet{lines: []string{
+			fmt.Sprintf("echo $%s['%s'];", global, key),
+		}, sinkIdx: 0}
+	case 2:
+		return snippet{lines: []string{
+			fmt.Sprintf("$%s = $%s['%s'];", v, global, key),
+			fmt.Sprintf("echo \"<a href='?%s=$%s'>next</a>\";", key, v),
+		}, sinkIdx: 1}
+	default:
+		return snippet{lines: []string{
+			fmt.Sprintf("$%s = trim($%s['%s']);", v, global, key),
+			fmt.Sprintf("print '<span>' . $%s . '</span>';", v),
+		}, sinkIdx: 1}
+	}
+}
+
+// trapSnippet renders a false-positive trap body. settingsVar is only
+// used by tkIncludedVar (the variable the plugin's settings file
+// defines).
+func trapSnippet(p trapPlan, ng *nameGen, settingsVar string) snippet {
+	noun := ng.pick(nounPool)
+	v := ng.v(noun)
+
+	switch p.row.kind {
+	case tkEscHtml:
+		switch p.variant % 3 {
+		case 0:
+			return snippet{lines: []string{
+				fmt.Sprintf("echo esc_html($_GET['%s']);", noun),
+			}, sinkIdx: 0}
+		case 1:
+			return snippet{lines: []string{
+				fmt.Sprintf("$%s = esc_html($_POST['%s']);", v, noun),
+				fmt.Sprintf("echo '<div>' . $%s . '</div>';", v),
+			}, sinkIdx: 1}
+		default:
+			return snippet{lines: []string{
+				fmt.Sprintf("echo '<input value=\"' . esc_attr($_GET['%s']) . '\">';", noun),
+			}, sinkIdx: 0}
+		}
+
+	case tkSanitizeField:
+		return snippet{lines: []string{
+			fmt.Sprintf("$%s = sanitize_text_field($_POST['%s']);", v, noun),
+			fmt.Sprintf("echo '<p>' . $%s . '</p>';", v),
+		}, sinkIdx: 1}
+
+	case tkNumericGuard:
+		id := ng.v(ng.pick(numericNounPool))
+		return snippet{lines: []string{
+			fmt.Sprintf("$%s = $_GET['%s'];", id, noun),
+			fmt.Sprintf("if (!is_numeric($%s)) {", id),
+			"\tdie('invalid id');",
+			"}",
+			fmt.Sprintf("echo '<a href=\"?p=' . $%s . '\">view</a>';", id),
+		}, sinkIdx: 4}
+
+	case tkNumericGuardSqli:
+		id := ng.v(ng.pick(numericNounPool))
+		table := ng.pick(tablePool)
+		return snippet{lines: []string{
+			"global $wpdb;",
+			fmt.Sprintf("$%s = $_GET['%s'];", id, noun),
+			fmt.Sprintf("if (!is_numeric($%s)) {", id),
+			"\texit;",
+			"}",
+			fmt.Sprintf("$wpdb->query(\"SELECT * FROM {$wpdb->prefix}%s WHERE id=$%s\");", table, id),
+		}, sinkIdx: 5}
+
+	case tkPregWhitelist:
+		raw := ng.v("raw")
+		return snippet{lines: []string{
+			fmt.Sprintf("$%s = $_GET['%s'];", raw, noun),
+			fmt.Sprintf("$%s = preg_replace('/[^a-zA-Z0-9_]/', '', $%s);", v, raw),
+			fmt.Sprintf("echo '<code>' . $%s . '</code>';", v),
+		}, sinkIdx: 2}
+
+	case tkIncludedVar:
+		return snippet{lines: []string{
+			fmt.Sprintf("echo '<h4>' . $%s . '</h4>';", settingsVar),
+		}, sinkIdx: 0}
+
+	case tkEscSql:
+		term := ng.v("term")
+		return snippet{lines: []string{
+			fmt.Sprintf("$%s = esc_sql($_GET['%s']);", term, noun),
+			fmt.Sprintf("mysql_query(\"SELECT id FROM posts WHERE title LIKE '%%$%s%%'\");", term),
+		}, sinkIdx: 1}
+
+	case tkPrepared:
+		row := ng.v("row")
+		table := ng.pick(tablePool)
+		return snippet{lines: []string{
+			"global $wpdb;",
+			fmt.Sprintf("$%s = $wpdb->get_row($wpdb->prepare(\"SELECT * FROM {$wpdb->prefix}%s WHERE id = %%d\", 7));", row, table),
+			fmt.Sprintf("if ($%s) {", row),
+			"\tupdate_option('last_seen', 1);",
+			"}",
+		}, sinkIdx: 1}
+
+	default:
+		return snippet{lines: []string{"// unreachable"}, sinkIdx: 0}
+	}
+}
+
+// kindName labels vulnerability kinds for ground-truth diagnostics.
+func kindName(k vulnKind) string {
+	switch k {
+	case vkWpdbRowsEcho:
+		return "wpdb-rows-echo"
+	case vkWpdbVarEcho:
+		return "wpdb-var-echo"
+	case vkGetOptionEcho:
+		return "get-option-echo"
+	case vkQueryVarEcho:
+		return "query-var-echo"
+	case vkProcDBEcho:
+		return "proc-db-echo"
+	case vkGetEcho:
+		return "get-echo"
+	case vkPostEcho:
+		return "post-echo"
+	case vkCookieEcho:
+		return "cookie-echo"
+	case vkRequestEcho:
+		return "request-echo"
+	case vkFileEcho:
+		return "file-echo"
+	case vkSqliWpdb:
+		return "sqli-wpdb"
+	case vkRegGlobals:
+		return "register-globals"
+	default:
+		return "unknown"
+	}
+}
+
+// trapName labels trap kinds.
+func trapName(k trapKind) string {
+	switch k {
+	case tkEscHtml:
+		return "esc-html"
+	case tkSanitizeField:
+		return "sanitize-text-field"
+	case tkNumericGuard:
+		return "numeric-guard"
+	case tkNumericGuardSqli:
+		return "numeric-guard-sqli"
+	case tkPregWhitelist:
+		return "preg-whitelist"
+	case tkIncludedVar:
+		return "included-var"
+	case tkEscSql:
+		return "esc-sql"
+	case tkPrepared:
+		return "prepared-query"
+	default:
+		return "unknown"
+	}
+}

@@ -1,0 +1,57 @@
+package corpus
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+
+	"repro/internal/wordpress"
+)
+
+// WriteTo materializes the corpus under dir/<version>/: one directory per
+// plugin, the WordPress API stub file, and labels.tsv with the ground
+// truth (one row per seeded vulnerability or trap). The layout is what
+// cmd/phpsafe and external tools can scan directly.
+func (c *Corpus) WriteTo(dir string) error {
+	root := filepath.Join(dir, string(c.Version))
+	if err := os.MkdirAll(root, 0o755); err != nil {
+		return fmt.Errorf("corpus: %w", err)
+	}
+	if err := os.WriteFile(filepath.Join(root, wordpress.StubPath),
+		[]byte(wordpress.StubSource()), 0o644); err != nil {
+		return fmt.Errorf("corpus: %w", err)
+	}
+	for _, target := range c.Targets {
+		for _, f := range target.Files {
+			path := filepath.Join(root, target.Name, filepath.FromSlash(f.Path))
+			if err := os.MkdirAll(filepath.Dir(path), 0o755); err != nil {
+				return fmt.Errorf("corpus: %w", err)
+			}
+			if err := os.WriteFile(path, []byte(f.Content), 0o644); err != nil {
+				return fmt.Errorf("corpus: %w", err)
+			}
+		}
+	}
+	return c.writeLabels(filepath.Join(root, "labels.tsv"))
+}
+
+// writeLabels writes the ground-truth TSV.
+func (c *Corpus) writeLabels(path string) error {
+	labels, err := os.Create(path)
+	if err != nil {
+		return fmt.Errorf("corpus: %w", err)
+	}
+	defer labels.Close()
+
+	fmt.Fprintln(labels, "type\tid\tplugin\tfile\tline\tclass\tvector\toop\tregister_globals\tnumeric\tpersists\tkind")
+	for _, g := range c.Truths {
+		fmt.Fprintf(labels, "vuln\t%s\t%s\t%s\t%d\t%s\t%s\t%t\t%t\t%t\t%t\t%s\n",
+			g.ID, g.Plugin, g.File, g.Line, g.Class, g.Vector,
+			g.OOP, g.RegisterGlobals, g.Numeric, g.Persists, g.Kind)
+	}
+	for _, tr := range c.Traps {
+		fmt.Fprintf(labels, "trap\t-\t%s\t%s\t%d\t%s\t-\t-\t-\t-\t-\t%s\n",
+			tr.Plugin, tr.File, tr.Line, tr.Class, tr.Kind)
+	}
+	return labels.Sync()
+}

@@ -1,0 +1,353 @@
+package eval
+
+import (
+	"encoding/json"
+	"sync"
+	"testing"
+
+	"repro/internal/analyzer"
+	"repro/internal/corpus"
+)
+
+// evaluations are expensive; compute them once for the package.
+var (
+	evalOnce sync.Once
+	ev2012   *Evaluation
+	ev2014   *Evaluation
+)
+
+// evals returns the cached 2012/2014 evaluations.
+func evals(t *testing.T) (*Evaluation, *Evaluation) {
+	t.Helper()
+	evalOnce.Do(func() {
+		c12, c14 := corpus.MustGenerate()
+		var err error
+		if ev2012, err = EvaluateCorpus(c12); err != nil {
+			t.Fatalf("evaluate 2012: %v", err)
+		}
+		if ev2014, err = EvaluateCorpus(c14); err != nil {
+			t.Fatalf("evaluate 2014: %v", err)
+		}
+	})
+	if ev2012 == nil || ev2014 == nil {
+		t.Fatal("evaluation failed in an earlier test")
+	}
+	return ev2012, ev2014
+}
+
+// TestTableIRanking asserts the paper's headline result: phpSAFE
+// outperforms RIPS, which outperforms Pixy, on every Table I metric, in
+// both corpus versions.
+func TestTableIRanking(t *testing.T) {
+	e12, e14 := evals(t)
+	for _, ev := range []*Evaluation{e12, e14} {
+		php := ev.Tool("phpSAFE").Global
+		rips := ev.Tool("RIPS").Global
+		pixy := ev.Tool("Pixy").Global
+
+		if !(php.TP > rips.TP && rips.TP > pixy.TP) {
+			t.Errorf("%s: TP ranking broken: phpSAFE=%d RIPS=%d Pixy=%d",
+				ev.Corpus.Version, php.TP, rips.TP, pixy.TP)
+		}
+		if !(php.Precision() > rips.Precision() && rips.Precision() > pixy.Precision()) {
+			t.Errorf("%s: precision ranking broken: %.2f %.2f %.2f",
+				ev.Corpus.Version, php.Precision(), rips.Precision(), pixy.Precision())
+		}
+		if !(php.Recall() > rips.Recall() && rips.Recall() > pixy.Recall()) {
+			t.Errorf("%s: recall ranking broken: %.2f %.2f %.2f",
+				ev.Corpus.Version, php.Recall(), rips.Recall(), pixy.Recall())
+		}
+		if !(php.FScore() > rips.FScore() && rips.FScore() > pixy.FScore()) {
+			t.Errorf("%s: F-score ranking broken: %.2f %.2f %.2f",
+				ev.Corpus.Version, php.FScore(), rips.FScore(), pixy.FScore())
+		}
+	}
+}
+
+// TestOnlyPhpSAFEDetectsSQLi asserts the paper's §V.A observation that
+// phpSAFE was the only tool able to detect SQLi correctly.
+func TestOnlyPhpSAFEDetectsSQLi(t *testing.T) {
+	e12, e14 := evals(t)
+	for _, ev := range []*Evaluation{e12, e14} {
+		if got := ev.Tool("phpSAFE").ByClass[analyzer.SQLi].TP; got == 0 {
+			t.Errorf("%s: phpSAFE found no SQLi", ev.Corpus.Version)
+		}
+		if got := ev.Tool("RIPS").ByClass[analyzer.SQLi].TP; got != 0 {
+			t.Errorf("%s: RIPS found %d SQLi, want 0", ev.Corpus.Version, got)
+		}
+		if got := ev.Tool("Pixy").ByClass[analyzer.SQLi].TP; got != 0 {
+			t.Errorf("%s: Pixy found %d SQLi, want 0", ev.Corpus.Version, got)
+		}
+	}
+	// phpSAFE's SQLi recall is 100% under the paper's optimistic FN.
+	if r := e12.Tool("phpSAFE").ByClass[analyzer.SQLi].Recall(); r != 1 {
+		t.Errorf("2012 phpSAFE SQLi recall = %.2f, want 1.00", r)
+	}
+}
+
+// TestOnlyPhpSAFEDetectsOOP asserts §V.A: "RIPS and Pixy were not able to
+// detect any vulnerability of this kind" (WordPress-object).
+func TestOnlyPhpSAFEDetectsOOP(t *testing.T) {
+	e12, e14 := evals(t)
+	for _, ev := range []*Evaluation{e12, e14} {
+		phpOOP := 0
+		for _, g := range ev.Corpus.Truths {
+			if !g.OOP {
+				continue
+			}
+			if ev.Tool("phpSAFE").Detected[g.ID] {
+				phpOOP++
+			}
+			if ev.Tool("RIPS").Detected[g.ID] {
+				t.Errorf("%s: RIPS detected OOP vuln %s", ev.Corpus.Version, g.ID)
+			}
+			if ev.Tool("Pixy").Detected[g.ID] {
+				t.Errorf("%s: Pixy detected OOP vuln %s", ev.Corpus.Version, g.ID)
+			}
+		}
+		if phpOOP < 140 {
+			t.Errorf("%s: phpSAFE OOP detections = %d, want >= 140", ev.Corpus.Version, phpOOP)
+		}
+	}
+}
+
+// TestRIPSImproves2014 asserts the §V.A observation of RIPS's large XSS
+// detection increase from 2012 to 2014 (the paper reports 115%), driven
+// partly by files phpSAFE was unable to parse.
+func TestRIPSImproves2014(t *testing.T) {
+	e12, e14 := evals(t)
+	tp12 := e12.Tool("RIPS").ByClass[analyzer.XSS].TP
+	tp14 := e14.Tool("RIPS").ByClass[analyzer.XSS].TP
+	growth := float64(tp14-tp12) / float64(tp12)
+	if growth < 0.6 {
+		t.Errorf("RIPS XSS growth = %.0f%%, want >= 60%% (paper: 115%%)", growth*100)
+	}
+}
+
+// TestPixyDeclines2014 asserts Pixy's decline as plugins adopt OOP.
+func TestPixyDeclines2014(t *testing.T) {
+	e12, e14 := evals(t)
+	tp12 := e12.Tool("Pixy").Global.TP
+	tp14 := e14.Tool("Pixy").Global.TP
+	if tp14 >= tp12 {
+		t.Errorf("Pixy TP 2012=%d 2014=%d, want a decline", tp12, tp14)
+	}
+}
+
+// TestPixyRegisterGlobalsShare asserts §V.A: about half of Pixy's found
+// vulnerabilities come from the register_globals directive.
+func TestPixyRegisterGlobalsShare(t *testing.T) {
+	e12, _ := evals(t)
+	pixy := e12.Tool("Pixy")
+	rg := 0
+	for _, g := range e12.Corpus.Truths {
+		if g.RegisterGlobals && pixy.Detected[g.ID] {
+			rg++
+		}
+	}
+	share := float64(rg) / float64(len(pixy.Detected))
+	if share < 0.15 || share > 0.65 {
+		t.Errorf("Pixy register_globals share = %.2f, want roughly half", share)
+	}
+}
+
+// TestVulnGrowth asserts Fig. 2's +51% two-year growth in distinct
+// vulnerabilities.
+func TestVulnGrowth(t *testing.T) {
+	e12, e14 := evals(t)
+	u12 := e12.ComputeOverlap().Union
+	u14 := e14.ComputeOverlap().Union
+	growth := float64(u14-u12) / float64(u12)
+	if growth < 0.40 || growth > 0.62 {
+		t.Errorf("union growth = %.0f%%, want ≈ 51%%", growth*100)
+	}
+}
+
+// TestOverlapStructure asserts Fig. 2's qualitative structure: every tool
+// contributes detections the others miss.
+func TestOverlapStructure(t *testing.T) {
+	_, e14 := evals(t)
+	ov := e14.ComputeOverlap()
+	if ov.Regions["phpSAFE"] == 0 {
+		t.Error("no phpSAFE-only detections")
+	}
+	if ov.Regions["RIPS"] == 0 {
+		t.Error("no RIPS-only detections (huge-file region missing)")
+	}
+	if ov.Regions["Pixy"] == 0 {
+		t.Error("no Pixy-only detections (register_globals region missing)")
+	}
+	if ov.Regions["phpSAFE+RIPS"] == 0 {
+		t.Error("no phpSAFE+RIPS shared region")
+	}
+	if ov.Regions["phpSAFE+RIPS+Pixy"] == 0 {
+		t.Error("no all-three shared region")
+	}
+}
+
+// TestTableIIShape asserts Table II's qualitative shape over detected
+// vulnerabilities: DB dominates, direct manipulation second, files a
+// small tail.
+func TestTableIIShape(t *testing.T) {
+	_, e14 := evals(t)
+	vb := e14.ComputeVectors()
+	if vb.DB <= vb.Direct {
+		t.Errorf("DB (%d) should dominate direct (%d)", vb.DB, vb.Direct)
+	}
+	if vb.Indirect >= vb.Direct {
+		t.Errorf("file/function/array (%d) should be the smallest class", vb.Indirect)
+	}
+	total := vb.DB + vb.Direct + vb.Indirect
+	dbShare := float64(vb.DB) / float64(total)
+	if dbShare < 0.5 || dbShare > 0.75 {
+		t.Errorf("DB share = %.2f, want ≈ 0.62", dbShare)
+	}
+	if vb.NumericShare < 0.30 || vb.NumericShare > 0.50 {
+		t.Errorf("numeric share = %.2f, want ≈ 0.39", vb.NumericShare)
+	}
+}
+
+// TestInertiaShape asserts §V.D: ≈42% of 2014 vulnerabilities persist
+// from 2012, and ≈24% of those are easy to exploit.
+func TestInertiaShape(t *testing.T) {
+	_, e14 := evals(t)
+	in := e14.ComputeInertia()
+	if s := in.PersistShare(); s < 0.33 || s > 0.50 {
+		t.Errorf("persist share = %.2f, want ≈ 0.42", s)
+	}
+	if s := in.EasyShare(); s < 0.15 || s > 0.40 {
+		t.Errorf("easy share = %.2f, want ≈ 0.24", s)
+	}
+}
+
+// TestRobustnessAccounting asserts §V.E: phpSAFE fails 1 file in 2012 and
+// 3 in 2014; Pixy fails OOP files and raises errors; RIPS completes
+// everything.
+func TestRobustnessAccounting(t *testing.T) {
+	e12, e14 := evals(t)
+	if got := e12.Tool("phpSAFE").FilesFailed; got != 1 {
+		t.Errorf("2012 phpSAFE failed files = %d, want 1", got)
+	}
+	if got := e14.Tool("phpSAFE").FilesFailed; got != 3 {
+		t.Errorf("2014 phpSAFE failed files = %d, want 3", got)
+	}
+	if got := e12.Tool("RIPS").FilesFailed + e14.Tool("RIPS").FilesFailed; got != 0 {
+		t.Errorf("RIPS failed files = %d, want 0", got)
+	}
+	if got := e14.Tool("Pixy").FilesFailed; got < 20 {
+		t.Errorf("2014 Pixy failed files = %d, want many (OOP files)", got)
+	}
+	if got := e14.Tool("Pixy").ErrorCount; got == 0 {
+		t.Error("2014 Pixy should raise error messages")
+	}
+}
+
+// TestNoUnplannedFalsePositives asserts the corpus discipline: every
+// reported finding matches either a seeded vulnerability or a seeded
+// trap, so the metrics are fully explained by the generator's labels.
+func TestNoUnplannedFalsePositives(t *testing.T) {
+	e12, e14 := evals(t)
+	for _, ev := range []*Evaluation{e12, e14} {
+		for _, tm := range ev.Tools {
+			if tm.UnplannedFP != 0 {
+				t.Errorf("%s %s: %d unplanned false positives",
+					ev.Corpus.Version, tm.Tool, tm.UnplannedFP)
+			}
+		}
+	}
+}
+
+// TestFalsePositiveAttribution asserts each tool's FPs come from the
+// blind spots the paper attributes to it.
+func TestFalsePositiveAttribution(t *testing.T) {
+	e12, _ := evals(t)
+	php := e12.Tool("phpSAFE")
+	if php.TrapFP["esc-html"] != 0 || php.TrapFP["included-var"] != 0 {
+		t.Errorf("phpSAFE should not trip WordPress-sanitizer or include traps: %v", php.TrapFP)
+	}
+	if php.TrapFP["numeric-guard"] == 0 || php.TrapFP["preg-whitelist"] == 0 {
+		t.Errorf("phpSAFE FPs should come from guards and regex cleaners: %v", php.TrapFP)
+	}
+	rips := e12.Tool("RIPS")
+	if rips.TrapFP["numeric-guard"] != 0 || rips.TrapFP["preg-whitelist"] != 0 {
+		t.Errorf("RIPS simulates guards and regex whitelists: %v", rips.TrapFP)
+	}
+	if rips.TrapFP["esc-html"] == 0 {
+		t.Errorf("RIPS FPs should come from unknown WordPress sanitizers: %v", rips.TrapFP)
+	}
+	pixy := e12.Tool("Pixy")
+	if pixy.TrapFP["included-var"] == 0 {
+		t.Errorf("Pixy FPs should be dominated by included-var suspicion: %v", pixy.TrapFP)
+	}
+	if pixy.TrapFP["prepared-query"] != 0 {
+		t.Errorf("nobody should flag prepared queries: %v", pixy.TrapFP)
+	}
+}
+
+// TestMetricsArithmetic sanity-checks Counts math.
+func TestMetricsArithmetic(t *testing.T) {
+	t.Parallel()
+	c := Counts{TP: 80, FP: 20, FN: 20}
+	if p := c.Precision(); p != 0.8 {
+		t.Errorf("precision = %v, want 0.8", p)
+	}
+	if r := c.Recall(); r != 0.8 {
+		t.Errorf("recall = %v, want 0.8", r)
+	}
+	if f := c.FScore(); f < 0.79 || f > 0.81 {
+		t.Errorf("f-score = %v, want 0.8", f)
+	}
+	var zero Counts
+	if zero.Precision() != -1 || zero.Recall() != -1 || zero.FScore() != -1 {
+		t.Error("zero counts should yield undefined metrics")
+	}
+}
+
+// TestEvaluateEmptyRuns ensures Evaluate tolerates empty input.
+func TestEvaluateEmptyRuns(t *testing.T) {
+	t.Parallel()
+	c := &corpus.Corpus{Version: corpus.V2012}
+	ev := Evaluate(c, nil)
+	if len(ev.Tools) != 0 || len(ev.UnionDetected) != 0 {
+		t.Error("empty evaluation should be empty")
+	}
+}
+
+// TestSummaryJSON checks the machine-readable export carries the same
+// numbers as the metric structs.
+func TestSummaryJSON(t *testing.T) {
+	e12, _ := evals(t)
+	data, err := e12.MarshalSummary()
+	if err != nil {
+		t.Fatal(err)
+	}
+	var s Summary
+	if err := jsonUnmarshal(data, &s); err != nil {
+		t.Fatalf("invalid summary JSON: %v", err)
+	}
+	if s.Version != "2012" {
+		t.Errorf("version = %q", s.Version)
+	}
+	if len(s.Tools) != 3 {
+		t.Fatalf("tools = %d, want 3", len(s.Tools))
+	}
+	php := s.Tools[0]
+	if php.Tool != "phpSAFE" || php.Global.TP != e12.Tool("phpSAFE").Global.TP {
+		t.Errorf("phpSAFE summary = %+v", php.Global)
+	}
+	if php.ByClass["SQLi"].TP != e12.Tool("phpSAFE").ByClass[analyzer.SQLi].TP {
+		t.Errorf("SQLi by-class mismatch")
+	}
+	if s.Overlap.Union != len(e12.UnionDetected) {
+		t.Errorf("overlap union = %d", s.Overlap.Union)
+	}
+	if s.Vectors["DB"] == 0 {
+		t.Error("vectors missing DB row")
+	}
+	if s.Corpus.Plugins != 35 {
+		t.Errorf("corpus plugins = %d", s.Corpus.Plugins)
+	}
+}
+
+// jsonUnmarshal wraps encoding/json for the summary test.
+func jsonUnmarshal(data []byte, v any) error { return json.Unmarshal(data, v) }

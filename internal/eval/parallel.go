@@ -1,0 +1,80 @@
+package eval
+
+import (
+	"fmt"
+	"runtime"
+	"sync"
+	"time"
+
+	"repro/internal/analyzer"
+	"repro/internal/corpus"
+)
+
+// RunParallel executes a tool over every plugin of a corpus using a
+// bounded worker pool. Results keep corpus order, so Evaluate consumes
+// them identically to Run's output. The engines are documented as safe
+// for concurrent use on distinct targets; this is the practical mode for
+// auditing large plugin collections (the paper's §III integration story).
+//
+// The recorded Duration is wall-clock, so it is NOT comparable with the
+// serial Run used for Table III.
+func RunParallel(tool analyzer.Analyzer, c *corpus.Corpus, workers int) (*ToolRun, error) {
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	run := &ToolRun{
+		Tool:    tool.Name(),
+		Results: make([]*analyzer.Result, len(c.Targets)),
+	}
+	start := time.Now()
+
+	type job struct {
+		idx    int
+		target *analyzer.Target
+	}
+	jobs := make(chan job)
+	errs := make(chan error, len(c.Targets))
+
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for j := range jobs {
+				res, err := tool.Analyze(j.target)
+				if err != nil {
+					errs <- fmt.Errorf("eval: %s on %s: %w", tool.Name(), j.target.Name, err)
+					continue
+				}
+				run.Results[j.idx] = res
+			}
+		}()
+	}
+	for i, target := range c.Targets {
+		jobs <- job{idx: i, target: target}
+	}
+	close(jobs)
+	wg.Wait()
+	close(errs)
+
+	if err, ok := <-errs; ok {
+		return nil, err
+	}
+	run.Duration = time.Since(start)
+	return run, nil
+}
+
+// EvaluateCorpusParallel is EvaluateCorpus with a bounded worker pool per
+// tool. Detection results are identical to the serial path; only the
+// timings differ.
+func EvaluateCorpusParallel(c *corpus.Corpus, workers int) (*Evaluation, error) {
+	runs := make([]*ToolRun, 0, 3)
+	for _, tool := range DefaultTools() {
+		run, err := RunParallel(tool, c, workers)
+		if err != nil {
+			return nil, err
+		}
+		runs = append(runs, run)
+	}
+	return Evaluate(c, runs), nil
+}

@@ -1,0 +1,58 @@
+package eval
+
+import (
+	"testing"
+
+	"repro/internal/corpus"
+)
+
+// TestParallelMatchesSerial verifies the worker-pool runner produces the
+// identical detection outcome as the serial path (and, under -race,
+// that the engines really are safe for concurrent use on distinct
+// targets).
+func TestParallelMatchesSerial(t *testing.T) {
+	serial, _ := evals(t)
+
+	c12, _ := corpus.MustGenerate()
+	parallel, err := EvaluateCorpusParallel(c12, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	for _, tm := range serial.Tools {
+		pm := parallel.Tool(tm.Tool)
+		if pm == nil {
+			t.Fatalf("%s missing from parallel evaluation", tm.Tool)
+		}
+		if pm.Global.TP != tm.Global.TP || pm.Global.FP != tm.Global.FP {
+			t.Errorf("%s: parallel (TP=%d FP=%d) != serial (TP=%d FP=%d)",
+				tm.Tool, pm.Global.TP, pm.Global.FP, tm.Global.TP, tm.Global.FP)
+		}
+		if len(pm.Detected) != len(tm.Detected) {
+			t.Errorf("%s: detected sets differ: %d vs %d",
+				tm.Tool, len(pm.Detected), len(tm.Detected))
+		}
+		for id := range tm.Detected {
+			if !pm.Detected[id] {
+				t.Errorf("%s: parallel run missed %s", tm.Tool, id)
+			}
+		}
+	}
+}
+
+// TestParallelWorkerDefaults checks the zero-worker default.
+func TestParallelWorkerDefaults(t *testing.T) {
+	c12, _ := corpus.MustGenerate()
+	run, err := RunParallel(DefaultTools()[1], c12, 0) // RIPS: cheapest
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(run.Results) != len(c12.Targets) {
+		t.Fatalf("results = %d, want %d", len(run.Results), len(c12.Targets))
+	}
+	for i, res := range run.Results {
+		if res == nil {
+			t.Fatalf("result %d is nil", i)
+		}
+	}
+}

@@ -1,0 +1,118 @@
+package eval
+
+import (
+	"encoding/json"
+
+	"repro/internal/analyzer"
+)
+
+// Summary is a machine-readable rendering of one corpus evaluation: every
+// number behind the paper's Table I, Fig. 2 and Table II, in one JSON
+// document. It exists so downstream pipelines (plotting, regression
+// tracking) can consume the reproduction without scraping the ASCII
+// tables.
+type Summary struct {
+	// Version is the corpus snapshot year.
+	Version string `json:"version"`
+	// Corpus describes the evaluated population.
+	Corpus CorpusStats `json:"corpus"`
+	// Tools holds one entry per analyzer, in run order.
+	Tools []ToolSummary `json:"tools"`
+	// Overlap is the Fig. 2 decomposition.
+	Overlap OverlapSummary `json:"overlap"`
+	// Vectors is the Table II row map over detected vulnerabilities.
+	Vectors map[string]int `json:"vectors"`
+	// NumericShare is the §V.C numeric-variable fraction.
+	NumericShare float64 `json:"numeric_share"`
+}
+
+// CorpusStats describes the evaluated corpus.
+type CorpusStats struct {
+	Plugins         int `json:"plugins"`
+	Files           int `json:"files"`
+	Lines           int `json:"lines"`
+	Vulnerabilities int `json:"vulnerabilities"`
+	Traps           int `json:"traps"`
+}
+
+// ToolSummary is one tool's Table I row set.
+type ToolSummary struct {
+	Tool          string                   `json:"tool"`
+	Global        CountsSummary            `json:"global"`
+	ByClass       map[string]CountsSummary `json:"by_class"`
+	DurationMS    float64                  `json:"duration_ms"`
+	FilesAnalyzed int                      `json:"files_analyzed"`
+	FilesFailed   int                      `json:"files_failed"`
+	Errors        int                      `json:"errors"`
+}
+
+// CountsSummary carries a tally with its derived metrics (negative means
+// undefined).
+type CountsSummary struct {
+	TP        int     `json:"tp"`
+	FP        int     `json:"fp"`
+	FN        int     `json:"fn"`
+	Precision float64 `json:"precision"`
+	Recall    float64 `json:"recall"`
+	FScore    float64 `json:"f_score"`
+}
+
+// OverlapSummary is the Fig. 2 data.
+type OverlapSummary struct {
+	Union   int            `json:"union"`
+	Seeded  int            `json:"seeded"`
+	Regions map[string]int `json:"regions"`
+}
+
+// Summarize builds the machine-readable summary of an evaluation.
+func (ev *Evaluation) Summarize() Summary {
+	s := Summary{
+		Version: string(ev.Corpus.Version),
+		Corpus: CorpusStats{
+			Plugins:         len(ev.Corpus.Targets),
+			Files:           ev.Corpus.Files(),
+			Lines:           ev.Corpus.Lines(),
+			Vulnerabilities: len(ev.Corpus.Truths),
+			Traps:           len(ev.Corpus.Traps),
+		},
+		Vectors: make(map[string]int),
+	}
+	for _, tm := range ev.Tools {
+		ts := ToolSummary{
+			Tool:          tm.Tool,
+			Global:        countsSummary(tm.Global),
+			ByClass:       make(map[string]CountsSummary, len(tm.ByClass)),
+			DurationMS:    float64(tm.Duration.Microseconds()) / 1000,
+			FilesAnalyzed: tm.FilesAnalyzed,
+			FilesFailed:   tm.FilesFailed,
+			Errors:        tm.ErrorCount,
+		}
+		for _, class := range analyzer.Classes() {
+			if c, ok := tm.ByClass[class]; ok {
+				ts.ByClass[class.String()] = countsSummary(*c)
+			}
+		}
+		s.Tools = append(s.Tools, ts)
+	}
+	ov := ev.ComputeOverlap()
+	s.Overlap = OverlapSummary{Union: ov.Union, Seeded: ov.Seeded, Regions: ov.Regions}
+	vb := ev.ComputeVectors()
+	for row, n := range vb.Rows {
+		s.Vectors[row] = n
+	}
+	s.NumericShare = vb.NumericShare
+	return s
+}
+
+// countsSummary converts a Counts tally.
+func countsSummary(c Counts) CountsSummary {
+	return CountsSummary{
+		TP: c.TP, FP: c.FP, FN: c.FN,
+		Precision: c.Precision(), Recall: c.Recall(), FScore: c.FScore(),
+	}
+}
+
+// MarshalSummary renders the evaluation summary as indented JSON.
+func (ev *Evaluation) MarshalSummary() ([]byte, error) {
+	return json.MarshalIndent(ev.Summarize(), "", "  ")
+}

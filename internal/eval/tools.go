@@ -1,0 +1,35 @@
+package eval
+
+import (
+	"repro/internal/analyzer"
+	"repro/internal/corpus"
+	"repro/internal/pixy"
+	"repro/internal/rips"
+	"repro/internal/taint"
+	"repro/internal/wordpress"
+)
+
+// DefaultTools returns the paper's three tools in presentation order:
+// phpSAFE with its out-of-the-box WordPress configuration (§III.A), RIPS
+// with its generic-PHP knowledge, and Pixy frozen in 2007.
+func DefaultTools() []analyzer.Analyzer {
+	return []analyzer.Analyzer{
+		taint.New(wordpress.Compiled(), taint.DefaultOptions()),
+		rips.NewDefault(),
+		pixy.New(),
+	}
+}
+
+// EvaluateCorpus runs the default tools over a corpus and matches the
+// results against its labels.
+func EvaluateCorpus(c *corpus.Corpus) (*Evaluation, error) {
+	runs := make([]*ToolRun, 0, 3)
+	for _, tool := range DefaultTools() {
+		run, err := Run(tool, c)
+		if err != nil {
+			return nil, err
+		}
+		runs = append(runs, run)
+	}
+	return Evaluate(c, runs), nil
+}

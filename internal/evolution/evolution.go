@@ -1,0 +1,320 @@
+// Package evolution tracks plugin security across versions — the paper's
+// §VI future work ("we also intend to study the evolution of plugin
+// security and plugin updates over time by enabling historic data in
+// phpSAFE") and the machinery behind its §V.D inertia analysis.
+//
+// Given analysis results for two snapshots of the same plugin, the
+// package classifies each vulnerability as fixed, persisting or newly
+// introduced. Findings are matched structurally (file, sink, variable,
+// class, vector) rather than by line number, because plugin code moves
+// between releases.
+package evolution
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"repro/internal/analyzer"
+)
+
+// Status classifies one vulnerability across two versions.
+type Status int
+
+// Vulnerability statuses.
+const (
+	// Fixed findings exist in the old version only.
+	Fixed Status = iota + 1
+	// Persisting findings exist in both versions — the §V.D inertia
+	// class: vulnerabilities still present after disclosure.
+	Persisting
+	// Introduced findings exist in the new version only.
+	Introduced
+)
+
+// String returns the status name.
+func (s Status) String() string {
+	switch s {
+	case Fixed:
+		return "fixed"
+	case Persisting:
+		return "persisting"
+	case Introduced:
+		return "introduced"
+	default:
+		return fmt.Sprintf("Status(%d)", int(s))
+	}
+}
+
+// Change is one vulnerability with its cross-version classification.
+type Change struct {
+	// Status is the classification.
+	Status Status
+	// Finding is the old-version finding for Fixed, and the new-version
+	// finding for Persisting and Introduced.
+	Finding analyzer.Finding
+}
+
+// Report is the outcome of comparing two versions of one plugin.
+type Report struct {
+	// Plugin is the target name.
+	Plugin string
+	// OldVersion and NewVersion label the compared snapshots.
+	OldVersion string
+	NewVersion string
+	// Changes lists every vulnerability with its status, sorted by
+	// status, then file and line.
+	Changes []Change
+}
+
+// Count returns how many changes have the given status.
+func (r *Report) Count(s Status) int {
+	n := 0
+	for _, c := range r.Changes {
+		if c.Status == s {
+			n++
+		}
+	}
+	return n
+}
+
+// PersistShare returns the fraction of new-version vulnerabilities that
+// persist from the old version (§V.D reports 42%).
+func (r *Report) PersistShare() float64 {
+	newTotal := r.Count(Persisting) + r.Count(Introduced)
+	if newTotal == 0 {
+		return 0
+	}
+	return float64(r.Count(Persisting)) / float64(newTotal)
+}
+
+// PersistingEasy returns how many persisting vulnerabilities are directly
+// attacker-manipulable (§V.D's "very easy to exploit" class).
+func (r *Report) PersistingEasy() int {
+	n := 0
+	for _, c := range r.Changes {
+		if c.Status == Persisting && c.Finding.Vector.DirectlyManipulable() {
+			n++
+		}
+	}
+	return n
+}
+
+// signature is the structural identity used to match findings across
+// versions. Line numbers are deliberately excluded: code moves between
+// releases, but a vulnerability keeps its file, sink construct, variable
+// and provenance.
+type signature struct {
+	file     string
+	class    analyzer.VulnClass
+	sink     string
+	variable string
+	vector   analyzer.Vector
+}
+
+// sigOf builds a finding's structural signature.
+func sigOf(f analyzer.Finding) signature {
+	return signature{
+		file:     f.File,
+		class:    f.Class,
+		sink:     f.Sink,
+		variable: normalizeVariable(f.Variable),
+		vector:   f.Vector,
+	}
+}
+
+// normalizeVariable strips generated-suffix digits so renamed counters
+// still match ("item3" and "item7" are the same logical variable).
+func normalizeVariable(v string) string {
+	return strings.TrimRight(v, "0123456789")
+}
+
+// relaxedKey drops the variable name from the identity: the second
+// matching pass pairs findings that moved AND were renamed between
+// releases, by multiplicity within (file, class, sink, vector) groups.
+type relaxedKey struct {
+	file   string
+	class  analyzer.VulnClass
+	sink   string
+	vector analyzer.Vector
+}
+
+// relaxOf builds a signature's relaxed key.
+func relaxOf(s signature) relaxedKey {
+	return relaxedKey{file: s.file, class: s.class, sink: s.sink, vector: s.vector}
+}
+
+// Compare classifies the vulnerabilities of two versions of one plugin.
+// Findings within each version are first deduplicated by signature, then
+// matched in two passes: exact structural signatures first, and the
+// remainder by multiplicity within relaxed (variable-free) groups, so
+// renamed variables still pair up.
+func Compare(oldRes, newRes *analyzer.Result, oldVersion, newVersion string) *Report {
+	r := &Report{
+		Plugin:     pluginName(oldRes, newRes),
+		OldVersion: oldVersion,
+		NewVersion: newVersion,
+	}
+
+	oldBySig := make(map[signature]analyzer.Finding)
+	if oldRes != nil {
+		for _, f := range oldRes.Findings {
+			s := sigOf(f)
+			if _, dup := oldBySig[s]; !dup {
+				oldBySig[s] = f
+			}
+		}
+	}
+	newBySig := make(map[signature]analyzer.Finding)
+	if newRes != nil {
+		for _, f := range newRes.Findings {
+			s := sigOf(f)
+			if _, dup := newBySig[s]; !dup {
+				newBySig[s] = f
+			}
+		}
+	}
+
+	// Pass 1: exact signature matches persist.
+	oldLeft := make(map[signature]analyzer.Finding)
+	var newLeft []signature
+	for s, f := range newBySig {
+		if _, existed := oldBySig[s]; existed {
+			r.Changes = append(r.Changes, Change{Status: Persisting, Finding: f})
+		} else {
+			newLeft = append(newLeft, s)
+		}
+	}
+	for s, f := range oldBySig {
+		if _, still := newBySig[s]; !still {
+			oldLeft[s] = f
+		}
+	}
+
+	// Pass 2: pair leftovers by multiplicity within relaxed groups.
+	oldGroups := make(map[relaxedKey]int, len(oldLeft))
+	for s := range oldLeft {
+		oldGroups[relaxOf(s)]++
+	}
+	sort.Slice(newLeft, func(i, j int) bool {
+		a, b := newBySig[newLeft[i]], newBySig[newLeft[j]]
+		if a.File != b.File {
+			return a.File < b.File
+		}
+		return a.Line < b.Line
+	})
+	for _, s := range newLeft {
+		f := newBySig[s]
+		k := relaxOf(s)
+		if oldGroups[k] > 0 {
+			oldGroups[k]--
+			r.Changes = append(r.Changes, Change{Status: Persisting, Finding: f})
+		} else {
+			r.Changes = append(r.Changes, Change{Status: Introduced, Finding: f})
+		}
+	}
+	// Whatever remains unpaired on the old side was fixed.
+	remaining := make(map[relaxedKey]int, len(oldGroups))
+	for k, n := range oldGroups {
+		remaining[k] = n
+	}
+	oldSigs := make([]signature, 0, len(oldLeft))
+	for s := range oldLeft {
+		oldSigs = append(oldSigs, s)
+	}
+	sort.Slice(oldSigs, func(i, j int) bool {
+		a, b := oldLeft[oldSigs[i]], oldLeft[oldSigs[j]]
+		if a.File != b.File {
+			return a.File < b.File
+		}
+		return a.Line < b.Line
+	})
+	for _, s := range oldSigs {
+		k := relaxOf(s)
+		if remaining[k] > 0 {
+			remaining[k]--
+			r.Changes = append(r.Changes, Change{Status: Fixed, Finding: oldLeft[s]})
+		}
+	}
+
+	sort.Slice(r.Changes, func(i, j int) bool {
+		a, b := r.Changes[i], r.Changes[j]
+		if a.Status != b.Status {
+			return a.Status < b.Status
+		}
+		if a.Finding.File != b.Finding.File {
+			return a.Finding.File < b.Finding.File
+		}
+		return a.Finding.Line < b.Finding.Line
+	})
+	return r
+}
+
+// pluginName picks the target name from whichever result is present.
+func pluginName(oldRes, newRes *analyzer.Result) string {
+	if newRes != nil && newRes.Target != "" {
+		return newRes.Target
+	}
+	if oldRes != nil {
+		return oldRes.Target
+	}
+	return ""
+}
+
+// History tracks one plugin across an ordered series of versions.
+type History struct {
+	// Plugin is the target name.
+	Plugin string
+	// Versions labels the snapshots in order.
+	Versions []string
+	// Steps holds the pairwise comparison between consecutive versions.
+	Steps []*Report
+}
+
+// Track compares an ordered series of snapshots of one plugin. Labels and
+// results must have equal length; at least two snapshots are required.
+func Track(labels []string, results []*analyzer.Result) (*History, error) {
+	if len(labels) != len(results) {
+		return nil, fmt.Errorf("evolution: %d labels for %d results", len(labels), len(results))
+	}
+	if len(results) < 2 {
+		return nil, fmt.Errorf("evolution: need at least two versions, got %d", len(results))
+	}
+	h := &History{Plugin: pluginName(results[0], results[len(results)-1]), Versions: labels}
+	for i := 1; i < len(results); i++ {
+		h.Steps = append(h.Steps, Compare(results[i-1], results[i], labels[i-1], labels[i]))
+	}
+	return h, nil
+}
+
+// TotalFixed sums fixes across all steps.
+func (h *History) TotalFixed() int {
+	n := 0
+	for _, s := range h.Steps {
+		n += s.Count(Fixed)
+	}
+	return n
+}
+
+// TotalIntroduced sums newly introduced vulnerabilities across all steps.
+func (h *History) TotalIntroduced() int {
+	n := 0
+	for _, s := range h.Steps {
+		n += s.Count(Introduced)
+	}
+	return n
+}
+
+// Summary renders the history as text.
+func (h *History) Summary() string {
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "security evolution of %s across %s\n",
+		h.Plugin, strings.Join(h.Versions, " -> "))
+	for _, step := range h.Steps {
+		fmt.Fprintf(&sb, "  %s -> %s: %d fixed, %d persisting (%d easy to exploit), %d introduced\n",
+			step.OldVersion, step.NewVersion,
+			step.Count(Fixed), step.Count(Persisting), step.PersistingEasy(),
+			step.Count(Introduced))
+	}
+	return sb.String()
+}

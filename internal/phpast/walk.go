@@ -1,0 +1,225 @@
+package phpast
+
+// Inspect traverses the AST rooted at node in depth-first order, calling f
+// for each node. If f returns false for a node, its children are skipped.
+// Nil nodes are ignored.
+func Inspect(node Node, f func(Node) bool) {
+	if node == nil || !f(node) {
+		return
+	}
+	for _, child := range Children(node) {
+		Inspect(child, f)
+	}
+}
+
+// InspectStmts traverses each statement in list with Inspect.
+func InspectStmts(list []Stmt, f func(Node) bool) {
+	for _, s := range list {
+		Inspect(s, f)
+	}
+}
+
+// Children returns the direct child nodes of n in source order. It returns
+// nil for leaves. The function is exhaustive over the node types defined in
+// this package; unknown nodes yield nil.
+func Children(n Node) []Node {
+	switch x := n.(type) {
+	case *VarVar:
+		return []Node{x.Expr}
+	case *PropertyFetch:
+		return nodes(x.Object, x.NameExpr)
+	case *IndexFetch:
+		return nodes(x.Base, x.Index)
+	case *FuncCall:
+		return argNodes(x.NameExpr, x.Args)
+	case *MethodCall:
+		return argNodes(nil, x.Args, x.Object, x.NameExpr)
+	case *StaticCall:
+		return argNodes(nil, x.Args)
+	case *New:
+		return argNodes(x.ClassExpr, x.Args)
+	case *Assign:
+		return nodes(x.LHS, x.RHS)
+	case *Binary:
+		return nodes(x.L, x.R)
+	case *Unary:
+		return nodes(x.X)
+	case *IncDec:
+		return nodes(x.X)
+	case *Ternary:
+		return nodes(x.Cond, x.Then, x.Else)
+	case *Cast:
+		return nodes(x.X)
+	case *InterpString:
+		return exprNodes(x.Parts)
+	case *ArrayLit:
+		out := make([]Node, 0, 2*len(x.Items))
+		for _, it := range x.Items {
+			out = appendNode(out, it.Key)
+			out = appendNode(out, it.Value)
+		}
+		return out
+	case *ListExpr:
+		return exprNodes(x.Targets)
+	case *IssetExpr:
+		return exprNodes(x.Vars)
+	case *EmptyExpr:
+		return nodes(x.X)
+	case *IncludeExpr:
+		return nodes(x.Path)
+	case *ExitExpr:
+		return nodes(x.X)
+	case *PrintExpr:
+		return nodes(x.X)
+	case *CloneExpr:
+		return nodes(x.X)
+	case *InstanceOf:
+		return nodes(x.X)
+	case *Closure:
+		out := make([]Node, 0, len(x.Params)+len(x.Body))
+		for _, p := range x.Params {
+			out = appendNode(out, p.Default)
+		}
+		return appendStmts(out, x.Body)
+
+	case *ExprStmt:
+		return nodes(x.X)
+	case *Echo:
+		return exprNodes(x.Args)
+	case *Block:
+		return appendStmts(nil, x.List)
+	case *If:
+		out := nodes(x.Cond)
+		out = appendStmts(out, x.Then)
+		for _, ei := range x.Elseifs {
+			out = appendNode(out, ei.Cond)
+			out = appendStmts(out, ei.Body)
+		}
+		return appendStmts(out, x.Else)
+	case *While:
+		return appendStmts(nodes(x.Cond), x.Body)
+	case *DoWhile:
+		return appendNode(appendStmts(nil, x.Body), x.Cond)
+	case *For:
+		out := exprNodes(x.Init)
+		out = append(out, exprNodes(x.Cond)...)
+		out = append(out, exprNodes(x.Post)...)
+		return appendStmts(out, x.Body)
+	case *Foreach:
+		out := nodes(x.Expr, x.Key, x.Value)
+		return appendStmts(out, x.Body)
+	case *Switch:
+		out := nodes(x.Cond)
+		for _, c := range x.Cases {
+			out = appendNode(out, c.Cond)
+			out = appendStmts(out, c.Body)
+		}
+		return out
+	case *Return:
+		return nodes(x.X)
+	case *StaticVars:
+		var out []Node
+		for _, v := range x.Vars {
+			out = appendNode(out, v.Default)
+		}
+		return out
+	case *Unset:
+		return exprNodes(x.Vars)
+	case *Throw:
+		return nodes(x.X)
+	case *Try:
+		out := appendStmts(nil, x.Body)
+		for _, c := range x.Catches {
+			out = appendStmts(out, c.Body)
+		}
+		return appendStmts(out, x.Finally)
+	case *FuncDecl:
+		out := make([]Node, 0, len(x.Params)+len(x.Body))
+		for _, p := range x.Params {
+			out = appendNode(out, p.Default)
+		}
+		return appendStmts(out, x.Body)
+	case *ClassDecl:
+		var out []Node
+		for _, p := range x.Props {
+			out = appendNode(out, p.Default)
+		}
+		for _, c := range x.Consts {
+			out = appendNode(out, c.Value)
+		}
+		for _, m := range x.Methods {
+			for _, p := range m.Params {
+				out = appendNode(out, p.Default)
+			}
+			out = appendStmts(out, m.Body)
+		}
+		return out
+	default:
+		return nil
+	}
+}
+
+// nodes collects the non-nil expressions into a node slice.
+func nodes(exprs ...Expr) []Node {
+	out := make([]Node, 0, len(exprs))
+	for _, e := range exprs {
+		out = appendNode(out, e)
+	}
+	return out
+}
+
+// exprNodes converts an expression slice to nodes, skipping nils.
+func exprNodes(exprs []Expr) []Node {
+	out := make([]Node, 0, len(exprs))
+	for _, e := range exprs {
+		out = appendNode(out, e)
+	}
+	return out
+}
+
+// argNodes collects pre-expressions, then argument values.
+func argNodes(pre Expr, args []Arg, more ...Expr) []Node {
+	out := make([]Node, 0, len(args)+len(more)+1)
+	for _, e := range more {
+		out = appendNode(out, e)
+	}
+	out = appendNode(out, pre)
+	for _, a := range args {
+		out = appendNode(out, a.Value)
+	}
+	return out
+}
+
+// appendNode appends e when it is a non-nil node.
+func appendNode(out []Node, e Expr) []Node {
+	if isNilExpr(e) {
+		return out
+	}
+	return append(out, e)
+}
+
+// appendStmts appends all non-nil statements.
+func appendStmts(out []Node, list []Stmt) []Node {
+	for _, s := range list {
+		if s != nil {
+			out = append(out, s)
+		}
+	}
+	return out
+}
+
+// isNilExpr reports whether e is nil, including a typed nil inside the
+// interface.
+func isNilExpr(e Expr) bool {
+	if e == nil {
+		return true
+	}
+	switch v := e.(type) {
+	case *BadExpr:
+		return v == nil
+	case *Var:
+		return v == nil
+	default:
+		return false
+	}
+}

@@ -1,0 +1,125 @@
+package phpparse
+
+import "strings"
+
+// decodeStringLit decodes a T_CONSTANT_ENCAPSED_STRING token's text
+// (including quotes) into its runtime string value.
+func decodeStringLit(text string) string {
+	if len(text) < 2 {
+		return text
+	}
+	quote := text[0]
+	body := text[1:]
+	if body[len(body)-1] == quote {
+		body = body[:len(body)-1]
+	}
+	switch quote {
+	case '\'':
+		return decodeSingle(body)
+	case '"':
+		return decodeDouble(body)
+	default:
+		return body
+	}
+}
+
+// decodeSingle decodes single-quoted string content: only \' and \\ are
+// escapes; every other backslash is literal.
+func decodeSingle(body string) string {
+	if !strings.ContainsRune(body, '\\') {
+		return body
+	}
+	var sb strings.Builder
+	sb.Grow(len(body))
+	for i := 0; i < len(body); i++ {
+		c := body[i]
+		if c == '\\' && i+1 < len(body) {
+			next := body[i+1]
+			if next == '\'' || next == '\\' {
+				sb.WriteByte(next)
+				i++
+				continue
+			}
+		}
+		sb.WriteByte(c)
+	}
+	return sb.String()
+}
+
+// decodeDouble decodes double-quoted (and heredoc) string content,
+// handling the PHP escape sequences.
+func decodeDouble(body string) string {
+	if !strings.ContainsRune(body, '\\') {
+		return body
+	}
+	var sb strings.Builder
+	sb.Grow(len(body))
+	for i := 0; i < len(body); i++ {
+		c := body[i]
+		if c != '\\' || i+1 >= len(body) {
+			sb.WriteByte(c)
+			continue
+		}
+		i++
+		switch next := body[i]; next {
+		case 'n':
+			sb.WriteByte('\n')
+		case 't':
+			sb.WriteByte('\t')
+		case 'r':
+			sb.WriteByte('\r')
+		case 'v':
+			sb.WriteByte('\v')
+		case 'f':
+			sb.WriteByte('\f')
+		case '0':
+			sb.WriteByte(0)
+		case '\\', '"', '$', '`':
+			sb.WriteByte(next)
+		case 'x':
+			// \xHH hex escape.
+			val, n := hexByte(body[i+1:])
+			if n > 0 {
+				sb.WriteByte(val)
+				i += n
+			} else {
+				sb.WriteByte('\\')
+				sb.WriteByte(next)
+			}
+		default:
+			sb.WriteByte('\\')
+			sb.WriteByte(next)
+		}
+	}
+	return sb.String()
+}
+
+// hexByte reads up to two hex digits from s and returns the byte value and
+// how many digits were consumed (0 when s has no leading hex digit).
+func hexByte(s string) (byte, int) {
+	var val byte
+	n := 0
+	for n < 2 && n < len(s) {
+		d, ok := hexVal(s[n])
+		if !ok {
+			break
+		}
+		val = val<<4 | d
+		n++
+	}
+	return val, n
+}
+
+// hexVal converts one hex digit character.
+func hexVal(c byte) (byte, bool) {
+	switch {
+	case c >= '0' && c <= '9':
+		return c - '0', true
+	case c >= 'a' && c <= 'f':
+		return c - 'a' + 10, true
+	case c >= 'A' && c <= 'F':
+		return c - 'A' + 10, true
+	default:
+		return 0, false
+	}
+}

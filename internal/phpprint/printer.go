@@ -1,0 +1,742 @@
+// Package phpprint renders phpast trees back to PHP source text.
+//
+// The printer is the inverse of package phpparse for the analyzed PHP 5
+// subset. It exists for three reasons: inspecting what the parser
+// actually understood (debugging analyzers), emitting normalized PHP from
+// programmatically-built trees (the corpus generator's test oracle), and
+// the strongest parser test we have — the round-trip property
+// parse(print(parse(src))) ≡ parse(src).
+//
+// Output is normalized, not source-preserving: comments and original
+// whitespace are gone, strings are emitted single-quoted where possible,
+// and every statement is terminated explicitly.
+package phpprint
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+
+	"repro/internal/phpast"
+)
+
+// File renders a whole parsed file, including the opening tag.
+func File(f *phpast.File) string {
+	var p printer
+	p.sb.WriteString("<?php\n")
+	p.stmts(f.Stmts)
+	return p.sb.String()
+}
+
+// Stmts renders a statement list at top level (no opening tag).
+func Stmts(stmts []phpast.Stmt) string {
+	var p printer
+	p.stmts(stmts)
+	return p.sb.String()
+}
+
+// Expr renders a single expression.
+func Expr(e phpast.Expr) string {
+	var p printer
+	p.expr(e, precLowest)
+	return p.sb.String()
+}
+
+// printer accumulates output with indentation.
+type printer struct {
+	sb     strings.Builder
+	indent int
+}
+
+// line writes an indented line.
+func (p *printer) line(s string) {
+	for i := 0; i < p.indent; i++ {
+		p.sb.WriteByte('\t')
+	}
+	p.sb.WriteString(s)
+	p.sb.WriteByte('\n')
+}
+
+// open writes a line and increases the indent.
+func (p *printer) open(s string) {
+	p.line(s)
+	p.indent++
+}
+
+// close decreases the indent and writes a line.
+func (p *printer) close(s string) {
+	p.indent--
+	p.line(s)
+}
+
+// stmts renders a statement list.
+func (p *printer) stmts(list []phpast.Stmt) {
+	for _, s := range list {
+		p.stmt(s)
+	}
+}
+
+// stmt renders one statement.
+func (p *printer) stmt(s phpast.Stmt) {
+	switch st := s.(type) {
+	case *phpast.ExprStmt:
+		p.line(exprString(st.X) + ";")
+
+	case *phpast.Echo:
+		if st.FromHTML {
+			// Normalized form: inline HTML becomes an explicit echo.
+			p.line("echo " + exprListString(st.Args) + ";")
+			return
+		}
+		p.line("echo " + exprListString(st.Args) + ";")
+
+	case *phpast.Block:
+		p.open("{")
+		p.stmts(st.List)
+		p.close("}")
+
+	case *phpast.If:
+		p.open("if (" + exprString(st.Cond) + ") {")
+		p.stmts(st.Then)
+		for _, ei := range st.Elseifs {
+			p.indent--
+			p.line("} elseif (" + exprString(ei.Cond) + ") {")
+			p.indent++
+			p.stmts(ei.Body)
+		}
+		if st.Else != nil {
+			p.indent--
+			p.line("} else {")
+			p.indent++
+			p.stmts(st.Else)
+		}
+		p.close("}")
+
+	case *phpast.While:
+		p.open("while (" + exprString(st.Cond) + ") {")
+		p.stmts(st.Body)
+		p.close("}")
+
+	case *phpast.DoWhile:
+		p.open("do {")
+		p.stmts(st.Body)
+		p.close("} while (" + exprString(st.Cond) + ");")
+
+	case *phpast.For:
+		p.open(fmt.Sprintf("for (%s; %s; %s) {",
+			exprsJoin(st.Init), exprsJoin(st.Cond), exprsJoin(st.Post)))
+		p.stmts(st.Body)
+		p.close("}")
+
+	case *phpast.Foreach:
+		head := "foreach (" + exprString(st.Expr) + " as "
+		if st.Key != nil {
+			head += exprString(st.Key) + " => "
+		}
+		if st.ByRef {
+			head += "&"
+		}
+		head += exprString(st.Value) + ") {"
+		p.open(head)
+		p.stmts(st.Body)
+		p.close("}")
+
+	case *phpast.Switch:
+		p.open("switch (" + exprString(st.Cond) + ") {")
+		for _, c := range st.Cases {
+			if c.Cond != nil {
+				p.open("case " + exprString(c.Cond) + ":")
+			} else {
+				p.open("default:")
+			}
+			p.stmts(c.Body)
+			p.indent--
+		}
+		p.close("}")
+
+	case *phpast.Return:
+		if st.X != nil {
+			p.line("return " + exprString(st.X) + ";")
+		} else {
+			p.line("return;")
+		}
+
+	case *phpast.Break:
+		p.line("break;")
+	case *phpast.Continue:
+		p.line("continue;")
+
+	case *phpast.Global:
+		names := make([]string, len(st.Names))
+		for i, n := range st.Names {
+			names[i] = "$" + n
+		}
+		p.line("global " + strings.Join(names, ", ") + ";")
+
+	case *phpast.StaticVars:
+		parts := make([]string, len(st.Vars))
+		for i, v := range st.Vars {
+			parts[i] = "$" + v.Name
+			if v.Default != nil {
+				parts[i] += " = " + exprString(v.Default)
+			}
+		}
+		p.line("static " + strings.Join(parts, ", ") + ";")
+
+	case *phpast.Unset:
+		p.line("unset(" + exprListString(st.Vars) + ");")
+
+	case *phpast.InlineHTML:
+		p.line("echo " + phpString(st.Text) + ";")
+
+	case *phpast.Throw:
+		p.line("throw " + exprString(st.X) + ";")
+
+	case *phpast.Try:
+		p.open("try {")
+		p.stmts(st.Body)
+		for _, c := range st.Catches {
+			p.indent--
+			p.line("} catch (" + c.Class + " $" + c.Var + ") {")
+			p.indent++
+			p.stmts(c.Body)
+		}
+		if st.Finally != nil {
+			p.indent--
+			p.line("} finally {")
+			p.indent++
+			p.stmts(st.Finally)
+		}
+		p.close("}")
+
+	case *phpast.FuncDecl:
+		name := st.OrigName
+		if name == "" {
+			name = st.Name
+		}
+		amp := ""
+		if st.ByRefReturn {
+			amp = "&"
+		}
+		p.open("function " + amp + name + "(" + params(st.Params) + ") {")
+		p.stmts(st.Body)
+		p.close("}")
+
+	case *phpast.ClassDecl:
+		p.classDecl(st)
+
+	case *phpast.BadStmt:
+		p.line("/* unparseable: " + st.Reason + " */")
+	}
+}
+
+// classDecl renders a class or interface declaration.
+func (p *printer) classDecl(st *phpast.ClassDecl) {
+	head := ""
+	if st.Abstract {
+		head += "abstract "
+	}
+	if st.IsInterface {
+		head += "interface "
+	} else {
+		head += "class "
+	}
+	name := st.OrigName
+	if name == "" {
+		name = st.Name
+	}
+	head += name
+	if st.Extends != "" {
+		head += " extends " + st.Extends
+	}
+	if len(st.Implements) > 0 {
+		head += " implements " + strings.Join(st.Implements, ", ")
+	}
+	p.open(head + " {")
+	for _, c := range st.Consts {
+		p.line("const " + c.Name + " = " + exprString(c.Value) + ";")
+	}
+	for _, prop := range st.Props {
+		line := visibility(prop.Visibility)
+		if prop.Static {
+			line += " static"
+		}
+		line += " $" + prop.Name
+		if prop.Default != nil {
+			line += " = " + exprString(prop.Default)
+		}
+		p.line(line + ";")
+	}
+	for _, m := range st.Methods {
+		head := visibility(m.Visibility)
+		if m.Static {
+			head += " static"
+		}
+		if m.Abstract {
+			head += " abstract"
+		}
+		name := m.OrigName
+		if name == "" {
+			name = m.Name
+		}
+		head += " function " + name + "(" + params(m.Params) + ")"
+		if m.Abstract || m.Body == nil {
+			p.line(head + ";")
+			continue
+		}
+		p.open(head + " {")
+		p.stmts(m.Body)
+		p.close("}")
+	}
+	p.close("}")
+}
+
+// visibility renders a member visibility keyword.
+func visibility(v phpast.Visibility) string {
+	switch v {
+	case phpast.Protected:
+		return "protected"
+	case phpast.Private:
+		return "private"
+	default:
+		return "public"
+	}
+}
+
+// params renders a parameter list.
+func params(list []phpast.Param) string {
+	parts := make([]string, len(list))
+	for i, prm := range list {
+		s := ""
+		if prm.TypeHint != "" {
+			s += prm.TypeHint + " "
+		}
+		if prm.ByRef {
+			s += "&"
+		}
+		s += "$" + prm.Name
+		if prm.Default != nil {
+			s += " = " + exprString(prm.Default)
+		}
+		parts[i] = s
+	}
+	return strings.Join(parts, ", ")
+}
+
+// ---------------------------------------------------------------------------
+// Expressions
+// ---------------------------------------------------------------------------
+
+// Operator precedence levels for parenthesization (loosest first).
+const (
+	precLowest = iota
+	precAssign
+	precTernary
+	precOr
+	precAnd
+	precBitOr
+	precBitXor
+	precBitAnd
+	precEquality
+	precRelational
+	precShift
+	precAdditive
+	precMultiplicative
+	precUnary
+	precPostfix
+)
+
+// binaryPrec maps operators to precedence levels.
+func binaryPrec(op string) int {
+	switch op {
+	case "or", "xor", "and":
+		return precLowest + 1
+	case "||":
+		return precOr
+	case "&&":
+		return precAnd
+	case "|":
+		return precBitOr
+	case "^":
+		return precBitXor
+	case "&":
+		return precBitAnd
+	case "==", "!=", "===", "!==":
+		return precEquality
+	case "<", "<=", ">", ">=":
+		return precRelational
+	case "<<", ">>":
+		return precShift
+	case "+", "-", ".":
+		return precAdditive
+	case "*", "/", "%":
+		return precMultiplicative
+	default:
+		return precUnary
+	}
+}
+
+// exprString renders an expression at lowest precedence.
+func exprString(e phpast.Expr) string {
+	var p printer
+	p.expr(e, precLowest)
+	return p.sb.String()
+}
+
+// exprListString renders comma-separated expressions.
+func exprListString(list []phpast.Expr) string {
+	parts := make([]string, len(list))
+	for i, e := range list {
+		parts[i] = exprString(e)
+	}
+	return strings.Join(parts, ", ")
+}
+
+// exprsJoin renders expressions joined by ", " (for for-headers).
+func exprsJoin(list []phpast.Expr) string {
+	return exprListString(list)
+}
+
+// expr renders an expression, parenthesizing when its precedence is lower
+// than the context.
+func (p *printer) expr(e phpast.Expr, ctx int) {
+	switch x := e.(type) {
+	case nil:
+		return
+
+	case *phpast.Var:
+		p.sb.WriteString("$" + x.Name)
+
+	case *phpast.VarVar:
+		p.sb.WriteString("${" + exprString(x.Expr) + "}")
+
+	case *phpast.Literal:
+		p.literal(x)
+
+	case *phpast.InterpString:
+		p.interp(x)
+
+	case *phpast.ConstFetch:
+		p.sb.WriteString(x.Name)
+
+	case *phpast.ClassConstFetch:
+		p.sb.WriteString(x.Class + "::" + x.Name)
+
+	case *phpast.StaticPropertyFetch:
+		p.sb.WriteString(x.Class + "::$" + x.Name)
+
+	case *phpast.PropertyFetch:
+		p.expr(x.Object, precPostfix)
+		if x.NameExpr != nil {
+			p.sb.WriteString("->{" + exprString(x.NameExpr) + "}")
+		} else {
+			p.sb.WriteString("->" + x.Name)
+		}
+
+	case *phpast.IndexFetch:
+		p.expr(x.Base, precPostfix)
+		p.sb.WriteString("[")
+		if x.Index != nil {
+			p.expr(x.Index, precLowest)
+		}
+		p.sb.WriteString("]")
+
+	case *phpast.FuncCall:
+		if x.NameExpr != nil {
+			p.expr(x.NameExpr, precPostfix)
+		} else {
+			p.sb.WriteString(x.Name)
+		}
+		p.args(x.Args)
+
+	case *phpast.MethodCall:
+		p.expr(x.Object, precPostfix)
+		if x.NameExpr != nil {
+			p.sb.WriteString("->{" + exprString(x.NameExpr) + "}")
+		} else {
+			p.sb.WriteString("->" + x.Name)
+		}
+		p.args(x.Args)
+
+	case *phpast.StaticCall:
+		p.sb.WriteString(x.Class + "::" + x.Name)
+		p.args(x.Args)
+
+	case *phpast.New:
+		p.sb.WriteString("new ")
+		if x.ClassExpr != nil {
+			p.expr(x.ClassExpr, precPostfix)
+		} else {
+			p.sb.WriteString(x.Class)
+		}
+		p.args(x.Args)
+
+	case *phpast.Assign:
+		if ctx > precAssign {
+			p.sb.WriteString("(")
+			defer p.sb.WriteString(")")
+		}
+		p.expr(x.LHS, precPostfix)
+		p.sb.WriteString(" " + x.Op)
+		if x.ByRef {
+			p.sb.WriteString("&")
+		}
+		p.sb.WriteString(" ")
+		p.expr(x.RHS, precAssign)
+
+	case *phpast.Binary:
+		prec := binaryPrec(x.Op)
+		if ctx > prec {
+			p.sb.WriteString("(")
+			defer p.sb.WriteString(")")
+		}
+		p.expr(x.L, prec)
+		p.sb.WriteString(" " + x.Op + " ")
+		p.expr(x.R, prec+1)
+
+	case *phpast.Unary:
+		if ctx > precUnary {
+			p.sb.WriteString("(")
+			defer p.sb.WriteString(")")
+		}
+		p.sb.WriteString(x.Op)
+		p.expr(x.X, precUnary)
+
+	case *phpast.IncDec:
+		if x.Prefix {
+			p.sb.WriteString(x.Op)
+			p.expr(x.X, precUnary)
+		} else {
+			p.expr(x.X, precPostfix)
+			p.sb.WriteString(x.Op)
+		}
+
+	case *phpast.Ternary:
+		if ctx > precTernary {
+			p.sb.WriteString("(")
+			defer p.sb.WriteString(")")
+		}
+		p.expr(x.Cond, precOr)
+		if x.Then != nil {
+			p.sb.WriteString(" ? ")
+			p.expr(x.Then, precTernary)
+			p.sb.WriteString(" : ")
+		} else {
+			p.sb.WriteString(" ?: ")
+		}
+		p.expr(x.Else, precTernary)
+
+	case *phpast.Cast:
+		if ctx > precUnary {
+			p.sb.WriteString("(")
+			defer p.sb.WriteString(")")
+		}
+		p.sb.WriteString("(" + x.Type + ") ")
+		p.expr(x.X, precUnary)
+
+	case *phpast.ArrayLit:
+		p.sb.WriteString("array(")
+		for i, item := range x.Items {
+			if i > 0 {
+				p.sb.WriteString(", ")
+			}
+			if item.Key != nil {
+				p.expr(item.Key, precTernary)
+				p.sb.WriteString(" => ")
+			}
+			if item.ByRef {
+				p.sb.WriteString("&")
+			}
+			p.expr(item.Value, precTernary)
+		}
+		p.sb.WriteString(")")
+
+	case *phpast.ListExpr:
+		p.sb.WriteString("list(")
+		for i, target := range x.Targets {
+			if i > 0 {
+				p.sb.WriteString(", ")
+			}
+			if target != nil {
+				p.expr(target, precLowest)
+			}
+		}
+		p.sb.WriteString(")")
+
+	case *phpast.IssetExpr:
+		p.sb.WriteString("isset(" + exprListString(x.Vars) + ")")
+
+	case *phpast.EmptyExpr:
+		p.sb.WriteString("empty(" + exprString(x.X) + ")")
+
+	case *phpast.IncludeExpr:
+		kw := map[phpast.IncludeKind]string{
+			phpast.IncInclude:     "include",
+			phpast.IncIncludeOnce: "include_once",
+			phpast.IncRequire:     "require",
+			phpast.IncRequireOnce: "require_once",
+		}[x.Kind]
+		p.sb.WriteString(kw + " ")
+		p.expr(x.Path, precAssign)
+
+	case *phpast.ExitExpr:
+		p.sb.WriteString("exit(")
+		if x.X != nil {
+			p.expr(x.X, precLowest)
+		}
+		p.sb.WriteString(")")
+
+	case *phpast.PrintExpr:
+		if ctx > precAssign {
+			p.sb.WriteString("(")
+			defer p.sb.WriteString(")")
+		}
+		p.sb.WriteString("print ")
+		p.expr(x.X, precAssign)
+
+	case *phpast.CloneExpr:
+		p.sb.WriteString("clone ")
+		p.expr(x.X, precUnary)
+
+	case *phpast.InstanceOf:
+		if ctx > precUnary {
+			p.sb.WriteString("(")
+			defer p.sb.WriteString(")")
+		}
+		p.expr(x.X, precUnary)
+		p.sb.WriteString(" instanceof " + x.Class)
+
+	case *phpast.Closure:
+		p.sb.WriteString("function (" + params(x.Params) + ")")
+		if len(x.Uses) > 0 {
+			uses := make([]string, len(x.Uses))
+			for i, u := range x.Uses {
+				prefix := ""
+				if u.ByRef {
+					prefix = "&"
+				}
+				uses[i] = prefix + "$" + u.Name
+			}
+			p.sb.WriteString(" use (" + strings.Join(uses, ", ") + ")")
+		}
+		p.sb.WriteString(" {\n")
+		inner := printer{indent: p.indent + 1}
+		inner.stmts(x.Body)
+		p.sb.WriteString(inner.sb.String())
+		for i := 0; i < p.indent; i++ {
+			p.sb.WriteByte('\t')
+		}
+		p.sb.WriteString("}")
+
+	case *phpast.BadExpr:
+		p.sb.WriteString("/* bad expr: " + x.Reason + " */ null")
+
+	default:
+		p.sb.WriteString("/* unknown expr */ null")
+	}
+}
+
+// args renders a call argument list.
+func (p *printer) args(list []phpast.Arg) {
+	p.sb.WriteString("(")
+	for i, a := range list {
+		if i > 0 {
+			p.sb.WriteString(", ")
+		}
+		if a.ByRef {
+			p.sb.WriteString("&")
+		}
+		p.expr(a.Value, precTernary)
+	}
+	p.sb.WriteString(")")
+}
+
+// literal renders a scalar literal.
+func (p *printer) literal(x *phpast.Literal) {
+	switch x.Kind {
+	case phpast.LitInt, phpast.LitFloat:
+		p.sb.WriteString(x.Value)
+	default:
+		p.sb.WriteString(phpString(x.Value))
+	}
+}
+
+// interp renders an interpolated string using explicit concatenation,
+// which is unambiguous and round-trips cleanly.
+func (p *printer) interp(x *phpast.InterpString) {
+	if x.IsShell {
+		// Keep backticks: the shell semantics matter to analyzers.
+		p.sb.WriteString("`")
+		for _, part := range x.Parts {
+			switch pt := part.(type) {
+			case *phpast.Literal:
+				p.sb.WriteString(pt.Value)
+			case *phpast.Var:
+				p.sb.WriteString("$" + pt.Name)
+			default:
+				// Curly interpolation; the rendered expression starts
+				// with "$" for every interpolatable node.
+				p.sb.WriteString("{" + exprString(part) + "}")
+			}
+		}
+		p.sb.WriteString("`")
+		return
+	}
+	if len(x.Parts) == 0 {
+		p.sb.WriteString("''")
+		return
+	}
+	for i, part := range x.Parts {
+		if i > 0 {
+			p.sb.WriteString(" . ")
+		}
+		p.expr(part, precAdditive+1)
+	}
+}
+
+// phpString renders a Go string as a single-quoted PHP string literal.
+func phpString(s string) string {
+	if !strings.ContainsAny(s, "'\\") && isPrintable(s) {
+		return "'" + s + "'"
+	}
+	// Fall back to a double-quoted form with escapes.
+	var sb strings.Builder
+	sb.WriteByte('"')
+	for i := 0; i < len(s); i++ {
+		c := s[i]
+		switch c {
+		case '"':
+			sb.WriteString(`\"`)
+		case '\\':
+			sb.WriteString(`\\`)
+		case '$':
+			sb.WriteString(`\$`)
+		case '\n':
+			sb.WriteString(`\n`)
+		case '\t':
+			sb.WriteString(`\t`)
+		case '\r':
+			sb.WriteString(`\r`)
+		default:
+			if c < 0x20 {
+				sb.WriteString(`\x` + strconv.FormatUint(uint64(c), 16))
+			} else {
+				sb.WriteByte(c)
+			}
+		}
+	}
+	sb.WriteByte('"')
+	return sb.String()
+}
+
+// isPrintable reports whether every byte renders cleanly inside a
+// single-quoted literal on one line (control characters force the
+// double-quoted escape form).
+func isPrintable(s string) bool {
+	for i := 0; i < len(s); i++ {
+		if s[i] < 0x20 {
+			return false
+		}
+	}
+	return true
+}

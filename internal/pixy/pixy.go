@@ -1,0 +1,669 @@
+// Package pixy reimplements the Pixy static analyzer (Jovanovic, Kruegel
+// & Kirda, IEEE S&P 2006) at the fidelity the phpSAFE paper's comparison
+// depends on (DSN 2015, §II, §IV-V).
+//
+// Pixy is a flow-sensitive, inter-procedural, context-sensitive forward
+// data-flow analyzer with precise alias analysis — but it has not been
+// updated since 2007, and the paper's results hinge on that envelope:
+//
+//   - It "does not parse Object Oriented constructs" (§II): a file that
+//     declares a class fails to analyze entirely (the paper counts 32
+//     such failures), and stray object-operator uses raise error messages.
+//   - It models the register_globals=1 PHP directive: an uninitialized
+//     variable can be injected by an attacker via the request, so using
+//     one in a sink is reported (§V.A: "half of the vulnerabilities it
+//     found were due to this directive").
+//   - It only analyzes code reachable from each file's main flow: unlike
+//     phpSAFE and RIPS it cannot detect vulnerabilities in functions that
+//     are never called from the plugin (§V.A).
+//   - Its sanitizer knowledge is frozen in 2007: filter_var, filter_input,
+//     json_encode and every WordPress function are unknown.
+//   - Alias analysis: reference assignments ($a =& $b) make both names
+//     point to the same abstract cell (the paper's "-A" flag).
+package pixy
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"repro/internal/analyzer"
+	"repro/internal/config"
+	"repro/internal/phpast"
+	"repro/internal/phpparse"
+)
+
+// maxCallDepth bounds inter-procedural descent.
+const maxCallDepth = 16
+
+// Engine is the Pixy-like analyzer. It is immutable and safe for
+// concurrent use on distinct targets.
+type Engine struct {
+	cfg *config.Compiled
+	// registerGlobals enables the register_globals=1 modeling.
+	registerGlobals bool
+}
+
+var _ analyzer.Analyzer = (*Engine)(nil)
+
+// New returns a Pixy engine with its 2007-era configuration.
+func New() *Engine {
+	return &Engine{cfg: config.Compile(profile2007()), registerGlobals: true}
+}
+
+// profile2007 trims the generic PHP profile down to what a tool frozen in
+// 2007 knows: no filter extension, no JSON, and of course no WordPress.
+func profile2007() config.Profile {
+	g := config.Generic()
+	unknown := map[string]bool{
+		"filter_var":   true,
+		"filter_input": true,
+		"json_encode":  true,
+		"absint":       true,
+	}
+	sanitizers := g.Sanitizers[:0]
+	for _, s := range g.Sanitizers {
+		if !unknown[s.Name] {
+			sanitizers = append(sanitizers, s)
+		}
+	}
+	g.Sanitizers = sanitizers
+	g.Name = "pixy-2007"
+	return g
+}
+
+// Name returns the tool name used in reports.
+func (e *Engine) Name() string { return "Pixy" }
+
+// Analyze scans one plugin target file by file.
+func (e *Engine) Analyze(target *analyzer.Target) (*analyzer.Result, error) {
+	if target == nil {
+		return nil, fmt.Errorf("pixy: nil target")
+	}
+	res := &analyzer.Result{Tool: e.Name(), Target: target.Name}
+
+	// Parse everything up front; function definitions resolve per file
+	// only (Pixy does not build a whole-plugin model).
+	paths := make([]string, 0, len(target.Files))
+	files := make(map[string]*phpast.File, len(target.Files))
+	for _, sf := range target.Files {
+		files[sf.Path] = phpparse.Parse(sf.Path, sf.Content)
+		paths = append(paths, sf.Path)
+	}
+	sort.Strings(paths)
+
+	for _, path := range paths {
+		file := files[path]
+		if hasClassDecl(file) {
+			// OOP file: total parse failure, as the paper observed on 32
+			// of the 2014 files.
+			res.FilesFailed = append(res.FilesFailed, path)
+			res.Errors = append(res.Errors, fmt.Sprintf(
+				"%s: parse error: unexpected T_CLASS (object-oriented code is not supported)", path))
+			continue
+		}
+		fa := &fileAnalysis{
+			eng:  e,
+			res:  res,
+			path: path,
+			fns:  collectFunctions(file),
+			vars: make(map[string]*cell),
+		}
+		fa.execStmts(file.Stmts)
+		res.FilesAnalyzed++
+		res.LinesAnalyzed += file.Lines
+	}
+	res.Dedup()
+	return res, nil
+}
+
+// hasClassDecl reports whether a file declares a class or interface.
+func hasClassDecl(f *phpast.File) bool {
+	found := false
+	phpast.InspectStmts(f.Stmts, func(n phpast.Node) bool {
+		if _, ok := n.(*phpast.ClassDecl); ok {
+			found = true
+			return false
+		}
+		return !found
+	})
+	return found
+}
+
+// collectFunctions inventories a single file's function declarations.
+func collectFunctions(f *phpast.File) map[string]*phpast.FuncDecl {
+	fns := make(map[string]*phpast.FuncDecl)
+	phpast.InspectStmts(f.Stmts, func(n phpast.Node) bool {
+		if fd, ok := n.(*phpast.FuncDecl); ok && fd.Name != "" {
+			if _, dup := fns[fd.Name]; !dup {
+				fns[fd.Name] = fd
+			}
+			return false
+		}
+		return true
+	})
+	return fns
+}
+
+// taint is Pixy's per-class taint lattice element.
+type taint struct {
+	classes map[analyzer.VulnClass]bool
+	vector  analyzer.Vector
+	source  string
+}
+
+// cell is one abstract memory location. Alias analysis makes several
+// variable names share a cell.
+type cell struct {
+	t *taint
+	// defined marks locations that have been assigned; undefined reads
+	// trigger the register_globals modeling.
+	defined bool
+}
+
+// fileAnalysis is the forward walk over one file.
+type fileAnalysis struct {
+	eng  *Engine
+	res  *analyzer.Result
+	path string
+	fns  map[string]*phpast.FuncDecl
+
+	// vars is the current scope: variable name → cell (aliases share).
+	vars map[string]*cell
+
+	// objectErrorOnce limits object-operator error spam per file.
+	objectErrorOnce bool
+	callDepth       int
+	// inFunction marks non-main scope (register_globals only applies to
+	// the main scope's undefined variables).
+	inFunction bool
+}
+
+// lookup returns the cell for a variable, creating an undefined cell on
+// first sight.
+func (fa *fileAnalysis) lookup(name string) *cell {
+	if c, ok := fa.vars[name]; ok {
+		return c
+	}
+	c := &cell{}
+	fa.vars[name] = c
+	return c
+}
+
+// readVar models a variable read, including superglobals and the
+// register_globals injection channel.
+func (fa *fileAnalysis) readVar(name string, line int) *taint {
+	if src, ok := fa.eng.cfg.Superglobal(name); ok {
+		return sourceTaint(src, "$"+name)
+	}
+	c := fa.lookup(name)
+	if c.defined {
+		return c.t
+	}
+	if fa.eng.registerGlobals && !fa.inFunction {
+		// register_globals=1: ?name=payload initializes $name from the
+		// request before the script runs.
+		return &taint{
+			classes: map[analyzer.VulnClass]bool{analyzer.XSS: true, analyzer.SQLi: true},
+			vector:  analyzer.VectorRequest,
+			source:  "register_globals $" + name,
+		}
+	}
+	return nil
+}
+
+// sourceTaint builds the taint of a configured source.
+func sourceTaint(src config.Source, label string) *taint {
+	classes := src.Taints
+	if len(classes) == 0 {
+		classes = analyzer.Classes()
+	}
+	m := make(map[analyzer.VulnClass]bool, len(classes))
+	for _, c := range classes {
+		m[c] = true
+	}
+	return &taint{classes: m, vector: src.Vector, source: label}
+}
+
+// mergeTaint unions two lattice elements.
+func mergeTaint(a, b *taint) *taint {
+	if a == nil || len(a.classes) == 0 {
+		return b
+	}
+	if b == nil || len(b.classes) == 0 {
+		return a
+	}
+	m := make(map[analyzer.VulnClass]bool, len(a.classes)+len(b.classes))
+	for c := range a.classes {
+		m[c] = true
+	}
+	for c := range b.classes {
+		m[c] = true
+	}
+	return &taint{classes: m, vector: a.vector, source: a.source}
+}
+
+// sanitizeTaint removes classes from a lattice element.
+func sanitizeTaint(t *taint, classes []analyzer.VulnClass) *taint {
+	if t == nil {
+		return nil
+	}
+	m := make(map[analyzer.VulnClass]bool, len(t.classes))
+	for c := range t.classes {
+		m[c] = true
+	}
+	for _, c := range classes {
+		delete(m, c)
+	}
+	if len(m) == 0 {
+		return nil
+	}
+	return &taint{classes: m, vector: t.vector, source: t.source}
+}
+
+// tainted reports whether t carries class c.
+func (t *taint) tainted(c analyzer.VulnClass) bool { return t != nil && t.classes[c] }
+
+// ---------------------------------------------------------------------------
+// Statements
+// ---------------------------------------------------------------------------
+
+// execStmts walks statements in order (flow-sensitive forward analysis).
+func (fa *fileAnalysis) execStmts(stmts []phpast.Stmt) {
+	for _, s := range stmts {
+		fa.execStmt(s)
+	}
+}
+
+// execStmt dispatches one statement.
+func (fa *fileAnalysis) execStmt(s phpast.Stmt) {
+	switch st := s.(type) {
+	case *phpast.ExprStmt:
+		fa.eval(st.X)
+	case *phpast.Echo:
+		for _, arg := range st.Args {
+			t := fa.eval(arg)
+			fa.checkSink("echo", analyzer.XSS, t, arg.Pos(), arg)
+		}
+	case *phpast.Block:
+		fa.execStmts(st.List)
+	case *phpast.If:
+		fa.eval(st.Cond)
+		fa.execStmts(st.Then)
+		for _, ei := range st.Elseifs {
+			fa.eval(ei.Cond)
+			fa.execStmts(ei.Body)
+		}
+		fa.execStmts(st.Else)
+	case *phpast.While:
+		fa.eval(st.Cond)
+		fa.execStmts(st.Body)
+	case *phpast.DoWhile:
+		fa.execStmts(st.Body)
+		fa.eval(st.Cond)
+	case *phpast.For:
+		for _, e := range st.Init {
+			fa.eval(e)
+		}
+		for _, e := range st.Cond {
+			fa.eval(e)
+		}
+		fa.execStmts(st.Body)
+		for _, e := range st.Post {
+			fa.eval(e)
+		}
+	case *phpast.Foreach:
+		coll := fa.eval(st.Expr)
+		if v, ok := st.Value.(*phpast.Var); ok {
+			c := fa.lookup(v.Name)
+			c.t, c.defined = coll, true
+		}
+		if k, ok := st.Key.(*phpast.Var); ok {
+			c := fa.lookup(k.Name)
+			c.t, c.defined = coll, true
+		}
+		fa.execStmts(st.Body)
+	case *phpast.Switch:
+		fa.eval(st.Cond)
+		for _, c := range st.Cases {
+			if c.Cond != nil {
+				fa.eval(c.Cond)
+			}
+			fa.execStmts(c.Body)
+		}
+	case *phpast.Return:
+		if st.X != nil {
+			t := fa.eval(st.X)
+			ret := fa.lookup(retName)
+			ret.t, ret.defined = mergeTaint(ret.t, t), true
+		}
+	case *phpast.Global:
+		// Pixy treats globals inside functions as undefined-but-declared
+		// (it analyzes per reachable call; we approximate with defined
+		// empty cells so register_globals does not fire on them).
+		for _, n := range st.Names {
+			c := fa.lookup(n)
+			c.defined = true
+		}
+	case *phpast.StaticVars:
+		for _, sv := range st.Vars {
+			c := fa.lookup(sv.Name)
+			c.defined = true
+			if sv.Default != nil {
+				c.t = fa.eval(sv.Default)
+			}
+		}
+	case *phpast.Unset:
+		for _, v := range st.Vars {
+			if vv, ok := v.(*phpast.Var); ok {
+				fa.vars[vv.Name] = &cell{defined: true}
+			}
+		}
+	case *phpast.Throw:
+		fa.eval(st.X)
+	case *phpast.Try:
+		fa.execStmts(st.Body)
+		for _, c := range st.Catches {
+			fa.execStmts(c.Body)
+		}
+		fa.execStmts(st.Finally)
+	case *phpast.FuncDecl, *phpast.ClassDecl, *phpast.InlineHTML,
+		*phpast.Break, *phpast.Continue, *phpast.BadStmt:
+		// Declarations inventoried separately; no data flow here.
+	}
+}
+
+// retName is the pseudo-variable collecting return values.
+const retName = "\x00return"
+
+// ---------------------------------------------------------------------------
+// Expressions
+// ---------------------------------------------------------------------------
+
+// eval computes the taint of an expression.
+func (fa *fileAnalysis) eval(e phpast.Expr) *taint {
+	switch x := e.(type) {
+	case nil:
+		return nil
+	case *phpast.Literal, *phpast.ConstFetch, *phpast.ClassConstFetch:
+		return nil
+	case *phpast.Var:
+		return fa.readVar(x.Name, x.Pos())
+	case *phpast.VarVar:
+		fa.eval(x.Expr)
+		return nil
+	case *phpast.IndexFetch:
+		return fa.eval(x.Base)
+	case *phpast.InterpString:
+		var t *taint
+		for _, p := range x.Parts {
+			t = mergeTaint(t, fa.eval(p))
+		}
+		return t
+	case *phpast.Binary:
+		l := fa.eval(x.L)
+		r := fa.eval(x.R)
+		if x.Op == "." {
+			return mergeTaint(l, r)
+		}
+		return nil
+	case *phpast.Unary:
+		t := fa.eval(x.X)
+		if x.Op == "@" {
+			return t
+		}
+		return nil
+	case *phpast.IncDec:
+		fa.eval(x.X)
+		return nil
+	case *phpast.Assign:
+		return fa.evalAssign(x)
+	case *phpast.Ternary:
+		c := fa.eval(x.Cond)
+		var th *taint
+		if x.Then != nil {
+			th = fa.eval(x.Then)
+		} else {
+			th = c
+		}
+		return mergeTaint(th, fa.eval(x.Else))
+	case *phpast.Cast:
+		t := fa.eval(x.X)
+		switch x.Type {
+		case "int", "float", "bool", "unset":
+			return nil
+		default:
+			return t
+		}
+	case *phpast.ArrayLit:
+		var t *taint
+		for _, it := range x.Items {
+			fa.eval(it.Key)
+			t = mergeTaint(t, fa.eval(it.Value))
+		}
+		return t
+	case *phpast.IssetExpr, *phpast.EmptyExpr, *phpast.InstanceOf, *phpast.ListExpr:
+		return nil
+	case *phpast.FuncCall:
+		return fa.evalCall(x)
+	case *phpast.PrintExpr:
+		t := fa.eval(x.X)
+		fa.checkSink("print", analyzer.XSS, t, x.Pos(), x.X)
+		return nil
+	case *phpast.ExitExpr:
+		if x.X != nil {
+			t := fa.eval(x.X)
+			fa.checkSink("exit", analyzer.XSS, t, x.Pos(), x.X)
+		}
+		return nil
+	case *phpast.MethodCall, *phpast.PropertyFetch, *phpast.StaticCall,
+		*phpast.New, *phpast.StaticPropertyFetch, *phpast.CloneExpr:
+		fa.objectError(e.Pos())
+		return nil
+	case *phpast.IncludeExpr:
+		// Pixy does not expand plugin includes; variables defined in the
+		// included file stay invisible (register_globals noise source).
+		fa.eval(x.Path)
+		return nil
+	case *phpast.Closure:
+		// 2007 predates closures entirely.
+		fa.objectError(e.Pos())
+		return nil
+	default:
+		return nil
+	}
+}
+
+// objectError records one "unsupported construct" error per file.
+func (fa *fileAnalysis) objectError(line int) {
+	if fa.objectErrorOnce {
+		return
+	}
+	fa.objectErrorOnce = true
+	fa.res.Errors = append(fa.res.Errors, fmt.Sprintf(
+		"%s:%d: warning: unsupported object-oriented construct skipped", fa.path, line))
+}
+
+// evalAssign handles assignment including the alias form $a =& $b.
+func (fa *fileAnalysis) evalAssign(x *phpast.Assign) *taint {
+	if x.ByRef {
+		// Alias analysis: both names share one cell afterwards.
+		if lv, ok := x.LHS.(*phpast.Var); ok {
+			if rv, ok := x.RHS.(*phpast.Var); ok {
+				c := fa.lookup(rv.Name)
+				fa.vars[lv.Name] = c
+				return c.t
+			}
+		}
+	}
+	rhs := fa.eval(x.RHS)
+	var t *taint
+	switch x.Op {
+	case "=":
+		t = rhs
+	case ".=":
+		t = mergeTaint(fa.eval(x.LHS), rhs)
+	default:
+		fa.eval(x.LHS)
+		t = nil // numeric compound operators
+	}
+	fa.assignTo(x.LHS, t)
+	return t
+}
+
+// assignTo stores taint into an assignable expression.
+func (fa *fileAnalysis) assignTo(lhs phpast.Expr, t *taint) {
+	switch target := lhs.(type) {
+	case *phpast.Var:
+		c := fa.lookup(target.Name)
+		c.t, c.defined = t, true
+	case *phpast.IndexFetch:
+		if base, ok := rootVar(target); ok {
+			c := fa.lookup(base)
+			c.t, c.defined = mergeTaint(c.t, t), true
+		}
+	case *phpast.ListExpr:
+		for _, inner := range target.Targets {
+			if inner != nil {
+				fa.assignTo(inner, t)
+			}
+		}
+	}
+}
+
+// rootVar finds the base variable of an index chain.
+func rootVar(e phpast.Expr) (string, bool) {
+	for {
+		switch x := e.(type) {
+		case *phpast.Var:
+			return x.Name, true
+		case *phpast.IndexFetch:
+			e = x.Base
+		default:
+			return "", false
+		}
+	}
+}
+
+// evalCall handles function calls: sanitizers, sources, sinks and
+// same-file user functions (analyzed per call, context-sensitively).
+func (fa *fileAnalysis) evalCall(x *phpast.FuncCall) *taint {
+	if x.NameExpr != nil {
+		fa.eval(x.NameExpr)
+		var t *taint
+		for _, a := range x.Args {
+			t = mergeTaint(t, fa.eval(a.Value))
+		}
+		return t
+	}
+	name := x.Name
+	args := make([]*taint, len(x.Args))
+	for i, a := range x.Args {
+		args[i] = fa.eval(a.Value)
+	}
+
+	if classes, ok := fa.eng.cfg.FunctionSanitizer(name); ok {
+		var t *taint
+		for _, a := range args {
+			t = mergeTaint(t, a)
+		}
+		return sanitizeTaint(t, classes)
+	}
+	if sinks := fa.eng.cfg.FunctionSinks(name); len(sinks) > 0 {
+		for _, sink := range sinks {
+			for i, a := range args {
+				if !config.SinkSensitiveArg(sink, i) {
+					continue
+				}
+				var argExpr phpast.Expr
+				if i < len(x.Args) {
+					argExpr = x.Args[i].Value
+				}
+				fa.checkSink(name, sink.Vuln, a, x.Pos(), argExpr)
+			}
+		}
+		return nil
+	}
+	if src, ok := fa.eng.cfg.FunctionSource(name); ok {
+		return sourceTaint(src, name+"()")
+	}
+
+	// Same-file user function: re-analyzed per call (context-sensitive).
+	if fd, ok := fa.fns[name]; ok && fa.callDepth < maxCallDepth {
+		return fa.callFunction(fd, args)
+	}
+
+	// Unknown function: pass-through (WordPress sanitizers land here →
+	// Pixy false positives).
+	var t *taint
+	for _, a := range args {
+		t = mergeTaint(t, a)
+	}
+	return t
+}
+
+// callFunction analyzes a function body with concrete argument taints in
+// a fresh scope (Pixy's context-sensitive inter-procedural analysis).
+func (fa *fileAnalysis) callFunction(fd *phpast.FuncDecl, args []*taint) *taint {
+	savedVars := fa.vars
+	savedInFunction := fa.inFunction
+	fa.vars = make(map[string]*cell, len(fd.Params)+4)
+	fa.inFunction = true
+	fa.callDepth++
+
+	for i, p := range fd.Params {
+		c := fa.lookup(p.Name)
+		c.defined = true
+		if i < len(args) {
+			c.t = args[i]
+		}
+	}
+	fa.execStmts(fd.Body)
+	ret := fa.vars[retName]
+
+	fa.callDepth--
+	fa.inFunction = savedInFunction
+	fa.vars = savedVars
+	if ret != nil {
+		return ret.t
+	}
+	return nil
+}
+
+// checkSink reports a finding when taint of the sink's class reaches it.
+func (fa *fileAnalysis) checkSink(sink string, class analyzer.VulnClass,
+	t *taint, line int, expr phpast.Expr) {
+	if !t.tainted(class) {
+		return
+	}
+	varName := ""
+	if expr != nil {
+		if base, ok := rootVar(expr); ok {
+			varName = base
+		}
+	}
+	note := "flow from " + t.source
+	fa.res.Findings = append(fa.res.Findings, analyzer.Finding{
+		Tool:     fa.eng.Name(),
+		File:     fa.path,
+		Line:     line,
+		Class:    class,
+		Sink:     sink,
+		Variable: varName,
+		Vector:   t.vector,
+		Trace: []analyzer.TraceStep{
+			{File: fa.path, Line: line, Var: "$" + varName, Note: note},
+		},
+	})
+}
+
+// RegisterGlobalsFinding reports whether a finding came from the
+// register_globals modeling (used by the evaluation's §V.A breakdown).
+func RegisterGlobalsFinding(f analyzer.Finding) bool {
+	for _, step := range f.Trace {
+		if strings.Contains(step.Note, "register_globals") {
+			return true
+		}
+	}
+	return false
+}

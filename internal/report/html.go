@@ -1,0 +1,94 @@
+package report
+
+import (
+	"fmt"
+	"html"
+	"sort"
+	"strings"
+
+	"repro/internal/analyzer"
+)
+
+// HTML renders an analysis result as a standalone web page — the shape of
+// phpSAFE's original output ("presented in a web page that helps
+// reviewing the results, including the vulnerable variables, the entry
+// point ... the flow of the vulnerable data from variable to variable",
+// §III). The page is self-contained: inline styles, no scripts, safe to
+// open locally.
+func HTML(res *analyzer.Result) string {
+	var sb strings.Builder
+	sb.WriteString("<!DOCTYPE html>\n<html lang=\"en\">\n<head>\n<meta charset=\"utf-8\">\n")
+	fmt.Fprintf(&sb, "<title>%s — %s report</title>\n", esc(res.Target), esc(res.Tool))
+	sb.WriteString(`<style>
+body { font-family: system-ui, sans-serif; margin: 2rem; color: #222; }
+h1 { font-size: 1.4rem; }
+.summary { color: #555; margin-bottom: 1.5rem; }
+.finding { border: 1px solid #ddd; border-left: 4px solid #c0392b; border-radius: 4px;
+           padding: .75rem 1rem; margin-bottom: 1rem; }
+.finding.sqli { border-left-color: #8e44ad; }
+.finding h2 { font-size: 1rem; margin: 0 0 .5rem; }
+.badge { display: inline-block; padding: .1rem .5rem; border-radius: 3px;
+         font-size: .75rem; color: #fff; background: #c0392b; margin-right: .5rem; }
+.badge.sqli { background: #8e44ad; }
+.badge.vector { background: #2c3e50; }
+table.trace { border-collapse: collapse; font-size: .85rem; width: 100%; }
+table.trace td, table.trace th { border: 1px solid #eee; padding: .25rem .5rem; text-align: left; }
+table.trace th { background: #fafafa; }
+code { background: #f4f4f4; padding: 0 .25rem; border-radius: 2px; }
+.warnings { margin-top: 1.5rem; color: #8a6d3b; background: #fcf8e3;
+            padding: .75rem 1rem; border-radius: 4px; }
+</style>
+</head>
+<body>
+`)
+	fmt.Fprintf(&sb, "<h1>%s analysis of <code>%s</code></h1>\n", esc(res.Tool), esc(res.Target))
+	fmt.Fprintf(&sb, "<p class=\"summary\">%d finding(s) · %d file(s) analyzed · %d line(s)</p>\n",
+		len(res.Findings), res.FilesAnalyzed, res.LinesAnalyzed)
+
+	findings := append([]analyzer.Finding(nil), res.Findings...)
+	sort.SliceStable(findings, func(i, j int) bool {
+		if findings[i].File != findings[j].File {
+			return findings[i].File < findings[j].File
+		}
+		return findings[i].Line < findings[j].Line
+	})
+	for i, f := range findings {
+		cls := ""
+		if f.Class == analyzer.SQLi {
+			cls = " sqli"
+		}
+		fmt.Fprintf(&sb, "<div class=\"finding%s\">\n", cls)
+		fmt.Fprintf(&sb, "<h2>#%d <span class=\"badge%s\">%s</span><span class=\"badge vector\">%s</span> <code>%s:%d</code>",
+			i+1, cls, esc(f.Class.String()), esc(f.Vector.String()), esc(f.File), f.Line)
+		if f.Variable != "" {
+			fmt.Fprintf(&sb, " — variable <code>$%s</code>", esc(f.Variable))
+		}
+		fmt.Fprintf(&sb, " reaches sink <code>%s</code></h2>\n", esc(f.Sink))
+		if len(f.Trace) > 0 {
+			sb.WriteString("<table class=\"trace\">\n<tr><th>Location</th><th>Variable</th><th>Step</th></tr>\n")
+			for _, step := range f.Trace {
+				fmt.Fprintf(&sb, "<tr><td><code>%s:%d</code></td><td><code>%s</code></td><td>%s</td></tr>\n",
+					esc(step.File), step.Line, esc(step.Var), esc(step.Note))
+			}
+			sb.WriteString("</table>\n")
+		}
+		sb.WriteString("</div>\n")
+	}
+
+	if len(res.FilesFailed) > 0 || len(res.Errors) > 0 {
+		sb.WriteString("<div class=\"warnings\">\n")
+		for _, f := range res.FilesFailed {
+			fmt.Fprintf(&sb, "<p>not analyzed: <code>%s</code></p>\n", esc(f))
+		}
+		for _, e := range res.Errors {
+			fmt.Fprintf(&sb, "<p>warning: %s</p>\n", esc(e))
+		}
+		sb.WriteString("</div>\n")
+	}
+	sb.WriteString("</body>\n</html>\n")
+	return sb.String()
+}
+
+// esc HTML-escapes untrusted text. A vulnerability report about XSS must
+// not itself be injectable through hostile file names or variable names.
+func esc(s string) string { return html.EscapeString(s) }

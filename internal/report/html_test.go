@@ -1,0 +1,110 @@
+package report
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/analyzer"
+)
+
+// sampleResult builds a result with both classes and a trace.
+func sampleResult() *analyzer.Result {
+	return &analyzer.Result{
+		Tool:          "phpSAFE",
+		Target:        "demo-plugin",
+		FilesAnalyzed: 2,
+		LinesAnalyzed: 120,
+		Findings: []analyzer.Finding{
+			{
+				Tool: "phpSAFE", File: "admin.php", Line: 14, Class: analyzer.XSS,
+				Sink: "echo", Variable: "title", Vector: analyzer.VectorDB,
+				Trace: []analyzer.TraceStep{
+					{File: "admin.php", Line: 12, Var: "$wpdb->get_var()", Note: "source: get_var"},
+					{File: "admin.php", Line: 14, Var: "$title", Note: "reaches sink echo"},
+				},
+			},
+			{
+				Tool: "phpSAFE", File: "admin.php", Line: 30, Class: analyzer.SQLi,
+				Sink: "$wpdb->query", Variable: "id", Vector: analyzer.VectorGET,
+			},
+		},
+		FilesFailed: []string{"huge-admin.php"},
+		Errors:      []string{"huge-admin.php: include closure exceeds budget"},
+	}
+}
+
+func TestHTMLStructure(t *testing.T) {
+	t.Parallel()
+	out := HTML(sampleResult())
+	for _, want := range []string{
+		"<!DOCTYPE html>",
+		"demo-plugin",
+		"2 file(s) analyzed",
+		"admin.php:14",
+		"XSS", "SQLi", "GET", "DB",
+		"source: get_var",
+		"reaches sink echo",
+		"not analyzed: <code>huge-admin.php</code>",
+		"include closure exceeds budget",
+		"</html>",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("HTML missing %q", want)
+		}
+	}
+}
+
+func TestHTMLEscapesHostileContent(t *testing.T) {
+	t.Parallel()
+	res := &analyzer.Result{
+		Tool:   "phpSAFE",
+		Target: `<script>alert(1)</script>`,
+		Findings: []analyzer.Finding{{
+			File: `"><img src=x onerror=alert(2)>`, Line: 1,
+			Class: analyzer.XSS, Sink: "echo",
+			Variable: `<b>bold</b>`, Vector: analyzer.VectorGET,
+			Trace: []analyzer.TraceStep{
+				{File: "f.php", Line: 1, Var: "$x", Note: `<iframe>`},
+			},
+		}},
+	}
+	out := HTML(res)
+	for _, bad := range []string{"<script>alert", "<img src=x", "<b>bold</b>", "<iframe>"} {
+		if strings.Contains(out, bad) {
+			t.Errorf("HTML contains unescaped hostile content %q", bad)
+		}
+	}
+	if !strings.Contains(out, "&lt;script&gt;") {
+		t.Error("hostile target name should appear escaped")
+	}
+}
+
+func TestHTMLEmptyResult(t *testing.T) {
+	t.Parallel()
+	out := HTML(&analyzer.Result{Tool: "phpSAFE", Target: "clean-plugin"})
+	if !strings.Contains(out, "0 finding(s)") {
+		t.Error("empty result should render a zero summary")
+	}
+	if strings.Contains(out, "class=\"warnings\"") {
+		t.Error("no warnings block without failures")
+	}
+}
+
+func TestHTMLSortsByLocation(t *testing.T) {
+	t.Parallel()
+	res := &analyzer.Result{
+		Tool: "phpSAFE", Target: "p",
+		Findings: []analyzer.Finding{
+			{File: "z.php", Line: 1, Class: analyzer.XSS, Sink: "echo", Vector: analyzer.VectorGET},
+			{File: "a.php", Line: 9, Class: analyzer.XSS, Sink: "echo", Vector: analyzer.VectorGET},
+			{File: "a.php", Line: 2, Class: analyzer.XSS, Sink: "echo", Vector: analyzer.VectorGET},
+		},
+	}
+	out := HTML(res)
+	iA2 := strings.Index(out, "a.php:2")
+	iA9 := strings.Index(out, "a.php:9")
+	iZ1 := strings.Index(out, "z.php:1")
+	if !(iA2 < iA9 && iA9 < iZ1) {
+		t.Errorf("findings not sorted by location: %d %d %d", iA2, iA9, iZ1)
+	}
+}

@@ -1,0 +1,280 @@
+// Package report renders the evaluation results in the shape of the
+// paper's tables and figures (DSN 2015, §V): Table I (detection metrics),
+// Fig. 2 (overlap), Table II (input vectors), the §V.D inertia numbers
+// and Table III (timing and robustness). It also renders individual
+// findings with their data-flow traces, the output of phpSAFE's
+// results-processing stage (§III.D).
+package report
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"repro/internal/analyzer"
+	"repro/internal/eval"
+)
+
+// pct renders a ratio as a percentage, or "-" when undefined.
+func pct(v float64) string {
+	if v < 0 {
+		return "-"
+	}
+	return fmt.Sprintf("%.0f%%", v*100)
+}
+
+// TableI renders the paper's Table I for a pair of evaluations (2012 and
+// 2014 corpora).
+func TableI(ev2012, ev2014 *eval.Evaluation) string {
+	var sb strings.Builder
+	sb.WriteString("TABLE I. VULNERABILITIES OF 2012 AND 2014 PLUGIN VERSIONS\n\n")
+
+	tools := toolNames(ev2012)
+	fmt.Fprintf(&sb, "%-8s %-16s", "", "")
+	for _, tool := range tools {
+		fmt.Fprintf(&sb, " | %-11s %-11s", tool+" '12", tool+" '14")
+	}
+	sb.WriteString("\n")
+	sb.WriteString(strings.Repeat("-", 26+len(tools)*27) + "\n")
+
+	sections := []struct {
+		label string
+		class analyzer.VulnClass
+	}{
+		{"XSS", analyzer.XSS},
+		{"SQLi", analyzer.SQLi},
+	}
+	rowNames := []string{"True Positives", "False Positives", "Precision", "Recall", "F-Score"}
+
+	writeRow := func(section, row string, get func(tm *eval.ToolMetrics) string) {
+		fmt.Fprintf(&sb, "%-8s %-16s", section, row)
+		for _, tool := range tools {
+			a := get(ev2012.Tool(tool))
+			b := get(ev2014.Tool(tool))
+			fmt.Fprintf(&sb, " | %-11s %-11s", a, b)
+		}
+		sb.WriteString("\n")
+	}
+
+	for _, sec := range sections {
+		for i, row := range rowNames {
+			label := ""
+			if i == 0 {
+				label = sec.label
+			}
+			class := sec.class
+			writeRow(label, row, func(tm *eval.ToolMetrics) string {
+				c := tm.ByClass[class]
+				switch row {
+				case "True Positives":
+					return fmt.Sprint(c.TP)
+				case "False Positives":
+					return fmt.Sprint(c.FP)
+				case "Precision":
+					return pct(c.Precision())
+				case "Recall":
+					return pct(c.Recall())
+				default:
+					return pct(c.FScore())
+				}
+			})
+		}
+		sb.WriteString("\n")
+	}
+	for i, row := range rowNames {
+		label := ""
+		if i == 0 {
+			label = "Global"
+		}
+		writeRow(label, row, func(tm *eval.ToolMetrics) string {
+			switch row {
+			case "True Positives":
+				return fmt.Sprint(tm.Global.TP)
+			case "False Positives":
+				return fmt.Sprint(tm.Global.FP)
+			case "Precision":
+				return pct(tm.Global.Precision())
+			case "Recall":
+				return pct(tm.Global.Recall())
+			default:
+				return pct(tm.Global.FScore())
+			}
+		})
+	}
+	return sb.String()
+}
+
+// toolNames lists the evaluation's tools in run order.
+func toolNames(ev *eval.Evaluation) []string {
+	names := make([]string, 0, len(ev.Tools))
+	for _, tm := range ev.Tools {
+		names = append(names, tm.Tool)
+	}
+	return names
+}
+
+// Fig2 renders the overlap diagram data as text (the Venn regions of the
+// paper's Fig. 2).
+func Fig2(ev2012, ev2014 *eval.Evaluation) string {
+	var sb strings.Builder
+	sb.WriteString("FIG. 2. TOOLS VULNERABILITY DETECTION OVERLAP\n\n")
+	for _, ev := range []*eval.Evaluation{ev2012, ev2014} {
+		ov := ev.ComputeOverlap()
+		fmt.Fprintf(&sb, "Version %s: %d distinct vulnerabilities detected (of %d seeded)\n",
+			ev.Corpus.Version, ov.Union, ov.Seeded)
+		regions := make([]string, 0, len(ov.Regions))
+		for sig := range ov.Regions {
+			regions = append(regions, sig)
+		}
+		sort.Slice(regions, func(i, j int) bool {
+			if n := strings.Count(regions[i], "+") - strings.Count(regions[j], "+"); n != 0 {
+				return n < 0
+			}
+			return regions[i] < regions[j]
+		})
+		for _, sig := range regions {
+			fmt.Fprintf(&sb, "  only %-24s %4d\n", sig+":", ov.Regions[sig])
+		}
+		tools := make([]string, 0, len(ov.PerTool))
+		for t := range ov.PerTool {
+			tools = append(tools, t)
+		}
+		sort.Strings(tools)
+		for _, t := range tools {
+			fmt.Fprintf(&sb, "  total %-23s %4d\n", t+":", ov.PerTool[t])
+		}
+		if missed := ov.Seeded - ov.Union; missed > 0 {
+			fmt.Fprintf(&sb, "  undetected by all tools:      %4d\n", missed)
+		}
+		sb.WriteString("\n")
+	}
+	v12, v14 := ev2012.ComputeOverlap().Union, ev2014.ComputeOverlap().Union
+	if v12 > 0 {
+		fmt.Fprintf(&sb, "Distinct vulnerabilities grew %d -> %d (+%.0f%%) in two years.\n",
+			v12, v14, 100*float64(v14-v12)/float64(v12))
+	}
+	return sb.String()
+}
+
+// TableII renders the paper's Table II: malicious input vector types.
+func TableII(ev2012, ev2014 *eval.Evaluation) string {
+	vb12 := ev2012.ComputeVectors()
+	vb14 := ev2014.ComputeVectors()
+
+	var sb strings.Builder
+	sb.WriteString("TABLE II. MALICIOUS INPUT VECTOR TYPE\n\n")
+	fmt.Fprintf(&sb, "%-22s %12s %12s %14s\n", "Input Vectors", "Version 2012", "Version 2014", "Both versions")
+	sb.WriteString(strings.Repeat("-", 64) + "\n")
+	for _, row := range eval.VectorRows() {
+		fmt.Fprintf(&sb, "%-22s %12d %12d %14d\n", row, vb12.Rows[row], vb14.Rows[row], vb14.Persisting[row])
+	}
+	total14 := vb14.Direct + vb14.DB + vb14.Indirect
+	if total14 > 0 {
+		sb.WriteString("\nRoot causes, 2014 (§V.C):\n")
+		fmt.Fprintf(&sb, "  directly manipulable (GET/POST/COOKIE): %d (%.0f%%)\n",
+			vb14.Direct, 100*float64(vb14.Direct)/float64(total14))
+		fmt.Fprintf(&sb, "  database (indirect, blended attacks):   %d (%.0f%%)\n",
+			vb14.DB, 100*float64(vb14.DB)/float64(total14))
+		fmt.Fprintf(&sb, "  file/function/array (hard to reach):    %d (%.1f%%)\n",
+			vb14.Indirect, 100*float64(vb14.Indirect)/float64(total14))
+		fmt.Fprintf(&sb, "  numeric vulnerable variables:           %.0f%%\n", vb14.NumericShare*100)
+	}
+	return sb.String()
+}
+
+// Inertia renders the §V.D analysis.
+func Inertia(ev2014 *eval.Evaluation) string {
+	in := ev2014.ComputeInertia()
+	var sb strings.Builder
+	sb.WriteString("INERTIA IN FIXING VULNERABILITIES (§V.D)\n\n")
+	fmt.Fprintf(&sb, "Vulnerabilities detected in 2014 versions:        %d\n", in.Detected2014)
+	fmt.Fprintf(&sb, "Already disclosed in the 2012 versions:           %d (%.0f%%)\n",
+		in.Persisting, in.PersistShare()*100)
+	fmt.Fprintf(&sb, "Of those, easy to exploit (GET/POST/COOKIE):      %d (%.0f%%)\n",
+		in.PersistingEasy, in.EasyShare()*100)
+	return sb.String()
+}
+
+// TableIII renders the paper's Table III (detection time) plus the §V.E
+// robustness accounting.
+func TableIII(ev2012, ev2014 *eval.Evaluation) string {
+	var sb strings.Builder
+	sb.WriteString("TABLE III. DETECTION TIME OF ALL PLUGINS IN SECONDS\n\n")
+	fmt.Fprintf(&sb, "%-10s %14s %14s %16s %16s\n",
+		"Tool", "Ver. 2012 (s)", "Ver. 2014 (s)", "s/KLOC 2012", "s/KLOC 2014")
+	sb.WriteString(strings.Repeat("-", 74) + "\n")
+	for _, tm12 := range ev2012.Tools {
+		tm14 := ev2014.Tool(tm12.Tool)
+		s12 := tm12.Duration.Seconds()
+		s14 := tm14.Duration.Seconds()
+		kloc12 := float64(ev2012.Corpus.Lines()) / 1000
+		kloc14 := float64(ev2014.Corpus.Lines()) / 1000
+		fmt.Fprintf(&sb, "%-10s %14.3f %14.3f %16.4f %16.4f\n",
+			tm12.Tool, s12, s14, s12/kloc12, s14/kloc14)
+	}
+
+	sb.WriteString("\nRobustness (§V.E):\n")
+	fmt.Fprintf(&sb, "  corpus 2012: %d files, %d lines; corpus 2014: %d files, %d lines\n",
+		ev2012.Corpus.Files(), ev2012.Corpus.Lines(),
+		ev2014.Corpus.Files(), ev2014.Corpus.Lines())
+	for _, tm12 := range ev2012.Tools {
+		tm14 := ev2014.Tool(tm12.Tool)
+		fmt.Fprintf(&sb, "  %-8s files failed: %d (2012), %d (2014); errors raised: %d (2012), %d (2014)\n",
+			tm12.Tool, tm12.FilesFailed, tm14.FilesFailed, tm12.ErrorCount, tm14.ErrorCount)
+	}
+	return sb.String()
+}
+
+// Findings renders a result's findings with their data-flow traces — the
+// output of phpSAFE's results-processing stage (§III.D).
+func Findings(res *analyzer.Result) string {
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "%s: %d finding(s) in %s (%d files, %d lines analyzed)\n",
+		res.Tool, len(res.Findings), res.Target, res.FilesAnalyzed, res.LinesAnalyzed)
+	for i, f := range res.Findings {
+		fmt.Fprintf(&sb, "\n[%d] %s\n", i+1, f)
+		for _, step := range f.Trace {
+			fmt.Fprintf(&sb, "      %s:%d  %-24s %s\n", step.File, step.Line, step.Var, step.Note)
+		}
+	}
+	if len(res.FilesFailed) > 0 {
+		fmt.Fprintf(&sb, "\nfiles not analyzed: %s\n", strings.Join(res.FilesFailed, ", "))
+	}
+	for _, e := range res.Errors {
+		fmt.Fprintf(&sb, "warning: %s\n", e)
+	}
+	return sb.String()
+}
+
+// Summary renders the one-paragraph overall analysis of §V.A.
+func Summary(ev2012, ev2014 *eval.Evaluation) string {
+	var sb strings.Builder
+	sb.WriteString("OVERALL ANALYSIS (§V.A)\n\n")
+	for _, pair := range []struct {
+		ev  *eval.Evaluation
+		ver string
+	}{{ev2012, "2012"}, {ev2014, "2014"}} {
+		oop := 0
+		for _, g := range pair.ev.Corpus.Truths {
+			if g.OOP && pair.ev.Tool("phpSAFE") != nil && pair.ev.Tool("phpSAFE").Detected[g.ID] {
+				oop++
+			}
+		}
+		fmt.Fprintf(&sb, "Version %s: phpSAFE detected %d WordPress-object (OOP) vulnerabilities; ",
+			pair.ver, oop)
+		rips, pixy := 0, 0
+		for _, g := range pair.ev.Corpus.Truths {
+			if !g.OOP {
+				continue
+			}
+			if tm := pair.ev.Tool("RIPS"); tm != nil && tm.Detected[g.ID] {
+				rips++
+			}
+			if tm := pair.ev.Tool("Pixy"); tm != nil && tm.Detected[g.ID] {
+				pixy++
+			}
+		}
+		fmt.Fprintf(&sb, "RIPS detected %d, Pixy detected %d.\n", rips, pixy)
+	}
+	return sb.String()
+}

@@ -1,0 +1,151 @@
+package report
+
+import (
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"repro/internal/analyzer"
+	"repro/internal/corpus"
+	"repro/internal/eval"
+)
+
+var (
+	once sync.Once
+	e12  *eval.Evaluation
+	e14  *eval.Evaluation
+)
+
+// evals computes the package-wide evaluations once.
+func evals(t *testing.T) (*eval.Evaluation, *eval.Evaluation) {
+	t.Helper()
+	once.Do(func() {
+		c12, c14 := corpus.MustGenerate()
+		var err error
+		if e12, err = eval.EvaluateCorpus(c12); err != nil {
+			t.Fatal(err)
+		}
+		if e14, err = eval.EvaluateCorpus(c14); err != nil {
+			t.Fatal(err)
+		}
+	})
+	if e12 == nil || e14 == nil {
+		t.Fatal("evaluation failed earlier")
+	}
+	return e12, e14
+}
+
+func TestTableIRendering(t *testing.T) {
+	a, b := evals(t)
+	out := TableI(a, b)
+	for _, want := range []string{
+		"TABLE I", "phpSAFE", "RIPS", "Pixy",
+		"True Positives", "False Positives", "Precision", "Recall", "F-Score",
+		"XSS", "SQLi", "Global",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("Table I missing %q", want)
+		}
+	}
+}
+
+func TestFig2Rendering(t *testing.T) {
+	a, b := evals(t)
+	out := Fig2(a, b)
+	for _, want := range []string{
+		"FIG. 2", "distinct vulnerabilities detected",
+		"only phpSAFE:", "only RIPS:", "only Pixy:",
+		"grew",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("Fig. 2 missing %q in:\n%s", want, out)
+		}
+	}
+}
+
+func TestTableIIRendering(t *testing.T) {
+	a, b := evals(t)
+	out := TableII(a, b)
+	for _, want := range []string{
+		"TABLE II", "POST", "GET", "POST/GET/COOKIE", "DB",
+		"File/Function/Array", "Both versions", "numeric",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("Table II missing %q", want)
+		}
+	}
+}
+
+func TestInertiaRendering(t *testing.T) {
+	_, b := evals(t)
+	out := Inertia(b)
+	for _, want := range []string{"INERTIA", "Already disclosed", "easy to exploit"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("inertia missing %q", want)
+		}
+	}
+}
+
+func TestTableIIIRendering(t *testing.T) {
+	a, b := evals(t)
+	out := TableIII(a, b)
+	for _, want := range []string{
+		"TABLE III", "s/KLOC", "Robustness", "files failed",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("Table III missing %q", want)
+		}
+	}
+}
+
+func TestFindingsRendering(t *testing.T) {
+	t.Parallel()
+	res := &analyzer.Result{
+		Tool:          "phpSAFE",
+		Target:        "demo",
+		FilesAnalyzed: 1,
+		LinesAnalyzed: 10,
+		Findings: []analyzer.Finding{{
+			Tool: "phpSAFE", File: "demo.php", Line: 3,
+			Class: analyzer.XSS, Sink: "echo", Variable: "name",
+			Vector: analyzer.VectorGET,
+			Trace: []analyzer.TraceStep{
+				{File: "demo.php", Line: 2, Var: "$_GET", Note: "source: superglobal"},
+				{File: "demo.php", Line: 3, Var: "$name", Note: "reaches sink echo"},
+			},
+		}},
+		FilesFailed: []string{"broken.php"},
+		Errors:      []string{"broken.php: too complex"},
+	}
+	out := Findings(res)
+	for _, want := range []string{
+		"1 finding(s)", "demo.php:3", "source: superglobal",
+		"reaches sink echo", "files not analyzed: broken.php",
+		"warning: broken.php: too complex",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("findings missing %q in:\n%s", want, out)
+		}
+	}
+}
+
+func TestPctFormatting(t *testing.T) {
+	t.Parallel()
+	if got := pct(-1); got != "-" {
+		t.Errorf("pct(-1) = %q, want -", got)
+	}
+	if got := pct(0.835); got != "84%" {
+		t.Errorf("pct(0.835) = %q, want 84%%", got)
+	}
+}
+
+func TestTableIIIIncludesDurations(t *testing.T) {
+	a, b := evals(t)
+	for _, tm := range a.Tools {
+		if tm.Duration <= 0 || tm.Duration > time.Minute {
+			t.Errorf("%s duration = %v, implausible", tm.Tool, tm.Duration)
+		}
+	}
+	_ = b
+}

@@ -1,0 +1,180 @@
+package report
+
+import (
+	"encoding/json"
+	"fmt"
+
+	"repro/internal/analyzer"
+)
+
+// SARIF renders an analysis result as a SARIF 2.1.0 log, the interchange
+// format modern CI systems ingest for static-analysis findings. This is
+// the integration story the paper sketches in §III ("it can be tuned to
+// produce and store the results in other formats or distribute them over
+// the network") in today's vocabulary.
+func SARIF(res *analyzer.Result) ([]byte, error) {
+	log := sarifLog{
+		Version: "2.1.0",
+		Schema:  "https://json.schemastore.org/sarif-2.1.0.json",
+		Runs: []sarifRun{{
+			Tool: sarifTool{Driver: sarifDriver{
+				Name:           res.Tool,
+				InformationURI: "https://github.com/JoseCarlosFonseca/phpSAFE",
+				Rules:          sarifRules(),
+			}},
+			Results: make([]sarifResult, 0, len(res.Findings)),
+		}},
+	}
+	run := &log.Runs[0]
+	for _, f := range res.Findings {
+		run.Results = append(run.Results, sarifResult{
+			RuleID:  ruleID(f.Class),
+			Level:   "error",
+			Message: sarifMessage{Text: f.String()},
+			Locations: []sarifLocation{{
+				PhysicalLocation: sarifPhysicalLocation{
+					ArtifactLocation: sarifArtifactLocation{URI: f.File},
+					Region:           sarifRegion{StartLine: f.Line},
+				},
+			}},
+			CodeFlows: sarifFlows(f),
+		})
+	}
+	for _, failed := range res.FilesFailed {
+		run.Invocations = append(run.Invocations, sarifInvocation{
+			ExecutionSuccessful: false,
+			ToolExecutionNotifications: []sarifNotification{{
+				Level:   "warning",
+				Message: sarifMessage{Text: "file not analyzed: " + failed},
+			}},
+		})
+	}
+	return json.MarshalIndent(log, "", "  ")
+}
+
+// ruleID maps vulnerability classes to stable rule identifiers.
+func ruleID(c analyzer.VulnClass) string {
+	switch c {
+	case analyzer.XSS:
+		return "phpsafe/xss"
+	case analyzer.SQLi:
+		return "phpsafe/sqli"
+	case analyzer.CmdInjection:
+		return "phpsafe/cmdi"
+	case analyzer.FileInclusion:
+		return "phpsafe/lfi"
+	default:
+		return fmt.Sprintf("phpsafe/class-%d", int(c))
+	}
+}
+
+// sarifRules describes the four rule IDs.
+func sarifRules() []sarifRule {
+	return []sarifRule{
+		{ID: "phpsafe/xss", ShortDescription: sarifMessage{Text: "Cross-Site Scripting: attacker data reaches an HTML output sink"}},
+		{ID: "phpsafe/sqli", ShortDescription: sarifMessage{Text: "SQL Injection: attacker data reaches a query sink"}},
+		{ID: "phpsafe/cmdi", ShortDescription: sarifMessage{Text: "Command Injection: attacker data reaches a shell-execution sink"}},
+		{ID: "phpsafe/lfi", ShortDescription: sarifMessage{Text: "File Inclusion: attacker data used as an include path"}},
+	}
+}
+
+// sarifFlows converts a finding's trace into a SARIF code flow.
+func sarifFlows(f analyzer.Finding) []sarifCodeFlow {
+	if len(f.Trace) == 0 {
+		return nil
+	}
+	locs := make([]sarifThreadFlowLocation, 0, len(f.Trace))
+	for _, step := range f.Trace {
+		locs = append(locs, sarifThreadFlowLocation{
+			Location: sarifLocation{
+				PhysicalLocation: sarifPhysicalLocation{
+					ArtifactLocation: sarifArtifactLocation{URI: step.File},
+					Region:           sarifRegion{StartLine: step.Line},
+				},
+				Message: &sarifMessage{Text: step.Var + ": " + step.Note},
+			},
+		})
+	}
+	return []sarifCodeFlow{{ThreadFlows: []sarifThreadFlow{{Locations: locs}}}}
+}
+
+// --- SARIF 2.1.0 document model (the subset this tool emits) ---
+
+type sarifLog struct {
+	Version string     `json:"version"`
+	Schema  string     `json:"$schema"`
+	Runs    []sarifRun `json:"runs"`
+}
+
+type sarifRun struct {
+	Tool        sarifTool         `json:"tool"`
+	Results     []sarifResult     `json:"results"`
+	Invocations []sarifInvocation `json:"invocations,omitempty"`
+}
+
+type sarifTool struct {
+	Driver sarifDriver `json:"driver"`
+}
+
+type sarifDriver struct {
+	Name           string      `json:"name"`
+	InformationURI string      `json:"informationUri,omitempty"`
+	Rules          []sarifRule `json:"rules,omitempty"`
+}
+
+type sarifRule struct {
+	ID               string       `json:"id"`
+	ShortDescription sarifMessage `json:"shortDescription"`
+}
+
+type sarifResult struct {
+	RuleID    string          `json:"ruleId"`
+	Level     string          `json:"level"`
+	Message   sarifMessage    `json:"message"`
+	Locations []sarifLocation `json:"locations"`
+	CodeFlows []sarifCodeFlow `json:"codeFlows,omitempty"`
+}
+
+type sarifMessage struct {
+	Text string `json:"text"`
+}
+
+type sarifLocation struct {
+	PhysicalLocation sarifPhysicalLocation `json:"physicalLocation"`
+	Message          *sarifMessage         `json:"message,omitempty"`
+}
+
+type sarifPhysicalLocation struct {
+	ArtifactLocation sarifArtifactLocation `json:"artifactLocation"`
+	Region           sarifRegion           `json:"region"`
+}
+
+type sarifArtifactLocation struct {
+	URI string `json:"uri"`
+}
+
+type sarifRegion struct {
+	StartLine int `json:"startLine"`
+}
+
+type sarifCodeFlow struct {
+	ThreadFlows []sarifThreadFlow `json:"threadFlows"`
+}
+
+type sarifThreadFlow struct {
+	Locations []sarifThreadFlowLocation `json:"locations"`
+}
+
+type sarifThreadFlowLocation struct {
+	Location sarifLocation `json:"location"`
+}
+
+type sarifInvocation struct {
+	ExecutionSuccessful        bool                `json:"executionSuccessful"`
+	ToolExecutionNotifications []sarifNotification `json:"toolExecutionNotifications,omitempty"`
+}
+
+type sarifNotification struct {
+	Level   string       `json:"level"`
+	Message sarifMessage `json:"message"`
+}

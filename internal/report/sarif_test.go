@@ -1,0 +1,85 @@
+package report
+
+import (
+	"encoding/json"
+	"strings"
+	"testing"
+
+	"repro/internal/analyzer"
+)
+
+func TestSARIFStructure(t *testing.T) {
+	t.Parallel()
+	data, err := SARIF(sampleResult())
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Must be valid JSON with the expected top-level shape.
+	var doc map[string]any
+	if err := json.Unmarshal(data, &doc); err != nil {
+		t.Fatalf("invalid JSON: %v", err)
+	}
+	if doc["version"] != "2.1.0" {
+		t.Errorf("version = %v", doc["version"])
+	}
+	runs, ok := doc["runs"].([]any)
+	if !ok || len(runs) != 1 {
+		t.Fatalf("runs = %v", doc["runs"])
+	}
+	run := runs[0].(map[string]any)
+	results := run["results"].([]any)
+	if len(results) != 2 {
+		t.Fatalf("results = %d, want 2", len(results))
+	}
+
+	first := results[0].(map[string]any)
+	if first["ruleId"] != "phpsafe/xss" {
+		t.Errorf("ruleId = %v", first["ruleId"])
+	}
+	// The XSS finding has a code flow with both trace steps.
+	flows := first["codeFlows"].([]any)
+	tf := flows[0].(map[string]any)["threadFlows"].([]any)
+	locs := tf[0].(map[string]any)["locations"].([]any)
+	if len(locs) != 2 {
+		t.Fatalf("thread flow locations = %d, want 2", len(locs))
+	}
+
+	// The failed file appears as an invocation notification.
+	if !strings.Contains(string(data), "huge-admin.php") {
+		t.Error("failed file missing from invocations")
+	}
+}
+
+func TestSARIFRuleIDs(t *testing.T) {
+	t.Parallel()
+	tests := []struct {
+		class analyzer.VulnClass
+		want  string
+	}{
+		{analyzer.XSS, "phpsafe/xss"},
+		{analyzer.SQLi, "phpsafe/sqli"},
+		{analyzer.CmdInjection, "phpsafe/cmdi"},
+		{analyzer.FileInclusion, "phpsafe/lfi"},
+	}
+	for _, tt := range tests {
+		if got := ruleID(tt.class); got != tt.want {
+			t.Errorf("ruleID(%v) = %q, want %q", tt.class, got, tt.want)
+		}
+	}
+}
+
+func TestSARIFEmptyResult(t *testing.T) {
+	t.Parallel()
+	data, err := SARIF(&analyzer.Result{Tool: "phpSAFE", Target: "clean"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var doc map[string]any
+	if err := json.Unmarshal(data, &doc); err != nil {
+		t.Fatal(err)
+	}
+	run := doc["runs"].([]any)[0].(map[string]any)
+	if results := run["results"].([]any); len(results) != 0 {
+		t.Errorf("results = %v, want empty array (not null)", results)
+	}
+}

@@ -1,0 +1,438 @@
+package rips
+
+import (
+	"repro/internal/analyzer"
+	"repro/internal/config"
+	"repro/internal/phpast"
+)
+
+// maxDepth bounds inter-procedural backward tracing.
+const maxDepth = 24
+
+// fileAnalysis runs the backward-directed analysis for one file.
+type fileAnalysis struct {
+	eng   *Engine
+	model *model
+	res   *analyzer.Result
+}
+
+// taintResult is the outcome of a backward trace.
+type taintResult struct {
+	tainted bool
+	vector  analyzer.Vector
+	source  string
+}
+
+var clean = taintResult{}
+
+// analyzeFile analyzes a file's top-level flow plus every function
+// declared in it (RIPS analyzes uncalled functions too).
+func (fa *fileAnalysis) analyzeFile(path string) {
+	main := fa.model.topLevel(path)
+	fa.analyzeFunc(&ctx{fm: main})
+	for _, fm := range fa.model.funcs {
+		if fm.file == path {
+			fa.analyzeFunc(&ctx{fm: fm})
+		}
+	}
+}
+
+// ctx is a backward-tracing context: a function body plus, when entered
+// through a specific call, the binding of its parameters to caller
+// argument expressions.
+type ctx struct {
+	fm    *funcModel
+	bind  *binding
+	depth int
+}
+
+// binding connects a callee's parameters to a particular call site.
+type binding struct {
+	caller    *ctx
+	callerIdx int
+	args      []phpast.Expr
+}
+
+// analyzeFunc checks every sink event of a context for backward-reachable
+// taint.
+func (fa *fileAnalysis) analyzeFunc(c *ctx) {
+	for i, ev := range c.fm.events {
+		switch ev.kind {
+		case evSink:
+			if r := fa.traceExpr(c, i, ev.sinkExpr, ev.vuln); r.tainted {
+				fa.report(ev, ev.vuln, ev.sinkExpr, r)
+			}
+		case evCall:
+			for _, sink := range fa.eng.sinksOf(ev) {
+				for ai, arg := range ev.args {
+					if !config.SinkSensitiveArg(sink, ai) {
+						continue
+					}
+					if r := fa.traceExpr(c, i, arg, sink.Vuln); r.tainted {
+						fa.report(ev, sink.Vuln, arg, r)
+					}
+				}
+			}
+		}
+	}
+}
+
+// report records one finding.
+func (fa *fileAnalysis) report(ev event, vuln analyzer.VulnClass, expr phpast.Expr, r taintResult) {
+	varName := ""
+	if base, ok := baseVarDeep(expr); ok {
+		varName = base
+	}
+	fa.res.Findings = append(fa.res.Findings, analyzer.Finding{
+		Tool:     fa.eng.Name(),
+		File:     ev.file,
+		Line:     ev.line,
+		Class:    vuln,
+		Sink:     sinkName(ev),
+		Variable: varName,
+		Vector:   r.vector,
+		Trace: []analyzer.TraceStep{
+			{File: ev.file, Line: ev.line, Var: "$" + varName,
+				Note: "backward trace to " + r.source},
+		},
+	})
+}
+
+// sinkName renders the sink label of an event.
+func sinkName(ev event) string {
+	if ev.kind == evCall {
+		return ev.callee
+	}
+	return ev.sink
+}
+
+// baseVarDeep finds a variable name anywhere in an expression for
+// reporting purposes.
+func baseVarDeep(e phpast.Expr) (string, bool) {
+	found := ""
+	phpast.Inspect(e, func(n phpast.Node) bool {
+		if v, ok := n.(*phpast.Var); ok && found == "" {
+			found = v.Name
+			return false
+		}
+		return true
+	})
+	return found, found != ""
+}
+
+// traceExpr decides whether expr can carry taint of the given class at
+// event index idx of context c.
+func (fa *fileAnalysis) traceExpr(c *ctx, idx int, e phpast.Expr, class analyzer.VulnClass) taintResult {
+	if c.depth > maxDepth {
+		return clean
+	}
+	switch x := e.(type) {
+	case nil:
+		return clean
+
+	case *phpast.Var:
+		return fa.traceVar(c, idx, x.Name, class, make(map[string]bool))
+
+	case *phpast.IndexFetch:
+		return fa.traceExpr(c, idx, x.Base, class)
+
+	case *phpast.Literal, *phpast.ConstFetch, *phpast.ClassConstFetch,
+		*phpast.IssetExpr, *phpast.EmptyExpr, *phpast.InstanceOf:
+		return clean
+
+	case *phpast.InterpString:
+		for _, p := range x.Parts {
+			if r := fa.traceExpr(c, idx, p, class); r.tainted {
+				return r
+			}
+		}
+		return clean
+
+	case *phpast.Binary:
+		switch x.Op {
+		case ".":
+			if r := fa.traceExpr(c, idx, x.L, class); r.tainted {
+				return r
+			}
+			return fa.traceExpr(c, idx, x.R, class)
+		default:
+			return clean // arithmetic and comparisons cannot carry payloads
+		}
+
+	case *phpast.Unary:
+		if x.Op == "@" {
+			return fa.traceExpr(c, idx, x.X, class)
+		}
+		return clean
+
+	case *phpast.Ternary:
+		if x.Then != nil {
+			if r := fa.traceExpr(c, idx, x.Then, class); r.tainted {
+				return r
+			}
+		} else if r := fa.traceExpr(c, idx, x.Cond, class); r.tainted {
+			return r
+		}
+		return fa.traceExpr(c, idx, x.Else, class)
+
+	case *phpast.Cast:
+		switch x.Type {
+		case "int", "float", "bool", "unset":
+			return clean
+		default:
+			return fa.traceExpr(c, idx, x.X, class)
+		}
+
+	case *phpast.Assign:
+		return fa.traceExpr(c, idx, x.RHS, class)
+
+	case *phpast.ArrayLit:
+		for _, it := range x.Items {
+			if r := fa.traceExpr(c, idx, it.Value, class); r.tainted {
+				return r
+			}
+		}
+		return clean
+
+	case *phpast.FuncCall:
+		return fa.traceCall(c, idx, x, class)
+
+	case *phpast.MethodCall, *phpast.PropertyFetch, *phpast.StaticCall,
+		*phpast.New, *phpast.StaticPropertyFetch, *phpast.CloneExpr:
+		// RIPS does not parse PHP objects (§II): encapsulated data flow
+		// is invisible, producing its OOP false negatives.
+		return clean
+
+	default:
+		return clean
+	}
+}
+
+// traceVar walks the event list backwards from idx looking for the
+// definition of a variable, honoring guards, assignments, foreach
+// bindings, unset and — at function entry — parameter bindings.
+func (fa *fileAnalysis) traceVar(c *ctx, idx int, name string,
+	class analyzer.VulnClass, visiting map[string]bool) taintResult {
+
+	if src, ok := fa.eng.cfg.Superglobal(name); ok {
+		if taintsClass(src.Taints, class) {
+			return taintResult{tainted: true, vector: src.Vector, source: "$" + name}
+		}
+		return clean
+	}
+	key := c.fm.name + "::" + name
+	if visiting[key] {
+		return clean
+	}
+	visiting[key] = true
+	defer delete(visiting, key)
+
+	for j := idx - 1; j >= 0; j-- {
+		ev := c.fm.events[j]
+		switch ev.kind {
+		case evGuard:
+			if ev.guardVar == name {
+				// Simulated validation built-in: the variable is numeric
+				// below this check.
+				return clean
+			}
+		case evAssign:
+			if ev.lhsVar != name {
+				continue
+			}
+			if ev.rhs == nil {
+				return clean // unset
+			}
+			r := fa.traceExpr(c, j, ev.rhs, class)
+			if r.tainted || !ev.concat {
+				return r
+			}
+			// ".=": earlier pieces may still be tainted; keep scanning.
+		case evForeach:
+			if ev.lhsVar == name {
+				return fa.traceExpr(c, j, ev.collExpr, class)
+			}
+		}
+	}
+
+	// Function entry: parameter?
+	for pi, p := range c.fm.params {
+		if p.Name != name {
+			continue
+		}
+		if c.bind != nil {
+			if pi < len(c.bind.args) {
+				return fa.traceExpr(c.bind.caller, c.bind.callerIdx, c.bind.args[pi], class)
+			}
+			return clean
+		}
+		// Unbound: check every known call site of this function.
+		return fa.traceParamAllSites(c, pi, class)
+	}
+	return clean
+}
+
+// traceParamAllSites checks whether any call site passes taint into
+// parameter pi of the context's function.
+func (fa *fileAnalysis) traceParamAllSites(c *ctx, pi int, class analyzer.VulnClass) taintResult {
+	if c.depth >= maxDepth {
+		return clean
+	}
+	for _, site := range fa.model.callSites[c.fm.name] {
+		if site.fn == c.fm {
+			continue // direct recursion
+		}
+		if pi >= len(site.args) {
+			continue
+		}
+		caller := &ctx{fm: site.fn, depth: c.depth + 1}
+		if r := fa.traceExpr(caller, site.index, site.args[pi], class); r.tainted {
+			return r
+		}
+	}
+	return clean
+}
+
+// traceCall decides the taint of a function call's return value.
+func (fa *fileAnalysis) traceCall(c *ctx, idx int, x *phpast.FuncCall, class analyzer.VulnClass) taintResult {
+	if x.NameExpr != nil {
+		// Dynamic call: conservative pass-through of arguments.
+		for _, a := range x.Args {
+			if r := fa.traceExpr(c, idx, a.Value, class); r.tainted {
+				return r
+			}
+		}
+		return clean
+	}
+	name := x.Name
+	cfg := fa.eng.cfg
+
+	// Simulated built-in sanitizers.
+	if classes, ok := cfg.FunctionSanitizer(name); ok {
+		if containsClass(classes, class) {
+			return clean
+		}
+		for _, a := range x.Args {
+			if r := fa.traceExpr(c, idx, a.Value, class); r.tainted {
+				return r
+			}
+		}
+		return clean
+	}
+
+	// preg_replace simulation: a restrictive whitelist pattern with an
+	// empty replacement is recognized as sanitizing (RIPS's precise
+	// built-in simulation; phpSAFE lacks this and false-positives here).
+	if name == "preg_replace" && len(x.Args) >= 3 {
+		if isWhitelistPattern(x.Args[0].Value, x.Args[1].Value) {
+			return clean
+		}
+		return fa.traceExpr(c, idx, x.Args[2].Value, class)
+	}
+
+	// Sources.
+	if src, ok := cfg.FunctionSource(name); ok {
+		if taintsClass(src.Taints, class) {
+			return taintResult{tainted: true, vector: src.Vector, source: name + "()"}
+		}
+		return clean
+	}
+
+	// User-defined function: trace its return statements with parameters
+	// bound to this call's arguments.
+	if fm, ok := fa.model.funcs[name]; ok && c.depth < maxDepth {
+		callee := &ctx{
+			fm:    fm,
+			bind:  &binding{caller: c, callerIdx: idx, args: argExprsFromCall(x)},
+			depth: c.depth + 1,
+		}
+		for _, ri := range fm.returns {
+			ev := fm.events[ri]
+			if r := fa.traceExpr(callee, ri, ev.rhs, class); r.tainted {
+				return r
+			}
+		}
+		return clean
+	}
+
+	// Unknown function (including every CMS framework function — RIPS has
+	// no WordPress knowledge): conservative argument pass-through. This
+	// is what makes esc_html(...) a RIPS false positive.
+	for _, a := range x.Args {
+		if r := fa.traceExpr(c, idx, a.Value, class); r.tainted {
+			return r
+		}
+	}
+	return clean
+}
+
+// argExprsFromCall extracts argument expressions of a call node.
+func argExprsFromCall(x *phpast.FuncCall) []phpast.Expr {
+	out := make([]phpast.Expr, len(x.Args))
+	for i, a := range x.Args {
+		out[i] = a.Value
+	}
+	return out
+}
+
+// isWhitelistPattern recognizes preg_replace('/[^...]/', ”, $x) style
+// character-class whitelists that strip every dangerous character.
+func isWhitelistPattern(pattern, replacement phpast.Expr) bool {
+	p, ok := pattern.(*phpast.Literal)
+	if !ok || p.Kind != phpast.LitString {
+		return false
+	}
+	r, ok := replacement.(*phpast.Literal)
+	if !ok || r.Kind != phpast.LitString || r.Value != "" {
+		return false
+	}
+	// Pattern shaped like /[^ ... ]/flags with no dangerous characters
+	// allowed through ("<", ">", "'", quotes).
+	v := p.Value
+	if len(v) < 5 {
+		return false
+	}
+	delim := v[0]
+	end := -1
+	for i := len(v) - 1; i > 0; i-- {
+		if v[i] == delim {
+			end = i
+			break
+		}
+	}
+	if end <= 1 {
+		return false
+	}
+	v = v[1:end] // the pattern body between the delimiters
+	if len(v) < 3 || v[0] != '[' || v[1] != '^' || v[len(v)-1] != ']' {
+		return false
+	}
+	allowed := v[2 : len(v)-1]
+	for _, bad := range "<>'\"&" {
+		for _, a := range allowed {
+			if a == bad {
+				return false
+			}
+		}
+	}
+	return true
+}
+
+// taintsClass reports whether a source's class list covers class (empty
+// means all).
+func taintsClass(cs []analyzer.VulnClass, class analyzer.VulnClass) bool {
+	if len(cs) == 0 {
+		return true
+	}
+	return containsClass(cs, class)
+}
+
+// containsClass reports membership.
+func containsClass(cs []analyzer.VulnClass, class analyzer.VulnClass) bool {
+	for _, c := range cs {
+		if c == class {
+			return true
+		}
+	}
+	return false
+}

@@ -1,0 +1,124 @@
+package taint
+
+import (
+	"testing"
+
+	"repro/internal/analyzer"
+)
+
+// Extended vulnerability coverage (§VI future work): command injection
+// and file inclusion.
+
+// countClass tallies findings of one class.
+func countClass(res *analyzer.Result, class analyzer.VulnClass) int {
+	n := 0
+	for _, f := range res.Findings {
+		if f.Class == class {
+			n++
+		}
+	}
+	return n
+}
+
+func TestCommandInjectionSystem(t *testing.T) {
+	t.Parallel()
+	res := scan(t, `<?php
+$host = $_GET['host'];
+system("ping -c 1 " . $host);`)
+	if got := countClass(res, analyzer.CmdInjection); got != 1 {
+		t.Fatalf("CMDi findings = %d, want 1: %v", got, res.Findings)
+	}
+}
+
+func TestCommandInjectionBacktick(t *testing.T) {
+	t.Parallel()
+	res := scan(t, "<?php\n$f = $_POST['file'];\n$out = `cat $f`;\n")
+	if got := countClass(res, analyzer.CmdInjection); got != 1 {
+		t.Fatalf("CMDi findings = %d, want 1: %v", got, res.Findings)
+	}
+}
+
+func TestEscapeshellargSanitizes(t *testing.T) {
+	t.Parallel()
+	res := scan(t, `<?php
+$host = escapeshellarg($_GET['host']);
+exec("ping -c 1 $host");`)
+	if got := countClass(res, analyzer.CmdInjection); got != 0 {
+		t.Fatalf("CMDi findings = %d, want 0: %v", got, res.Findings)
+	}
+}
+
+func TestEscapeshellargDoesNotClearXSS(t *testing.T) {
+	t.Parallel()
+	res := scan(t, `<?php
+$v = escapeshellarg($_GET['v']);
+echo $v;`)
+	if got := countClass(res, analyzer.XSS); got != 1 {
+		t.Fatalf("XSS findings = %d, want 1 (shell escaping is not HTML escaping)", got)
+	}
+}
+
+func TestFileInclusionTaintedPath(t *testing.T) {
+	t.Parallel()
+	res := scan(t, `<?php
+$page = $_GET['page'];
+include 'pages/' . $page . '.php';`)
+	if got := countClass(res, analyzer.FileInclusion); got != 1 {
+		t.Fatalf("LFI findings = %d, want 1: %v", got, res.Findings)
+	}
+}
+
+func TestFileInclusionLiteralPathSafe(t *testing.T) {
+	t.Parallel()
+	res := scan(t, `<?php
+include 'inc/header.php';
+require_once dirname(__FILE__) . '/settings.php';`)
+	if got := countClass(res, analyzer.FileInclusion); got != 0 {
+		t.Fatalf("LFI findings = %d, want 0: %v", got, res.Findings)
+	}
+}
+
+func TestBasenameSanitizesInclusion(t *testing.T) {
+	t.Parallel()
+	res := scan(t, `<?php
+$page = basename($_GET['page']);
+include 'pages/' . $page;`)
+	if got := countClass(res, analyzer.FileInclusion); got != 0 {
+		t.Fatalf("LFI findings = %d, want 0 (basename strips traversal): %v", got, res.Findings)
+	}
+}
+
+func TestEvalSink(t *testing.T) {
+	t.Parallel()
+	res := scan(t, `<?php
+$code = $_POST['snippet'];
+eval($code);`)
+	if got := countClass(res, analyzer.CmdInjection); got != 1 {
+		t.Fatalf("eval findings = %d, want 1: %v", got, res.Findings)
+	}
+}
+
+func TestExtendedClassesThroughSummary(t *testing.T) {
+	t.Parallel()
+	res := scan(t, `<?php
+function run_tool($cmd) {
+	return shell_exec($cmd);
+}
+run_tool('ls -la');
+run_tool($_GET['cmd']);`)
+	if got := countClass(res, analyzer.CmdInjection); got != 1 {
+		t.Fatalf("CMDi via summary = %d, want 1: %v", got, res.Findings)
+	}
+}
+
+func TestIntvalClearsAllClasses(t *testing.T) {
+	t.Parallel()
+	res := scan(t, `<?php
+$n = intval($_GET['n']);
+system("kill -9 $n");
+include "part$n.php";
+echo $n;`)
+	if len(res.Findings) != 0 {
+		t.Fatalf("findings = %v, want none after intval", res.Findings)
+	}
+}

@@ -1,0 +1,7 @@
+<?php
+/**
+ * Direct reflected XSS from $_GET (the paper's wp-symposium pattern,
+ * §V.C class 1).
+ */
+$path = $_GET['img_path'];
+echo 'Created ' . $path . '.'; // EXPECT: XSS

@@ -1,0 +1,8 @@
+<?php
+/** POST form handler echoing unsanitized input. */
+if (isset($_POST['submit'])) {
+	$name = trim($_POST['name']);
+	$email = $_POST['email'];
+	echo '<p>Thanks, ' . $name . '!</p>'; // EXPECT: XSS
+	echo '<p>We will write to ' . htmlspecialchars($email) . '</p>';
+}

@@ -1,0 +1,10 @@
+<?php
+/**
+ * The §III.E mail-subscribe-list pattern: WordPress-object data flow
+ * only an OOP-aware analyzer can see.
+ */
+global $wpdb;
+$results = $wpdb->get_results("SELECT * FROM " . $wpdb->prefix . "sml");
+foreach ($results as $row) {
+	echo $row->sml_name; // EXPECT: XSS
+}

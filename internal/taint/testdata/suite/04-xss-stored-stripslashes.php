@@ -1,0 +1,9 @@
+<?php
+/**
+ * The §V.C wp-photo-album-plus pattern: SQL-safe prepared query, but the
+ * stored value is echoed raw (blended attack) — stripslashes does not
+ * help.
+ */
+global $wpdb;
+$image = $wpdb->get_var($wpdb->prepare("SELECT name FROM {$wpdb->prefix}photos WHERE id = %d", 3));
+echo stripslashes($image); // EXPECT: XSS

@@ -1,0 +1,5 @@
+<?php
+/** SQL injection through string interpolation into a wpdb query. */
+global $wpdb;
+$id = $_GET['id'];
+$wpdb->query("DELETE FROM {$wpdb->prefix}items WHERE id=$id"); // EXPECT: SQLi

@@ -1,0 +1,4 @@
+<?php
+/** Classic procedural SQL injection via concatenation. */
+$user = $_POST['user'];
+mysql_query("SELECT * FROM users WHERE login='" . $user . "'"); // EXPECT: SQLi

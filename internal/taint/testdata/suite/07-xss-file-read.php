@@ -1,0 +1,5 @@
+<?php
+/** The §V.C qtranslate pattern: file contents echoed raw. */
+$fp = fopen('data/messages.txt', 'r');
+$res = fgets($fp, 128);
+echo $res; // EXPECT: XSS

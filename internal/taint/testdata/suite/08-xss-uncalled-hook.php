@@ -1,0 +1,10 @@
+<?php
+/**
+ * The hook-callback surface (§III.B): never called from plugin code,
+ * called by WordPress.
+ */
+add_action('admin_menu', 'suite_admin_page');
+
+function suite_admin_page() {
+	echo '<h1>' . $_GET['tab'] . '</h1>'; // EXPECT: XSS
+}

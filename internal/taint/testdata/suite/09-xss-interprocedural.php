@@ -1,0 +1,9 @@
+<?php
+/** Taint through a helper's return value and another helper's sink. */
+function suite_wrap($s) {
+	return '<b>' . $s . '</b>';
+}
+function suite_put($s) {
+	echo $s; // EXPECT: XSS
+}
+suite_put(suite_wrap($_COOKIE['pref']));

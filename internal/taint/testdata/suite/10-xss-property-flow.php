@@ -1,0 +1,14 @@
+<?php
+/** OOP property data flow across methods (§III.E). */
+class Suite_Form {
+	public $value;
+	public function load() {
+		$this->value = $_POST['comment'];
+	}
+	public function render() {
+		echo '<textarea>' . $this->value . '</textarea>'; // EXPECT: XSS
+	}
+}
+$f = new Suite_Form();
+$f->load();
+$f->render();

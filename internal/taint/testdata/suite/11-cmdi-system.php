@@ -1,0 +1,4 @@
+<?php
+/** Command injection into system() (extended coverage, §VI). */
+$host = $_GET['host'];
+system('ping -c 1 ' . $host); // EXPECT: CMDi

@@ -1,0 +1,4 @@
+<?php
+/** File inclusion with an attacker-controlled path (extended coverage). */
+$page = $_GET['page'];
+include 'pages/' . $page . '.php'; // EXPECT: LFI

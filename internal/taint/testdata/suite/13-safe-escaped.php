@@ -1,0 +1,5 @@
+<?php
+/** Properly escaped output: no findings expected. */
+echo '<h2>' . esc_html($_GET['title']) . '</h2>';
+echo '<input value="' . esc_attr($_POST['q']) . '">';
+printf('%s', htmlspecialchars($_REQUEST['msg']));

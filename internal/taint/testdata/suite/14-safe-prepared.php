@@ -1,0 +1,7 @@
+<?php
+/** Parameterized queries and numeric casts: no findings expected. */
+global $wpdb;
+$id = intval($_GET['id']);
+$row = $wpdb->get_row($wpdb->prepare("SELECT * FROM {$wpdb->prefix}t WHERE id = %d", $id));
+$n = (int) $_POST['n'];
+mysql_query("SELECT * FROM t LIMIT $n");

@@ -1,0 +1,5 @@
+<?php
+/** Sanitize-then-revert (§III.A): the attack becomes possible again. */
+$x = addslashes($_GET['x']);
+$y = stripslashes($x);
+mysql_query("SELECT * FROM t WHERE a='$y'"); // EXPECT: SQLi

@@ -1,0 +1,11 @@
+<?php
+/** Method resolution through the inheritance chain (§III.E). */
+class Suite_Base {
+	public function emit($s) {
+		echo $s; // EXPECT: XSS
+	}
+}
+class Suite_Child extends Suite_Base {
+}
+$c = new Suite_Child();
+$c->emit($_REQUEST['q']);

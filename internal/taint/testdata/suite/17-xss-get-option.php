@@ -1,0 +1,4 @@
+<?php
+/** WordPress option storage is database-backed (second-order). */
+$motd = get_option('suite_motd');
+echo '<div class="motd">' . $motd . '</div>'; // EXPECT: XSS

@@ -1,0 +1,7 @@
+<?php
+/** Interpolation inside a heredoc. */
+$who = $_GET['who'];
+$html = <<<HTML
+<p>Hello $who</p>
+HTML;
+echo $html; // EXPECT: XSS

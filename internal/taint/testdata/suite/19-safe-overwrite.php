@@ -1,0 +1,10 @@
+<?php
+/**
+ * Sequential overwrite (§III.C semantics): the tainted value is replaced
+ * before it reaches the sink. No findings expected.
+ */
+$x = $_GET['x'];
+$x = 'constant';
+echo $x;
+unset($y);
+echo $y;

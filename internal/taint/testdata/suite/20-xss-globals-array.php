@@ -1,0 +1,7 @@
+<?php
+/** $GLOBALS array aliasing. */
+$GLOBALS['suite_msg'] = $_POST['msg'];
+function suite_show_msg() {
+	echo $GLOBALS['suite_msg']; // EXPECT: XSS
+}
+suite_show_msg();

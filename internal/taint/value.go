@@ -1,0 +1,276 @@
+package taint
+
+import (
+	"repro/internal/analyzer"
+)
+
+// taintInfo carries the provenance of one vulnerability-class taint.
+type taintInfo struct {
+	// vector is where the data entered (GET, POST, DB, ...).
+	vector analyzer.Vector
+	// trace is the data-flow path so far, oldest step first.
+	trace []analyzer.TraceStep
+}
+
+// withStep returns a copy of t with one more trace step appended. Traces
+// are bounded: when the limit is reached the middle is elided so the
+// source and the most recent hops remain visible.
+func (t *taintInfo) withStep(limit int, step analyzer.TraceStep) *taintInfo {
+	trace := make([]analyzer.TraceStep, 0, len(t.trace)+1)
+	trace = append(trace, t.trace...)
+	trace = append(trace, step)
+	if limit > 2 && len(trace) > limit {
+		// Keep the first and the last (limit-1) steps.
+		head := trace[:1]
+		tail := trace[len(trace)-(limit-1):]
+		squeezed := make([]analyzer.TraceStep, 0, limit)
+		squeezed = append(squeezed, head...)
+		squeezed = append(squeezed, tail...)
+		trace = squeezed
+	}
+	return &taintInfo{vector: t.vector, trace: trace}
+}
+
+// paramDep records that a value depends on the enclosing function's
+// parameters, per vulnerability class. It drives the function-summary
+// instantiation (paper §III.C: "every function is analyzed only the first
+// time it is called ... the data flow of the variables of this analysis is
+// used to process future calls").
+type paramDep map[int]map[analyzer.VulnClass]bool
+
+// value is the abstract value of an expression or variable: which
+// vulnerability classes it is tainted for, where that taint came from,
+// which sanitizers neutralized it (latent taint that revert functions can
+// resurrect, §III.A), its parameter dependencies in summary mode, and
+// coarse type knowledge (object class, numeric).
+//
+// values are immutable after construction; all combinators allocate.
+type value struct {
+	// taints holds the active taint per vulnerability class.
+	taints map[analyzer.VulnClass]*taintInfo
+	// latent holds taints neutralized by sanitizers; a revert function
+	// (stripslashes, urldecode, ...) moves them back to taints.
+	latent map[analyzer.VulnClass]*taintInfo
+	// params tracks symbolic dependence on function parameters.
+	params paramDep
+	// class is the lower-case class name when the value is a known
+	// object (from "new X" or a configured global like $wpdb).
+	class string
+	// numeric marks values known to be numbers (arithmetic results,
+	// casts); numeric values cannot carry attack payloads.
+	numeric bool
+	// filters lists sanitizer names applied to the value, for reporting.
+	filters []string
+}
+
+// untainted returns a clean value.
+func untainted() *value { return &value{} }
+
+// numericValue returns a clean numeric value.
+func numericValue() *value { return &value{numeric: true} }
+
+// objectValue returns a clean value of a known class.
+func objectValue(class string) *value { return &value{class: class} }
+
+// newTaint returns a value tainted for the given classes.
+func newTaint(classes []analyzer.VulnClass, vector analyzer.Vector, step analyzer.TraceStep) *value {
+	v := &value{taints: make(map[analyzer.VulnClass]*taintInfo, len(classes))}
+	for _, c := range classes {
+		v.taints[c] = &taintInfo{vector: vector, trace: []analyzer.TraceStep{step}}
+	}
+	return v
+}
+
+// paramValue returns a symbolic value depending on parameter i for all
+// vulnerability classes.
+func paramValue(i int) *value {
+	classes := analyzer.Classes()
+	deps := make(paramDep, 1)
+	inner := make(map[analyzer.VulnClass]bool, len(classes))
+	for _, c := range classes {
+		inner[c] = true
+	}
+	deps[i] = inner
+	return &value{params: deps}
+}
+
+// isTainted reports whether the value carries active taint for class c.
+func (v *value) isTainted(c analyzer.VulnClass) bool {
+	if v == nil {
+		return false
+	}
+	_, ok := v.taints[c]
+	return ok
+}
+
+// taintedClasses returns the classes with active taint.
+func (v *value) taintedClasses() []analyzer.VulnClass {
+	if v == nil || len(v.taints) == 0 {
+		return nil
+	}
+	out := make([]analyzer.VulnClass, 0, len(v.taints))
+	for _, c := range analyzer.Classes() {
+		if _, ok := v.taints[c]; ok {
+			out = append(out, c)
+		}
+	}
+	return out
+}
+
+// hasParamDeps reports whether the value depends on any parameter.
+func (v *value) hasParamDeps() bool { return v != nil && len(v.params) > 0 }
+
+// clone returns a shallow-copied value with freshly allocated maps.
+func (v *value) clone() *value {
+	if v == nil {
+		return untainted()
+	}
+	out := &value{class: v.class, numeric: v.numeric}
+	if len(v.taints) > 0 {
+		out.taints = make(map[analyzer.VulnClass]*taintInfo, len(v.taints))
+		for c, t := range v.taints {
+			out.taints[c] = t
+		}
+	}
+	if len(v.latent) > 0 {
+		out.latent = make(map[analyzer.VulnClass]*taintInfo, len(v.latent))
+		for c, t := range v.latent {
+			out.latent[c] = t
+		}
+	}
+	if len(v.params) > 0 {
+		out.params = make(paramDep, len(v.params))
+		for i, cs := range v.params {
+			inner := make(map[analyzer.VulnClass]bool, len(cs))
+			for c, b := range cs {
+				inner[c] = b
+			}
+			out.params[i] = inner
+		}
+	}
+	if len(v.filters) > 0 {
+		out.filters = append([]string(nil), v.filters...)
+	}
+	return out
+}
+
+// merge returns the union of two values: taint from either side survives
+// (string concatenation, branch joins). Numeric survives only when both
+// sides are numeric; class knowledge survives when unambiguous.
+func merge(a, b *value) *value {
+	if a == nil || (len(a.taints) == 0 && len(a.latent) == 0 && len(a.params) == 0 && a.class == "" && !a.numeric) {
+		if b == nil {
+			return untainted()
+		}
+		return b
+	}
+	if b == nil || (len(b.taints) == 0 && len(b.latent) == 0 && len(b.params) == 0 && b.class == "" && !b.numeric) {
+		return a
+	}
+	out := a.clone()
+	out.numeric = a.numeric && b.numeric
+	if out.class == "" {
+		out.class = b.class
+	}
+	for c, t := range b.taints {
+		if _, ok := out.taints[c]; !ok {
+			if out.taints == nil {
+				out.taints = make(map[analyzer.VulnClass]*taintInfo, len(b.taints))
+			}
+			out.taints[c] = t
+		}
+	}
+	for c, t := range b.latent {
+		if _, ok := out.latent[c]; !ok {
+			if out.latent == nil {
+				out.latent = make(map[analyzer.VulnClass]*taintInfo, len(b.latent))
+			}
+			out.latent[c] = t
+		}
+	}
+	for i, cs := range b.params {
+		if out.params == nil {
+			out.params = make(paramDep, len(b.params))
+		}
+		dst := out.params[i]
+		if dst == nil {
+			dst = make(map[analyzer.VulnClass]bool, len(cs))
+			out.params[i] = dst
+		}
+		for c, ok := range cs {
+			if ok {
+				dst[c] = true
+			}
+		}
+	}
+	for _, f := range b.filters {
+		out.filters = append(out.filters, f)
+	}
+	return out
+}
+
+// mergeAll unions a list of values.
+func mergeAll(vals ...*value) *value {
+	out := untainted()
+	for _, v := range vals {
+		out = merge(out, v)
+	}
+	return out
+}
+
+// sanitize returns a copy of v with the given classes neutralized: active
+// taints move to the latent set, and parameter dependencies for those
+// classes are dropped. The sanitizer name is recorded for reporting.
+func (v *value) sanitize(classes []analyzer.VulnClass, name string) *value {
+	out := v.clone()
+	for _, c := range classes {
+		if t, ok := out.taints[c]; ok {
+			delete(out.taints, c)
+			if out.latent == nil {
+				out.latent = make(map[analyzer.VulnClass]*taintInfo, 2)
+			}
+			out.latent[c] = t
+		}
+		for i := range out.params {
+			delete(out.params[i], c)
+			if len(out.params[i]) == 0 {
+				delete(out.params, i)
+			}
+		}
+	}
+	out.filters = append(out.filters, name)
+	return out
+}
+
+// revert returns a copy of v with latent taints re-activated (the effect
+// of stripslashes and friends, §III.A).
+func (v *value) revert(name string, limit int, step analyzer.TraceStep) *value {
+	out := v.clone()
+	for c, t := range out.latent {
+		if _, active := out.taints[c]; !active {
+			if out.taints == nil {
+				out.taints = make(map[analyzer.VulnClass]*taintInfo, 2)
+			}
+			out.taints[c] = t.withStep(limit, step)
+		}
+	}
+	out.latent = nil
+	out.filters = append(out.filters, name)
+	return out
+}
+
+// toNumeric returns a clean numeric value (arithmetic, numeric casts).
+func toNumeric() *value { return numericValue() }
+
+// withStep returns a copy of v whose active taints carry one more trace
+// step (an assignment hop).
+func (v *value) withStep(limit int, step analyzer.TraceStep) *value {
+	if v == nil || len(v.taints) == 0 {
+		return v
+	}
+	out := v.clone()
+	for c, t := range out.taints {
+		out.taints[c] = t.withStep(limit, step)
+	}
+	return out
+}
