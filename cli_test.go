@@ -194,7 +194,11 @@ func TestCLICorpusgenAndScan(t *testing.T) {
 func TestCLIEvalreproSingleTable(t *testing.T) {
 	t.Parallel()
 	bin := filepath.Join(binaries(t), "evalrepro")
-	out, err := exec.Command(bin, "-table", "2").Output()
+	cmd := exec.Command(bin, "-table", "2")
+	// The default BENCH_eval.json artifact lands in the working
+	// directory; keep test runs from touching the checkout.
+	cmd.Dir = t.TempDir()
+	out, err := cmd.Output()
 	if err != nil {
 		t.Fatalf("evalrepro: %v", err)
 	}
@@ -202,6 +206,9 @@ func TestCLIEvalreproSingleTable(t *testing.T) {
 		if !strings.Contains(string(out), want) {
 			t.Fatalf("Table II output missing %q:\n%s", want, out)
 		}
+	}
+	if _, err := os.Stat(filepath.Join(cmd.Dir, "BENCH_eval.json")); err != nil {
+		t.Fatalf("BENCH_eval.json artifact not written: %v", err)
 	}
 }
 

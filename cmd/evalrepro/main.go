@@ -1,7 +1,9 @@
 // Command evalrepro regenerates the paper's evaluation (DSN 2015, §V) in
 // one shot: it generates the two corpus snapshots, runs phpSAFE, RIPS and
 // Pixy over both, and prints Table I, Fig. 2, Table II, the §V.D inertia
-// analysis and Table III.
+// analysis and Table III — plus a per-stage timing table (lex → parse →
+// model → taint) from the observability layer, which the paper's single
+// wall-clock Duration cannot show.
 //
 // Usage:
 //
@@ -11,18 +13,26 @@
 //	evalrepro -table 2       # Table II + §V.C root causes
 //	evalrepro -table inertia # §V.D
 //	evalrepro -table 3       # Table III + robustness
+//	evalrepro -table stages  # per-stage timing breakdown only
 //	evalrepro -seed 7        # alternative corpus seed
 //	evalrepro -parallel 8    # worker pool (detection identical; timings
 //	                         # not comparable with the paper's Table III)
+//	evalrepro -progress      # per-plugin progress lines on stderr
+//	evalrepro -bench F.json  # per-tool per-stage timing artifact
+//	                         # (default BENCH_eval.json, "" disables)
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
+	"sort"
+	"strings"
 
 	"repro/internal/corpus"
 	"repro/internal/eval"
+	"repro/internal/obs"
 	"repro/internal/report"
 )
 
@@ -32,10 +42,12 @@ func main() {
 
 // run executes the reproduction and returns the process exit code.
 func run() int {
-	table := flag.String("table", "all", "which artifact to print: 1, venn, 2, inertia, 3, all")
+	table := flag.String("table", "all", "which artifact to print: 1, venn, 2, inertia, 3, stages, all")
 	seed := flag.Int64("seed", corpus.DefaultSpec().Seed, "corpus generation seed")
 	parallel := flag.Int("parallel", 0, "worker pool size (0 = serial; parallel wall-clock is not comparable for Table III)")
 	summary := flag.String("summary", "", "also write machine-readable JSON summaries to <file>-2012.json and <file>-2014.json")
+	bench := flag.String("bench", "BENCH_eval.json", "write per-tool per-stage timings to this file (\"\" disables)")
+	progress := flag.Bool("progress", false, "print per-plugin progress lines to stderr")
 	flag.Parse()
 
 	spec := corpus.DefaultSpec()
@@ -53,19 +65,37 @@ func run() int {
 		len(c14.Targets), c14.Files(), c14.Lines(), len(c14.Truths))
 
 	fmt.Fprintln(os.Stderr, "running phpSAFE, RIPS and Pixy on both versions...")
-	evaluate := eval.EvaluateCorpus
-	if *parallel > 0 {
-		workers := *parallel
-		evaluate = func(c *corpus.Corpus) (*eval.Evaluation, error) {
-			return eval.EvaluateCorpusParallel(c, workers)
+
+	// One recorder per (corpus, tool) keeps per-tool stage timings
+	// separable for the stages table and the bench artifact.
+	recorders := map[string]map[string]*obs.Recorder{"2012": {}, "2014": {}}
+	evaluate := func(tag string, c *corpus.Corpus) (*eval.Evaluation, error) {
+		opts := eval.EvalOptions{
+			Workers: *parallel,
+			RecorderFor: func(tool string) *obs.Recorder {
+				rec := obs.NewRecorder()
+				recorders[tag][tool] = rec
+				return rec
+			},
 		}
+		if *progress {
+			opts.Progress = func(ev eval.Progress) {
+				status := ""
+				if ev.Err != nil {
+					status = "  ERROR: " + ev.Err.Error()
+				}
+				fmt.Fprintf(os.Stderr, "  [%s/%s] %3d/%3d %s%s\n",
+					tag, ev.Tool, ev.Done, ev.Total, ev.Plugin, status)
+			}
+		}
+		return eval.EvaluateCorpusWithOptions(c, opts)
 	}
-	ev12, err := evaluate(c12)
+	ev12, err := evaluate("2012", c12)
 	if err != nil {
 		fmt.Fprintf(os.Stderr, "evalrepro: %v\n", err)
 		return 1
 	}
-	ev14, err := evaluate(c14)
+	ev14, err := evaluate("2014", c14)
 	if err != nil {
 		fmt.Fprintf(os.Stderr, "evalrepro: %v\n", err)
 		return 1
@@ -90,6 +120,14 @@ func run() int {
 		}
 	}
 
+	if *bench != "" {
+		if err := writeBench(*bench, *seed, *parallel, recorders, ev12, ev14); err != nil {
+			fmt.Fprintf(os.Stderr, "evalrepro: %v\n", err)
+			return 1
+		}
+		fmt.Fprintf(os.Stderr, "wrote %s\n", *bench)
+	}
+
 	show := func(name string) bool { return *table == "all" || *table == name }
 	if show("1") {
 		fmt.Println(report.TableI(ev12, ev14))
@@ -109,5 +147,112 @@ func run() int {
 	if show("3") {
 		fmt.Println(report.TableIII(ev12, ev14))
 	}
+	if show("stages") {
+		fmt.Println(stageTable(recorders))
+	}
 	return 0
+}
+
+// stageOrder lists the pipeline stages in execution order; "plugin" is
+// the harness's whole-plugin wall clock.
+var stageOrder = []string{"lex", "parse", "model", "taint", "plugin"}
+
+// stageHistogram maps a stage name to its histogram in the registry.
+func stageHistogram(stage string) string {
+	if stage == "plugin" {
+		return "eval_plugin_seconds"
+	}
+	return "stage_" + stage + "_seconds"
+}
+
+// stageTable renders the per-stage timing breakdown for both corpora —
+// the instrumentation-era companion to the paper's Table III. Stage
+// sums overlap by construction (lex ⊂ parse ⊂ model ⊂ plugin): each row
+// is the total time attributed to that stage, not an exclusive share.
+func stageTable(recorders map[string]map[string]*obs.Recorder) string {
+	var sb strings.Builder
+	sb.WriteString("Per-stage analysis time (from the observability layer; seconds summed over the corpus)\n")
+	sb.WriteString("lex is included in parse, parse in model, and every stage in plugin\n")
+	for _, tag := range []string{"2012", "2014"} {
+		tools := make([]string, 0, len(recorders[tag]))
+		for tool := range recorders[tag] {
+			tools = append(tools, tool)
+		}
+		sort.Strings(tools)
+		sb.WriteString(fmt.Sprintf("\n%s corpus\n", tag))
+		sb.WriteString(fmt.Sprintf("  %-8s", "stage"))
+		for _, tool := range tools {
+			sb.WriteString(fmt.Sprintf(" %12s", tool))
+		}
+		sb.WriteByte('\n')
+		for _, stage := range stageOrder {
+			sb.WriteString(fmt.Sprintf("  %-8s", stage))
+			for _, tool := range tools {
+				h := recorders[tag][tool].Histogram(stageHistogram(stage))
+				sb.WriteString(fmt.Sprintf(" %12.3f", h.Sum()))
+			}
+			sb.WriteByte('\n')
+		}
+	}
+	return sb.String()
+}
+
+// benchStage is one stage's timing aggregate in the bench artifact.
+type benchStage struct {
+	// SumSeconds is the stage's total time over the whole corpus.
+	SumSeconds float64 `json:"sum_seconds"`
+	// Count is the number of stage executions (files for lex/parse,
+	// plugins for model/taint/plugin).
+	Count int64 `json:"count"`
+}
+
+// benchTool is one tool's timing entry in the bench artifact.
+type benchTool struct {
+	// WallClockMS is the tool's whole-corpus duration (the Table III
+	// figure).
+	WallClockMS float64 `json:"wall_clock_ms"`
+	// Stages maps stage name to its aggregate.
+	Stages map[string]benchStage `json:"stages"`
+	// Counters carries every counter the tool's recorder accumulated
+	// (tokens lexed, AST nodes, functions analyzed, ...).
+	Counters map[string]int64 `json:"counters"`
+}
+
+// benchDoc is the BENCH_eval.json schema: a perf trajectory point for
+// future PRs to compare against.
+type benchDoc struct {
+	Seed     int64                            `json:"seed"`
+	Parallel int                              `json:"parallel"`
+	Corpora  map[string]map[string]benchTool `json:"corpora"`
+}
+
+// writeBench renders the per-tool, per-stage timing artifact.
+func writeBench(path string, seed int64, parallel int,
+	recorders map[string]map[string]*obs.Recorder, evs ...*eval.Evaluation) error {
+
+	doc := benchDoc{Seed: seed, Parallel: parallel, Corpora: map[string]map[string]benchTool{}}
+	for i, tag := range []string{"2012", "2014"} {
+		doc.Corpora[tag] = map[string]benchTool{}
+		for tool, rec := range recorders[tag] {
+			snap := rec.Snapshot()
+			bt := benchTool{
+				Stages:   map[string]benchStage{},
+				Counters: snap.Counters,
+			}
+			if tm := evs[i].Tool(tool); tm != nil {
+				bt.WallClockMS = float64(tm.Duration.Microseconds()) / 1000
+			}
+			for _, stage := range stageOrder {
+				if hs, ok := snap.Histograms[stageHistogram(stage)]; ok {
+					bt.Stages[stage] = benchStage{SumSeconds: hs.Sum, Count: hs.Count}
+				}
+			}
+			doc.Corpora[tag][tool] = bt
+		}
+	}
+	data, err := json.MarshalIndent(doc, "", "  ")
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(path, append(data, '\n'), 0o644)
 }

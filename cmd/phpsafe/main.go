@@ -18,6 +18,12 @@
 //	-model                       print the model inventory instead of
 //	                             scanning: functions (with the uncalled
 //	                             ones marked), classes, include edges
+//	-metrics FILE                write scan metrics (counters, stage
+//	                             histograms, span tree) after the scan;
+//	                             "-" writes to stdout
+//	-metrics-format json|prom    metrics exposition format (default json)
+//	-pprof ADDR                  serve net/http/pprof and expvar on ADDR
+//	                             (e.g. localhost:6060) for long scans
 //
 // Exit status is 0 when no vulnerabilities are found, 1 when findings
 // exist, and 2 on usage or I/O errors.
@@ -25,12 +31,16 @@ package main
 
 import (
 	"encoding/json"
+	_ "expvar" // registers /debug/vars on the default mux
 	"flag"
 	"fmt"
+	"net/http"
+	_ "net/http/pprof" // registers /debug/pprof on the default mux
 	"os"
 
 	"repro/internal/analyzer"
 	"repro/internal/config"
+	"repro/internal/obs"
 	"repro/internal/pixy"
 	"repro/internal/report"
 	"repro/internal/rips"
@@ -53,12 +63,30 @@ func run() int {
 	htmlOut := flag.String("html", "", "also write an HTML report to this file")
 	sarifOut := flag.String("sarif", "", "also write a SARIF 2.1.0 report to this file")
 	model := flag.Bool("model", false, "print the model inventory instead of scanning")
+	metricsOut := flag.String("metrics", "", "write scan metrics to this file after the scan (\"-\" for stdout)")
+	metricsFormat := flag.String("metrics-format", "json", "metrics exposition format: json or prom")
+	pprofAddr := flag.String("pprof", "", "serve net/http/pprof and expvar on this address during the scan")
 	flag.Parse()
 
 	if flag.NArg() != 1 {
 		fmt.Fprintln(os.Stderr, "usage: phpsafe [flags] <plugin-dir|file.php>")
 		flag.PrintDefaults()
 		return 2
+	}
+	if *metricsFormat != "json" && *metricsFormat != "prom" {
+		fmt.Fprintf(os.Stderr, "phpsafe: unknown -metrics-format %q (want json or prom)\n", *metricsFormat)
+		return 2
+	}
+
+	if *pprofAddr != "" {
+		// The profiling server runs for the scan's lifetime; pprof and
+		// expvar handlers are registered by the blank imports.
+		go func() {
+			if err := http.ListenAndServe(*pprofAddr, nil); err != nil {
+				fmt.Fprintf(os.Stderr, "phpsafe: pprof server: %v\n", err)
+			}
+		}()
+		fmt.Fprintf(os.Stderr, "pprof server on http://%s/debug/pprof\n", *pprofAddr)
 	}
 
 	target, err := analyzer.Load(flag.Arg(0))
@@ -71,7 +99,14 @@ func run() int {
 		return 2
 	}
 
-	tool, err := buildTool(*toolName, *profile, *noOOP, *noUncalled)
+	// Instrumentation is enabled only when the metrics dump is
+	// requested, so default scans keep the uninstrumented hot path.
+	var rec *obs.Recorder
+	if *metricsOut != "" {
+		rec = obs.NewRecorder()
+	}
+
+	tool, err := buildTool(*toolName, *profile, *noOOP, *noUncalled, rec)
 	if err != nil {
 		fmt.Fprintf(os.Stderr, "phpsafe: %v\n", err)
 		return 2
@@ -85,6 +120,13 @@ func run() int {
 	if err != nil {
 		fmt.Fprintf(os.Stderr, "phpsafe: %v\n", err)
 		return 2
+	}
+
+	if *metricsOut != "" {
+		if err := writeMetrics(*metricsOut, *metricsFormat, rec); err != nil {
+			fmt.Fprintf(os.Stderr, "phpsafe: %v\n", err)
+			return 2
+		}
 	}
 
 	if *htmlOut != "" {
@@ -178,8 +220,9 @@ func printModel(tool analyzer.Analyzer, target *analyzer.Target) int {
 	return 0
 }
 
-// buildTool constructs the selected engine with the selected profile.
-func buildTool(name, profile string, noOOP, noUncalled bool) (analyzer.Analyzer, error) {
+// buildTool constructs the selected engine with the selected profile,
+// threading the (possibly nil) recorder into it.
+func buildTool(name, profile string, noOOP, noUncalled bool, rec *obs.Recorder) (analyzer.Analyzer, error) {
 	var cfg *config.Compiled
 	switch profile {
 	case "wordpress":
@@ -194,12 +237,36 @@ func buildTool(name, profile string, noOOP, noUncalled bool) (analyzer.Analyzer,
 		opts := taint.DefaultOptions()
 		opts.OOP = !noOOP
 		opts.AnalyzeUncalled = !noUncalled
-		return taint.New(cfg, opts), nil
+		return taint.New(cfg, opts).WithRecorder(rec), nil
 	case "rips":
-		return rips.New(cfg), nil
+		return rips.New(cfg).WithRecorder(rec), nil
 	case "pixy":
-		return pixy.New(), nil
+		return pixy.New().WithRecorder(rec), nil
 	default:
 		return nil, fmt.Errorf("unknown tool %q", name)
 	}
+}
+
+// writeMetrics dumps the recorder snapshot in the requested format.
+func writeMetrics(path, format string, rec *obs.Recorder) error {
+	out := os.Stdout
+	if path != "-" {
+		f, err := os.Create(path)
+		if err != nil {
+			return err
+		}
+		defer f.Close()
+		out = f
+	}
+	snap := rec.Snapshot()
+	var err error
+	if format == "prom" {
+		err = snap.WritePrometheus(out)
+	} else {
+		err = snap.WriteJSON(out)
+	}
+	if err == nil && path != "-" {
+		fmt.Fprintf(os.Stderr, "wrote %s metrics to %s\n", format, path)
+	}
+	return err
 }

@@ -13,6 +13,7 @@ import (
 
 	"repro/internal/analyzer"
 	"repro/internal/corpus"
+	"repro/internal/obs"
 )
 
 // lineTolerance is how far a reported line may sit from the ground-truth
@@ -30,14 +31,61 @@ type ToolRun struct {
 	Duration time.Duration
 }
 
+// RunOptions tunes a tool run over a corpus.
+type RunOptions struct {
+	// Workers sizes the worker pool; 0 or 1 runs serially (the paper's
+	// Table III mode), negative uses GOMAXPROCS.
+	Workers int
+	// Recorder receives per-plugin spans and harness metrics (queue
+	// wait, plugins completed); nil disables harness instrumentation.
+	Recorder *obs.Recorder
+	// Progress, when non-nil, is called after each plugin completes.
+	// Under a worker pool it is invoked from worker goroutines but
+	// never concurrently.
+	Progress func(ev Progress)
+}
+
+// Progress is one progress-callback event.
+type Progress struct {
+	// Tool is the running tool's display name.
+	Tool string
+	// Plugin is the plugin that just finished.
+	Plugin string
+	// Done and Total count completed and overall plugins.
+	Done, Total int
+	// Err is the plugin's analysis error, nil on success.
+	Err error
+}
+
 // Run executes a tool over every plugin of a corpus, timing it.
 func Run(tool analyzer.Analyzer, c *corpus.Corpus) (*ToolRun, error) {
+	return RunWithOptions(tool, c, RunOptions{})
+}
+
+// RunWithOptions executes a tool over every plugin of a corpus with
+// observability and parallelism options. With Workers > 1 it delegates
+// to the worker pool; results keep corpus order either way.
+func RunWithOptions(tool analyzer.Analyzer, c *corpus.Corpus, opts RunOptions) (*ToolRun, error) {
+	if opts.Workers > 1 || opts.Workers < 0 {
+		return runParallel(tool, c, opts)
+	}
 	run := &ToolRun{Tool: tool.Name()}
+	rec := opts.Recorder
 	start := time.Now()
-	for _, target := range c.Targets {
+	for i, target := range c.Targets {
+		sp := rec.StartNamedSpan("plugin:", target.Name, nil)
 		res, err := tool.Analyze(target)
+		sp.EndAndObserve("eval_plugin_seconds")
+		rec.Counter("eval_plugins_total").Inc()
+		if opts.Progress != nil {
+			opts.Progress(Progress{
+				Tool: tool.Name(), Plugin: target.Name,
+				Done: i + 1, Total: len(c.Targets), Err: err,
+			})
+		}
 		if err != nil {
-			return nil, fmt.Errorf("eval: %s on %s: %w", tool.Name(), target.Name, err)
+			run.Duration = time.Since(start)
+			return run, fmt.Errorf("eval: %s on %s: %w", tool.Name(), target.Name, err)
 		}
 		run.Results = append(run.Results, res)
 	}

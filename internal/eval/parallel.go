@@ -1,6 +1,7 @@
 package eval
 
 import (
+	"errors"
 	"fmt"
 	"runtime"
 	"sync"
@@ -19,9 +20,20 @@ import (
 // The recorded Duration is wall-clock, so it is NOT comparable with the
 // serial Run used for Table III.
 func RunParallel(tool analyzer.Analyzer, c *corpus.Corpus, workers int) (*ToolRun, error) {
+	return runParallel(tool, c, RunOptions{Workers: workers})
+}
+
+// runParallel is the worker-pool implementation behind RunWithOptions
+// and RunParallel. Every worker error is collected and returned joined;
+// the partial run (with Duration set) accompanies a non-nil error so
+// failed corpus sweeps are still inspectable.
+func runParallel(tool analyzer.Analyzer, c *corpus.Corpus, opts RunOptions) (*ToolRun, error) {
+	workers := opts.Workers
 	if workers <= 0 {
 		workers = runtime.GOMAXPROCS(0)
 	}
+	rec := opts.Recorder
+	rec.Gauge("eval_workers").Set(float64(workers))
 	run := &ToolRun{
 		Tool:    tool.Name(),
 		Results: make([]*analyzer.Result, len(c.Targets)),
@@ -31,9 +43,16 @@ func RunParallel(tool analyzer.Analyzer, c *corpus.Corpus, workers int) (*ToolRu
 	type job struct {
 		idx    int
 		target *analyzer.Target
+		// enqueued stamps submission time for the queue-wait histogram;
+		// zero when no recorder is attached.
+		enqueued time.Time
 	}
 	jobs := make(chan job)
 	errs := make(chan error, len(c.Targets))
+
+	// done serializes progress callbacks across workers.
+	var progressMu sync.Mutex
+	done := 0
 
 	var wg sync.WaitGroup
 	for w := 0; w < workers; w++ {
@@ -41,26 +60,52 @@ func RunParallel(tool analyzer.Analyzer, c *corpus.Corpus, workers int) (*ToolRu
 		go func() {
 			defer wg.Done()
 			for j := range jobs {
-				res, err := tool.Analyze(j.target)
-				if err != nil {
-					errs <- fmt.Errorf("eval: %s on %s: %w", tool.Name(), j.target.Name, err)
-					continue
+				if !j.enqueued.IsZero() {
+					rec.Observe("eval_queue_wait_seconds", time.Since(j.enqueued).Seconds())
 				}
-				run.Results[j.idx] = res
+				sp := rec.StartNamedSpan("plugin:", j.target.Name, nil)
+				res, err := tool.Analyze(j.target)
+				sp.EndAndObserve("eval_plugin_seconds")
+				rec.Counter("eval_plugins_total").Inc()
+				if err != nil {
+					err = fmt.Errorf("eval: %s on %s: %w", tool.Name(), j.target.Name, err)
+					errs <- err
+				} else {
+					run.Results[j.idx] = res
+				}
+				if opts.Progress != nil {
+					progressMu.Lock()
+					done++
+					opts.Progress(Progress{
+						Tool: tool.Name(), Plugin: j.target.Name,
+						Done: done, Total: len(c.Targets), Err: err,
+					})
+					progressMu.Unlock()
+				}
 			}
 		}()
 	}
 	for i, target := range c.Targets {
-		jobs <- job{idx: i, target: target}
+		j := job{idx: i, target: target}
+		if rec != nil {
+			j.enqueued = time.Now()
+		}
+		jobs <- j
 	}
 	close(jobs)
 	wg.Wait()
 	close(errs)
 
-	if err, ok := <-errs; ok {
-		return nil, err
+	// Drain every worker error — a sweep that fails on several plugins
+	// must report all of them, not an arbitrary first one.
+	var all []error
+	for err := range errs {
+		all = append(all, err)
 	}
 	run.Duration = time.Since(start)
+	if len(all) > 0 {
+		return run, errors.Join(all...)
+	}
 	return run, nil
 }
 
@@ -68,13 +113,5 @@ func RunParallel(tool analyzer.Analyzer, c *corpus.Corpus, workers int) (*ToolRu
 // tool. Detection results are identical to the serial path; only the
 // timings differ.
 func EvaluateCorpusParallel(c *corpus.Corpus, workers int) (*Evaluation, error) {
-	runs := make([]*ToolRun, 0, 3)
-	for _, tool := range DefaultTools() {
-		run, err := RunParallel(tool, c, workers)
-		if err != nil {
-			return nil, err
-		}
-		runs = append(runs, run)
-	}
-	return Evaluate(c, runs), nil
+	return EvaluateCorpusWithOptions(c, EvalOptions{Workers: workers})
 }

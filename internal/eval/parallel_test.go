@@ -1,9 +1,14 @@
 package eval
 
 import (
+	"fmt"
+	"strings"
+	"sync/atomic"
 	"testing"
 
+	"repro/internal/analyzer"
 	"repro/internal/corpus"
+	"repro/internal/obs"
 )
 
 // TestParallelMatchesSerial verifies the worker-pool runner produces the
@@ -54,5 +59,127 @@ func TestParallelWorkerDefaults(t *testing.T) {
 		if res == nil {
 			t.Fatalf("result %d is nil", i)
 		}
+	}
+}
+
+// flakyTool fails on plugin names with a given prefix; everything else
+// succeeds with an empty result.
+type flakyTool struct {
+	failPrefix string
+	calls      atomic.Int64
+}
+
+func (f *flakyTool) Name() string { return "flaky" }
+
+func (f *flakyTool) Analyze(target *analyzer.Target) (*analyzer.Result, error) {
+	f.calls.Add(1)
+	if strings.HasPrefix(target.Name, f.failPrefix) {
+		return nil, fmt.Errorf("induced failure on %s", target.Name)
+	}
+	return &analyzer.Result{Tool: f.Name(), Target: target.Name}, nil
+}
+
+// failCorpus builds a synthetic corpus with the given plugin names.
+func failCorpus(names ...string) *corpus.Corpus {
+	c := &corpus.Corpus{}
+	for _, name := range names {
+		c.Targets = append(c.Targets, &analyzer.Target{Name: name})
+	}
+	return c
+}
+
+// TestParallelJoinsAllErrors verifies the drain fix: a sweep failing on
+// several plugins reports every failure (joined), not an arbitrary first
+// one, and still returns the partial run with Duration set.
+func TestParallelJoinsAllErrors(t *testing.T) {
+	c := failCorpus("bad-one", "good-one", "bad-two", "good-two", "bad-three")
+	tool := &flakyTool{failPrefix: "bad-"}
+
+	run, err := RunParallel(tool, c, 3)
+	if err == nil {
+		t.Fatal("want error, got nil")
+	}
+	for _, want := range []string{"bad-one", "bad-two", "bad-three"} {
+		if !strings.Contains(err.Error(), want) {
+			t.Errorf("joined error missing %s: %v", want, err)
+		}
+	}
+	if run == nil {
+		t.Fatal("partial run is nil")
+	}
+	if run.Duration <= 0 {
+		t.Error("run.Duration not set on error return")
+	}
+	if got := tool.calls.Load(); got != int64(len(c.Targets)) {
+		t.Errorf("analyzed %d plugins, want all %d", got, len(c.Targets))
+	}
+	// Successful plugins keep their slots in the partial run.
+	good := 0
+	for _, res := range run.Results {
+		if res != nil {
+			good++
+		}
+	}
+	if good != 2 {
+		t.Errorf("partial run has %d results, want 2", good)
+	}
+}
+
+// TestSerialDurationOnError checks the serial path's early error return
+// also stamps Duration.
+func TestSerialDurationOnError(t *testing.T) {
+	c := failCorpus("bad-only")
+	run, err := Run(&flakyTool{failPrefix: "bad-"}, c)
+	if err == nil {
+		t.Fatal("want error, got nil")
+	}
+	if run == nil || run.Duration <= 0 {
+		t.Fatalf("partial run missing Duration: %+v", run)
+	}
+}
+
+// TestRunWithOptionsProgressAndMetrics exercises the harness-level
+// instrumentation: progress callbacks fire once per plugin (serially
+// observable thanks to the callback mutex) and the recorder accumulates
+// per-plugin spans plus queue-wait samples under the worker pool.
+func TestRunWithOptionsProgressAndMetrics(t *testing.T) {
+	c := failCorpus("p1", "p2", "p3", "p4")
+	rec := obs.NewRecorder()
+	seen := map[string]bool{}
+	maxDone := 0
+	run, err := RunWithOptions(&flakyTool{failPrefix: "none"}, c, RunOptions{
+		Workers:  2,
+		Recorder: rec,
+		Progress: func(ev Progress) {
+			seen[ev.Plugin] = true
+			if ev.Done > maxDone {
+				maxDone = ev.Done
+			}
+			if ev.Total != len(c.Targets) {
+				t.Errorf("Total = %d, want %d", ev.Total, len(c.Targets))
+			}
+		},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(seen) != len(c.Targets) || maxDone != len(c.Targets) {
+		t.Errorf("progress: saw %d plugins (maxDone %d), want %d", len(seen), maxDone, len(c.Targets))
+	}
+	if run.Duration <= 0 {
+		t.Error("Duration not set")
+	}
+	snap := rec.Snapshot()
+	if got := snap.Counters["eval_plugins_total"]; got != int64(len(c.Targets)) {
+		t.Errorf("eval_plugins_total = %d, want %d", got, len(c.Targets))
+	}
+	if hs, ok := snap.Histograms["eval_plugin_seconds"]; !ok || hs.Count != int64(len(c.Targets)) {
+		t.Errorf("eval_plugin_seconds count wrong: %+v", snap.Histograms["eval_plugin_seconds"])
+	}
+	if hs, ok := snap.Histograms["eval_queue_wait_seconds"]; !ok || hs.Count != int64(len(c.Targets)) {
+		t.Errorf("eval_queue_wait_seconds count wrong: %+v", snap.Histograms["eval_queue_wait_seconds"])
+	}
+	if len(snap.Spans) != len(c.Targets) {
+		t.Errorf("span roots = %d, want %d", len(snap.Spans), len(c.Targets))
 	}
 }

@@ -3,6 +3,7 @@ package eval
 import (
 	"repro/internal/analyzer"
 	"repro/internal/corpus"
+	"repro/internal/obs"
 	"repro/internal/pixy"
 	"repro/internal/rips"
 	"repro/internal/taint"
@@ -13,23 +14,78 @@ import (
 // phpSAFE with its out-of-the-box WordPress configuration (§III.A), RIPS
 // with its generic-PHP knowledge, and Pixy frozen in 2007.
 func DefaultTools() []analyzer.Analyzer {
+	return ObservedTools(nil)
+}
+
+// ObservedTools returns DefaultTools with the recorder threaded into
+// every engine, so a corpus sweep records lex/parse/model/taint stage
+// timings and engine counters. A nil recorder yields uninstrumented
+// engines (identical to DefaultTools).
+func ObservedTools(rec *obs.Recorder) []analyzer.Analyzer {
 	return []analyzer.Analyzer{
-		taint.New(wordpress.Compiled(), taint.DefaultOptions()),
-		rips.NewDefault(),
-		pixy.New(),
+		taint.New(wordpress.Compiled(), taint.DefaultOptions()).WithRecorder(rec),
+		rips.NewDefault().WithRecorder(rec),
+		pixy.New().WithRecorder(rec),
 	}
+}
+
+// EvalOptions tunes a full-corpus evaluation.
+type EvalOptions struct {
+	// Workers sizes the per-tool worker pool; 0 or 1 is the serial
+	// Table III mode.
+	Workers int
+	// RecorderFor, when non-nil, supplies one recorder per tool (keyed
+	// by display name) so per-tool metrics stay separable. The recorder
+	// is threaded both into the engine (stage spans, engine counters)
+	// and the harness (per-plugin spans, queue wait).
+	RecorderFor func(tool string) *obs.Recorder
+	// Progress, when non-nil, is called after every plugin of every
+	// tool run.
+	Progress func(ev Progress)
 }
 
 // EvaluateCorpus runs the default tools over a corpus and matches the
 // results against its labels.
 func EvaluateCorpus(c *corpus.Corpus) (*Evaluation, error) {
+	return EvaluateCorpusWithOptions(c, EvalOptions{})
+}
+
+// EvaluateCorpusWithOptions is EvaluateCorpus with observability and
+// parallelism options.
+func EvaluateCorpusWithOptions(c *corpus.Corpus, opts EvalOptions) (*Evaluation, error) {
 	runs := make([]*ToolRun, 0, 3)
 	for _, tool := range DefaultTools() {
-		run, err := Run(tool, c)
+		var rec *obs.Recorder
+		if opts.RecorderFor != nil {
+			rec = opts.RecorderFor(tool.Name())
+		}
+		if rec != nil {
+			tool = observe(tool, rec)
+		}
+		run, err := RunWithOptions(tool, c, RunOptions{
+			Workers:  opts.Workers,
+			Recorder: rec,
+			Progress: opts.Progress,
+		})
 		if err != nil {
 			return nil, err
 		}
 		runs = append(runs, run)
 	}
 	return Evaluate(c, runs), nil
+}
+
+// observe rebinds a known engine to a recorder; tools without recorder
+// support pass through unchanged (harness-level spans still apply).
+func observe(tool analyzer.Analyzer, rec *obs.Recorder) analyzer.Analyzer {
+	switch t := tool.(type) {
+	case *taint.Engine:
+		return t.WithRecorder(rec)
+	case *rips.Engine:
+		return t.WithRecorder(rec)
+	case *pixy.Engine:
+		return t.WithRecorder(rec)
+	default:
+		return tool
+	}
 }

@@ -1,0 +1,48 @@
+package obs
+
+import (
+	"sync"
+	"time"
+)
+
+// Clock abstracts time so span timings are testable. The production
+// implementation is the system clock; tests inject a ManualClock.
+type Clock interface {
+	Now() time.Time
+}
+
+// systemClock reads the real time.
+type systemClock struct{}
+
+// Now returns the current system time.
+func (systemClock) Now() time.Time { return time.Now() }
+
+// SystemClock returns the production clock.
+func SystemClock() Clock { return systemClock{} }
+
+// ManualClock is a test clock that only moves when told to. The zero
+// value starts at the Unix epoch; construct with NewManualClock to pick
+// an origin.
+type ManualClock struct {
+	mu  sync.Mutex
+	now time.Time
+}
+
+// NewManualClock returns a manual clock frozen at origin.
+func NewManualClock(origin time.Time) *ManualClock {
+	return &ManualClock{now: origin}
+}
+
+// Now returns the clock's frozen time.
+func (c *ManualClock) Now() time.Time {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.now
+}
+
+// Advance moves the clock forward by d.
+func (c *ManualClock) Advance(d time.Duration) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.now = c.now.Add(d)
+}

@@ -1,0 +1,21 @@
+// Package obs is the reproduction's dependency-free observability layer:
+// a concurrency-safe registry of named counters, gauges and latency
+// histograms, span-based stage tracing with parent linkage, and JSON /
+// Prometheus-text exposition of a completed scan.
+//
+// The paper's evaluation (DSN 2015, §V, Table III) reports per-tool,
+// per-plugin analysis cost; this package generalizes that single
+// wall-clock number into a per-stage breakdown (lex → parse → model →
+// taint) so scaling work on the pipeline can be measured rather than
+// asserted.
+//
+// Two design rules keep Table III timings honest:
+//
+//   - Nil safety: every method of Recorder, Metrics, Counter, Gauge,
+//     Histogram and Span works on a nil receiver and does nothing. Code
+//     under measurement threads a possibly-nil *Recorder and never
+//     branches on it, so a disabled pipeline pays only a nil check.
+//   - Injectable clock: a Recorder owns a Clock; tests install a
+//     ManualClock and get fully deterministic span trees and golden
+//     exposition output.
+package obs

@@ -1,0 +1,212 @@
+package obs
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"math"
+	"sort"
+	"strings"
+	"time"
+)
+
+// Snapshot is a point-in-time copy of a recorder's metrics and span
+// tree, ready for serialization. Maps serialize with sorted keys, so
+// JSON output is deterministic.
+type Snapshot struct {
+	// Counters maps counter name to its count.
+	Counters map[string]int64 `json:"counters"`
+	// Gauges maps gauge name to its value.
+	Gauges map[string]float64 `json:"gauges,omitempty"`
+	// Histograms maps histogram name to its distribution.
+	Histograms map[string]HistogramSnapshot `json:"histograms"`
+	// Spans holds the root spans of the trace tree.
+	Spans []SpanSnapshot `json:"spans,omitempty"`
+}
+
+// HistogramSnapshot is one histogram's frozen distribution.
+type HistogramSnapshot struct {
+	Count int64 `json:"count"`
+	// Sum is the sum of observations (seconds for latency histograms).
+	Sum float64 `json:"sum"`
+	// Buckets are cumulative Prometheus-style buckets; the final bucket
+	// has UpperBound +Inf (serialized as "+Inf").
+	Buckets []BucketSnapshot `json:"buckets"`
+}
+
+// BucketSnapshot is one cumulative histogram bucket.
+type BucketSnapshot struct {
+	// UpperBound is the bucket's inclusive upper bound.
+	UpperBound float64 `json:"le"`
+	// Count is the cumulative number of observations <= UpperBound.
+	Count int64 `json:"count"`
+}
+
+// MarshalJSON renders +Inf upper bounds as the string "+Inf", which
+// encoding/json cannot represent as a number.
+func (b BucketSnapshot) MarshalJSON() ([]byte, error) {
+	le := "+Inf"
+	if !math.IsInf(b.UpperBound, 1) {
+		le = formatFloat(b.UpperBound)
+	}
+	return []byte(fmt.Sprintf(`{"le":%q,"count":%d}`, le, b.Count)), nil
+}
+
+// SpanSnapshot is one span subtree with timings resolved to wall-clock
+// offsets, so a trace is readable without the recorder's clock.
+type SpanSnapshot struct {
+	Name string `json:"name"`
+	// Start is the span's absolute start time (RFC 3339, ns precision).
+	Start time.Time `json:"start"`
+	// DurationNS is the span's elapsed nanoseconds (0 when never ended).
+	DurationNS int64          `json:"duration_ns"`
+	Children   []SpanSnapshot `json:"children,omitempty"`
+}
+
+// Snapshot freezes the recorder's current metrics and spans. A nil
+// recorder yields an empty (but serializable) snapshot.
+func (r *Recorder) Snapshot() Snapshot {
+	snap := Snapshot{
+		Counters:   map[string]int64{},
+		Gauges:     map[string]float64{},
+		Histograms: map[string]HistogramSnapshot{},
+	}
+	if r == nil {
+		return snap
+	}
+	m := r.metrics
+	m.mu.RLock()
+	for name, c := range m.counters {
+		snap.Counters[name] = c.Value()
+	}
+	for name, g := range m.gauges {
+		snap.Gauges[name] = g.Value()
+	}
+	for name, h := range m.histograms {
+		snap.Histograms[name] = h.snapshot()
+	}
+	m.mu.RUnlock()
+
+	r.mu.Lock()
+	for _, root := range r.roots {
+		snap.Spans = append(snap.Spans, snapshotSpanLocked(root))
+	}
+	r.mu.Unlock()
+	return snap
+}
+
+// snapshot freezes one histogram into cumulative buckets.
+func (h *Histogram) snapshot() HistogramSnapshot {
+	hs := HistogramSnapshot{
+		Count:   h.Count(),
+		Sum:     h.Sum(),
+		Buckets: make([]BucketSnapshot, 0, len(h.bounds)+1),
+	}
+	cum := int64(0)
+	for i, bound := range h.bounds {
+		cum += h.counts[i].Load()
+		hs.Buckets = append(hs.Buckets, BucketSnapshot{UpperBound: bound, Count: cum})
+	}
+	cum += h.counts[len(h.bounds)].Load()
+	hs.Buckets = append(hs.Buckets, BucketSnapshot{UpperBound: math.Inf(1), Count: cum})
+	return hs
+}
+
+// snapshotSpanLocked copies one span subtree; the caller holds rec.mu.
+func snapshotSpanLocked(s *Span) SpanSnapshot {
+	ss := SpanSnapshot{Name: s.name, Start: s.start}
+	if !s.end.IsZero() {
+		ss.DurationNS = s.end.Sub(s.start).Nanoseconds()
+	}
+	for _, child := range s.children {
+		ss.Children = append(ss.Children, snapshotSpanLocked(child))
+	}
+	return ss
+}
+
+// WriteJSON writes the snapshot as indented JSON.
+func (s Snapshot) WriteJSON(w io.Writer) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(s)
+}
+
+// WritePrometheus writes the snapshot's counters, gauges and histograms
+// in the Prometheus text exposition format (version 0.0.4). Spans have
+// no Prometheus representation and are omitted. Metric names are
+// sanitized: characters outside [a-zA-Z0-9_:] become underscores.
+func (s Snapshot) WritePrometheus(w io.Writer) error {
+	names := make([]string, 0, len(s.Counters))
+	for name := range s.Counters {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	for _, name := range names {
+		pn := promName(name)
+		if _, err := fmt.Fprintf(w, "# TYPE %s counter\n%s %d\n", pn, pn, s.Counters[name]); err != nil {
+			return err
+		}
+	}
+
+	names = names[:0]
+	for name := range s.Gauges {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	for _, name := range names {
+		pn := promName(name)
+		if _, err := fmt.Fprintf(w, "# TYPE %s gauge\n%s %s\n", pn, pn, formatFloat(s.Gauges[name])); err != nil {
+			return err
+		}
+	}
+
+	names = names[:0]
+	for name := range s.Histograms {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	for _, name := range names {
+		pn := promName(name)
+		hs := s.Histograms[name]
+		if _, err := fmt.Fprintf(w, "# TYPE %s histogram\n", pn); err != nil {
+			return err
+		}
+		for _, b := range hs.Buckets {
+			le := "+Inf"
+			if !math.IsInf(b.UpperBound, 1) {
+				le = formatFloat(b.UpperBound)
+			}
+			if _, err := fmt.Fprintf(w, "%s_bucket{le=%q} %d\n", pn, le, b.Count); err != nil {
+				return err
+			}
+		}
+		if _, err := fmt.Fprintf(w, "%s_sum %s\n%s_count %d\n", pn, formatFloat(hs.Sum), pn, hs.Count); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// promName maps an arbitrary metric name onto the Prometheus grammar.
+func promName(name string) string {
+	var sb strings.Builder
+	for i, r := range name {
+		switch {
+		case r >= 'a' && r <= 'z', r >= 'A' && r <= 'Z', r == '_', r == ':':
+			sb.WriteRune(r)
+		case r >= '0' && r <= '9' && i > 0:
+			sb.WriteRune(r)
+		default:
+			sb.WriteByte('_')
+		}
+	}
+	return sb.String()
+}
+
+// formatFloat renders a float without exponent noise for round values.
+func formatFloat(v float64) string {
+	if v == math.Trunc(v) && math.Abs(v) < 1e15 {
+		return fmt.Sprintf("%d", int64(v))
+	}
+	return fmt.Sprintf("%g", v)
+}

@@ -1,0 +1,100 @@
+package obs
+
+import (
+	"bytes"
+	"flag"
+	"os"
+	"path/filepath"
+	"testing"
+	"time"
+)
+
+// update regenerates the golden exposition files:
+//
+//	go test ./internal/obs/ -run TestGolden -update
+var update = flag.Bool("update", false, "rewrite golden files")
+
+// goldenRecorder builds the fixed scan the golden files encode: one
+// plugin span with model/taint stages, a few counters, a gauge and two
+// histograms, all on a manual clock.
+func goldenRecorder() *Recorder {
+	clock := NewManualClock(testOrigin)
+	r := NewRecorderWithClock(clock)
+
+	scan := r.StartSpan("scan:hello-plugin", nil)
+	model := scan.StartChild("model")
+	parse := model.StartChild("parse:hello.php")
+	clock.Advance(3 * time.Millisecond)
+	parse.EndAndObserve("stage_parse_seconds")
+	model.EndAndObserve("stage_model_seconds")
+	taint := scan.StartChild("taint")
+	clock.Advance(20 * time.Millisecond)
+	taint.EndAndObserve("stage_taint_seconds")
+	scan.End()
+
+	r.Counter("lex_tokens_total").Add(1234)
+	r.Counter("lex_lines_total").Add(87)
+	r.Counter("parse_ast_nodes_total").Add(456)
+	r.Counter("taint_functions_analyzed_total").Add(9)
+	r.Gauge("eval_workers").Set(4)
+	qw := r.Histogram("eval_queue_wait_seconds", 0.001, 0.01, 0.1)
+	qw.Observe(0.0005)
+	qw.Observe(0.05)
+	qw.Observe(2)
+	return r
+}
+
+// TestGoldenJSON locks the JSON exposition format.
+func TestGoldenJSON(t *testing.T) {
+	var buf bytes.Buffer
+	if err := goldenRecorder().Snapshot().WriteJSON(&buf); err != nil {
+		t.Fatal(err)
+	}
+	compareGolden(t, filepath.Join("testdata", "snapshot.json.golden"), buf.Bytes())
+}
+
+// TestGoldenPrometheus locks the Prometheus text exposition format.
+func TestGoldenPrometheus(t *testing.T) {
+	var buf bytes.Buffer
+	if err := goldenRecorder().Snapshot().WritePrometheus(&buf); err != nil {
+		t.Fatal(err)
+	}
+	compareGolden(t, filepath.Join("testdata", "snapshot.prom.golden"), buf.Bytes())
+}
+
+// compareGolden diffs got against the golden file, rewriting it under
+// -update.
+func compareGolden(t *testing.T, path string, got []byte) {
+	t.Helper()
+	if *update {
+		if err := os.MkdirAll(filepath.Dir(path), 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(path, got, 0o644); err != nil {
+			t.Fatal(err)
+		}
+		return
+	}
+	want, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatalf("missing golden file (run with -update): %v", err)
+	}
+	if !bytes.Equal(got, want) {
+		t.Errorf("output differs from %s:\n--- got ---\n%s\n--- want ---\n%s", path, got, want)
+	}
+}
+
+// TestPromName locks the metric-name sanitizer.
+func TestPromName(t *testing.T) {
+	cases := map[string]string{
+		"lex_tokens_total": "lex_tokens_total",
+		"stage:taint":      "stage:taint",
+		"bad-name.9":       "bad_name_9",
+		"9lead":            "_lead",
+	}
+	for in, want := range cases {
+		if got := promName(in); got != want {
+			t.Errorf("promName(%q) = %q, want %q", in, got, want)
+		}
+	}
+}

@@ -1,0 +1,177 @@
+package obs
+
+import (
+	"math"
+	"sync"
+	"testing"
+)
+
+// TestCounterConcurrent hammers one counter from many goroutines; run
+// with -race to guard the lock-free implementation.
+func TestCounterConcurrent(t *testing.T) {
+	m := NewMetrics()
+	const goroutines, perG = 16, 1000
+	var wg sync.WaitGroup
+	for i := 0; i < goroutines; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for j := 0; j < perG; j++ {
+				m.Counter("shared").Inc()
+			}
+		}()
+	}
+	wg.Wait()
+	if got := m.Counter("shared").Value(); got != goroutines*perG {
+		t.Fatalf("counter = %d, want %d", got, goroutines*perG)
+	}
+}
+
+// TestCounterMonotone rejects negative increments.
+func TestCounterMonotone(t *testing.T) {
+	m := NewMetrics()
+	c := m.Counter("c")
+	c.Add(5)
+	c.Add(-3)
+	if got := c.Value(); got != 5 {
+		t.Fatalf("counter = %d, want 5 (negative Add must be ignored)", got)
+	}
+}
+
+// TestGaugeConcurrent exercises the CAS loop of Gauge.Add under -race.
+func TestGaugeConcurrent(t *testing.T) {
+	m := NewMetrics()
+	var wg sync.WaitGroup
+	for i := 0; i < 8; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for j := 0; j < 500; j++ {
+				m.Gauge("g").Add(0.5)
+			}
+		}()
+	}
+	wg.Wait()
+	if got := m.Gauge("g").Value(); got != 8*500*0.5 {
+		t.Fatalf("gauge = %v, want %v", got, 8*500*0.5)
+	}
+}
+
+// TestHistogramBuckets checks the boundary semantics: a sample equal to
+// an upper bound lands in that bucket (inclusive upper bounds), and
+// samples beyond the last bound land in +Inf.
+func TestHistogramBuckets(t *testing.T) {
+	m := NewMetrics()
+	h := m.Histogram("h", 1, 5, 10)
+	for _, v := range []float64{0.5, 1, 1.0001, 5, 7, 10, 11, 1000} {
+		h.Observe(v)
+	}
+	hs := h.snapshot()
+	if hs.Count != 8 {
+		t.Fatalf("count = %d, want 8", hs.Count)
+	}
+	wantSum := 0.5 + 1 + 1.0001 + 5 + 7 + 10 + 11 + 1000
+	if math.Abs(hs.Sum-wantSum) > 1e-9 {
+		t.Fatalf("sum = %v, want %v", hs.Sum, wantSum)
+	}
+	// Cumulative: le=1 → {0.5, 1}; le=5 → +{1.0001, 5}; le=10 → +{7, 10};
+	// +Inf → +{11, 1000}.
+	wantCum := []int64{2, 4, 6, 8}
+	if len(hs.Buckets) != len(wantCum) {
+		t.Fatalf("buckets = %d, want %d", len(hs.Buckets), len(wantCum))
+	}
+	for i, want := range wantCum {
+		if hs.Buckets[i].Count != want {
+			t.Errorf("bucket[%d] (le=%v) = %d, want %d",
+				i, hs.Buckets[i].UpperBound, hs.Buckets[i].Count, want)
+		}
+	}
+	if !math.IsInf(hs.Buckets[len(hs.Buckets)-1].UpperBound, 1) {
+		t.Errorf("last bucket bound = %v, want +Inf", hs.Buckets[len(hs.Buckets)-1].UpperBound)
+	}
+}
+
+// TestHistogramConcurrent guards concurrent Observe under -race.
+func TestHistogramConcurrent(t *testing.T) {
+	m := NewMetrics()
+	var wg sync.WaitGroup
+	for i := 0; i < 8; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for j := 0; j < 500; j++ {
+				m.Histogram("lat").Observe(0.001)
+			}
+		}()
+	}
+	wg.Wait()
+	if got := m.Histogram("lat").Count(); got != 4000 {
+		t.Fatalf("count = %d, want 4000", got)
+	}
+}
+
+// TestHistogramDedupBounds verifies duplicate and unsorted bounds are
+// normalized at creation.
+func TestHistogramDedupBounds(t *testing.T) {
+	m := NewMetrics()
+	h := m.Histogram("d", 5, 1, 5, 1)
+	if got := len(h.bounds); got != 2 {
+		t.Fatalf("bounds = %v, want [1 5]", h.bounds)
+	}
+	if h.bounds[0] != 1 || h.bounds[1] != 5 {
+		t.Fatalf("bounds = %v, want [1 5]", h.bounds)
+	}
+}
+
+// TestNilSafety drives every instrument and registry method through nil
+// receivers: the disabled pipeline must never panic.
+func TestNilSafety(t *testing.T) {
+	var r *Recorder
+	var m *Metrics
+	r.Counter("x").Inc()
+	r.Counter("x").Add(3)
+	if got := r.Counter("x").Value(); got != 0 {
+		t.Fatalf("nil counter value = %d", got)
+	}
+	r.Gauge("g").Set(1)
+	r.Gauge("g").Add(1)
+	if got := r.Gauge("g").Value(); got != 0 {
+		t.Fatalf("nil gauge value = %v", got)
+	}
+	r.Histogram("h").Observe(1)
+	r.Observe("h", 1)
+	if got := r.Histogram("h").Count(); got != 0 {
+		t.Fatalf("nil histogram count = %d", got)
+	}
+	if m.Counter("x") != nil || m.Gauge("x") != nil || m.Histogram("x") != nil {
+		t.Fatal("nil registry must hand out nil instruments")
+	}
+	sp := r.StartSpan("root", nil)
+	child := sp.StartChild("child")
+	child.End()
+	sp.EndAndObserve("h")
+	if sp.Duration() != 0 || sp.Name() != "" {
+		t.Fatal("nil span must report zero duration and empty name")
+	}
+	if roots := r.SpanRoots(); roots != nil {
+		t.Fatalf("nil recorder roots = %v", roots)
+	}
+	snap := r.Snapshot()
+	if len(snap.Counters) != 0 || len(snap.Spans) != 0 {
+		t.Fatalf("nil recorder snapshot must be empty, got %+v", snap)
+	}
+}
+
+// TestRegistryReturnsSameInstrument checks create-or-get semantics.
+func TestRegistryReturnsSameInstrument(t *testing.T) {
+	m := NewMetrics()
+	if m.Counter("a") != m.Counter("a") {
+		t.Fatal("Counter must return the same instance per name")
+	}
+	if m.Gauge("a") != m.Gauge("a") {
+		t.Fatal("Gauge must return the same instance per name")
+	}
+	if m.Histogram("a") != m.Histogram("a", 1, 2) {
+		t.Fatal("Histogram must return the same instance per name")
+	}
+}

@@ -1,0 +1,69 @@
+package obs
+
+import "time"
+
+// Span is one timed region of a scan: a whole plugin, a pipeline stage,
+// or a single file's parse. Spans form a tree via parent linkage; the
+// Recorder keeps the roots. All methods are safe on a nil receiver, so
+// instrumented code never branches on whether tracing is enabled.
+type Span struct {
+	rec    *Recorder
+	name   string
+	parent *Span
+	start  time.Time
+	end    time.Time
+	// children is guarded by rec.mu (spans of concurrent workers attach
+	// to per-worker parents, but a shared parent must tolerate races).
+	children []*Span
+}
+
+// Name returns the span's label.
+func (s *Span) Name() string {
+	if s == nil {
+		return ""
+	}
+	return s.name
+}
+
+// StartChild opens a sub-span under s using the recorder's clock.
+func (s *Span) StartChild(name string) *Span {
+	if s == nil {
+		return nil
+	}
+	return s.rec.StartSpan(name, s)
+}
+
+// End closes the span. Ending an already-ended or nil span is a no-op.
+func (s *Span) End() {
+	if s == nil || !s.end.IsZero() {
+		return
+	}
+	s.rec.mu.Lock()
+	s.end = s.rec.clock.Now()
+	s.rec.mu.Unlock()
+}
+
+// Duration returns the span's elapsed time, or the time elapsed so far
+// when the span is still open.
+func (s *Span) Duration() time.Duration {
+	if s == nil || s.start.IsZero() {
+		return 0
+	}
+	s.rec.mu.Lock()
+	end := s.end
+	s.rec.mu.Unlock()
+	if end.IsZero() {
+		return s.rec.clock.Now().Sub(s.start)
+	}
+	return end.Sub(s.start)
+}
+
+// EndAndObserve closes the span and records its duration in seconds
+// into the named histogram of the recorder's registry.
+func (s *Span) EndAndObserve(histogram string) {
+	if s == nil {
+		return
+	}
+	s.End()
+	s.rec.Metrics().Histogram(histogram).Observe(s.Duration().Seconds())
+}

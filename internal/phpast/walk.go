@@ -19,6 +19,20 @@ func InspectStmts(list []Stmt, f func(Node) bool) {
 	}
 }
 
+// CountNodes returns the number of AST nodes in a file, the size figure
+// the observability layer reports per parse (parse_ast_nodes_total).
+func CountNodes(f *File) int {
+	if f == nil {
+		return 0
+	}
+	n := 0
+	InspectStmts(f.Stmts, func(Node) bool {
+		n++
+		return true
+	})
+	return n
+}
+
 // Children returns the direct child nodes of n in source order. It returns
 // nil for leaves. The function is exhaustive over the node types defined in
 // this package; unknown nodes yield nil.

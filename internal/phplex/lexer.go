@@ -11,6 +11,7 @@ package phplex
 import (
 	"strings"
 
+	"repro/internal/obs"
 	"repro/internal/phptoken"
 )
 
@@ -73,6 +74,28 @@ func Tokenize(src string) []phptoken.Token {
 // (trivia removed), matching phpSAFE's cleaned AST input (paper §III.B).
 func TokenizeCode(src string) []phptoken.Token {
 	all := Tokenize(src)
+	code := make([]phptoken.Token, 0, len(all))
+	for _, t := range all {
+		if !t.IsTrivia() {
+			code = append(code, t)
+		}
+	}
+	return code
+}
+
+// TokenizeCodeObserved is TokenizeCode with lexing cost recorded into a
+// recorder: tokens lexed (including trivia), source lines, and lex time
+// under parent as a "lex" span observed into the stage_lex_seconds
+// histogram. A nil recorder makes it identical to TokenizeCode.
+func TokenizeCodeObserved(src string, rec *obs.Recorder, parent *obs.Span) []phptoken.Token {
+	if rec == nil {
+		return TokenizeCode(src)
+	}
+	sp := rec.StartSpan("lex", parent)
+	all := Tokenize(src)
+	sp.EndAndObserve("stage_lex_seconds")
+	rec.Counter("lex_tokens_total").Add(int64(len(all)))
+	rec.Counter("lex_lines_total").Add(int64(strings.Count(src, "\n") + 1))
 	code := make([]phptoken.Token, 0, len(all))
 	for _, t := range all {
 		if !t.IsTrivia() {

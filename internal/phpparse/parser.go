@@ -13,6 +13,7 @@ import (
 	"fmt"
 	"strings"
 
+	"repro/internal/obs"
 	"repro/internal/phpast"
 	"repro/internal/phplex"
 	"repro/internal/phptoken"
@@ -22,14 +23,32 @@ import (
 // file always has a usable (possibly partial) statement list; recoverable
 // problems are listed in File.Errors.
 func Parse(name, src string) *phpast.File {
+	return ParseObserved(name, src, nil, nil)
+}
+
+// ParseObserved is Parse with model-construction cost recorded into a
+// recorder: a "parse:<name>" span under parent (with a nested "lex"
+// span from the lexer), parse time in the stage_parse_seconds
+// histogram, and the parse_ast_nodes_total / parse_errors_total /
+// parse_files_total counters. A nil recorder makes it identical to
+// Parse — the counting walk only runs when observation is on, so the
+// unobserved hot path stays unchanged.
+func ParseObserved(name, src string, rec *obs.Recorder, parent *obs.Span) *phpast.File {
+	sp := rec.StartNamedSpan("parse:", name, parent)
 	p := &parser{
-		toks: phplex.TokenizeCode(src),
+		toks: phplex.TokenizeCodeObserved(src, rec, sp),
 		file: &phpast.File{
 			Name:  name,
 			Lines: strings.Count(src, "\n") + 1,
 		},
 	}
 	p.file.Stmts = p.parseStmtList(func(t phptoken.Token) bool { return false })
+	sp.EndAndObserve("stage_parse_seconds")
+	if rec != nil {
+		rec.Counter("parse_files_total").Inc()
+		rec.Counter("parse_ast_nodes_total").Add(int64(phpast.CountNodes(p.file)))
+		rec.Counter("parse_errors_total").Add(int64(len(p.file.Errors)))
+	}
 	return p.file
 }
 

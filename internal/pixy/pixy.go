@@ -29,6 +29,7 @@ import (
 
 	"repro/internal/analyzer"
 	"repro/internal/config"
+	"repro/internal/obs"
 	"repro/internal/phpast"
 	"repro/internal/phpparse"
 )
@@ -42,6 +43,8 @@ type Engine struct {
 	cfg *config.Compiled
 	// registerGlobals enables the register_globals=1 modeling.
 	registerGlobals bool
+	// rec receives metrics and spans; nil disables instrumentation.
+	rec *obs.Recorder
 }
 
 var _ analyzer.Analyzer = (*Engine)(nil)
@@ -75,6 +78,14 @@ func profile2007() config.Profile {
 // Name returns the tool name used in reports.
 func (e *Engine) Name() string { return "Pixy" }
 
+// WithRecorder returns a copy of the engine that records per-plugin
+// model/analysis stage spans and parse metrics into rec.
+func (e *Engine) WithRecorder(rec *obs.Recorder) *Engine {
+	clone := *e
+	clone.rec = rec
+	return &clone
+}
+
 // Analyze scans one plugin target file by file.
 func (e *Engine) Analyze(target *analyzer.Target) (*analyzer.Result, error) {
 	if target == nil {
@@ -82,16 +93,21 @@ func (e *Engine) Analyze(target *analyzer.Target) (*analyzer.Result, error) {
 	}
 	res := &analyzer.Result{Tool: e.Name(), Target: target.Name}
 
+	scan := e.rec.StartNamedSpan("scan:", target.Name, nil)
+
 	// Parse everything up front; function definitions resolve per file
 	// only (Pixy does not build a whole-plugin model).
+	msp := scan.StartChild("model")
 	paths := make([]string, 0, len(target.Files))
 	files := make(map[string]*phpast.File, len(target.Files))
 	for _, sf := range target.Files {
-		files[sf.Path] = phpparse.Parse(sf.Path, sf.Content)
+		files[sf.Path] = phpparse.ParseObserved(sf.Path, sf.Content, e.rec, msp)
 		paths = append(paths, sf.Path)
 	}
 	sort.Strings(paths)
+	msp.EndAndObserve("stage_model_seconds")
 
+	tsp := scan.StartChild("taint")
 	for _, path := range paths {
 		file := files[path]
 		if hasClassDecl(file) {
@@ -113,7 +129,9 @@ func (e *Engine) Analyze(target *analyzer.Target) (*analyzer.Result, error) {
 		res.FilesAnalyzed++
 		res.LinesAnalyzed += file.Lines
 	}
+	tsp.EndAndObserve("stage_taint_seconds")
 	res.Dedup()
+	scan.End()
 	return res, nil
 }
 

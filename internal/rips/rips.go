@@ -32,6 +32,7 @@ import (
 
 	"repro/internal/analyzer"
 	"repro/internal/config"
+	"repro/internal/obs"
 	"repro/internal/phpast"
 	"repro/internal/phpparse"
 )
@@ -40,6 +41,8 @@ import (
 // concurrent use on distinct targets.
 type Engine struct {
 	cfg *config.Compiled
+	// rec receives metrics and spans; nil disables instrumentation.
+	rec *obs.Recorder
 }
 
 var _ analyzer.Analyzer = (*Engine)(nil)
@@ -54,6 +57,14 @@ func NewDefault() *Engine { return New(config.Compile(config.Generic())) }
 // Name returns the tool name used in reports.
 func (e *Engine) Name() string { return "RIPS" }
 
+// WithRecorder returns a copy of the engine that records per-plugin
+// model/slice stage spans and parse metrics into rec.
+func (e *Engine) WithRecorder(rec *obs.Recorder) *Engine {
+	clone := *e
+	clone.rec = rec
+	return &clone
+}
+
 // Analyze scans one plugin target file by file.
 func (e *Engine) Analyze(target *analyzer.Target) (*analyzer.Result, error) {
 	if target == nil {
@@ -61,17 +72,24 @@ func (e *Engine) Analyze(target *analyzer.Target) (*analyzer.Result, error) {
 	}
 	res := &analyzer.Result{Tool: e.Name(), Target: target.Name}
 
+	scan := e.rec.StartNamedSpan("scan:", target.Name, nil)
+
 	// RIPS builds a program model per file but resolves user functions
 	// across the whole plugin (inter-procedural analysis).
-	model := buildModel(target)
+	msp := scan.StartChild("model")
+	model := buildModel(target, e.rec, msp)
+	msp.EndAndObserve("stage_model_seconds")
 
+	tsp := scan.StartChild("taint")
 	for _, file := range model.fileOrder {
 		fa := &fileAnalysis{eng: e, model: model, res: res}
 		fa.analyzeFile(file)
 		res.FilesAnalyzed++
 		res.LinesAnalyzed += model.files[file].Lines
 	}
+	tsp.EndAndObserve("stage_taint_seconds")
 	res.Dedup()
+	scan.End()
 	return res, nil
 }
 
@@ -147,8 +165,9 @@ type event struct {
 }
 
 // buildModel parses all files and flattens every function and every
-// top-level flow.
-func buildModel(target *analyzer.Target) *model {
+// top-level flow. The recorder and parent span (both possibly nil)
+// observe the per-file parses.
+func buildModel(target *analyzer.Target, rec *obs.Recorder, parent *obs.Span) *model {
 	m := &model{
 		files:     make(map[string]*phpast.File, len(target.Files)),
 		funcs:     make(map[string]*funcModel),
@@ -156,7 +175,7 @@ func buildModel(target *analyzer.Target) *model {
 		mains:     make(map[string]*funcModel, len(target.Files)),
 	}
 	for _, sf := range target.Files {
-		f := phpparse.Parse(sf.Path, sf.Content)
+		f := phpparse.ParseObserved(sf.Path, sf.Content, rec, parent)
 		m.files[sf.Path] = f
 		m.fileOrder = append(m.fileOrder, sf.Path)
 	}

@@ -51,6 +51,7 @@ func (a *analysis) evalFuncCall(x *phpast.FuncCall, sc *scope) *value {
 
 	// Sanitizer: the return value is clean for the sanitized classes.
 	if classes, ok := a.cfg.FunctionSanitizer(name); ok {
+		a.stats.sanitizerHits++
 		return mergeAll(argVals...).sanitize(classes, name)
 	}
 
@@ -179,6 +180,7 @@ func (a *analysis) evalMethodCall(x *phpast.MethodCall, sc *scope) *value {
 
 	// Configured method sanitizer ($wpdb->prepare).
 	if classes, ok := a.cfg.MethodSanitizer(className, name); ok {
+		a.stats.sanitizerHits++
 		return mergeAll(argVals...).sanitize(classes, className+"::"+name)
 	}
 
@@ -248,6 +250,7 @@ func (a *analysis) evalStaticCall(x *phpast.StaticCall, sc *scope) *value {
 	}
 
 	if classes, ok := a.cfg.MethodSanitizer(className, x.Name); ok {
+		a.stats.sanitizerHits++
 		return mergeAll(argVals...).sanitize(classes, className+"::"+x.Name)
 	}
 	if sinks := a.cfg.MethodSinks(className, x.Name); len(sinks) > 0 {

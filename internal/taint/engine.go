@@ -31,6 +31,7 @@ import (
 
 	"repro/internal/analyzer"
 	"repro/internal/config"
+	"repro/internal/obs"
 	"repro/internal/phpast"
 	"repro/internal/phpparse"
 )
@@ -76,6 +77,9 @@ func DefaultOptions() Options {
 type Engine struct {
 	cfg  *config.Compiled
 	opts Options
+	// rec receives metrics and spans; nil (the default) disables all
+	// instrumentation at the cost of a nil check.
+	rec *obs.Recorder
 }
 
 // Compile-time check that Engine implements the shared interface.
@@ -89,16 +93,61 @@ func New(cfg *config.Compiled, opts Options) *Engine {
 // Name returns the tool name used in reports.
 func (e *Engine) Name() string { return "phpSAFE" }
 
+// WithRecorder returns a copy of the engine that records metrics and
+// per-plugin stage spans (scan → model/taint → per-file parse/lex) into
+// rec. The receiver is unchanged, so one immutable engine can serve
+// both observed and unobserved scans.
+func (e *Engine) WithRecorder(rec *obs.Recorder) *Engine {
+	clone := *e
+	clone.rec = rec
+	return &clone
+}
+
+// scanStats accumulates per-scan instrumentation counts in plain ints;
+// they are flushed to the recorder once per scan so the hot paths never
+// touch an atomic, and they cost only an integer increment when
+// instrumentation is disabled.
+type scanStats struct {
+	funcsAnalyzed    int64
+	summaryReuses    int64
+	propagationSteps int64
+	sanitizerHits    int64
+	sinkChecks       int64
+}
+
 // Analyze scans one plugin target.
 func (e *Engine) Analyze(target *analyzer.Target) (*analyzer.Result, error) {
 	if target == nil {
 		return nil, fmt.Errorf("taint: nil target")
 	}
 	a := newAnalysis(e, target)
-	a.buildModel()
+	scan := e.rec.StartNamedSpan("scan:", target.Name, nil)
+	model := scan.StartChild("model")
+	a.buildModel(model)
+	model.EndAndObserve("stage_model_seconds")
+	tsp := scan.StartChild("taint")
 	a.run()
+	tsp.EndAndObserve("stage_taint_seconds")
 	a.result.Dedup()
+	scan.End()
+	a.flushStats()
 	return a.result, nil
+}
+
+// flushStats publishes the scan's accumulated counts to the recorder.
+func (a *analysis) flushStats() {
+	rec := a.eng.rec
+	if rec == nil {
+		return
+	}
+	rec.Counter("taint_plugins_scanned_total").Inc()
+	rec.Counter("taint_functions_analyzed_total").Add(a.stats.funcsAnalyzed)
+	rec.Counter("taint_summary_reuses_total").Add(a.stats.summaryReuses)
+	rec.Counter("taint_propagation_iterations_total").Add(a.stats.propagationSteps)
+	rec.Counter("taint_sanitizer_hits_total").Add(a.stats.sanitizerHits)
+	rec.Counter("taint_sink_checks_total").Add(a.stats.sinkChecks)
+	rec.Counter("taint_findings_total").Add(int64(len(a.result.Findings)))
+	rec.Counter("taint_files_failed_total").Add(int64(len(a.result.FilesFailed)))
 }
 
 // funcInfo is one user-defined function in the model.
@@ -178,6 +227,10 @@ type analysis struct {
 	// curFile is the path of the file whose code is being walked.
 	curFile string
 
+	// stats collects instrumentation counts flushed at the end of the
+	// scan (see scanStats).
+	stats scanStats
+
 	result *analyzer.Result
 }
 
@@ -205,10 +258,11 @@ func newAnalysis(e *Engine, target *analyzer.Target) *analysis {
 }
 
 // buildModel is the model-construction stage (§III.B): parse every file,
-// inventory declarations and call sites.
-func (a *analysis) buildModel() {
+// inventory declarations and call sites. The model span (nil when
+// unobserved) parents the per-file parse spans.
+func (a *analysis) buildModel(modelSpan *obs.Span) {
 	for _, sf := range a.target.Files {
-		f := phpparse.Parse(sf.Path, sf.Content)
+		f := phpparse.ParseObserved(sf.Path, sf.Content, a.eng.rec, modelSpan)
 		a.files[sf.Path] = f
 		a.fileOrder = append(a.fileOrder, sf.Path)
 	}

@@ -81,8 +81,11 @@ func (a *analysis) execStmts(stmts []phpast.Stmt, sc *scope) {
 	}
 }
 
-// execStmt dispatches one statement.
+// execStmt dispatches one statement. Every dispatch is one taint
+// propagation step; the count sizes a scan's abstract-interpretation
+// work for the observability layer.
 func (a *analysis) execStmt(s phpast.Stmt, sc *scope) {
+	a.stats.propagationSteps++
 	switch st := s.(type) {
 	case *phpast.ExprStmt:
 		a.eval(st.X, sc)

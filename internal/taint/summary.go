@@ -78,6 +78,7 @@ func (a *analysis) summarizeFunction(key, file string, class *classInfo,
 	params []phpast.Param, body []phpast.Stmt, args []*value) *summary {
 
 	if sum, ok := a.summaries[key]; ok && sum.done {
+		a.stats.summaryReuses++
 		return sum
 	}
 	if a.inProgress[key] {
@@ -85,6 +86,7 @@ func (a *analysis) summarizeFunction(key, file string, class *classInfo,
 	}
 	a.inProgress[key] = true
 	defer delete(a.inProgress, key)
+	a.stats.funcsAnalyzed++
 
 	sum := &summary{}
 	inner := &scope{
@@ -220,6 +222,7 @@ func (a *analysis) callConcrete(key, file string, class *classInfo,
 	}
 	a.inProgress[key] = true
 	defer delete(a.inProgress, key)
+	a.stats.funcsAnalyzed++
 
 	collector := &summary{}
 	inner := &scope{
@@ -259,6 +262,7 @@ func (a *analysis) callConcrete(key, file string, class *classInfo,
 // flow for call-site instantiation.
 func (a *analysis) checkSink(sinkName string, class analyzer.VulnClass,
 	v *value, line int, varName string, sc *scope) {
+	a.stats.sinkChecks++
 	if v == nil {
 		return
 	}
