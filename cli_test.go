@@ -29,7 +29,7 @@ func binaries(t *testing.T) string {
 		if buildErr != nil {
 			return
 		}
-		for _, cmd := range []string{"phpsafe", "corpusgen", "evalrepro"} {
+		for _, cmd := range []string{"phpsafe", "phpsafed", "corpusgen", "evalrepro"} {
 			out, err := exec.Command("go", "build", "-o",
 				filepath.Join(binDir, cmd), "./cmd/"+cmd).CombinedOutput()
 			if err != nil {
@@ -209,6 +209,20 @@ func TestCLIEvalreproSingleTable(t *testing.T) {
 	}
 	if _, err := os.Stat(filepath.Join(cmd.Dir, "BENCH_eval.json")); err != nil {
 		t.Fatalf("BENCH_eval.json artifact not written: %v", err)
+	}
+}
+
+func TestCLIVersionFlags(t *testing.T) {
+	t.Parallel()
+	bins := binaries(t)
+	for _, cmd := range []string{"phpsafe", "phpsafed"} {
+		out, err := exec.Command(filepath.Join(bins, cmd), "-version").CombinedOutput()
+		if err != nil {
+			t.Fatalf("%s -version: %v\n%s", cmd, err, out)
+		}
+		if !strings.Contains(string(out), "phpSAFE-repro") {
+			t.Errorf("%s -version output = %q", cmd, out)
+		}
 	}
 }
 

@@ -24,6 +24,7 @@
 //	-metrics-format json|prom    metrics exposition format (default json)
 //	-pprof ADDR                  serve net/http/pprof and expvar on ADDR
 //	                             (e.g. localhost:6060) for long scans
+//	-version                     print the version and exit
 //
 // Exit status is 0 when no vulnerabilities are found, 1 when findings
 // exist, and 2 on usage or I/O errors.
@@ -39,13 +40,11 @@ import (
 	"os"
 
 	"repro/internal/analyzer"
-	"repro/internal/config"
+	"repro/internal/eval"
 	"repro/internal/obs"
-	"repro/internal/pixy"
 	"repro/internal/report"
-	"repro/internal/rips"
 	"repro/internal/taint"
-	"repro/internal/wordpress"
+	"repro/internal/version"
 )
 
 func main() {
@@ -66,7 +65,13 @@ func run() int {
 	metricsOut := flag.String("metrics", "", "write scan metrics to this file after the scan (\"-\" for stdout)")
 	metricsFormat := flag.String("metrics-format", "json", "metrics exposition format: json or prom")
 	pprofAddr := flag.String("pprof", "", "serve net/http/pprof and expvar on this address during the scan")
+	showVersion := flag.Bool("version", false, "print the version and exit")
 	flag.Parse()
+
+	if *showVersion {
+		fmt.Println(version.String())
+		return 0
+	}
 
 	if flag.NArg() != 1 {
 		fmt.Fprintln(os.Stderr, "usage: phpsafe [flags] <plugin-dir|file.php>")
@@ -106,7 +111,11 @@ func run() int {
 		rec = obs.NewRecorder()
 	}
 
-	tool, err := buildTool(*toolName, *profile, *noOOP, *noUncalled, rec)
+	tool, err := eval.BuildTool(*toolName, *profile, eval.ToolOptions{
+		NoOOP:      *noOOP,
+		NoUncalled: *noUncalled,
+		Recorder:   rec,
+	})
 	if err != nil {
 		fmt.Fprintf(os.Stderr, "phpsafe: %v\n", err)
 		return 2
@@ -218,33 +227,6 @@ func printModel(tool analyzer.Analyzer, target *analyzer.Target) int {
 	}
 	fmt.Println("\n  * = not called from plugin code (hook surface, §III.B)")
 	return 0
-}
-
-// buildTool constructs the selected engine with the selected profile,
-// threading the (possibly nil) recorder into it.
-func buildTool(name, profile string, noOOP, noUncalled bool, rec *obs.Recorder) (analyzer.Analyzer, error) {
-	var cfg *config.Compiled
-	switch profile {
-	case "wordpress":
-		cfg = wordpress.Compiled()
-	case "generic":
-		cfg = config.Compile(config.Generic())
-	default:
-		return nil, fmt.Errorf("unknown profile %q", profile)
-	}
-	switch name {
-	case "phpsafe":
-		opts := taint.DefaultOptions()
-		opts.OOP = !noOOP
-		opts.AnalyzeUncalled = !noUncalled
-		return taint.New(cfg, opts).WithRecorder(rec), nil
-	case "rips":
-		return rips.New(cfg).WithRecorder(rec), nil
-	case "pixy":
-		return pixy.New().WithRecorder(rec), nil
-	default:
-		return nil, fmt.Errorf("unknown tool %q", name)
-	}
 }
 
 // writeMetrics dumps the recorder snapshot in the requested format.

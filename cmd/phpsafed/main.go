@@ -1,0 +1,112 @@
+// Command phpsafed runs the phpSAFE analysis pipeline as a long-lived
+// HTTP service: a scan daemon with a bounded job queue, a worker pool
+// and a content-addressed result cache. It is the serving counterpart
+// of the one-shot phpsafe CLI — upload a plugin, poll the job, fetch
+// the report in analyzer JSON, SARIF or HTML.
+//
+// Usage:
+//
+//	phpsafed [flags]
+//
+//	-addr ADDR          listen address (default :8477)
+//	-workers N          scan workers (default NumCPU)
+//	-queue N            queued-scan bound; beyond it submissions get
+//	                    HTTP 429 (default 64)
+//	-job-timeout D      per-scan context timeout (default 2m)
+//	-cache-mb N         result-cache byte budget in MiB (default 256)
+//	-max-upload-mb N    submission body limit in MiB (default 32)
+//	-version            print the version and exit
+//
+// The daemon shuts down gracefully on SIGINT/SIGTERM: the listener
+// stops, accepted scans drain, and only then does the process exit.
+package main
+
+import (
+	"context"
+	"errors"
+	"flag"
+	"fmt"
+	"log"
+	"net/http"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"repro/internal/jobs"
+	"repro/internal/obs"
+	"repro/internal/scancache"
+	"repro/internal/server"
+	"repro/internal/version"
+)
+
+func main() {
+	os.Exit(run())
+}
+
+func run() int {
+	addr := flag.String("addr", ":8477", "listen address")
+	workers := flag.Int("workers", 0, "scan workers (0 = NumCPU)")
+	queue := flag.Int("queue", 64, "max queued scans before submissions get 429")
+	jobTimeout := flag.Duration("job-timeout", 2*time.Minute, "per-scan context timeout")
+	cacheMB := flag.Int64("cache-mb", 256, "result cache budget in MiB")
+	maxUploadMB := flag.Int64("max-upload-mb", 32, "submission body limit in MiB")
+	showVersion := flag.Bool("version", false, "print the version and exit")
+	flag.Parse()
+
+	if *showVersion {
+		fmt.Println(version.String())
+		return 0
+	}
+
+	// A daemon is always instrumented: /metrics is part of the API.
+	rec := obs.NewRecorder()
+	pool := jobs.New(jobs.Config{
+		Workers:    *workers,
+		QueueSize:  *queue,
+		JobTimeout: *jobTimeout,
+		Recorder:   rec,
+	})
+	cache := scancache.New(*cacheMB<<20, rec)
+	api := server.New(server.Config{
+		Pool:           pool,
+		Cache:          cache,
+		Recorder:       rec,
+		MaxUploadBytes: *maxUploadMB << 20,
+	})
+
+	httpSrv := &http.Server{
+		Addr:              *addr,
+		Handler:           api,
+		ReadHeaderTimeout: 10 * time.Second,
+	}
+
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+
+	errCh := make(chan error, 1)
+	go func() { errCh <- httpSrv.ListenAndServe() }()
+	log.Printf("phpsafed %s listening on %s (%d workers, queue %d, cache %d MiB)",
+		version.Version, *addr, pool.Workers(), *queue, *cacheMB)
+
+	select {
+	case <-ctx.Done():
+		log.Printf("signal received, draining")
+	case err := <-errCh:
+		log.Printf("listener failed: %v", err)
+		return 1
+	}
+
+	// Stop intake first, then let queued scans finish.
+	shutdownCtx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+	defer cancel()
+	if err := httpSrv.Shutdown(shutdownCtx); err != nil {
+		log.Printf("http shutdown: %v", err)
+	}
+	if err := pool.Shutdown(shutdownCtx); err != nil && !errors.Is(err, context.Canceled) {
+		log.Printf("pool drain: %v", err)
+		return 1
+	}
+	log.Printf("drained, bye")
+	return 0
+}

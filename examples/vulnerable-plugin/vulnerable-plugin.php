@@ -1,0 +1,20 @@
+<?php
+/**
+ * Plugin Name: Vulnerable Plugin (fixture)
+ *
+ * A deliberately vulnerable WordPress-style plugin used by the README
+ * curl examples and the CI smoke test for the phpsafed daemon. Each
+ * sink below is a pattern from the paper's §V.C root-cause classes.
+ */
+
+// Reflected XSS: attacker-controlled $_GET flows straight to echo.
+function vp_show_banner() {
+	$title = $_GET['title'];
+	echo '<h2>' . $title . '</h2>';
+}
+
+// SQL injection: $_POST concatenated into a query string.
+function vp_lookup_user() {
+	$login = $_POST['login'];
+	mysql_query("SELECT * FROM users WHERE login='" . $login . "'");
+}

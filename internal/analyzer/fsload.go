@@ -4,8 +4,17 @@ import (
 	"io/fs"
 	"os"
 	"path/filepath"
+	"sort"
 	"strings"
 )
+
+// IsPHPPath reports whether path names a PHP source file. Extension
+// matching is case-insensitive because real plugin trees ship `.PHP`
+// and `.Php` files (Windows-authored archives in particular); a
+// case-sensitive match silently drops those files from the analysis.
+func IsPHPPath(path string) bool {
+	return strings.EqualFold(filepath.Ext(path), ".php")
+}
 
 // LoadFile builds a single-file target from a PHP file on disk.
 func LoadFile(path string) (*Target, error) {
@@ -13,24 +22,32 @@ func LoadFile(path string) (*Target, error) {
 	if err != nil {
 		return nil, err
 	}
+	base := filepath.Base(path)
+	name := base
+	if IsPHPPath(base) {
+		name = base[:len(base)-len(filepath.Ext(base))]
+	}
 	return &Target{
-		Name: strings.TrimSuffix(filepath.Base(path), ".php"),
+		Name: name,
 		Files: []SourceFile{{
-			Path:    filepath.Base(path),
+			Path:    base,
 			Content: string(content),
 		}},
 	}, nil
 }
 
 // LoadDir builds a target from every .php file under root, with paths
-// relative to root (the layout plugin analysis expects).
+// relative to root (the layout plugin analysis expects). Files are
+// emitted in sorted path order regardless of the filesystem's walk
+// order, so targets — and everything derived from them, such as cache
+// keys — are deterministic across platforms.
 func LoadDir(root string) (*Target, error) {
 	target := &Target{Name: filepath.Base(root)}
 	err := filepath.WalkDir(root, func(p string, d fs.DirEntry, err error) error {
 		if err != nil {
 			return err
 		}
-		if d.IsDir() || !strings.HasSuffix(p, ".php") {
+		if d.IsDir() || !IsPHPPath(p) {
 			return nil
 		}
 		content, err := os.ReadFile(p)
@@ -50,6 +67,9 @@ func LoadDir(root string) (*Target, error) {
 	if err != nil {
 		return nil, err
 	}
+	sort.Slice(target.Files, func(i, j int) bool {
+		return target.Files[i].Path < target.Files[j].Path
+	})
 	return target, nil
 }
 

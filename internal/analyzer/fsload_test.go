@@ -45,6 +45,57 @@ func TestLoadFileAndDir(t *testing.T) {
 	}
 }
 
+func TestLoadDirCaseInsensitiveExtensions(t *testing.T) {
+	t.Parallel()
+	dir := t.TempDir()
+	writeFile(t, dir, "zz-main.PHP", "<?php echo 1;")
+	writeFile(t, dir, "inc/Util.Php", "<?php echo 2;")
+	writeFile(t, dir, "aa-last.php", "<?php echo 3;")
+	writeFile(t, dir, "notes.phps", "not a plugin file")
+
+	target, err := LoadDir(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := make([]string, 0, len(target.Files))
+	for _, f := range target.Files {
+		got = append(got, f.Path)
+	}
+	want := []string{"aa-last.php", "inc/Util.Php", "zz-main.PHP"}
+	if len(got) != len(want) {
+		t.Fatalf("files = %v, want %v", got, want)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("sorted order = %v, want %v", got, want)
+		}
+	}
+
+	single, err := LoadFile(filepath.Join(dir, "zz-main.PHP"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if single.Name != "zz-main" {
+		t.Errorf("uppercase extension should be trimmed from name: %q", single.Name)
+	}
+}
+
+func TestIsPHPPath(t *testing.T) {
+	t.Parallel()
+	for path, want := range map[string]bool{
+		"a.php":     true,
+		"a.PHP":     true,
+		"dir/B.Php": true,
+		"a.phps":    false,
+		"a.php.txt": false,
+		"php":       false,
+	} {
+		if got := IsPHPPath(path); got != want {
+			t.Errorf("IsPHPPath(%q) = %v, want %v", path, got, want)
+		}
+	}
+}
+
 // writeFile creates a file under dir, making parent directories.
 func writeFile(t *testing.T, dir, rel, content string) {
 	t.Helper()

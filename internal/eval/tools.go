@@ -1,7 +1,10 @@
 package eval
 
 import (
+	"fmt"
+
 	"repro/internal/analyzer"
+	"repro/internal/config"
 	"repro/internal/corpus"
 	"repro/internal/obs"
 	"repro/internal/pixy"
@@ -26,6 +29,48 @@ func ObservedTools(rec *obs.Recorder) []analyzer.Analyzer {
 		taint.New(wordpress.Compiled(), taint.DefaultOptions()).WithRecorder(rec),
 		rips.NewDefault().WithRecorder(rec),
 		pixy.New().WithRecorder(rec),
+	}
+}
+
+// ToolOptions tunes BuildTool's engine construction. The zero value is
+// the default configuration: OOP analysis on, uncalled-function
+// analysis on, no instrumentation.
+type ToolOptions struct {
+	// NoOOP disables object-oriented analysis (paper §III.E).
+	NoOOP bool
+	// NoUncalled skips functions never called from plugin code.
+	NoUncalled bool
+	// Recorder, when non-nil, instruments the engine.
+	Recorder *obs.Recorder
+}
+
+// BuildTool constructs one engine by name ("phpsafe", "rips" or
+// "pixy") over the named configuration profile ("wordpress" or
+// "generic"). The phpsafe CLI and the phpsafed daemon both construct
+// engines through this function, so the two binaries cannot drift in
+// how a tool/profile pair maps onto an analyzer.
+func BuildTool(name, profile string, opts ToolOptions) (analyzer.Analyzer, error) {
+	var cfg *config.Compiled
+	switch profile {
+	case "wordpress":
+		cfg = wordpress.Compiled()
+	case "generic":
+		cfg = config.Compile(config.Generic())
+	default:
+		return nil, fmt.Errorf("unknown profile %q", profile)
+	}
+	switch name {
+	case "phpsafe":
+		o := taint.DefaultOptions()
+		o.OOP = !opts.NoOOP
+		o.AnalyzeUncalled = !opts.NoUncalled
+		return taint.New(cfg, o).WithRecorder(opts.Recorder), nil
+	case "rips":
+		return rips.New(cfg).WithRecorder(opts.Recorder), nil
+	case "pixy":
+		return pixy.New().WithRecorder(opts.Recorder), nil
+	default:
+		return nil, fmt.Errorf("unknown tool %q", name)
 	}
 }
 

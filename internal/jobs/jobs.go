@@ -1,0 +1,170 @@
+// Package jobs provides the bounded FIFO job queue and worker pool
+// behind the scan daemon. The design goals, in order:
+//
+//   - Backpressure over buffering: Submit fails fast with ErrQueueFull
+//     when the queue is at capacity, so the HTTP layer can answer 429
+//     instead of accumulating unbounded work.
+//   - Graceful drain: Shutdown stops intake, lets workers finish every
+//     job already accepted, and only cancels running jobs when the
+//     caller's deadline expires. An accepted job is never dropped.
+//   - Bounded per-job lifetime: each job runs under a context that is
+//     cancelled after the configured timeout, so one pathological scan
+//     cannot pin a worker forever (jobs must observe the context).
+package jobs
+
+import (
+	"context"
+	"errors"
+	"runtime"
+	"sync"
+	"time"
+
+	"repro/internal/obs"
+)
+
+// ErrQueueFull is returned by Submit when the queue is at capacity;
+// the caller should shed load (HTTP 429).
+var ErrQueueFull = errors.New("jobs: queue full")
+
+// ErrClosed is returned by Submit after Shutdown has begun; the caller
+// should refuse new work (HTTP 503).
+var ErrClosed = errors.New("jobs: pool closed")
+
+// Config sizes a pool.
+type Config struct {
+	// Workers is the number of concurrent workers (default NumCPU).
+	Workers int
+	// QueueSize bounds the number of accepted-but-not-started jobs
+	// (default 64). Submissions beyond it fail with ErrQueueFull.
+	QueueSize int
+	// JobTimeout bounds each job's context (0 means no per-job limit).
+	JobTimeout time.Duration
+	// Recorder, when non-nil, receives queue metrics: the
+	// jobs_queue_depth and jobs_in_flight gauges, the
+	// jobs_{submitted,rejected,completed}_total counters and the
+	// jobs_{wait,run}_seconds histograms.
+	Recorder *obs.Recorder
+}
+
+// task is one accepted unit of work.
+type task struct {
+	fn       func(context.Context)
+	enqueued time.Time
+}
+
+// Pool is a fixed-size worker pool over a bounded FIFO queue. All
+// methods are safe for concurrent use.
+type Pool struct {
+	cfg   Config
+	rec   *obs.Recorder
+	queue chan task
+	wg    sync.WaitGroup
+
+	// baseCtx parents every job context; cancel aborts running jobs
+	// when a Shutdown deadline expires.
+	baseCtx context.Context
+	cancel  context.CancelFunc
+
+	mu     sync.Mutex
+	closed bool
+}
+
+// New starts a pool with cfg's workers already running.
+func New(cfg Config) *Pool {
+	if cfg.Workers <= 0 {
+		cfg.Workers = runtime.NumCPU()
+	}
+	if cfg.QueueSize <= 0 {
+		cfg.QueueSize = 64
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	p := &Pool{
+		cfg:     cfg,
+		rec:     cfg.Recorder,
+		queue:   make(chan task, cfg.QueueSize),
+		baseCtx: ctx,
+		cancel:  cancel,
+	}
+	for i := 0; i < cfg.Workers; i++ {
+		p.wg.Add(1)
+		go p.worker()
+	}
+	return p
+}
+
+// Submit enqueues fn, failing fast when the queue is full or the pool
+// is shutting down. Once Submit returns nil the job will run, even if
+// Shutdown begins immediately afterwards.
+func (p *Pool) Submit(fn func(ctx context.Context)) error {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	if p.closed {
+		p.rec.Counter("jobs_rejected_total").Inc()
+		return ErrClosed
+	}
+	select {
+	case p.queue <- task{fn: fn, enqueued: time.Now()}:
+		p.rec.Counter("jobs_submitted_total").Inc()
+		p.rec.Gauge("jobs_queue_depth").Set(float64(len(p.queue)))
+		return nil
+	default:
+		p.rec.Counter("jobs_rejected_total").Inc()
+		return ErrQueueFull
+	}
+}
+
+// QueueDepth returns the number of jobs accepted but not yet started.
+func (p *Pool) QueueDepth() int { return len(p.queue) }
+
+// Workers returns the pool's worker count.
+func (p *Pool) Workers() int { return p.cfg.Workers }
+
+// Shutdown stops intake and drains: workers finish every accepted job.
+// If ctx expires first, the contexts of still-running jobs are
+// cancelled and ctx.Err() is returned without waiting further (a job
+// that ignores its context may still be running). Shutdown is
+// idempotent.
+func (p *Pool) Shutdown(ctx context.Context) error {
+	p.mu.Lock()
+	if !p.closed {
+		p.closed = true
+		close(p.queue)
+	}
+	p.mu.Unlock()
+
+	done := make(chan struct{})
+	go func() {
+		p.wg.Wait()
+		close(done)
+	}()
+	select {
+	case <-done:
+		p.cancel()
+		return nil
+	case <-ctx.Done():
+		p.cancel()
+		return ctx.Err()
+	}
+}
+
+// worker consumes the queue until it is closed and drained.
+func (p *Pool) worker() {
+	defer p.wg.Done()
+	for t := range p.queue {
+		p.rec.Gauge("jobs_queue_depth").Set(float64(len(p.queue)))
+		p.rec.Observe("jobs_wait_seconds", time.Since(t.enqueued).Seconds())
+		p.rec.Gauge("jobs_in_flight").Add(1)
+
+		ctx, cancel := p.baseCtx, context.CancelFunc(func() {})
+		if p.cfg.JobTimeout > 0 {
+			ctx, cancel = context.WithTimeout(p.baseCtx, p.cfg.JobTimeout)
+		}
+		start := time.Now()
+		t.fn(ctx)
+		cancel()
+
+		p.rec.Observe("jobs_run_seconds", time.Since(start).Seconds())
+		p.rec.Gauge("jobs_in_flight").Add(-1)
+		p.rec.Counter("jobs_completed_total").Inc()
+	}
+}

@@ -1,0 +1,204 @@
+// Package scancache is the content-addressed result cache behind the
+// scan daemon. Scans are pure functions of (file set, tool build), so
+// a result can be keyed by a hash of its inputs and served to every
+// later request with the same content — the architecture that makes
+// repeated scanning of popular plugin versions cheap and concurrent
+// scanning of the same upload safe (one computation, many readers).
+//
+// The cache bounds memory with LRU eviction by byte budget, and
+// deduplicates identical in-flight computations with singleflight:
+// callers of Do with the key of a scan already being computed block
+// until that one computation finishes and share its result.
+package scancache
+
+import (
+	"container/list"
+	"crypto/sha256"
+	"encoding/binary"
+	"encoding/hex"
+	"encoding/json"
+	"sort"
+	"sync"
+
+	"repro/internal/analyzer"
+	"repro/internal/obs"
+)
+
+// DefaultMaxBytes is the eviction budget used when New is given a
+// non-positive one (256 MiB).
+const DefaultMaxBytes = 256 << 20
+
+// Key returns the content address of one scan: the SHA-256 of the
+// tool/config fingerprint and the target's file set. Every field is
+// length-prefixed and files are hashed in sorted path order, so the
+// same content always hashes identically regardless of upload or walk
+// order, while any change to a path, a file body or the fingerprint
+// produces a new key. The target's display name is deliberately
+// excluded: renaming a plugin does not change its scan result.
+func Key(t *analyzer.Target, fingerprint string) string {
+	h := sha256.New()
+	writeField := func(s string) {
+		var n [8]byte
+		binary.BigEndian.PutUint64(n[:], uint64(len(s)))
+		h.Write(n[:])
+		h.Write([]byte(s))
+	}
+	writeField(fingerprint)
+	files := append([]analyzer.SourceFile(nil), t.Files...)
+	sort.Slice(files, func(i, j int) bool { return files[i].Path < files[j].Path })
+	for _, f := range files {
+		writeField(f.Path)
+		writeField(f.Content)
+	}
+	return hex.EncodeToString(h.Sum(nil))
+}
+
+// entry is one cached result with its accounted size.
+type entry struct {
+	key  string
+	res  *analyzer.Result
+	size int64
+}
+
+// call is one in-flight computation other callers can join.
+type call struct {
+	done chan struct{}
+	res  *analyzer.Result
+	err  error
+}
+
+// Cache is a concurrency-safe LRU of scan results keyed by content
+// address. The recorder (which may be nil) receives the
+// scancache_{hits,misses,dedup,evictions}_total counters and the
+// scancache_{entries,bytes} gauges.
+type Cache struct {
+	rec *obs.Recorder
+
+	mu       sync.Mutex
+	maxBytes int64
+	bytes    int64
+	ll       *list.List // front = most recently used; values are *entry
+	items    map[string]*list.Element
+	inflight map[string]*call
+}
+
+// New returns an empty cache bounded to maxBytes of cached results
+// (DefaultMaxBytes when non-positive).
+func New(maxBytes int64, rec *obs.Recorder) *Cache {
+	if maxBytes <= 0 {
+		maxBytes = DefaultMaxBytes
+	}
+	return &Cache{
+		rec:      rec,
+		maxBytes: maxBytes,
+		ll:       list.New(),
+		items:    make(map[string]*list.Element),
+		inflight: make(map[string]*call),
+	}
+}
+
+// Get returns the cached result for key, marking it most recently
+// used. The returned result is shared: callers must not mutate it.
+func (c *Cache) Get(key string) (*analyzer.Result, bool) {
+	c.mu.Lock()
+	el, ok := c.items[key]
+	var res *analyzer.Result
+	if ok {
+		c.ll.MoveToFront(el)
+		res = el.Value.(*entry).res
+	}
+	c.mu.Unlock()
+	if ok {
+		c.rec.Counter("scancache_hits_total").Inc()
+		return res, true
+	}
+	c.rec.Counter("scancache_misses_total").Inc()
+	return nil, false
+}
+
+// Do returns the result for key, computing it with compute on a miss.
+// Concurrent Do calls for the same key run compute once and share the
+// outcome (including an error). hit reports whether the result came
+// from the cache or a joined in-flight computation rather than this
+// caller's own compute. Failed computations are not cached.
+func (c *Cache) Do(key string, compute func() (*analyzer.Result, error)) (res *analyzer.Result, hit bool, err error) {
+	c.mu.Lock()
+	if el, ok := c.items[key]; ok {
+		c.ll.MoveToFront(el)
+		res = el.Value.(*entry).res
+		c.mu.Unlock()
+		c.rec.Counter("scancache_hits_total").Inc()
+		return res, true, nil
+	}
+	if cl, ok := c.inflight[key]; ok {
+		c.mu.Unlock()
+		c.rec.Counter("scancache_dedup_total").Inc()
+		<-cl.done
+		return cl.res, true, cl.err
+	}
+	cl := &call{done: make(chan struct{})}
+	c.inflight[key] = cl
+	c.mu.Unlock()
+	c.rec.Counter("scancache_misses_total").Inc()
+
+	cl.res, cl.err = compute()
+
+	c.mu.Lock()
+	delete(c.inflight, key)
+	if cl.err == nil && cl.res != nil {
+		c.addLocked(key, cl.res)
+	}
+	c.mu.Unlock()
+	close(cl.done)
+	return cl.res, false, cl.err
+}
+
+// Len returns the number of cached entries.
+func (c *Cache) Len() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.ll.Len()
+}
+
+// Bytes returns the accounted size of all cached entries.
+func (c *Cache) Bytes() int64 {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.bytes
+}
+
+// addLocked inserts res as most recently used and evicts from the LRU
+// tail while over budget. The newest entry is never evicted, so a
+// single result larger than the whole budget still serves its own
+// duplicate requests. Caller holds c.mu.
+func (c *Cache) addLocked(key string, res *analyzer.Result) {
+	if el, ok := c.items[key]; ok {
+		// A concurrent filler won the race; keep the existing entry.
+		c.ll.MoveToFront(el)
+		return
+	}
+	e := &entry{key: key, res: res, size: resultSize(res)}
+	c.items[key] = c.ll.PushFront(e)
+	c.bytes += e.size
+	for c.bytes > c.maxBytes && c.ll.Len() > 1 {
+		tail := c.ll.Back()
+		victim := tail.Value.(*entry)
+		c.ll.Remove(tail)
+		delete(c.items, victim.key)
+		c.bytes -= victim.size
+		c.rec.Counter("scancache_evictions_total").Inc()
+	}
+	c.rec.Gauge("scancache_entries").Set(float64(c.ll.Len()))
+	c.rec.Gauge("scancache_bytes").Set(float64(c.bytes))
+}
+
+// resultSize accounts a result by its JSON encoding — close enough to
+// resident size for budget purposes and exact for what the API would
+// serve from this entry.
+func resultSize(res *analyzer.Result) int64 {
+	b, err := json.Marshal(res)
+	if err != nil {
+		return 1024
+	}
+	return int64(len(b))
+}

@@ -1,0 +1,268 @@
+package scancache
+
+import (
+	"errors"
+	"fmt"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"repro/internal/analyzer"
+	"repro/internal/obs"
+)
+
+func target(name string, files ...analyzer.SourceFile) *analyzer.Target {
+	return &analyzer.Target{Name: name, Files: files}
+}
+
+func TestKeyStability(t *testing.T) {
+	t.Parallel()
+	a := analyzer.SourceFile{Path: "a.php", Content: "<?php echo 1;"}
+	b := analyzer.SourceFile{Path: "b.php", Content: "<?php echo 2;"}
+
+	k1 := Key(target("p", a, b), "fp")
+	k2 := Key(target("p", b, a), "fp")
+	if k1 != k2 {
+		t.Error("key must not depend on file order")
+	}
+	if k1 != Key(target("renamed", a, b), "fp") {
+		t.Error("key must not depend on the target name")
+	}
+	if k1 == Key(target("p", a, b), "fp2") {
+		t.Error("key must depend on the fingerprint")
+	}
+	changed := analyzer.SourceFile{Path: "b.php", Content: "<?php echo 3;"}
+	if k1 == Key(target("p", a, changed), "fp") {
+		t.Error("key must depend on file content")
+	}
+	moved := analyzer.SourceFile{Path: "c.php", Content: b.Content}
+	if k1 == Key(target("p", a, moved), "fp") {
+		t.Error("key must depend on file paths")
+	}
+	// Length prefixing: the boundary between path and content must
+	// matter, not just the concatenated bytes.
+	if Key(target("p", analyzer.SourceFile{Path: "ab", Content: "c"}), "") ==
+		Key(target("p", analyzer.SourceFile{Path: "a", Content: "bc"}), "") {
+		t.Error("key must be ambiguity-free across field boundaries")
+	}
+	if len(k1) != 64 {
+		t.Errorf("key length = %d, want 64 hex chars", len(k1))
+	}
+}
+
+func TestGetAndDo(t *testing.T) {
+	t.Parallel()
+	rec := obs.NewRecorder()
+	c := New(1<<20, rec)
+	if _, ok := c.Get("missing"); ok {
+		t.Fatal("empty cache must miss")
+	}
+	want := &analyzer.Result{Tool: "phpSAFE", Target: "p"}
+	res, hit, err := c.Do("k", func() (*analyzer.Result, error) { return want, nil })
+	if err != nil || hit || res != want {
+		t.Fatalf("first Do = (%v, %v, %v)", res, hit, err)
+	}
+	res, hit, err = c.Do("k", func() (*analyzer.Result, error) {
+		t.Error("second Do must not recompute")
+		return nil, nil
+	})
+	if err != nil || !hit || res != want {
+		t.Fatalf("second Do = (%v, %v, %v)", res, hit, err)
+	}
+	if res, ok := c.Get("k"); !ok || res != want {
+		t.Fatalf("Get after fill = (%v, %v)", res, ok)
+	}
+	snap := rec.Snapshot()
+	if snap.Counters["scancache_hits_total"] != 2 {
+		t.Errorf("hits = %d, want 2", snap.Counters["scancache_hits_total"])
+	}
+	if snap.Counters["scancache_misses_total"] != 2 {
+		t.Errorf("misses = %d, want 2 (initial Get + first Do)", snap.Counters["scancache_misses_total"])
+	}
+}
+
+func TestErrorsNotCached(t *testing.T) {
+	t.Parallel()
+	c := New(0, nil)
+	boom := errors.New("boom")
+	if _, _, err := c.Do("k", func() (*analyzer.Result, error) { return nil, boom }); err != boom {
+		t.Fatalf("err = %v, want boom", err)
+	}
+	if c.Len() != 0 {
+		t.Fatal("failed computation must not be cached")
+	}
+	recovered := &analyzer.Result{Tool: "phpSAFE"}
+	res, hit, err := c.Do("k", func() (*analyzer.Result, error) { return recovered, nil })
+	if err != nil || hit || res != recovered {
+		t.Fatalf("retry after error = (%v, %v, %v)", res, hit, err)
+	}
+}
+
+func TestLRUEviction(t *testing.T) {
+	t.Parallel()
+	rec := obs.NewRecorder()
+	// Budget for roughly two of the ~padded results below.
+	pad := strings.Repeat("x", 400)
+	mk := func(i int) *analyzer.Result {
+		return &analyzer.Result{Tool: "phpSAFE", Target: fmt.Sprintf("p%d-%s", i, pad)}
+	}
+	one := resultSize(mk(0))
+	c := New(2*one+one/2, rec)
+
+	for i := 0; i < 3; i++ {
+		if _, _, err := c.Do(fmt.Sprintf("k%d", i), func() (*analyzer.Result, error) { return mk(i), nil }); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if c.Len() != 2 {
+		t.Fatalf("len = %d, want 2 after eviction", c.Len())
+	}
+	if _, ok := c.Get("k0"); ok {
+		t.Error("k0 (least recently used) should be evicted")
+	}
+	if _, ok := c.Get("k2"); !ok {
+		t.Error("k2 (most recent) should survive")
+	}
+	if got := rec.Snapshot().Counters["scancache_evictions_total"]; got != 1 {
+		t.Errorf("evictions = %d, want 1", got)
+	}
+	if c.Bytes() > 2*one+one/2 {
+		t.Errorf("bytes = %d over budget", c.Bytes())
+	}
+
+	// Touch order controls the victim: refresh k1, insert k3, expect k2 out.
+	if _, ok := c.Get("k1"); !ok {
+		t.Fatal("k1 should still be cached")
+	}
+	if _, _, err := c.Do("k3", func() (*analyzer.Result, error) { return mk(3), nil }); err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := c.Get("k2"); ok {
+		t.Error("k2 should be evicted after k1 was refreshed")
+	}
+	if _, ok := c.Get("k1"); !ok {
+		t.Error("refreshed k1 should survive")
+	}
+}
+
+func TestOversizeEntryStillCached(t *testing.T) {
+	t.Parallel()
+	c := New(1, nil) // budget smaller than any entry
+	want := &analyzer.Result{Tool: "phpSAFE", Target: "huge"}
+	if _, _, err := c.Do("k", func() (*analyzer.Result, error) { return want, nil }); err != nil {
+		t.Fatal(err)
+	}
+	if res, ok := c.Get("k"); !ok || res != want {
+		t.Fatal("the newest entry must never be evicted by its own insert")
+	}
+	if c.Len() != 1 {
+		t.Fatalf("len = %d, want 1", c.Len())
+	}
+}
+
+func TestSingleflightDedup(t *testing.T) {
+	t.Parallel()
+	rec := obs.NewRecorder()
+	c := New(0, rec)
+	const callers = 16
+
+	var computes atomic.Int64
+	gate := make(chan struct{})
+	entered := make(chan struct{})
+
+	var wg sync.WaitGroup
+	results := make([]*analyzer.Result, callers)
+	hits := make([]bool, callers)
+
+	// The first caller computes and blocks on the gate so the rest
+	// provably join in flight.
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		res, hit, err := c.Do("k", func() (*analyzer.Result, error) {
+			computes.Add(1)
+			close(entered)
+			<-gate
+			return &analyzer.Result{Tool: "phpSAFE", Target: "shared"}, nil
+		})
+		if err != nil {
+			t.Error(err)
+		}
+		results[0], hits[0] = res, hit
+	}()
+	<-entered
+
+	for i := 1; i < callers; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			res, hit, err := c.Do("k", func() (*analyzer.Result, error) {
+				computes.Add(1)
+				return nil, errors.New("joiners must not compute")
+			})
+			if err != nil {
+				t.Error(err)
+			}
+			results[i], hits[i] = res, hit
+		}(i)
+	}
+
+	// The computation is gated, so every joiner must register against
+	// the in-flight call (incrementing the dedup counter) before it can
+	// block; wait for all of them so the join is provably in flight.
+	deadline := time.Now().Add(10 * time.Second)
+	for rec.Snapshot().Counters["scancache_dedup_total"] < callers-1 {
+		if time.Now().After(deadline) {
+			t.Fatalf("joiners never registered: dedup = %d",
+				rec.Snapshot().Counters["scancache_dedup_total"])
+		}
+		time.Sleep(time.Millisecond)
+	}
+	close(gate)
+	wg.Wait()
+
+	if got := computes.Load(); got != 1 {
+		t.Fatalf("computes = %d, want 1", got)
+	}
+	for i := 1; i < callers; i++ {
+		if results[i] != results[0] {
+			t.Fatalf("caller %d got a different result", i)
+		}
+	}
+	if hits[0] {
+		t.Error("the computing caller must report a miss")
+	}
+	snap := rec.Snapshot()
+	if got := snap.Counters["scancache_dedup_total"]; got != callers-1 {
+		t.Errorf("scancache_dedup_total = %d, want %d", got, callers-1)
+	}
+	if got := snap.Counters["scancache_misses_total"]; got != 1 {
+		t.Errorf("misses = %d, want 1", got)
+	}
+}
+
+func TestConcurrentMixedKeys(t *testing.T) {
+	t.Parallel()
+	c := New(8<<10, obs.NewRecorder())
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < 50; i++ {
+				key := fmt.Sprintf("k%d", (g+i)%20)
+				res, _, err := c.Do(key, func() (*analyzer.Result, error) {
+					return &analyzer.Result{Tool: "phpSAFE", Target: key}, nil
+				})
+				if err != nil || res == nil {
+					t.Errorf("Do(%s) = (%v, %v)", key, res, err)
+					return
+				}
+				c.Get(key)
+			}
+		}(g)
+	}
+	wg.Wait()
+}

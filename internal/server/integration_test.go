@@ -1,0 +1,134 @@
+package server
+
+// End-to-end test of the daemon's public API contract: repeated
+// submissions of identical content are served from the
+// content-addressed cache (one engine run, one scan span), and the
+// worker pool drains accepted scans on shutdown.
+
+import (
+	"context"
+	"encoding/json"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+	"time"
+
+	"repro/internal/jobs"
+	"repro/internal/obs"
+	"repro/internal/scancache"
+)
+
+// scanSpans counts recorded scan:<name> root spans.
+func scanSpans(rec *obs.Recorder) int {
+	n := 0
+	for _, s := range rec.SpanRoots() {
+		if strings.HasPrefix(s.Name(), "scan:") {
+			n++
+		}
+	}
+	return n
+}
+
+func TestSecondSubmissionServedFromCache(t *testing.T) {
+	t.Parallel()
+	e := newEnv(t, 2, 8)
+
+	// First submission: queued, computed by the engine.
+	status, first := e.submitJSON(t, submission("cached-plugin"))
+	if status != http.StatusAccepted {
+		t.Fatalf("first submit status = %d, want 202", status)
+	}
+	done := e.wait(t, first.ID)
+	if done.Status != stateDone || done.Cached {
+		t.Fatalf("first scan = status %s cached %v", done.Status, done.Cached)
+	}
+	if len(done.Result.Findings) == 0 {
+		t.Fatal("first scan found nothing")
+	}
+
+	snapBefore := e.rec.Snapshot()
+	hitsBefore := snapBefore.Counters["scancache_hits_total"]
+	spansBefore := scanSpans(e.rec)
+	if spansBefore == 0 {
+		t.Fatal("first scan recorded no scan span")
+	}
+
+	// Second submission of identical content: answered inline from the
+	// cache — no queueing, no engine run, no new scan span.
+	status, second := e.submitJSON(t, submission("cached-plugin"))
+	if status != http.StatusOK {
+		t.Fatalf("second submit status = %d, want 200 (inline cached result)", status)
+	}
+	if !second.Cached || second.Status != stateDone {
+		t.Fatalf("second scan = %+v, want cached done", second)
+	}
+	if second.ID == first.ID {
+		t.Error("cached submission should still get its own scan id")
+	}
+	if len(second.Result.Findings) != len(done.Result.Findings) {
+		t.Errorf("cached findings = %d, want %d", len(second.Result.Findings), len(done.Result.Findings))
+	}
+
+	snapAfter := e.rec.Snapshot()
+	if got := snapAfter.Counters["scancache_hits_total"]; got <= hitsBefore {
+		t.Errorf("scancache_hits_total = %d, want > %d", got, hitsBefore)
+	}
+	if got := snapAfter.Counters["scans_served_from_cache_total"]; got != 1 {
+		t.Errorf("scans_served_from_cache_total = %d, want 1", got)
+	}
+	if got := scanSpans(e.rec); got != spansBefore {
+		t.Errorf("scan spans after cached submit = %d, want %d (no second engine run)", got, spansBefore)
+	}
+
+	// A different plugin must miss the cache and run the engine.
+	status, third := e.submitJSON(t, submission("different-plugin"))
+	if status != http.StatusAccepted {
+		t.Fatalf("third submit status = %d, want 202", status)
+	}
+	if e.wait(t, third.ID).Cached {
+		t.Error("different content must not be served from cache")
+	}
+}
+
+func TestGracefulDrainCompletesAcceptedScans(t *testing.T) {
+	t.Parallel()
+	rec := obs.NewRecorder()
+	pool := jobs.New(jobs.Config{Workers: 1, QueueSize: 8, Recorder: rec})
+	cache := scancache.New(1<<20, rec)
+	srv := New(Config{Pool: pool, Cache: cache, Recorder: rec})
+
+	// Submit through the handler, then drain the pool: every accepted
+	// scan must reach a terminal state before Shutdown returns.
+	ids := make([]string, 0, 4)
+	for _, name := range []string{"a", "b", "c", "d"} {
+		req := httptest.NewRequest(http.MethodPost, "/v1/scans",
+			strings.NewReader(submission("drain-"+name)))
+		req.Header.Set("Content-Type", "application/json")
+		w := httptest.NewRecorder()
+		srv.ServeHTTP(w, req)
+		if w.Code != http.StatusAccepted {
+			t.Fatalf("submit %s status = %d", name, w.Code)
+		}
+		var sc scanJSON
+		if err := json.Unmarshal(w.Body.Bytes(), &sc); err != nil {
+			t.Fatal(err)
+		}
+		ids = append(ids, sc.ID)
+	}
+
+	ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+	defer cancel()
+	if err := pool.Shutdown(ctx); err != nil {
+		t.Fatalf("drain: %v", err)
+	}
+
+	srv.mu.Lock()
+	defer srv.mu.Unlock()
+	for _, id := range ids {
+		sc := srv.scans[id]
+		if sc.State != stateDone {
+			t.Errorf("scan %s state after drain = %s, want done", id, sc.State)
+		}
+	}
+}

@@ -1,0 +1,492 @@
+// Package server exposes the scan pipeline as an HTTP API — the
+// phpsafed daemon's request layer. It turns the paper's one-shot batch
+// analyzer into a service: plugins are uploaded, queued onto a bounded
+// worker pool (package jobs), computed at most once per content
+// address (package scancache) and served in any of the repository's
+// report formats (package report).
+//
+// Endpoints:
+//
+//	POST /v1/scans        submit a plugin (JSON file map or zip);
+//	                      returns 200 with the result when cached,
+//	                      202 with a job id when queued, 429 when the
+//	                      queue is full
+//	GET  /v1/scans/{id}   job status; ?format=json|sarif|html renders
+//	                      a finished scan's report
+//	GET  /healthz         liveness plus queue/cache occupancy
+//	GET  /metrics         obs registry (Prometheus text; ?format=json)
+package server
+
+import (
+	"archive/zip"
+	"bytes"
+	"context"
+	"crypto/rand"
+	"encoding/hex"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"net/http"
+	"sort"
+	"sync"
+	"time"
+
+	"repro/internal/analyzer"
+	"repro/internal/eval"
+	"repro/internal/jobs"
+	"repro/internal/obs"
+	"repro/internal/report"
+	"repro/internal/scancache"
+	"repro/internal/version"
+)
+
+// DefaultMaxUploadBytes bounds one submission body (32 MiB) when the
+// config leaves it unset.
+const DefaultMaxUploadBytes = 32 << 20
+
+// Config wires a Server to its pool, cache and instrumentation.
+type Config struct {
+	// Pool runs accepted scans. Required.
+	Pool *jobs.Pool
+	// Cache stores results by content address. Required.
+	Cache *scancache.Cache
+	// Recorder (which may be nil) receives the HTTP metrics: the
+	// httpd_requests_total_<route> counters, the
+	// httpd_latency_seconds_<route> histograms and the scans_in_flight
+	// gauge, alongside whatever the pool, cache and engines record.
+	Recorder *obs.Recorder
+	// MaxUploadBytes bounds one submission body
+	// (DefaultMaxUploadBytes when non-positive).
+	MaxUploadBytes int64
+	// BuildTool constructs the engine for a submission; the default
+	// delegates to eval.BuildTool with the recorder threaded in. Tests
+	// substitute slow or failing analyzers here.
+	BuildTool func(tool, profile string, rec *obs.Recorder) (analyzer.Analyzer, error)
+	// Fingerprint prefixes every cache key; it defaults to
+	// version.Version so a tool upgrade invalidates cached results.
+	Fingerprint string
+}
+
+// scanState is a job's lifecycle position.
+type scanState string
+
+const (
+	stateQueued  scanState = "queued"
+	stateRunning scanState = "running"
+	stateDone    scanState = "done"
+	stateFailed  scanState = "failed"
+)
+
+// scan is one submission's record; all fields are guarded by
+// Server.mu after construction.
+type scan struct {
+	ID       string
+	State    scanState
+	Tool     string
+	Profile  string
+	Key      string
+	Cached   bool
+	Created  time.Time
+	Finished time.Time
+	Target   *analyzer.Target
+	Engine   analyzer.Analyzer
+	Result   *analyzer.Result
+	Err      string
+}
+
+// Server is the daemon's HTTP handler. Create with New.
+type Server struct {
+	cfg Config
+	rec *obs.Recorder
+	mux *http.ServeMux
+
+	mu    sync.Mutex
+	scans map[string]*scan
+	// active maps a cache key to the queued/running scan computing it,
+	// so a duplicate submission joins the existing job instead of
+	// occupying a second queue slot.
+	active map[string]string
+}
+
+// New builds a Server over cfg, filling defaults.
+func New(cfg Config) *Server {
+	if cfg.MaxUploadBytes <= 0 {
+		cfg.MaxUploadBytes = DefaultMaxUploadBytes
+	}
+	if cfg.BuildTool == nil {
+		cfg.BuildTool = func(tool, profile string, rec *obs.Recorder) (analyzer.Analyzer, error) {
+			return eval.BuildTool(tool, profile, eval.ToolOptions{Recorder: rec})
+		}
+	}
+	if cfg.Fingerprint == "" {
+		cfg.Fingerprint = version.Version
+	}
+	s := &Server{
+		cfg:    cfg,
+		rec:    cfg.Recorder,
+		mux:    http.NewServeMux(),
+		scans:  make(map[string]*scan),
+		active: make(map[string]string),
+	}
+	s.mux.HandleFunc("POST /v1/scans", s.instrument("scans_submit", s.handleSubmit))
+	s.mux.HandleFunc("GET /v1/scans/{id}", s.instrument("scans_get", s.handleGet))
+	s.mux.HandleFunc("GET /healthz", s.instrument("healthz", s.handleHealthz))
+	s.mux.HandleFunc("GET /metrics", s.instrument("metrics", s.handleMetrics))
+	return s
+}
+
+// ServeHTTP implements http.Handler.
+func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) { s.mux.ServeHTTP(w, r) }
+
+// instrument wraps a handler with the per-route counter and latency
+// histogram.
+func (s *Server) instrument(route string, h http.HandlerFunc) http.HandlerFunc {
+	return func(w http.ResponseWriter, r *http.Request) {
+		start := time.Now()
+		h(w, r)
+		s.rec.Counter("httpd_requests_total_" + route).Inc()
+		s.rec.Observe("httpd_latency_seconds_"+route, time.Since(start).Seconds())
+	}
+}
+
+// scanJSON is the wire shape of one scan record.
+type scanJSON struct {
+	ID       string           `json:"id"`
+	Status   scanState        `json:"status"`
+	Tool     string           `json:"tool"`
+	Profile  string           `json:"profile"`
+	Target   string           `json:"target"`
+	Cached   bool             `json:"cached"`
+	Created  time.Time        `json:"created"`
+	Finished *time.Time       `json:"finished,omitempty"`
+	Result   *analyzer.Result `json:"result,omitempty"`
+	Error    string           `json:"error,omitempty"`
+}
+
+// viewLocked renders a scan for the wire; caller holds s.mu.
+func (sc *scan) viewLocked() scanJSON {
+	v := scanJSON{
+		ID:      sc.ID,
+		Status:  sc.State,
+		Tool:    sc.Tool,
+		Profile: sc.Profile,
+		Target:  sc.Target.Name,
+		Cached:  sc.Cached,
+		Created: sc.Created,
+		Result:  sc.Result,
+		Error:   sc.Err,
+	}
+	if !sc.Finished.IsZero() {
+		f := sc.Finished
+		v.Finished = &f
+	}
+	return v
+}
+
+// submitRequest is the JSON submission body.
+type submitRequest struct {
+	// Name labels the target (default "upload").
+	Name string `json:"name"`
+	// Tool picks the engine: phpsafe (default), rips or pixy.
+	Tool string `json:"tool"`
+	// Profile picks the configuration: wordpress (default) or generic.
+	Profile string `json:"profile"`
+	// Files maps relative paths to PHP source text; non-PHP paths are
+	// ignored, matching the directory loader.
+	Files map[string]string `json:"files"`
+}
+
+// handleSubmit accepts a plugin, serves it from cache when possible,
+// and otherwise queues a scan job.
+func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
+	req, err := s.parseSubmission(r)
+	if err != nil {
+		s.error(w, http.StatusBadRequest, err.Error())
+		return
+	}
+	target := &analyzer.Target{Name: req.Name, Files: filesFromMap(req.Files)}
+	if len(target.Files) == 0 {
+		s.error(w, http.StatusBadRequest, "no .php files in submission")
+		return
+	}
+	engine, err := s.cfg.BuildTool(req.Tool, req.Profile, s.rec)
+	if err != nil {
+		s.error(w, http.StatusBadRequest, err.Error())
+		return
+	}
+	key := scancache.Key(target, fmt.Sprintf("%s|%s|%s", s.cfg.Fingerprint, req.Tool, req.Profile))
+
+	// Fast path: the content has been scanned before.
+	if res, ok := s.cfg.Cache.Get(key); ok {
+		sc := &scan{
+			ID: newID(), State: stateDone, Tool: req.Tool, Profile: req.Profile,
+			Key: key, Cached: true, Created: time.Now(), Finished: time.Now(),
+			Target: target, Result: res,
+		}
+		s.mu.Lock()
+		s.scans[sc.ID] = sc
+		view := sc.viewLocked()
+		s.mu.Unlock()
+		s.rec.Counter("scans_served_from_cache_total").Inc()
+		s.writeJSON(w, http.StatusOK, view)
+		return
+	}
+
+	// Duplicate of an in-flight submission: answer with the existing
+	// job instead of spending a second queue slot on identical work.
+	s.mu.Lock()
+	if id, ok := s.active[key]; ok {
+		view := s.scans[id].viewLocked()
+		s.mu.Unlock()
+		s.rec.Counter("scans_joined_inflight_total").Inc()
+		s.writeJSON(w, http.StatusAccepted, view)
+		return
+	}
+	sc := &scan{
+		ID: newID(), State: stateQueued, Tool: req.Tool, Profile: req.Profile,
+		Key: key, Created: time.Now(), Target: target, Engine: engine,
+	}
+	s.scans[sc.ID] = sc
+	s.active[key] = sc.ID
+	s.mu.Unlock()
+
+	err = s.cfg.Pool.Submit(func(ctx context.Context) { s.runScan(ctx, sc) })
+	if err != nil {
+		s.mu.Lock()
+		delete(s.scans, sc.ID)
+		delete(s.active, key)
+		s.mu.Unlock()
+		switch {
+		case errors.Is(err, jobs.ErrQueueFull):
+			s.rec.Counter("scans_rejected_total").Inc()
+			s.error(w, http.StatusTooManyRequests, "scan queue is full, retry later")
+		case errors.Is(err, jobs.ErrClosed):
+			s.error(w, http.StatusServiceUnavailable, "daemon is shutting down")
+		default:
+			s.error(w, http.StatusInternalServerError, err.Error())
+		}
+		return
+	}
+	s.rec.Counter("scans_accepted_total").Inc()
+	s.mu.Lock()
+	view := sc.viewLocked()
+	s.mu.Unlock()
+	s.writeJSON(w, http.StatusAccepted, view)
+}
+
+// runScan executes one queued scan on a pool worker.
+func (s *Server) runScan(ctx context.Context, sc *scan) {
+	s.mu.Lock()
+	sc.State = stateRunning
+	s.mu.Unlock()
+	s.rec.Gauge("scans_in_flight").Add(1)
+	defer s.rec.Gauge("scans_in_flight").Add(-1)
+
+	var res *analyzer.Result
+	var hit bool
+	err := ctx.Err()
+	if err == nil {
+		res, hit, err = s.cfg.Cache.Do(sc.Key, func() (*analyzer.Result, error) {
+			// The scan span exists only when the engine actually runs:
+			// cache hits and joined flights record no span.
+			span := s.rec.StartNamedSpan("scan:", sc.Target.Name, nil)
+			defer span.EndAndObserve("scan_seconds")
+			if err := ctx.Err(); err != nil {
+				return nil, err
+			}
+			return sc.Engine.Analyze(sc.Target)
+		})
+	}
+
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	delete(s.active, sc.Key)
+	sc.Finished = time.Now()
+	if err != nil {
+		sc.State = stateFailed
+		sc.Err = err.Error()
+		s.rec.Counter("scans_failed_total").Inc()
+		return
+	}
+	sc.State = stateDone
+	sc.Result = res
+	sc.Cached = hit
+	s.rec.Counter("scans_completed_total").Inc()
+}
+
+// handleGet reports a scan's status or renders its finished report.
+func (s *Server) handleGet(w http.ResponseWriter, r *http.Request) {
+	s.mu.Lock()
+	sc, ok := s.scans[r.PathValue("id")]
+	var view scanJSON
+	if ok {
+		view = sc.viewLocked()
+	}
+	s.mu.Unlock()
+	if !ok {
+		s.error(w, http.StatusNotFound, "unknown scan id")
+		return
+	}
+
+	format := r.URL.Query().Get("format")
+	if format == "" || format == "json" {
+		s.writeJSON(w, http.StatusOK, view)
+		return
+	}
+	if view.Status != stateDone {
+		s.error(w, http.StatusConflict,
+			fmt.Sprintf("scan is %s; %s is only available for finished scans", view.Status, format))
+		return
+	}
+	switch format {
+	case "sarif":
+		data, err := report.SARIF(view.Result)
+		if err != nil {
+			s.error(w, http.StatusInternalServerError, err.Error())
+			return
+		}
+		w.Header().Set("Content-Type", "application/sarif+json")
+		w.Write(data)
+	case "html":
+		w.Header().Set("Content-Type", "text/html; charset=utf-8")
+		io.WriteString(w, report.HTML(view.Result))
+	default:
+		s.error(w, http.StatusBadRequest, fmt.Sprintf("unknown format %q (want json, sarif or html)", format))
+	}
+}
+
+// handleHealthz reports liveness and occupancy.
+func (s *Server) handleHealthz(w http.ResponseWriter, _ *http.Request) {
+	s.mu.Lock()
+	tracked := len(s.scans)
+	s.mu.Unlock()
+	s.writeJSON(w, http.StatusOK, map[string]any{
+		"status":      "ok",
+		"version":     version.Version,
+		"queue_depth": s.cfg.Pool.QueueDepth(),
+		"workers":     s.cfg.Pool.Workers(),
+		"scans":       tracked,
+		"cache_items": s.cfg.Cache.Len(),
+		"cache_bytes": s.cfg.Cache.Bytes(),
+	})
+}
+
+// handleMetrics exposes the obs registry.
+func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
+	// Occupancy gauges are sampled at scrape time; everything else is
+	// pushed by the pool, cache and engines as it happens.
+	s.rec.Gauge("jobs_queue_depth").Set(float64(s.cfg.Pool.QueueDepth()))
+	s.rec.Gauge("scancache_entries").Set(float64(s.cfg.Cache.Len()))
+	s.rec.Gauge("scancache_bytes").Set(float64(s.cfg.Cache.Bytes()))
+	snap := s.rec.Snapshot()
+	if r.URL.Query().Get("format") == "json" {
+		w.Header().Set("Content-Type", "application/json")
+		snap.WriteJSON(w)
+		return
+	}
+	w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+	snap.WritePrometheus(w)
+}
+
+// parseSubmission decodes a POST /v1/scans body in either encoding.
+func (s *Server) parseSubmission(r *http.Request) (*submitRequest, error) {
+	body := http.MaxBytesReader(nil, r.Body, s.cfg.MaxUploadBytes)
+	defer body.Close()
+
+	req := &submitRequest{}
+	ct := r.Header.Get("Content-Type")
+	switch {
+	case ct == "application/zip" || ct == "application/x-zip-compressed":
+		data, err := io.ReadAll(body)
+		if err != nil {
+			return nil, fmt.Errorf("reading zip body: %w", err)
+		}
+		files, err := filesFromZip(data)
+		if err != nil {
+			return nil, err
+		}
+		req.Files = files
+		q := r.URL.Query()
+		req.Name, req.Tool, req.Profile = q.Get("name"), q.Get("tool"), q.Get("profile")
+	default:
+		if err := json.NewDecoder(body).Decode(req); err != nil {
+			return nil, fmt.Errorf("decoding JSON body: %w", err)
+		}
+	}
+	if req.Name == "" {
+		req.Name = "upload"
+	}
+	if req.Tool == "" {
+		req.Tool = "phpsafe"
+	}
+	if req.Profile == "" {
+		req.Profile = "wordpress"
+	}
+	return req, nil
+}
+
+// filesFromMap converts a path→source map into sorted source files,
+// keeping only PHP paths (case-insensitive, like the directory
+// loader).
+func filesFromMap(m map[string]string) []analyzer.SourceFile {
+	files := make([]analyzer.SourceFile, 0, len(m))
+	for path, content := range m {
+		if !analyzer.IsPHPPath(path) {
+			continue
+		}
+		files = append(files, analyzer.SourceFile{Path: path, Content: content})
+	}
+	sort.Slice(files, func(i, j int) bool { return files[i].Path < files[j].Path })
+	return files
+}
+
+// filesFromZip extracts the PHP members of a zip archive.
+func filesFromZip(data []byte) (map[string]string, error) {
+	zr, err := zip.NewReader(bytes.NewReader(data), int64(len(data)))
+	if err != nil {
+		return nil, fmt.Errorf("invalid zip: %w", err)
+	}
+	files := make(map[string]string)
+	for _, f := range zr.File {
+		if f.FileInfo().IsDir() || !analyzer.IsPHPPath(f.Name) {
+			continue
+		}
+		rc, err := f.Open()
+		if err != nil {
+			return nil, fmt.Errorf("zip member %s: %w", f.Name, err)
+		}
+		content, err := io.ReadAll(rc)
+		rc.Close()
+		if err != nil {
+			return nil, fmt.Errorf("zip member %s: %w", f.Name, err)
+		}
+		files[f.Name] = string(content)
+	}
+	return files, nil
+}
+
+// writeJSON sends v with the given status.
+func (s *Server) writeJSON(w http.ResponseWriter, status int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	enc.Encode(v)
+}
+
+// error sends a JSON error body.
+func (s *Server) error(w http.ResponseWriter, status int, msg string) {
+	s.writeJSON(w, status, map[string]string{"error": msg})
+}
+
+// newID returns a 16-hex-char random scan id.
+func newID() string {
+	var b [8]byte
+	if _, err := rand.Read(b[:]); err != nil {
+		// crypto/rand never fails on supported platforms; a counter
+		// fallback would race, so surface the impossible loudly.
+		panic(err)
+	}
+	return hex.EncodeToString(b[:])
+}

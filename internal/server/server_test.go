@@ -1,0 +1,427 @@
+package server
+
+import (
+	"archive/zip"
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+	"time"
+
+	"repro/internal/analyzer"
+	"repro/internal/jobs"
+	"repro/internal/obs"
+	"repro/internal/scancache"
+)
+
+// vulnerablePHP trips the phpSAFE engine deterministically: a direct
+// reflected XSS and a concatenated SQL injection.
+const vulnerablePHP = `<?php
+$path = $_GET['img_path'];
+echo 'Created ' . $path . '.';
+$user = $_POST['user'];
+mysql_query("SELECT * FROM users WHERE login='" . $user . "'");
+`
+
+// env is one daemon-in-a-test: server, pool, cache and recorder.
+type env struct {
+	ts   *httptest.Server
+	pool *jobs.Pool
+	rec  *obs.Recorder
+}
+
+// newEnv starts a test daemon; cfg mutators tweak the default config.
+func newEnv(t *testing.T, workers, queueSize int, mutate ...func(*Config)) *env {
+	t.Helper()
+	rec := obs.NewRecorder()
+	pool := jobs.New(jobs.Config{Workers: workers, QueueSize: queueSize, Recorder: rec})
+	cfg := Config{
+		Pool:     pool,
+		Cache:    scancache.New(1<<20, rec),
+		Recorder: rec,
+	}
+	for _, m := range mutate {
+		m(&cfg)
+	}
+	ts := httptest.NewServer(New(cfg))
+	t.Cleanup(func() {
+		ts.Close()
+		ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+		defer cancel()
+		pool.Shutdown(ctx)
+	})
+	return &env{ts: ts, pool: pool, rec: rec}
+}
+
+// submitJSON posts a JSON submission and decodes the scan envelope.
+func (e *env) submitJSON(t *testing.T, body string) (int, scanJSON) {
+	t.Helper()
+	resp, err := http.Post(e.ts.URL+"/v1/scans", "application/json", strings.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var sc scanJSON
+	if resp.StatusCode == http.StatusOK || resp.StatusCode == http.StatusAccepted {
+		if err := json.NewDecoder(resp.Body).Decode(&sc); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return resp.StatusCode, sc
+}
+
+// wait polls a scan until it leaves the queued/running states.
+func (e *env) wait(t *testing.T, id string) scanJSON {
+	t.Helper()
+	deadline := time.Now().Add(30 * time.Second)
+	for time.Now().Before(deadline) {
+		resp, err := http.Get(e.ts.URL + "/v1/scans/" + id)
+		if err != nil {
+			t.Fatal(err)
+		}
+		var sc scanJSON
+		err = json.NewDecoder(resp.Body).Decode(&sc)
+		resp.Body.Close()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if sc.Status == stateDone || sc.Status == stateFailed {
+			return sc
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+	t.Fatalf("scan %s did not finish", id)
+	return scanJSON{}
+}
+
+func submission(name string) string {
+	b, _ := json.Marshal(map[string]any{
+		"name":  name,
+		"files": map[string]string{name + ".php": vulnerablePHP},
+	})
+	return string(b)
+}
+
+func TestSubmitPollFetchAllFormats(t *testing.T) {
+	t.Parallel()
+	e := newEnv(t, 2, 8)
+
+	status, sc := e.submitJSON(t, submission("demo"))
+	if status != http.StatusAccepted {
+		t.Fatalf("submit status = %d, want 202", status)
+	}
+	if sc.ID == "" || sc.Status != stateQueued {
+		t.Fatalf("submit envelope = %+v", sc)
+	}
+
+	done := e.wait(t, sc.ID)
+	if done.Status != stateDone || done.Cached {
+		t.Fatalf("finished scan = %+v", done)
+	}
+	if done.Result == nil || len(done.Result.Findings) == 0 {
+		t.Fatalf("scan found nothing: %+v", done.Result)
+	}
+	var sawXSS, sawSQLi bool
+	for _, f := range done.Result.Findings {
+		sawXSS = sawXSS || f.Class == analyzer.XSS
+		sawSQLi = sawSQLi || f.Class == analyzer.SQLi
+	}
+	if !sawXSS || !sawSQLi {
+		t.Errorf("findings missed a class: XSS=%v SQLi=%v", sawXSS, sawSQLi)
+	}
+
+	// SARIF rendering.
+	resp, err := http.Get(e.ts.URL + "/v1/scans/" + sc.ID + "?format=sarif")
+	if err != nil {
+		t.Fatal(err)
+	}
+	body := readAll(t, resp)
+	if resp.StatusCode != 200 || resp.Header.Get("Content-Type") != "application/sarif+json" {
+		t.Fatalf("sarif response: %d %s", resp.StatusCode, resp.Header.Get("Content-Type"))
+	}
+	if !strings.Contains(body, `"2.1.0"`) {
+		t.Error("sarif body missing version")
+	}
+
+	// HTML rendering.
+	resp, err = http.Get(e.ts.URL + "/v1/scans/" + sc.ID + "?format=html")
+	if err != nil {
+		t.Fatal(err)
+	}
+	body = readAll(t, resp)
+	if resp.StatusCode != 200 || !strings.HasPrefix(resp.Header.Get("Content-Type"), "text/html") {
+		t.Fatalf("html response: %d %s", resp.StatusCode, resp.Header.Get("Content-Type"))
+	}
+	if !strings.Contains(body, "<!DOCTYPE html>") {
+		t.Error("html body is not a page")
+	}
+}
+
+func TestSubmitZip(t *testing.T) {
+	t.Parallel()
+	e := newEnv(t, 2, 8)
+
+	var buf bytes.Buffer
+	zw := zip.NewWriter(&buf)
+	for name, content := range map[string]string{
+		"plugin/main.PHP":   vulnerablePHP, // uppercase extension must load
+		"plugin/readme.txt": "ignored",
+	} {
+		f, err := zw.Create(name)
+		if err != nil {
+			t.Fatal(err)
+		}
+		f.Write([]byte(content))
+	}
+	zw.Close()
+
+	resp, err := http.Post(e.ts.URL+"/v1/scans?name=zipped", "application/zip", &buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusAccepted {
+		t.Fatalf("zip submit status = %d", resp.StatusCode)
+	}
+	var sc scanJSON
+	if err := json.NewDecoder(resp.Body).Decode(&sc); err != nil {
+		t.Fatal(err)
+	}
+	done := e.wait(t, sc.ID)
+	if done.Status != stateDone || len(done.Result.Findings) == 0 {
+		t.Fatalf("zip scan = %+v", done)
+	}
+	if done.Target != "zipped" {
+		t.Errorf("target name = %q", done.Target)
+	}
+}
+
+func TestBadRequests(t *testing.T) {
+	t.Parallel()
+	e := newEnv(t, 1, 4)
+
+	cases := []struct {
+		name, body string
+		want       int
+	}{
+		{"invalid json", "{", http.StatusBadRequest},
+		{"no files", `{"name":"x","files":{}}`, http.StatusBadRequest},
+		{"no php files", `{"name":"x","files":{"a.txt":"hi"}}`, http.StatusBadRequest},
+		{"unknown tool", `{"tool":"sonar","files":{"a.php":"<?php"}}`, http.StatusBadRequest},
+		{"unknown profile", `{"profile":"joomla","files":{"a.php":"<?php"}}`, http.StatusBadRequest},
+	}
+	for _, tc := range cases {
+		status, _ := e.submitJSON(t, tc.body)
+		if status != tc.want {
+			t.Errorf("%s: status = %d, want %d", tc.name, status, tc.want)
+		}
+	}
+
+	if resp, err := http.Get(e.ts.URL + "/v1/scans/no-such-id"); err != nil {
+		t.Fatal(err)
+	} else {
+		resp.Body.Close()
+		if resp.StatusCode != http.StatusNotFound {
+			t.Errorf("unknown id status = %d, want 404", resp.StatusCode)
+		}
+	}
+
+	// Unfinished scans have no report yet; rendering formats conflict.
+	block := make(chan struct{})
+	t.Cleanup(func() { close(block) })
+	eSlow := newEnv(t, 1, 4, withBlockingAnalyzer(block, nil))
+	_, sc := eSlow.submitJSON(t, submission("slow"))
+	resp, err := http.Get(eSlow.ts.URL + "/v1/scans/" + sc.ID + "?format=sarif")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusConflict {
+		t.Errorf("sarif of unfinished scan = %d, want 409", resp.StatusCode)
+	}
+	resp, err = http.Get(eSlow.ts.URL + "/v1/scans/" + sc.ID + "?format=pdf")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusConflict {
+		t.Errorf("unknown format of unfinished scan = %d, want 409", resp.StatusCode)
+	}
+}
+
+func TestHealthzAndMetrics(t *testing.T) {
+	t.Parallel()
+	e := newEnv(t, 1, 4)
+
+	resp, err := http.Get(e.ts.URL + "/healthz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var health map[string]any
+	if err := json.NewDecoder(resp.Body).Decode(&health); err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if health["status"] != "ok" {
+		t.Errorf("healthz = %+v", health)
+	}
+
+	resp, err = http.Get(e.ts.URL + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	prom := readAll(t, resp)
+	if !strings.Contains(prom, "# TYPE httpd_requests_total_healthz counter") {
+		t.Errorf("prometheus exposition missing request counter:\n%s", prom)
+	}
+
+	resp, err = http.Get(e.ts.URL + "/metrics?format=json")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var snap map[string]any
+	if err := json.NewDecoder(resp.Body).Decode(&snap); err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if _, ok := snap["counters"]; !ok {
+		t.Errorf("json metrics missing counters: %v", snap)
+	}
+}
+
+// blockingAnalyzer parks every Analyze call until released.
+type blockingAnalyzer struct {
+	release <-chan struct{}
+	started chan<- struct{}
+}
+
+func (b blockingAnalyzer) Name() string { return "blocking" }
+
+func (b blockingAnalyzer) Analyze(t *analyzer.Target) (*analyzer.Result, error) {
+	if b.started != nil {
+		select {
+		case b.started <- struct{}{}:
+		default: // only the first entry needs to be observable
+		}
+	}
+	<-b.release
+	return &analyzer.Result{Tool: "blocking", Target: t.Name, FilesAnalyzed: len(t.Files)}, nil
+}
+
+// withBlockingAnalyzer substitutes an engine that blocks on release;
+// started (when non-nil) receives one value per Analyze entry.
+func withBlockingAnalyzer(release <-chan struct{}, started chan<- struct{}) func(*Config) {
+	return func(cfg *Config) {
+		cfg.BuildTool = func(_, _ string, _ *obs.Recorder) (analyzer.Analyzer, error) {
+			return blockingAnalyzer{release: release, started: started}, nil
+		}
+	}
+}
+
+// TestQueueSaturationReturns429 drives the acceptance scenario: a
+// saturated queue sheds new submissions with 429 while every accepted
+// job still completes.
+func TestQueueSaturationReturns429(t *testing.T) {
+	t.Parallel()
+	release := make(chan struct{})
+	started := make(chan struct{}, 1)
+	e := newEnv(t, 1, 2, withBlockingAnalyzer(release, started))
+
+	// One scan occupies the worker; two fill the queue. Distinct file
+	// contents keep the cache keys (and so the jobs) distinct.
+	accepted := make([]string, 0, 3)
+	for i := 0; i < 3; i++ {
+		status, sc := e.submitJSON(t, fmt.Sprintf(`{"name":"p%d","files":{"a.php":"<?php echo %d;"}}`, i, i))
+		if status != http.StatusAccepted {
+			t.Fatalf("submit %d status = %d, want 202", i, status)
+		}
+		accepted = append(accepted, sc.ID)
+		if i == 0 {
+			<-started // worker is provably busy before we fill the queue
+		}
+	}
+
+	status, _ := e.submitJSON(t, `{"name":"overflow","files":{"a.php":"<?php echo 99;"}}`)
+	if status != http.StatusTooManyRequests {
+		t.Fatalf("saturated submit status = %d, want 429", status)
+	}
+	if got := e.rec.Snapshot().Counters["scans_rejected_total"]; got != 1 {
+		t.Errorf("scans_rejected_total = %d, want 1", got)
+	}
+
+	// The rejection must not have lost accepted work.
+	close(release)
+	for _, id := range accepted {
+		if done := e.wait(t, id); done.Status != stateDone {
+			t.Errorf("accepted scan %s ended %s (%s)", id, done.Status, done.Error)
+		}
+	}
+}
+
+// TestDuplicateInFlightSubmissionJoins checks that submitting content
+// identical to a queued scan answers with the existing job instead of
+// consuming another queue slot.
+func TestDuplicateInFlightSubmissionJoins(t *testing.T) {
+	t.Parallel()
+	release := make(chan struct{})
+	started := make(chan struct{}, 1)
+	e := newEnv(t, 1, 2, withBlockingAnalyzer(release, started))
+
+	_, first := e.submitJSON(t, submission("dup"))
+	<-started
+	status, second := e.submitJSON(t, submission("dup"))
+	if status != http.StatusAccepted || second.ID != first.ID {
+		t.Fatalf("duplicate submit = %d id %s, want 202 with id %s", status, second.ID, first.ID)
+	}
+	if got := e.rec.Snapshot().Counters["scans_joined_inflight_total"]; got != 1 {
+		t.Errorf("scans_joined_inflight_total = %d, want 1", got)
+	}
+	close(release)
+	if done := e.wait(t, first.ID); done.Status != stateDone {
+		t.Fatalf("joined scan ended %s", done.Status)
+	}
+}
+
+func TestFailedScanReportsError(t *testing.T) {
+	t.Parallel()
+	e := newEnv(t, 1, 4, func(cfg *Config) {
+		cfg.BuildTool = func(_, _ string, _ *obs.Recorder) (analyzer.Analyzer, error) {
+			return failingAnalyzer{}, nil
+		}
+	})
+	_, sc := e.submitJSON(t, submission("broken"))
+	done := e.wait(t, sc.ID)
+	if done.Status != stateFailed || done.Error == "" {
+		t.Fatalf("failed scan = %+v", done)
+	}
+	if got := e.rec.Snapshot().Counters["scans_failed_total"]; got != 1 {
+		t.Errorf("scans_failed_total = %d, want 1", got)
+	}
+	// Failures are not cached: a resubmission runs again.
+	_, sc2 := e.submitJSON(t, submission("broken"))
+	if sc2.Cached {
+		t.Error("failed result must not be served from cache")
+	}
+}
+
+type failingAnalyzer struct{}
+
+func (failingAnalyzer) Name() string { return "failing" }
+func (failingAnalyzer) Analyze(*analyzer.Target) (*analyzer.Result, error) {
+	return nil, fmt.Errorf("engine exploded")
+}
+
+func readAll(t *testing.T, resp *http.Response) string {
+	t.Helper()
+	data, err := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if err != nil {
+		t.Fatal(err)
+	}
+	return string(data)
+}

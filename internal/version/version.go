@@ -1,0 +1,20 @@
+// Package version pins the tree's single version string. Both binaries
+// report it through their -version flags, and the scan daemon folds it
+// into cache keys so results computed by one build are never served for
+// another (a tool upgrade must invalidate every cached scan).
+package version
+
+import (
+	"fmt"
+	"runtime"
+)
+
+// Version is the reproduction's release identifier. Bump it whenever
+// analysis behaviour changes: it is part of the scan-cache fingerprint.
+const Version = "0.2.0"
+
+// String renders the full human-readable version line.
+func String() string {
+	return fmt.Sprintf("phpSAFE-repro %s (%s %s/%s)",
+		Version, runtime.Version(), runtime.GOOS, runtime.GOARCH)
+}
