@@ -236,3 +236,83 @@ func exitCode(err error) int {
 	}
 	return -1
 }
+
+func TestCLIPhpsafeIncCache(t *testing.T) {
+	t.Parallel()
+	bin := filepath.Join(binaries(t), "phpsafe")
+	cacheDir := filepath.Join(t.TempDir(), "inc")
+	fixture := writeFixture(t)
+
+	run := func() (string, string) {
+		cmd := exec.Command(bin, "-inc-cache", cacheDir, fixture)
+		var stdout, stderr strings.Builder
+		cmd.Stdout, cmd.Stderr = &stdout, &stderr
+		err := cmd.Run()
+		if code := exitCode(err); code != 1 {
+			t.Fatalf("exit = %d, want 1; stderr:\n%s", code, stderr.String())
+		}
+		return stdout.String(), stderr.String()
+	}
+
+	out1, err1 := run()
+	if !strings.Contains(err1, "reused 0/1 files") {
+		t.Fatalf("cold scan stderr = %q, want a 0-reuse line", err1)
+	}
+	out2, err2 := run()
+	if !strings.Contains(err2, "reused 1/1 files (100%)") {
+		t.Fatalf("warm scan stderr = %q, want full reuse", err2)
+	}
+	if out1 != out2 {
+		t.Fatalf("warm output differs from cold:\n%s\nvs\n%s", out1, out2)
+	}
+}
+
+func TestCLIPhpsafeDiff(t *testing.T) {
+	t.Parallel()
+	bin := filepath.Join(binaries(t), "phpsafe")
+	oldDir, newDir := t.TempDir(), t.TempDir()
+	oldSrc := "<?php\necho $_GET['q'];\nmysql_query('x' . $_POST['p']);\n"
+	newSrc := "<?php\necho htmlspecialchars($_GET['q']);\nmysql_query('x' . $_POST['p']);\n"
+	if err := os.WriteFile(filepath.Join(oldDir, "p.php"), []byte(oldSrc), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(filepath.Join(newDir, "p.php"), []byte(newSrc), 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	out, err := exec.Command(bin, "-diff", oldDir, newDir).CombinedOutput()
+	// The SQLi persists, so the diff exits 1.
+	if code := exitCode(err); code != 1 {
+		t.Fatalf("exit = %d, want 1; output:\n%s", code, out)
+	}
+	text := string(out)
+	if !strings.Contains(text, "1 fixed, 1 persisting, 0 introduced") {
+		t.Fatalf("diff summary missing:\n%s", text)
+	}
+
+	out, err = exec.Command(bin, "-diff", "-json", oldDir, newDir).CombinedOutput()
+	if code := exitCode(err); code != 1 {
+		t.Fatalf("json diff exit = %d, want 1; output:\n%s", code, out)
+	}
+	var doc struct {
+		Fixed      int `json:"fixed"`
+		Persisting int `json:"persisting"`
+		Introduced int `json:"introduced"`
+	}
+	if err := json.Unmarshal(out, &doc); err != nil {
+		t.Fatalf("diff -json output not JSON: %v\n%s", err, out)
+	}
+	if doc.Fixed != 1 || doc.Persisting != 1 || doc.Introduced != 0 {
+		t.Fatalf("diff -json = %+v, want 1/1/0", doc)
+	}
+
+	// A fully fixed new version exits 0.
+	if err := os.WriteFile(filepath.Join(newDir, "p.php"),
+		[]byte("<?php\necho htmlspecialchars($_GET['q']);\n"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	out, err = exec.Command(bin, "-diff", oldDir, newDir).CombinedOutput()
+	if code := exitCode(err); code != 0 {
+		t.Fatalf("clean diff exit = %d, want 0; output:\n%s", code, out)
+	}
+}

@@ -29,11 +29,14 @@ import (
 	"os"
 	"sort"
 	"strings"
+	"time"
 
 	"repro/internal/corpus"
 	"repro/internal/eval"
+	"repro/internal/incremental"
 	"repro/internal/obs"
 	"repro/internal/report"
+	"repro/internal/taint"
 )
 
 func main() {
@@ -121,7 +124,12 @@ func run() int {
 	}
 
 	if *bench != "" {
-		if err := writeBench(*bench, *seed, *parallel, recorders, ev12, ev14); err != nil {
+		inc, err := measureIncremental()
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "evalrepro: %v\n", err)
+			return 1
+		}
+		if err := writeBench(*bench, *seed, *parallel, recorders, inc, ev12, ev14); err != nil {
 			fmt.Fprintf(os.Stderr, "evalrepro: %v\n", err)
 			return 1
 		}
@@ -218,19 +226,83 @@ type benchTool struct {
 	Counters map[string]int64 `json:"counters"`
 }
 
+// benchIncremental records the incremental-rescan comparison: a cold
+// scan of an N-file plugin against a warm re-scan after a one-file edit
+// (artifacts from the previous version reused for the other N-1 files).
+type benchIncremental struct {
+	Files       int     `json:"files"`
+	ColdMS      float64 `json:"cold_ms"`
+	WarmMS      float64 `json:"warm_ms"`
+	Speedup     float64 `json:"speedup"`
+	ReusedFiles int     `json:"reused_files"`
+}
+
+// measureIncremental runs the cold-vs-warm rescan comparison on the
+// synthetic incremental fixture (the BenchmarkIncrementalRescan shape,
+// medianless: best of three to damp scheduler noise).
+func measureIncremental() (*benchIncremental, error) {
+	const nfiles, rounds = 40, 3
+	base := incremental.SyntheticTarget(nfiles)
+	tool, err := eval.BuildTool("phpsafe", "wordpress", eval.ToolOptions{})
+	if err != nil {
+		return nil, err
+	}
+	eng := tool.(*taint.Engine)
+	store, err := incremental.NewStore("", nil)
+	if err != nil {
+		return nil, err
+	}
+	inc := incremental.New(eng, store, "bench", nil)
+	if _, err := inc.Analyze(base); err != nil {
+		return nil, err
+	}
+
+	out := &benchIncremental{Files: nfiles}
+	for i := 0; i < rounds; i++ {
+		dirty := incremental.Touch(base, 0, i)
+
+		start := time.Now()
+		if _, err := eng.Analyze(dirty); err != nil {
+			return nil, err
+		}
+		cold := float64(time.Since(start).Microseconds()) / 1000
+
+		start = time.Now()
+		_, rep, err := inc.AnalyzeWithReport(dirty)
+		if err != nil {
+			return nil, err
+		}
+		warm := float64(time.Since(start).Microseconds()) / 1000
+
+		if i == 0 || cold < out.ColdMS {
+			out.ColdMS = cold
+		}
+		if i == 0 || warm < out.WarmMS {
+			out.WarmMS = warm
+		}
+		out.ReusedFiles = rep.ReusedFiles
+	}
+	if out.WarmMS > 0 {
+		out.Speedup = out.ColdMS / out.WarmMS
+	}
+	return out, nil
+}
+
 // benchDoc is the BENCH_eval.json schema: a perf trajectory point for
 // future PRs to compare against.
 type benchDoc struct {
-	Seed     int64                            `json:"seed"`
-	Parallel int                              `json:"parallel"`
-	Corpora  map[string]map[string]benchTool `json:"corpora"`
+	Seed              int64                           `json:"seed"`
+	Parallel          int                             `json:"parallel"`
+	IncrementalRescan *benchIncremental               `json:"incremental_rescan,omitempty"`
+	Corpora           map[string]map[string]benchTool `json:"corpora"`
 }
 
 // writeBench renders the per-tool, per-stage timing artifact.
 func writeBench(path string, seed int64, parallel int,
-	recorders map[string]map[string]*obs.Recorder, evs ...*eval.Evaluation) error {
+	recorders map[string]map[string]*obs.Recorder, inc *benchIncremental, evs ...*eval.Evaluation) error {
 
-	doc := benchDoc{Seed: seed, Parallel: parallel, Corpora: map[string]map[string]benchTool{}}
+	doc := benchDoc{Seed: seed, Parallel: parallel, IncrementalRescan: inc,
+		Corpora: map[string]map[string]benchTool{}}
 	for i, tag := range []string{"2012", "2014"} {
 		doc.Corpora[tag] = map[string]benchTool{}
 		for tool, rec := range recorders[tag] {

@@ -5,6 +5,7 @@
 // Usage:
 //
 //	phpsafe [flags] <plugin-dir|file.php>
+//	phpsafe -diff [flags] <old-dir> <new-dir>
 //
 //	-profile wordpress|generic   configuration profile (default wordpress)
 //	-tool phpsafe|rips|pixy      analysis engine (default phpsafe)
@@ -18,6 +19,15 @@
 //	-model                       print the model inventory instead of
 //	                             scanning: functions (with the uncalled
 //	                             ones marked), classes, include edges
+//	-inc-cache DIR               incremental analysis: reuse per-file
+//	                             artifacts from DIR when neither the file
+//	                             nor anything in its dependency component
+//	                             changed; prints the reuse ratio to stderr
+//	                             (phpsafe engine only)
+//	-diff                        compare two versions of a plugin: scan
+//	                             both directories and classify every
+//	                             vulnerability as fixed, persisting or
+//	                             introduced (§V.D)
 //	-metrics FILE                write scan metrics (counters, stage
 //	                             histograms, span tree) after the scan;
 //	                             "-" writes to stdout
@@ -41,6 +51,8 @@ import (
 
 	"repro/internal/analyzer"
 	"repro/internal/eval"
+	"repro/internal/evolution"
+	"repro/internal/incremental"
 	"repro/internal/obs"
 	"repro/internal/report"
 	"repro/internal/taint"
@@ -62,6 +74,8 @@ func run() int {
 	htmlOut := flag.String("html", "", "also write an HTML report to this file")
 	sarifOut := flag.String("sarif", "", "also write a SARIF 2.1.0 report to this file")
 	model := flag.Bool("model", false, "print the model inventory instead of scanning")
+	incCache := flag.String("inc-cache", "", "incremental analysis: artifact cache directory (phpsafe engine only)")
+	diff := flag.Bool("diff", false, "compare two plugin versions: phpsafe -diff <old-dir> <new-dir>")
 	metricsOut := flag.String("metrics", "", "write scan metrics to this file after the scan (\"-\" for stdout)")
 	metricsFormat := flag.String("metrics-format", "json", "metrics exposition format: json or prom")
 	pprofAddr := flag.String("pprof", "", "serve net/http/pprof and expvar on this address during the scan")
@@ -73,8 +87,12 @@ func run() int {
 		return 0
 	}
 
-	if flag.NArg() != 1 {
-		fmt.Fprintln(os.Stderr, "usage: phpsafe [flags] <plugin-dir|file.php>")
+	wantArgs, usage := 1, "usage: phpsafe [flags] <plugin-dir|file.php>"
+	if *diff {
+		wantArgs, usage = 2, "usage: phpsafe -diff [flags] <old-dir> <new-dir>"
+	}
+	if flag.NArg() != wantArgs {
+		fmt.Fprintln(os.Stderr, usage)
 		flag.PrintDefaults()
 		return 2
 	}
@@ -94,16 +112,6 @@ func run() int {
 		fmt.Fprintf(os.Stderr, "pprof server on http://%s/debug/pprof\n", *pprofAddr)
 	}
 
-	target, err := analyzer.Load(flag.Arg(0))
-	if err != nil {
-		fmt.Fprintf(os.Stderr, "phpsafe: %v\n", err)
-		return 2
-	}
-	if len(target.Files) == 0 {
-		fmt.Fprintln(os.Stderr, "phpsafe: no .php files found")
-		return 2
-	}
-
 	// Instrumentation is enabled only when the metrics dump is
 	// requested, so default scans keep the uninstrumented hot path.
 	var rec *obs.Recorder
@@ -121,11 +129,50 @@ func run() int {
 		return 2
 	}
 
+	if *diff {
+		code := runDiff(tool, flag.Arg(0), flag.Arg(1), *jsonOut)
+		if *metricsOut != "" {
+			if err := writeMetrics(*metricsOut, *metricsFormat, rec); err != nil {
+				fmt.Fprintf(os.Stderr, "phpsafe: %v\n", err)
+				return 2
+			}
+		}
+		return code
+	}
+
+	target, err := analyzer.Load(flag.Arg(0))
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "phpsafe: %v\n", err)
+		return 2
+	}
+	if len(target.Files) == 0 {
+		fmt.Fprintln(os.Stderr, "phpsafe: no .php files found")
+		return 2
+	}
+
 	if *model {
 		return printModel(tool, target)
 	}
 
-	res, err := tool.Analyze(target)
+	scanner := tool
+	if *incCache != "" {
+		engine, ok := tool.(*taint.Engine)
+		if !ok {
+			fmt.Fprintln(os.Stderr, "phpsafe: -inc-cache requires -tool phpsafe")
+			return 2
+		}
+		store, err := incremental.NewStore(*incCache, rec)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "phpsafe: %v\n", err)
+			return 2
+		}
+		// The fingerprint pins tool version and profile; the planner
+		// folds the engine's own option set in on top.
+		scanner = &incReporting{inc: incremental.New(engine, store,
+			version.String()+"|"+*profile, rec)}
+	}
+
+	res, err := scanner.Analyze(target)
 	if err != nil {
 		fmt.Fprintf(os.Stderr, "phpsafe: %v\n", err)
 		return 2
@@ -182,6 +229,109 @@ func run() int {
 		return 1
 	}
 	return 0
+}
+
+// incReporting runs the incremental analyzer and narrates its reuse to
+// stderr, keeping stdout free for findings.
+type incReporting struct {
+	inc *incremental.Analyzer
+}
+
+func (w *incReporting) Name() string { return w.inc.Name() }
+
+func (w *incReporting) Analyze(target *analyzer.Target) (*analyzer.Result, error) {
+	res, rep, err := w.inc.AnalyzeWithReport(target)
+	if err != nil {
+		return nil, err
+	}
+	fmt.Fprintf(os.Stderr,
+		"incremental: reused %d/%d files (%.0f%%), re-analyzed %d (%d invalidated by dependencies), ~%.2fs saved\n",
+		rep.ReusedFiles, rep.TotalFiles, 100*rep.ReuseRatio,
+		rep.AnalyzedFiles, rep.InvalidatedFiles, rep.TimeSavedSeconds)
+	return res, nil
+}
+
+// runDiff scans two versions of a plugin and classifies every
+// vulnerability as fixed, persisting or introduced (§V.D). Exit status
+// follows the scan convention: 1 when the new version has findings
+// (persisting or introduced), 0 when it is clean.
+func runDiff(tool analyzer.Analyzer, oldDir, newDir string, jsonOut bool) int {
+	scan := func(dir string) (*analyzer.Result, int) {
+		target, err := analyzer.Load(dir)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "phpsafe: %v\n", err)
+			return nil, 2
+		}
+		if len(target.Files) == 0 {
+			fmt.Fprintf(os.Stderr, "phpsafe: no .php files found in %s\n", dir)
+			return nil, 2
+		}
+		res, err := tool.Analyze(target)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "phpsafe: %v\n", err)
+			return nil, 2
+		}
+		return res, 0
+	}
+	oldRes, code := scan(oldDir)
+	if code != 0 {
+		return code
+	}
+	newRes, code := scan(newDir)
+	if code != 0 {
+		return code
+	}
+
+	rep := evolution.Compare(oldRes, newRes, oldDir, newDir)
+	if jsonOut {
+		enc := json.NewEncoder(os.Stdout)
+		enc.SetIndent("", "  ")
+		if err := enc.Encode(diffJSON(rep)); err != nil {
+			fmt.Fprintf(os.Stderr, "phpsafe: %v\n", err)
+			return 2
+		}
+	} else {
+		fmt.Printf("%s: %s -> %s: %d fixed, %d persisting, %d introduced\n",
+			rep.Plugin, oldDir, newDir,
+			rep.Count(evolution.Fixed), rep.Count(evolution.Persisting),
+			rep.Count(evolution.Introduced))
+		for _, c := range rep.Changes {
+			fmt.Printf("  %-10s %s\n", c.Status, c.Finding.String())
+		}
+	}
+	if rep.Count(evolution.Persisting)+rep.Count(evolution.Introduced) > 0 {
+		return 1
+	}
+	return 0
+}
+
+// diffJSON is the machine-readable shape of an evolution report.
+func diffJSON(rep *evolution.Report) any {
+	type change struct {
+		Status  string           `json:"status"`
+		Finding analyzer.Finding `json:"finding"`
+	}
+	changes := make([]change, 0, len(rep.Changes))
+	for _, c := range rep.Changes {
+		changes = append(changes, change{Status: c.Status.String(), Finding: c.Finding})
+	}
+	return struct {
+		Plugin     string   `json:"plugin"`
+		OldVersion string   `json:"old_version"`
+		NewVersion string   `json:"new_version"`
+		Fixed      int      `json:"fixed"`
+		Persisting int      `json:"persisting"`
+		Introduced int      `json:"introduced"`
+		Changes    []change `json:"changes"`
+	}{
+		Plugin:     rep.Plugin,
+		OldVersion: rep.OldVersion,
+		NewVersion: rep.NewVersion,
+		Fixed:      rep.Count(evolution.Fixed),
+		Persisting: rep.Count(evolution.Persisting),
+		Introduced: rep.Count(evolution.Introduced),
+		Changes:    changes,
+	}
 }
 
 // printModel prints the §III.D model inventory (phpSAFE engine only).

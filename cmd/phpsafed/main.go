@@ -15,6 +15,12 @@
 //	-job-timeout D      per-scan context timeout (default 2m)
 //	-cache-mb N         result-cache byte budget in MiB (default 256)
 //	-max-upload-mb N    submission body limit in MiB (default 32)
+//	-inc-cache DIR      persist the incremental artifact store to DIR so
+//	                    per-file reuse survives restarts (the store is
+//	                    always on, in memory, without the flag): when a
+//	                    changed version of a previously scanned plugin
+//	                    arrives, only the files whose dependency
+//	                    component changed are re-analyzed
 //	-version            print the version and exit
 //
 // The daemon shuts down gracefully on SIGINT/SIGTERM: the listener
@@ -33,6 +39,7 @@ import (
 	"syscall"
 	"time"
 
+	"repro/internal/incremental"
 	"repro/internal/jobs"
 	"repro/internal/obs"
 	"repro/internal/scancache"
@@ -51,6 +58,7 @@ func run() int {
 	jobTimeout := flag.Duration("job-timeout", 2*time.Minute, "per-scan context timeout")
 	cacheMB := flag.Int64("cache-mb", 256, "result cache budget in MiB")
 	maxUploadMB := flag.Int64("max-upload-mb", 32, "submission body limit in MiB")
+	incCache := flag.String("inc-cache", "", "persist the incremental artifact store to this directory")
 	showVersion := flag.Bool("version", false, "print the version and exit")
 	flag.Parse()
 
@@ -68,11 +76,17 @@ func run() int {
 		Recorder:   rec,
 	})
 	cache := scancache.New(*cacheMB<<20, rec)
+	incStore, err := incremental.NewStore(*incCache, rec)
+	if err != nil {
+		log.Printf("incremental store: %v", err)
+		return 1
+	}
 	api := server.New(server.Config{
 		Pool:           pool,
 		Cache:          cache,
 		Recorder:       rec,
 		MaxUploadBytes: *maxUploadMB << 20,
+		IncStore:       incStore,
 	})
 
 	httpSrv := &http.Server{

@@ -1,0 +1,62 @@
+package incremental
+
+import (
+	"fmt"
+
+	"repro/internal/analyzer"
+)
+
+// SyntheticTarget generates a plugin of n mutually-independent files for
+// incremental-rescan benchmarks: every file declares its own uniquely
+// named function, class and variables (no shared includes, calls or
+// globals), so each file is its own dependency component and dirtying
+// one file re-analyzes exactly one file. Each file carries real taint
+// work — a GET-to-SQL-sink flow through a function parameter and a
+// GET-to-echo flow through an object property — so the cold/warm
+// comparison measures analysis, not parsing alone.
+func SyntheticTarget(n int) *analyzer.Target {
+	files := make([]analyzer.SourceFile, 0, n)
+	for i := 0; i < n; i++ {
+		id := fmt.Sprintf("mod%03d", i)
+		src := fmt.Sprintf(`<?php
+function %[1]s_handler($input_%[1]s) {
+    $q_%[1]s = "SELECT * FROM t WHERE c = '" . $input_%[1]s . "'";
+    mysql_query($q_%[1]s);
+    return htmlspecialchars($input_%[1]s);
+}
+class %[1]s_widget {
+    var $data_%[1]s;
+    function set_%[1]s($v_%[1]s) { $this->data_%[1]s = $v_%[1]s; }
+    function render_%[1]s() { echo $this->data_%[1]s; }
+}
+$in_%[1]s = $_GET['%[1]s'];
+$w_%[1]s = new %[1]s_widget();
+$w_%[1]s->set_%[1]s($in_%[1]s);
+$w_%[1]s->render_%[1]s();
+%[1]s_handler($_POST['p_%[1]s']);
+$clean_%[1]s = %[1]s_handler('constant');
+echo $clean_%[1]s;
+`, id)
+		files = append(files, analyzer.SourceFile{
+			Path:    fmt.Sprintf("%s.php", id),
+			Content: src,
+		})
+	}
+	return &analyzer.Target{Name: "synthetic-incremental", Files: files}
+}
+
+// Touch returns a copy of target with one statement appended to the
+// file at index idx — the canonical "one file changed between versions"
+// edit. seq varies the appended content so successive touches of the
+// same file keep producing fresh hashes.
+func Touch(target *analyzer.Target, idx, seq int) *analyzer.Target {
+	out := &analyzer.Target{Name: target.Name, Files: append([]analyzer.SourceFile(nil), target.Files...)}
+	if idx >= 0 && idx < len(out.Files) {
+		f := out.Files[idx]
+		// A line comment is inert wherever the file left off: PHP mode
+		// lexes it away, HTML mode treats it as flowless inline text.
+		f.Content += fmt.Sprintf("\n// touched %d\n", seq)
+		out.Files[idx] = f
+	}
+	return out
+}

@@ -89,8 +89,8 @@ type Histogram struct {
 	// counts[i] tallies observations v <= bounds[i]; the final element
 	// is the +Inf bucket. Counts are NOT cumulative in memory — the
 	// snapshot accumulates them.
-	counts []atomic.Int64
-	count  atomic.Int64
+	counts  []atomic.Int64
+	count   atomic.Int64
 	sumBits atomic.Uint64
 }
 
@@ -145,7 +145,7 @@ func (h *Histogram) Sum() float64 {
 // a valid no-op registry: lookups return nil instruments, whose methods
 // also do nothing.
 type Metrics struct {
-	mu    sync.RWMutex
+	mu         sync.RWMutex
 	counters   map[string]*Counter
 	gauges     map[string]*Gauge
 	histograms map[string]*Histogram

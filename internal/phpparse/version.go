@@ -1,0 +1,8 @@
+package phpparse
+
+// Version is the parser's model fingerprint. Together with
+// phplex.Version it pins the shape of the ASTs that per-file analysis
+// artifacts were computed from (internal/incremental); bump it whenever
+// the parser maps the same tokens to a different tree, or stale
+// artifacts could be reused across incompatible AST models.
+const Version = "phpparse-1"

@@ -67,10 +67,28 @@ type call struct {
 	err  error
 }
 
+// Stats is a point-in-time snapshot of the cache's effectiveness.
+type Stats struct {
+	// Hits and Misses count lookups (Get and Do combined); Coalesced
+	// counts Do callers that joined an identical in-flight computation
+	// instead of starting their own.
+	Hits      int64 `json:"hits"`
+	Misses    int64 `json:"misses"`
+	Coalesced int64 `json:"coalesced"`
+	// Evictions and BytesEvicted account LRU pressure.
+	Evictions    int64 `json:"evictions"`
+	BytesEvicted int64 `json:"bytes_evicted"`
+	// Entries and Bytes are current occupancy.
+	Entries int   `json:"entries"`
+	Bytes   int64 `json:"bytes"`
+	// HitRatio is Hits / (Hits + Misses), 0 before any lookup.
+	HitRatio float64 `json:"hit_ratio"`
+}
+
 // Cache is a concurrency-safe LRU of scan results keyed by content
 // address. The recorder (which may be nil) receives the
-// scancache_{hits,misses,dedup,evictions}_total counters and the
-// scancache_{entries,bytes} gauges.
+// scancache_{hits,misses,dedup,evictions,bytes_evicted}_total counters
+// and the scancache_{entries,bytes,hit_ratio} gauges.
 type Cache struct {
 	rec *obs.Recorder
 
@@ -80,6 +98,9 @@ type Cache struct {
 	ll       *list.List // front = most recently used; values are *entry
 	items    map[string]*list.Element
 	inflight map[string]*call
+
+	hits, misses, coalesced int64
+	evictions, bytesEvicted int64
 }
 
 // New returns an empty cache bounded to maxBytes of cached results
@@ -106,8 +127,13 @@ func (c *Cache) Get(key string) (*analyzer.Result, bool) {
 	if ok {
 		c.ll.MoveToFront(el)
 		res = el.Value.(*entry).res
+		c.hits++
+	} else {
+		c.misses++
 	}
+	ratio := c.hitRatioLocked()
 	c.mu.Unlock()
+	c.rec.Gauge("scancache_hit_ratio").Set(ratio)
 	if ok {
 		c.rec.Counter("scancache_hits_total").Inc()
 		return res, true
@@ -126,11 +152,15 @@ func (c *Cache) Do(key string, compute func() (*analyzer.Result, error)) (res *a
 	if el, ok := c.items[key]; ok {
 		c.ll.MoveToFront(el)
 		res = el.Value.(*entry).res
+		c.hits++
+		ratio := c.hitRatioLocked()
 		c.mu.Unlock()
 		c.rec.Counter("scancache_hits_total").Inc()
+		c.rec.Gauge("scancache_hit_ratio").Set(ratio)
 		return res, true, nil
 	}
 	if cl, ok := c.inflight[key]; ok {
+		c.coalesced++
 		c.mu.Unlock()
 		c.rec.Counter("scancache_dedup_total").Inc()
 		<-cl.done
@@ -138,8 +168,11 @@ func (c *Cache) Do(key string, compute func() (*analyzer.Result, error)) (res *a
 	}
 	cl := &call{done: make(chan struct{})}
 	c.inflight[key] = cl
+	c.misses++
+	ratio := c.hitRatioLocked()
 	c.mu.Unlock()
 	c.rec.Counter("scancache_misses_total").Inc()
+	c.rec.Gauge("scancache_hit_ratio").Set(ratio)
 
 	cl.res, cl.err = compute()
 
@@ -167,6 +200,30 @@ func (c *Cache) Bytes() int64 {
 	return c.bytes
 }
 
+// Stats returns a point-in-time effectiveness snapshot.
+func (c *Cache) Stats() Stats {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return Stats{
+		Hits:         c.hits,
+		Misses:       c.misses,
+		Coalesced:    c.coalesced,
+		Evictions:    c.evictions,
+		BytesEvicted: c.bytesEvicted,
+		Entries:      c.ll.Len(),
+		Bytes:        c.bytes,
+		HitRatio:     c.hitRatioLocked(),
+	}
+}
+
+// hitRatioLocked computes Hits/(Hits+Misses); caller holds c.mu.
+func (c *Cache) hitRatioLocked() float64 {
+	if total := c.hits + c.misses; total > 0 {
+		return float64(c.hits) / float64(total)
+	}
+	return 0
+}
+
 // addLocked inserts res as most recently used and evicts from the LRU
 // tail while over budget. The newest entry is never evicted, so a
 // single result larger than the whole budget still serves its own
@@ -186,7 +243,10 @@ func (c *Cache) addLocked(key string, res *analyzer.Result) {
 		c.ll.Remove(tail)
 		delete(c.items, victim.key)
 		c.bytes -= victim.size
+		c.evictions++
+		c.bytesEvicted += victim.size
 		c.rec.Counter("scancache_evictions_total").Inc()
+		c.rec.Counter("scancache_bytes_evicted_total").Add(victim.size)
 	}
 	c.rec.Gauge("scancache_entries").Set(float64(c.ll.Len()))
 	c.rec.Gauge("scancache_bytes").Set(float64(c.bytes))

@@ -266,3 +266,85 @@ func TestConcurrentMixedKeys(t *testing.T) {
 	}
 	wg.Wait()
 }
+
+func TestStatsTracksEffectiveness(t *testing.T) {
+	t.Parallel()
+	rec := obs.NewRecorder()
+	// Budget fits roughly one entry, so the second insert evicts.
+	c := New(100, rec)
+	mk := func(key string) {
+		c.Do(key, func() (*analyzer.Result, error) {
+			return &analyzer.Result{Tool: "phpSAFE", Target: key,
+				FilesAnalyzed: 1, LinesAnalyzed: 100}, nil
+		})
+	}
+	mk("a") // miss, insert
+	c.Get("a")
+	mk("b") // miss, insert, evicts a
+	c.Get("a")
+
+	st := c.Stats()
+	if st.Hits != 1 || st.Misses != 3 {
+		t.Errorf("hits/misses = %d/%d, want 1/3", st.Hits, st.Misses)
+	}
+	if st.Evictions != 1 || st.BytesEvicted <= 0 {
+		t.Errorf("evictions = %d bytesEvicted = %d, want 1 and > 0", st.Evictions, st.BytesEvicted)
+	}
+	if st.Entries != 1 {
+		t.Errorf("entries = %d, want 1", st.Entries)
+	}
+	if want := 0.25; st.HitRatio != want {
+		t.Errorf("hit ratio = %v, want %v", st.HitRatio, want)
+	}
+
+	snap := rec.Snapshot()
+	if got := snap.Counters["scancache_bytes_evicted_total"]; got != st.BytesEvicted {
+		t.Errorf("scancache_bytes_evicted_total = %d, want %d", got, st.BytesEvicted)
+	}
+	if g, ok := snap.Gauges["scancache_hit_ratio"]; !ok || g != 0.25 {
+		t.Errorf("scancache_hit_ratio gauge = %v (present %v), want 0.25", g, ok)
+	}
+}
+
+func TestStatsCoalesced(t *testing.T) {
+	t.Parallel()
+	c := New(1<<20, nil)
+	release := make(chan struct{})
+	started := make(chan struct{})
+	go c.Do("k", func() (*analyzer.Result, error) {
+		close(started)
+		<-release
+		return &analyzer.Result{Tool: "phpSAFE"}, nil
+	})
+	<-started
+	var wg sync.WaitGroup
+	for i := 0; i < 3; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			c.Do("k", func() (*analyzer.Result, error) {
+				return &analyzer.Result{Tool: "phpSAFE"}, nil
+			})
+		}()
+	}
+	waitFor(t, func() bool { return c.Stats().Coalesced == 3 })
+	close(release)
+	wg.Wait()
+	if got := c.Stats().Coalesced; got != 3 {
+		t.Errorf("coalesced = %d, want 3", got)
+	}
+}
+
+// waitFor polls cond briefly; the singleflight joiners register before
+// blocking on the leader's channel.
+func waitFor(t *testing.T, cond func() bool) {
+	t.Helper()
+	deadline := time.Now().Add(5 * time.Second)
+	for time.Now().Before(deadline) {
+		if cond() {
+			return
+		}
+		time.Sleep(time.Millisecond)
+	}
+	t.Fatal("condition not reached")
+}

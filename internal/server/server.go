@@ -34,10 +34,13 @@ import (
 
 	"repro/internal/analyzer"
 	"repro/internal/eval"
+	"repro/internal/evolution"
+	"repro/internal/incremental"
 	"repro/internal/jobs"
 	"repro/internal/obs"
 	"repro/internal/report"
 	"repro/internal/scancache"
+	"repro/internal/taint"
 	"repro/internal/version"
 )
 
@@ -66,6 +69,12 @@ type Config struct {
 	// Fingerprint prefixes every cache key; it defaults to
 	// version.Version so a tool upgrade invalidates cached results.
 	Fingerprint string
+	// IncStore, when set, enables incremental analysis for phpSAFE
+	// scans: per-file artifacts from earlier scans of the same plugin
+	// are reused when their dependency component is unchanged, so
+	// re-submitting a new plugin version re-analyzes only what changed.
+	// The scan record then carries the reuse report.
+	IncStore *incremental.Store
 }
 
 // scanState is a job's lifecycle position.
@@ -92,6 +101,7 @@ type scan struct {
 	Target   *analyzer.Target
 	Engine   analyzer.Analyzer
 	Result   *analyzer.Result
+	Inc      *incremental.Report
 	Err      string
 }
 
@@ -131,6 +141,7 @@ func New(cfg Config) *Server {
 	}
 	s.mux.HandleFunc("POST /v1/scans", s.instrument("scans_submit", s.handleSubmit))
 	s.mux.HandleFunc("GET /v1/scans/{id}", s.instrument("scans_get", s.handleGet))
+	s.mux.HandleFunc("GET /v1/diffs", s.instrument("diffs", s.handleDiff))
 	s.mux.HandleFunc("GET /healthz", s.instrument("healthz", s.handleHealthz))
 	s.mux.HandleFunc("GET /metrics", s.instrument("metrics", s.handleMetrics))
 	return s
@@ -152,16 +163,17 @@ func (s *Server) instrument(route string, h http.HandlerFunc) http.HandlerFunc {
 
 // scanJSON is the wire shape of one scan record.
 type scanJSON struct {
-	ID       string           `json:"id"`
-	Status   scanState        `json:"status"`
-	Tool     string           `json:"tool"`
-	Profile  string           `json:"profile"`
-	Target   string           `json:"target"`
-	Cached   bool             `json:"cached"`
-	Created  time.Time        `json:"created"`
-	Finished *time.Time       `json:"finished,omitempty"`
-	Result   *analyzer.Result `json:"result,omitempty"`
-	Error    string           `json:"error,omitempty"`
+	ID       string              `json:"id"`
+	Status   scanState           `json:"status"`
+	Tool     string              `json:"tool"`
+	Profile  string              `json:"profile"`
+	Target   string              `json:"target"`
+	Cached   bool                `json:"cached"`
+	Created  time.Time           `json:"created"`
+	Finished *time.Time          `json:"finished,omitempty"`
+	Result   *analyzer.Result    `json:"result,omitempty"`
+	Inc      *incremental.Report `json:"incremental,omitempty"`
+	Error    string              `json:"error,omitempty"`
 }
 
 // viewLocked renders a scan for the wire; caller holds s.mu.
@@ -175,6 +187,7 @@ func (sc *scan) viewLocked() scanJSON {
 		Cached:  sc.Cached,
 		Created: sc.Created,
 		Result:  sc.Result,
+		Inc:     sc.Inc,
 		Error:   sc.Err,
 	}
 	if !sc.Finished.IsZero() {
@@ -284,6 +297,7 @@ func (s *Server) runScan(ctx context.Context, sc *scan) {
 	defer s.rec.Gauge("scans_in_flight").Add(-1)
 
 	var res *analyzer.Result
+	var incRep *incremental.Report
 	var hit bool
 	err := ctx.Err()
 	if err == nil {
@@ -294,6 +308,17 @@ func (s *Server) runScan(ctx context.Context, sc *scan) {
 			defer span.EndAndObserve("scan_seconds")
 			if err := ctx.Err(); err != nil {
 				return nil, err
+			}
+			// Incremental reuse kicks in below the whole-result cache:
+			// an exact resubmission hits the scan cache, while a new
+			// version of a previously scanned plugin reuses the
+			// unchanged files' artifacts here.
+			if engine, ok := sc.Engine.(*taint.Engine); ok && s.cfg.IncStore != nil {
+				inc := incremental.New(engine, s.cfg.IncStore,
+					fmt.Sprintf("%s|%s|%s", s.cfg.Fingerprint, sc.Tool, sc.Profile), s.rec)
+				r, rep, err := inc.AnalyzeWithReport(sc.Target)
+				incRep = rep
+				return r, err
 			}
 			return sc.Engine.Analyze(sc.Target)
 		})
@@ -312,7 +337,74 @@ func (s *Server) runScan(ctx context.Context, sc *scan) {
 	sc.State = stateDone
 	sc.Result = res
 	sc.Cached = hit
+	if !hit {
+		sc.Inc = incRep
+	}
 	s.rec.Counter("scans_completed_total").Inc()
+}
+
+// diffJSON is the wire shape of a cross-version comparison.
+type diffJSON struct {
+	Plugin     string           `json:"plugin"`
+	From       string           `json:"from"`
+	To         string           `json:"to"`
+	Fixed      int              `json:"fixed"`
+	Persisting int              `json:"persisting"`
+	Introduced int              `json:"introduced"`
+	Changes    []diffChangeJSON `json:"changes"`
+}
+
+type diffChangeJSON struct {
+	Status  string           `json:"status"`
+	Finding analyzer.Finding `json:"finding"`
+}
+
+// handleDiff compares two finished scans: GET /v1/diffs?from=ID&to=ID
+// classifies every vulnerability as fixed, persisting or introduced
+// between the two snapshots (§V.D).
+func (s *Server) handleDiff(w http.ResponseWriter, r *http.Request) {
+	fromID, toID := r.URL.Query().Get("from"), r.URL.Query().Get("to")
+	if fromID == "" || toID == "" {
+		s.error(w, http.StatusBadRequest, "both from and to scan ids are required")
+		return
+	}
+	resolve := func(id string) (*analyzer.Result, bool) {
+		s.mu.Lock()
+		defer s.mu.Unlock()
+		sc, ok := s.scans[id]
+		if !ok || sc.State != stateDone {
+			return nil, false
+		}
+		return sc.Result, true
+	}
+	oldRes, ok := resolve(fromID)
+	if !ok {
+		s.error(w, http.StatusNotFound, fmt.Sprintf("scan %q not found or not finished", fromID))
+		return
+	}
+	newRes, ok := resolve(toID)
+	if !ok {
+		s.error(w, http.StatusNotFound, fmt.Sprintf("scan %q not found or not finished", toID))
+		return
+	}
+
+	rep := evolution.Compare(oldRes, newRes, fromID, toID)
+	out := diffJSON{
+		Plugin:     rep.Plugin,
+		From:       fromID,
+		To:         toID,
+		Fixed:      rep.Count(evolution.Fixed),
+		Persisting: rep.Count(evolution.Persisting),
+		Introduced: rep.Count(evolution.Introduced),
+		Changes:    make([]diffChangeJSON, 0, len(rep.Changes)),
+	}
+	for _, c := range rep.Changes {
+		out.Changes = append(out.Changes, diffChangeJSON{
+			Status: c.Status.String(), Finding: c.Finding,
+		})
+	}
+	s.rec.Counter("diffs_served_total").Inc()
+	s.writeJSON(w, http.StatusOK, out)
 }
 
 // handleGet reports a scan's status or renders its finished report.
@@ -369,6 +461,7 @@ func (s *Server) handleHealthz(w http.ResponseWriter, _ *http.Request) {
 		"scans":       tracked,
 		"cache_items": s.cfg.Cache.Len(),
 		"cache_bytes": s.cfg.Cache.Bytes(),
+		"cache_stats": s.cfg.Cache.Stats(),
 	})
 }
 

@@ -14,6 +14,7 @@ import (
 	"time"
 
 	"repro/internal/analyzer"
+	"repro/internal/incremental"
 	"repro/internal/jobs"
 	"repro/internal/obs"
 	"repro/internal/scancache"
@@ -424,4 +425,117 @@ func readAll(t *testing.T, resp *http.Response) string {
 		t.Fatal(err)
 	}
 	return string(data)
+}
+
+// submissionFiles builds a JSON submission with an explicit file map.
+func submissionFiles(name string, files map[string]string) string {
+	b, _ := json.Marshal(map[string]any{"name": name, "files": files})
+	return string(b)
+}
+
+func TestIncrementalReuseAcrossVersions(t *testing.T) {
+	t.Parallel()
+	e := newEnv(t, 2, 8, func(cfg *Config) {
+		store, err := incremental.NewStore("", cfg.Recorder)
+		if err != nil {
+			t.Fatal(err)
+		}
+		cfg.IncStore = store
+	})
+
+	v1 := map[string]string{
+		"a.php": `<?php echo $_GET['a'];`,
+		"b.php": `<?php mysql_query("q" . $_POST['b']);`,
+		"c.php": `<?php echo strip_tags($_COOKIE['c']);`,
+	}
+	_, sc := e.submitJSON(t, submissionFiles("plugin", v1))
+	done := e.wait(t, sc.ID)
+	if done.Status != stateDone {
+		t.Fatalf("v1 scan ended %s: %s", done.Status, done.Error)
+	}
+	if done.Inc == nil || done.Inc.ReusedFiles != 0 {
+		t.Fatalf("v1 incremental report = %+v, want cold scan", done.Inc)
+	}
+
+	// Version 2 changes one independent file: the other two reuse.
+	v2 := map[string]string{
+		"a.php": v1["a.php"],
+		"b.php": v1["b.php"],
+		"c.php": `<?php echo strip_tags($_COOKIE['c']); // patched`,
+	}
+	_, sc2 := e.submitJSON(t, submissionFiles("plugin", v2))
+	done2 := e.wait(t, sc2.ID)
+	if done2.Status != stateDone {
+		t.Fatalf("v2 scan ended %s: %s", done2.Status, done2.Error)
+	}
+	if done2.Cached {
+		t.Fatal("changed submission must not hit the whole-result cache")
+	}
+	if done2.Inc == nil || done2.Inc.ReusedFiles != 2 || done2.Inc.AnalyzedFiles != 1 {
+		t.Fatalf("v2 incremental report = %+v, want 2 reused / 1 analyzed", done2.Inc)
+	}
+
+	// The reuse shows up on /metrics for scraping.
+	resp, err := http.Get(e.ts.URL + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	metrics := readAll(t, resp)
+	if !strings.Contains(metrics, "inc_files_reused_total 2") {
+		t.Errorf("metrics missing incremental reuse counter:\n%s", metrics)
+	}
+}
+
+func TestDiffEndpoint(t *testing.T) {
+	t.Parallel()
+	e := newEnv(t, 2, 8)
+
+	old := map[string]string{
+		"p.php": "<?php\necho $_GET['x'];\nmysql_query('q' . $_POST['y']);\n",
+	}
+	fixed := map[string]string{
+		"p.php": "<?php\necho htmlspecialchars($_GET['x']);\nmysql_query('q' . $_POST['y']);\necho $_COOKIE['z'];\n",
+	}
+	_, scOld := e.submitJSON(t, submissionFiles("evolving", old))
+	_, scNew := e.submitJSON(t, submissionFiles("evolving", fixed))
+	if e.wait(t, scOld.ID).Status != stateDone || e.wait(t, scNew.ID).Status != stateDone {
+		t.Fatal("scans did not finish")
+	}
+
+	resp, err := http.Get(e.ts.URL + "/v1/diffs?from=" + scOld.ID + "&to=" + scNew.ID)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("diff status = %d: %s", resp.StatusCode, readAll(t, resp))
+	}
+	var d diffJSON
+	if err := json.NewDecoder(resp.Body).Decode(&d); err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if d.Fixed != 1 || d.Persisting != 1 || d.Introduced != 1 {
+		t.Fatalf("diff = %+v, want 1 fixed / 1 persisting / 1 introduced", d)
+	}
+	if len(d.Changes) != 3 {
+		t.Fatalf("diff changes = %d, want 3", len(d.Changes))
+	}
+
+	// Error paths: missing params and unknown ids.
+	resp, err = http.Get(e.ts.URL + "/v1/diffs?from=" + scOld.ID)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if resp.StatusCode != http.StatusBadRequest {
+		t.Errorf("diff without to = %d, want 400", resp.StatusCode)
+	}
+	readAll(t, resp)
+	resp, err = http.Get(e.ts.URL + "/v1/diffs?from=nope&to=" + scNew.ID)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if resp.StatusCode != http.StatusNotFound {
+		t.Errorf("diff with unknown id = %d, want 404", resp.StatusCode)
+	}
+	readAll(t, resp)
 }

@@ -1,0 +1,359 @@
+package taint
+
+// Incremental-analysis support: per-file replayable results and portable
+// (serializable) function summaries. internal/incremental plans which
+// files of a snapshot may be reused from a previous scan and calls
+// AnalyzeIncremental with a Seed; everything here keeps that warm path
+// byte-identical to a cold Analyze.
+//
+// The soundness contract is the planner's: a file may only be skipped
+// when every file it could interact with — via includes, cross-file
+// calls, class references or shared globals — is skipped with it (the
+// dependency component, see internal/incremental). Under that contract
+// the engine still parses and inventories every file (so the
+// called-function tables and declaration maps match a cold scan
+// exactly), still runs the include-budget checks for every file (they
+// are deterministic in the ASTs), and only replaces the skipped files'
+// summarization and top-level flows with their recorded outcomes.
+
+import (
+	"fmt"
+	"sort"
+
+	"repro/internal/analyzer"
+	"repro/internal/phpast"
+)
+
+// FileResult is the replayable per-file outcome of one scan: the
+// findings attributed to the file and the summaries of the functions
+// and methods it declares. It is the payload of one artifact in the
+// incremental store and round-trips through JSON unchanged.
+type FileResult struct {
+	Findings  []analyzer.Finding          `json:"findings,omitempty"`
+	Summaries map[string]*PortableSummary `json:"summaries,omitempty"`
+}
+
+// Seed carries a previous scan's reusable state into an incremental
+// scan: Skip maps file paths to the results replayed for them, and
+// Parsed supplies ready ASTs by path for any file (skipped or not).
+type Seed struct {
+	Skip   map[string]*FileResult
+	Parsed map[string]*phpast.File
+}
+
+// PortableTaint is one vulnerability-class taint with its provenance.
+type PortableTaint struct {
+	Class  analyzer.VulnClass   `json:"class"`
+	Vector analyzer.Vector      `json:"vector"`
+	Trace  []analyzer.TraceStep `json:"trace,omitempty"`
+}
+
+// PortableParam is a symbolic dependency on one function parameter.
+type PortableParam struct {
+	Param   int                  `json:"param"`
+	Classes []analyzer.VulnClass `json:"classes"`
+}
+
+// PortableValue is the serializable form of an abstract value.
+type PortableValue struct {
+	Taints  []PortableTaint `json:"taints,omitempty"`
+	Latent  []PortableTaint `json:"latent,omitempty"`
+	Params  []PortableParam `json:"params,omitempty"`
+	Class   string          `json:"class,omitempty"`
+	Numeric bool            `json:"numeric,omitempty"`
+	Filters []string        `json:"filters,omitempty"`
+}
+
+// PortableFlow is a parameter→sink flow recorded inside a function body.
+type PortableFlow struct {
+	Param    int                `json:"param"`
+	Class    analyzer.VulnClass `json:"class"`
+	Sink     string             `json:"sink"`
+	File     string             `json:"file"`
+	Line     int                `json:"line"`
+	Variable string             `json:"variable,omitempty"`
+}
+
+// PortableSummary is the serializable form of one function summary.
+type PortableSummary struct {
+	Ret   *PortableValue `json:"ret,omitempty"`
+	Flows []PortableFlow `json:"flows,omitempty"`
+}
+
+// AnalyzeIncremental scans target like Analyze, replaying the seeded
+// files instead of re-analyzing them, and additionally returns the
+// per-file artifacts of every file it did analyze (for write-back into
+// the store). A nil seed makes it a cold scan that still exports
+// artifacts.
+func (e *Engine) AnalyzeIncremental(target *analyzer.Target, seed *Seed) (*analyzer.Result, map[string]*FileResult, error) {
+	return e.analyze(target, seed, true)
+}
+
+// analyze is the shared scan pipeline behind Analyze and
+// AnalyzeIncremental.
+func (e *Engine) analyze(target *analyzer.Target, seed *Seed, export bool) (*analyzer.Result, map[string]*FileResult, error) {
+	if target == nil {
+		return nil, nil, fmt.Errorf("taint: nil target")
+	}
+	a := newAnalysis(e, target)
+	if seed != nil {
+		a.skip = seed.Skip
+		a.preparsed = seed.Parsed
+	}
+	scan := e.rec.StartNamedSpan("scan:", target.Name, nil)
+	model := scan.StartChild("model")
+	a.buildModel(model)
+	model.EndAndObserve("stage_model_seconds")
+	a.importSummaries()
+	tsp := scan.StartChild("taint")
+	a.run()
+	a.replaySkipped()
+	tsp.EndAndObserve("stage_taint_seconds")
+	a.result.Dedup()
+	scan.End()
+	a.flushStats()
+	var arts map[string]*FileResult
+	if export {
+		arts = a.exportArtifacts()
+	}
+	return a.result, arts, nil
+}
+
+// skipped reports whether path's analysis is replayed from a seed.
+func (a *analysis) skipped(path string) bool {
+	_, ok := a.skip[path]
+	return ok
+}
+
+// importSummaries seeds the summary table from the skipped files'
+// artifacts. Seeded summaries are complete (done), so summarizeFunction
+// short-circuits on them: the uncalled-function pass over a skipped
+// file costs a map lookup instead of a body walk.
+func (a *analysis) importSummaries() {
+	for _, path := range sortedKeys(a.skip) {
+		fr := a.skip[path]
+		if fr == nil {
+			continue
+		}
+		if _, inTarget := a.files[path]; !inTarget {
+			continue
+		}
+		for _, key := range sortedKeys(fr.Summaries) {
+			if _, exists := a.summaries[key]; exists {
+				continue
+			}
+			a.summaries[key] = fr.Summaries[key].summary(path)
+		}
+	}
+}
+
+// replaySkipped appends the recorded findings of every skipped file.
+// Ordering relative to the freshly generated findings is irrelevant:
+// findings sharing a dedup key share a file, hence a dependency
+// component, hence are either all replayed or all fresh — and Dedup
+// sorts the final list either way.
+func (a *analysis) replaySkipped() {
+	for _, path := range sortedKeys(a.skip) {
+		fr := a.skip[path]
+		if fr == nil {
+			continue
+		}
+		if _, inTarget := a.files[path]; !inTarget {
+			continue
+		}
+		a.result.Findings = append(a.result.Findings, fr.Findings...)
+	}
+}
+
+// exportArtifacts groups the scan's outcome per analyzed (non-skipped)
+// file: its findings from the deduplicated result and the summaries of
+// the functions it declares. Every analyzed file gets an entry, even an
+// empty one — "analyzed and clean" must be reusable too.
+func (a *analysis) exportArtifacts() map[string]*FileResult {
+	out := make(map[string]*FileResult, len(a.fileOrder))
+	for _, path := range a.fileOrder {
+		if a.skipped(path) {
+			continue
+		}
+		out[path] = &FileResult{}
+	}
+	for _, f := range a.result.Findings {
+		if fr, ok := out[f.File]; ok {
+			fr.Findings = append(fr.Findings, f)
+		}
+	}
+	for _, key := range sortedKeys(a.summaries) {
+		s := a.summaries[key]
+		if !s.done || s.imported {
+			continue
+		}
+		fr, ok := out[s.file]
+		if !ok {
+			continue
+		}
+		if fr.Summaries == nil {
+			fr.Summaries = make(map[string]*PortableSummary, 4)
+		}
+		fr.Summaries[key] = portableSummary(s)
+	}
+	return out
+}
+
+// sortedKeys returns the map's keys in sorted order, for deterministic
+// iteration.
+func sortedKeys[V any](m map[string]V) []string {
+	keys := make([]string, 0, len(m))
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	return keys
+}
+
+// ---------------------------------------------------------------------------
+// summary <-> portable conversions
+// ---------------------------------------------------------------------------
+
+// portableSummary converts an engine summary to its serializable form.
+func portableSummary(s *summary) *PortableSummary {
+	out := &PortableSummary{Ret: portableValue(s.ret)}
+	for _, f := range s.flows {
+		out.Flows = append(out.Flows, PortableFlow{
+			Param:    f.param,
+			Class:    f.class,
+			Sink:     f.sink,
+			File:     f.file,
+			Line:     f.line,
+			Variable: f.variable,
+		})
+	}
+	return out
+}
+
+// summary reconstructs an engine summary marked complete and imported.
+func (p *PortableSummary) summary(file string) *summary {
+	s := &summary{done: true, imported: true, file: file}
+	if p == nil {
+		s.ret = untainted()
+		return s
+	}
+	s.ret = p.Ret.value()
+	for _, f := range p.Flows {
+		s.flows = append(s.flows, sinkFlow{
+			param:    f.Param,
+			class:    f.Class,
+			sink:     f.Sink,
+			file:     f.File,
+			line:     f.Line,
+			variable: f.Variable,
+		})
+	}
+	return s
+}
+
+// portableValue converts an abstract value to its serializable form.
+// Map-shaped state is flattened into slices ordered by class/parameter
+// number so the encoding is deterministic.
+func portableValue(v *value) *PortableValue {
+	if v == nil {
+		return nil
+	}
+	out := &PortableValue{Class: v.class, Numeric: v.numeric}
+	out.Taints = portableTaints(v.taints)
+	out.Latent = portableTaints(v.latent)
+	if len(v.params) > 0 {
+		idxs := make([]int, 0, len(v.params))
+		for i := range v.params {
+			idxs = append(idxs, i)
+		}
+		sort.Ints(idxs)
+		for _, i := range idxs {
+			out.Params = append(out.Params, PortableParam{
+				Param:   i,
+				Classes: sortedClassSet(v.params[i]),
+			})
+		}
+	}
+	if len(v.filters) > 0 {
+		out.Filters = append([]string(nil), v.filters...)
+	}
+	return out
+}
+
+// value reconstructs an abstract value from its serializable form.
+func (p *PortableValue) value() *value {
+	if p == nil {
+		return untainted()
+	}
+	v := &value{class: p.Class, numeric: p.Numeric}
+	v.taints = taintMap(p.Taints)
+	v.latent = taintMap(p.Latent)
+	if len(p.Params) > 0 {
+		v.params = make(paramDep, len(p.Params))
+		for _, pp := range p.Params {
+			inner := make(map[analyzer.VulnClass]bool, len(pp.Classes))
+			for _, c := range pp.Classes {
+				inner[c] = true
+			}
+			v.params[pp.Param] = inner
+		}
+	}
+	if len(p.Filters) > 0 {
+		v.filters = append([]string(nil), p.Filters...)
+	}
+	return v
+}
+
+// portableTaints flattens a taint map into class-ordered slices.
+func portableTaints(m map[analyzer.VulnClass]*taintInfo) []PortableTaint {
+	if len(m) == 0 {
+		return nil
+	}
+	classes := make([]int, 0, len(m))
+	for c := range m {
+		classes = append(classes, int(c))
+	}
+	sort.Ints(classes)
+	out := make([]PortableTaint, 0, len(classes))
+	for _, c := range classes {
+		t := m[analyzer.VulnClass(c)]
+		pt := PortableTaint{Class: analyzer.VulnClass(c), Vector: t.vector}
+		if len(t.trace) > 0 {
+			pt.Trace = append([]analyzer.TraceStep(nil), t.trace...)
+		}
+		out = append(out, pt)
+	}
+	return out
+}
+
+// taintMap rebuilds a taint map from its flattened form.
+func taintMap(list []PortableTaint) map[analyzer.VulnClass]*taintInfo {
+	if len(list) == 0 {
+		return nil
+	}
+	m := make(map[analyzer.VulnClass]*taintInfo, len(list))
+	for _, pt := range list {
+		ti := &taintInfo{vector: pt.Vector}
+		if len(pt.Trace) > 0 {
+			ti.trace = append([]analyzer.TraceStep(nil), pt.Trace...)
+		}
+		m[pt.Class] = ti
+	}
+	return m
+}
+
+// sortedClassSet flattens a class set into an ordered slice.
+func sortedClassSet(set map[analyzer.VulnClass]bool) []analyzer.VulnClass {
+	ints := make([]int, 0, len(set))
+	for c, ok := range set {
+		if ok {
+			ints = append(ints, int(c))
+		}
+	}
+	sort.Ints(ints)
+	out := make([]analyzer.VulnClass, len(ints))
+	for i, c := range ints {
+		out[i] = analyzer.VulnClass(c)
+	}
+	return out
+}

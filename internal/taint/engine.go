@@ -117,21 +117,27 @@ type scanStats struct {
 
 // Analyze scans one plugin target.
 func (e *Engine) Analyze(target *analyzer.Target) (*analyzer.Result, error) {
-	if target == nil {
-		return nil, fmt.Errorf("taint: nil target")
-	}
-	a := newAnalysis(e, target)
-	scan := e.rec.StartNamedSpan("scan:", target.Name, nil)
-	model := scan.StartChild("model")
-	a.buildModel(model)
-	model.EndAndObserve("stage_model_seconds")
-	tsp := scan.StartChild("taint")
-	a.run()
-	tsp.EndAndObserve("stage_taint_seconds")
-	a.result.Dedup()
-	scan.End()
-	a.flushStats()
-	return a.result, nil
+	res, _, err := e.analyze(target, nil, false)
+	return res, err
+}
+
+// IsSuperglobal reports whether name (without "$") is a superglobal in
+// the engine's configuration. The incremental planner needs this to
+// build its shared-global dependency edges: the engine never routes
+// data between files through a superglobal (reads mint fresh taint from
+// the configuration and writes are discarded), so superglobals must not
+// glue otherwise-independent files together.
+func (e *Engine) IsSuperglobal(name string) bool {
+	_, ok := e.cfg.Superglobal(name)
+	return ok
+}
+
+// OptionsFingerprint returns a deterministic rendering of the engine's
+// analysis options for cache keys: two engines with equal fingerprints
+// (and equal configurations) produce identical results on identical
+// input, so cached artifacts may flow between them.
+func (e *Engine) OptionsFingerprint() string {
+	return fmt.Sprintf("%+v", e.opts)
 }
 
 // flushStats publishes the scan's accumulated counts to the recorder.
@@ -227,6 +233,16 @@ type analysis struct {
 	// curFile is the path of the file whose code is being walked.
 	curFile string
 
+	// skip maps paths whose analysis is replayed from a previous scan's
+	// artifacts instead of being re-run (incremental warm scans): their
+	// declarations are still inventoried and their include-budget checks
+	// still run, but their summaries come from the seed and their
+	// top-level flows are not executed. Nil for ordinary scans.
+	skip map[string]*FileResult
+	// preparsed supplies ready ASTs by path (content-addressed reuse);
+	// files not present are parsed normally.
+	preparsed map[string]*phpast.File
+
 	// stats collects instrumentation counts flushed at the end of the
 	// scan (see scanStats).
 	stats scanStats
@@ -262,7 +278,10 @@ func newAnalysis(e *Engine, target *analyzer.Target) *analysis {
 // unobserved) parents the per-file parse spans.
 func (a *analysis) buildModel(modelSpan *obs.Span) {
 	for _, sf := range a.target.Files {
-		f := phpparse.ParseObserved(sf.Path, sf.Content, a.eng.rec, modelSpan)
+		f := a.preparsed[sf.Path]
+		if f == nil {
+			f = phpparse.ParseObserved(sf.Path, sf.Content, a.eng.rec, modelSpan)
+		}
 		a.files[sf.Path] = f
 		a.fileOrder = append(a.fileOrder, sf.Path)
 	}
@@ -351,7 +370,7 @@ func (a *analysis) run() {
 	}
 
 	for _, path := range a.fileOrder {
-		if failed[path] {
+		if failed[path] || a.skipped(path) {
 			continue
 		}
 		a.analyzeMainFlow(path)

@@ -18,6 +18,12 @@ type summary struct {
 	flows []sinkFlow
 	// done marks the summary complete and reusable.
 	done bool
+	// file is the declaring file, so incremental scans can group
+	// summaries into per-file artifacts (see artifact.go).
+	file string
+	// imported marks summaries seeded from a previous scan's artifacts;
+	// they short-circuit re-analysis and are never re-exported.
+	imported bool
 }
 
 // sinkFlow records that parameter 'param', if tainted for 'class',
@@ -88,7 +94,7 @@ func (a *analysis) summarizeFunction(key, file string, class *classInfo,
 	defer delete(a.inProgress, key)
 	a.stats.funcsAnalyzed++
 
-	sum := &summary{}
+	sum := &summary{file: file}
 	inner := &scope{
 		vars:      make(map[string]*value, len(params)+4),
 		class:     class,
