@@ -15,6 +15,7 @@ package repro
 //	go test -bench=. -benchmem
 
 import (
+	"context"
 	"fmt"
 	"sync"
 	"testing"
@@ -224,7 +225,7 @@ func ablationTP(b *testing.B, opts taint.Options) int {
 	b.Helper()
 	c12, _ := corpora()
 	engine := taint.New(wordpress.Compiled(), opts)
-	run, err := eval.Run(engine, c12)
+	run, err := eval.Run(context.Background(), engine, c12, eval.Options{})
 	if err != nil {
 		b.Fatal(err)
 	}
@@ -326,7 +327,7 @@ func BenchmarkAblationCMSProfile(b *testing.B) {
 	} {
 		b.Run(mode.name, func(b *testing.B) {
 			engine := mode.mk()
-			run, err := eval.Run(engine, c12)
+			run, err := eval.Run(context.Background(), engine, c12, eval.Options{})
 			if err != nil {
 				b.Fatal(err)
 			}

@@ -23,10 +23,12 @@
 package main
 
 import (
+	"context"
 	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
+	"os/signal"
 	"sort"
 	"strings"
 	"time"
@@ -55,6 +57,11 @@ func run() int {
 
 	spec := corpus.DefaultSpec()
 	spec.Seed = *seed
+
+	// SIGINT aborts the sweep through the context-first analyzer API:
+	// the running engine stops at its next governor checkpoint.
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt)
+	defer stop()
 
 	fmt.Fprintf(os.Stderr, "generating corpus (seed %d)...\n", spec.Seed)
 	c12, c14, err := corpus.Generate(spec)
@@ -91,7 +98,7 @@ func run() int {
 					tag, ev.Tool, ev.Done, ev.Total, ev.Plugin, status)
 			}
 		}
-		return eval.EvaluateCorpusWithOptions(c, opts)
+		return eval.EvaluateCorpusContext(ctx, c, opts)
 	}
 	ev12, err := evaluate("2012", c12)
 	if err != nil {

@@ -34,13 +34,27 @@
 //	-metrics-format json|prom    metrics exposition format (default json)
 //	-pprof ADDR                  serve net/http/pprof and expvar on ADDR
 //	                             (e.g. localhost:6060) for long scans
+//	-deadline D                  wall-clock budget for the whole scan;
+//	                             exceeding it truncates the scan (the
+//	                             partial report is printed and labelled)
+//	-max-depth N                 parser nesting budget per file; deeper
+//	                             nesting degrades to a recorded parse
+//	                             error (0 = default 512)
+//	-max-steps N                 interpreter step budget for the whole
+//	                             scan (0 = default 20M, -1 = unlimited)
+//	-file-slice D                wall-clock budget per file; exceeding it
+//	                             fails that file and the scan continues
 //	-version                     print the version and exit
+//
+// SIGINT cancels a running scan cleanly: the engine stops at its next
+// checkpoint and whatever was analyzed so far is reported.
 //
 // Exit status is 0 when no vulnerabilities are found, 1 when findings
 // exist, and 2 on usage or I/O errors.
 package main
 
 import (
+	"context"
 	"encoding/json"
 	_ "expvar" // registers /debug/vars on the default mux
 	"flag"
@@ -48,6 +62,8 @@ import (
 	"net/http"
 	_ "net/http/pprof" // registers /debug/pprof on the default mux
 	"os"
+	"os/signal"
+	"strings"
 
 	"repro/internal/analyzer"
 	"repro/internal/eval"
@@ -79,6 +95,10 @@ func run() int {
 	metricsOut := flag.String("metrics", "", "write scan metrics to this file after the scan (\"-\" for stdout)")
 	metricsFormat := flag.String("metrics-format", "json", "metrics exposition format: json or prom")
 	pprofAddr := flag.String("pprof", "", "serve net/http/pprof and expvar on this address during the scan")
+	deadline := flag.Duration("deadline", 0, "wall-clock budget for the whole scan (0 = none)")
+	maxDepth := flag.Int("max-depth", 0, "parser nesting budget per file (0 = default)")
+	maxSteps := flag.Int64("max-steps", 0, "interpreter step budget for the scan (0 = default, -1 = unlimited)")
+	fileSlice := flag.Duration("file-slice", 0, "wall-clock budget per file (0 = none)")
 	showVersion := flag.Bool("version", false, "print the version and exit")
 	flag.Parse()
 
@@ -129,8 +149,22 @@ func run() int {
 		return 2
 	}
 
+	// Scan budgets (nil = all defaults) and SIGINT-driven cancellation:
+	// the engine observes both at its governor checkpoints.
+	var opts *analyzer.ScanOptions
+	if *deadline != 0 || *maxDepth != 0 || *maxSteps != 0 || *fileSlice != 0 {
+		opts = &analyzer.ScanOptions{
+			Deadline:      *deadline,
+			MaxParseDepth: *maxDepth,
+			MaxSteps:      *maxSteps,
+			FileTimeSlice: *fileSlice,
+		}
+	}
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt)
+	defer stop()
+
 	if *diff {
-		code := runDiff(tool, flag.Arg(0), flag.Arg(1), *jsonOut)
+		code := runDiff(ctx, tool, flag.Arg(0), flag.Arg(1), *jsonOut, opts)
 		if *metricsOut != "" {
 			if err := writeMetrics(*metricsOut, *metricsFormat, rec); err != nil {
 				fmt.Fprintf(os.Stderr, "phpsafe: %v\n", err)
@@ -172,11 +206,12 @@ func run() int {
 			version.String()+"|"+*profile, rec)}
 	}
 
-	res, err := scanner.Analyze(target)
+	res, err := analyzer.AnalyzeWith(ctx, scanner, target, opts)
 	if err != nil {
 		fmt.Fprintf(os.Stderr, "phpsafe: %v\n", err)
 		return 2
 	}
+	warnDegradations(res)
 
 	if *metricsOut != "" {
 		if err := writeMetrics(*metricsOut, *metricsFormat, rec); err != nil {
@@ -231,6 +266,19 @@ func run() int {
 	return 0
 }
 
+// warnDegradations narrates a labelled partial result on stderr so a
+// truncated or crash-isolated scan is never mistaken for a clean one.
+func warnDegradations(res *analyzer.Result) {
+	if res.Truncated {
+		fmt.Fprintf(os.Stderr, "phpsafe: warning: scan truncated by budget: %s (partial report)\n",
+			strings.Join(res.TruncatedBy, ", "))
+	}
+	for _, rf := range res.RobustnessFailures {
+		fmt.Fprintf(os.Stderr, "phpsafe: warning: analysis of %s crashed and was isolated: %s\n",
+			rf.File, rf.Reason)
+	}
+}
+
 // incReporting runs the incremental analyzer and narrates its reuse to
 // stderr, keeping stdout free for findings.
 type incReporting struct {
@@ -240,7 +288,11 @@ type incReporting struct {
 func (w *incReporting) Name() string { return w.inc.Name() }
 
 func (w *incReporting) Analyze(target *analyzer.Target) (*analyzer.Result, error) {
-	res, rep, err := w.inc.AnalyzeWithReport(target)
+	return w.AnalyzeContext(context.Background(), target, nil)
+}
+
+func (w *incReporting) AnalyzeContext(ctx context.Context, target *analyzer.Target, opts *analyzer.ScanOptions) (*analyzer.Result, error) {
+	res, rep, err := w.inc.AnalyzeWithReportContext(ctx, target, opts)
 	if err != nil {
 		return nil, err
 	}
@@ -255,7 +307,7 @@ func (w *incReporting) Analyze(target *analyzer.Target) (*analyzer.Result, error
 // vulnerability as fixed, persisting or introduced (§V.D). Exit status
 // follows the scan convention: 1 when the new version has findings
 // (persisting or introduced), 0 when it is clean.
-func runDiff(tool analyzer.Analyzer, oldDir, newDir string, jsonOut bool) int {
+func runDiff(ctx context.Context, tool analyzer.Analyzer, oldDir, newDir string, jsonOut bool, opts *analyzer.ScanOptions) int {
 	scan := func(dir string) (*analyzer.Result, int) {
 		target, err := analyzer.Load(dir)
 		if err != nil {
@@ -266,11 +318,12 @@ func runDiff(tool analyzer.Analyzer, oldDir, newDir string, jsonOut bool) int {
 			fmt.Fprintf(os.Stderr, "phpsafe: no .php files found in %s\n", dir)
 			return nil, 2
 		}
-		res, err := tool.Analyze(target)
+		res, err := analyzer.AnalyzeWith(ctx, tool, target, opts)
 		if err != nil {
 			fmt.Fprintf(os.Stderr, "phpsafe: %v\n", err)
 			return nil, 2
 		}
+		warnDegradations(res)
 		return res, 0
 	}
 	oldRes, code := scan(oldDir)

@@ -21,7 +21,23 @@
 //	                    changed version of a previously scanned plugin
 //	                    arrives, only the files whose dependency
 //	                    component changed are re-analyzed
+//	-scan-deadline D    cap on one scan's wall-clock budget; exceeding it
+//	                    truncates the scan (0 = uncapped, the job
+//	                    timeout still applies)
+//	-max-parse-depth N  cap on parser nesting depth per file (0 = the
+//	                    analyzer default)
+//	-max-steps N        cap on interpreter steps per scan (0 = the
+//	                    analyzer default)
+//	-max-findings N     cap on findings per scan (0 = the analyzer
+//	                    default)
+//	-file-slice D       cap on wall-clock time per file; exceeding it
+//	                    fails that file and the scan continues (0 = off)
 //	-version            print the version and exit
+//
+// The four budget caps bound what POST /v1/scans requests may ask for:
+// a request's deadline_ms, max_parse_depth, max_steps, max_findings
+// and file_slice_ms fields can tighten a budget below the cap but
+// never exceed it.
 //
 // The daemon shuts down gracefully on SIGINT/SIGTERM: the listener
 // stops, accepted scans drain, and only then does the process exit.
@@ -39,6 +55,7 @@ import (
 	"syscall"
 	"time"
 
+	"repro/internal/analyzer"
 	"repro/internal/incremental"
 	"repro/internal/jobs"
 	"repro/internal/obs"
@@ -59,6 +76,11 @@ func run() int {
 	cacheMB := flag.Int64("cache-mb", 256, "result cache budget in MiB")
 	maxUploadMB := flag.Int64("max-upload-mb", 32, "submission body limit in MiB")
 	incCache := flag.String("inc-cache", "", "persist the incremental artifact store to this directory")
+	scanDeadline := flag.Duration("scan-deadline", 0, "cap on one scan's wall-clock budget (0 = uncapped)")
+	maxParseDepth := flag.Int("max-parse-depth", 0, "cap on parser nesting depth per file (0 = default)")
+	maxSteps := flag.Int64("max-steps", 0, "cap on interpreter steps per scan (0 = default)")
+	maxFindings := flag.Int("max-findings", 0, "cap on findings per scan (0 = default)")
+	fileSlice := flag.Duration("file-slice", 0, "cap on wall-clock time per file (0 = off)")
 	showVersion := flag.Bool("version", false, "print the version and exit")
 	flag.Parse()
 
@@ -87,6 +109,13 @@ func run() int {
 		Recorder:       rec,
 		MaxUploadBytes: *maxUploadMB << 20,
 		IncStore:       incStore,
+		Budgets: analyzer.ScanOptions{
+			Deadline:      *scanDeadline,
+			MaxParseDepth: *maxParseDepth,
+			MaxSteps:      *maxSteps,
+			MaxFindings:   *maxFindings,
+			FileTimeSlice: *fileSlice,
+		},
 	})
 
 	httpSrv := &http.Server{

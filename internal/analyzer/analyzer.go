@@ -202,6 +202,28 @@ type Result struct {
 	Errors []string `json:"errors,omitempty"`
 	// LinesAnalyzed counts source lines in completed files.
 	LinesAnalyzed int `json:"lines_analyzed"`
+	// Truncated marks a scan that stopped early because a resource
+	// budget was exhausted. The findings gathered up to that point are
+	// valid; completeness is not guaranteed.
+	Truncated bool `json:"truncated,omitempty"`
+	// TruncatedBy lists the exhausted budget dimensions ("deadline",
+	// "steps", "findings", ...), first exhaustion first.
+	TruncatedBy []string `json:"truncated_by,omitempty"`
+	// RobustnessFailures lists files whose analysis panicked and was
+	// isolated (crash-grade FilesFailed entries).
+	RobustnessFailures []RobustnessFailure `json:"robustness_failures,omitempty"`
+}
+
+// MarkTruncated flags the result as truncated by the given dimension,
+// keeping TruncatedBy duplicate-free.
+func (r *Result) MarkTruncated(dim string) {
+	r.Truncated = true
+	for _, d := range r.TruncatedBy {
+		if d == dim {
+			return
+		}
+	}
+	r.TruncatedBy = append(r.TruncatedBy, dim)
 }
 
 // Merge appends other's counters and findings into r.
@@ -214,6 +236,13 @@ func (r *Result) Merge(other *Result) {
 	r.FilesFailed = append(r.FilesFailed, other.FilesFailed...)
 	r.Errors = append(r.Errors, other.Errors...)
 	r.LinesAnalyzed += other.LinesAnalyzed
+	for _, dim := range other.TruncatedBy {
+		r.MarkTruncated(dim)
+	}
+	if other.Truncated {
+		r.Truncated = true
+	}
+	r.RobustnessFailures = append(r.RobustnessFailures, other.RobustnessFailures...)
 }
 
 // Dedup removes duplicate findings (same key), keeping the first

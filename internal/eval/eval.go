@@ -8,6 +8,7 @@
 package eval
 
 import (
+	"context"
 	"fmt"
 	"time"
 
@@ -31,8 +32,9 @@ type ToolRun struct {
 	Duration time.Duration
 }
 
-// RunOptions tunes a tool run over a corpus.
-type RunOptions struct {
+// Options tunes a tool run over a corpus. The zero value runs
+// serially, uninstrumented, with default budgets.
+type Options struct {
 	// Workers sizes the worker pool; 0 or 1 runs serially (the paper's
 	// Table III mode), negative uses GOMAXPROCS.
 	Workers int
@@ -43,7 +45,15 @@ type RunOptions struct {
 	// Under a worker pool it is invoked from worker goroutines but
 	// never concurrently.
 	Progress func(ev Progress)
+	// Budgets carries per-plugin resource budgets into every engine
+	// that implements analyzer.ContextAnalyzer; nil means defaults.
+	Budgets *analyzer.ScanOptions
 }
+
+// RunOptions is the pre-context name of Options.
+//
+// Deprecated: use Options with Run.
+type RunOptions = Options
 
 // Progress is one progress-callback event.
 type Progress struct {
@@ -57,24 +67,25 @@ type Progress struct {
 	Err error
 }
 
-// Run executes a tool over every plugin of a corpus, timing it.
-func Run(tool analyzer.Analyzer, c *corpus.Corpus) (*ToolRun, error) {
-	return RunWithOptions(tool, c, RunOptions{})
-}
-
-// RunWithOptions executes a tool over every plugin of a corpus with
-// observability and parallelism options. With Workers > 1 it delegates
-// to the worker pool; results keep corpus order either way.
-func RunWithOptions(tool analyzer.Analyzer, c *corpus.Corpus, opts RunOptions) (*ToolRun, error) {
+// Run executes a tool over every plugin of a corpus, timing it. It is
+// the one entry point for corpus sweeps: opts selects serial or pooled
+// execution, instrumentation and budgets, and ctx cancels the sweep
+// between (and, for governed engines, inside) plugins. With Workers > 1
+// it delegates to the worker pool; results keep corpus order either
+// way.
+func Run(ctx context.Context, tool analyzer.Analyzer, c *corpus.Corpus, opts Options) (*ToolRun, error) {
+	if ctx == nil {
+		ctx = context.Background()
+	}
 	if opts.Workers > 1 || opts.Workers < 0 {
-		return runParallel(tool, c, opts)
+		return runParallel(ctx, tool, c, opts)
 	}
 	run := &ToolRun{Tool: tool.Name()}
 	rec := opts.Recorder
 	start := time.Now()
 	for i, target := range c.Targets {
 		sp := rec.StartNamedSpan("plugin:", target.Name, nil)
-		res, err := tool.Analyze(target)
+		res, err := analyzer.AnalyzeWith(ctx, tool, target, opts.Budgets)
 		sp.EndAndObserve("eval_plugin_seconds")
 		rec.Counter("eval_plugins_total").Inc()
 		if opts.Progress != nil {
@@ -91,6 +102,13 @@ func RunWithOptions(tool analyzer.Analyzer, c *corpus.Corpus, opts RunOptions) (
 	}
 	run.Duration = time.Since(start)
 	return run, nil
+}
+
+// RunWithOptions is the pre-context form of Run.
+//
+// Deprecated: use Run with a context.
+func RunWithOptions(tool analyzer.Analyzer, c *corpus.Corpus, opts Options) (*ToolRun, error) {
+	return Run(context.Background(), tool, c, opts)
 }
 
 // Counts is a TP/FP tally with derived metrics.

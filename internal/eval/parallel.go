@@ -1,6 +1,7 @@
 package eval
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"runtime"
@@ -11,23 +12,24 @@ import (
 	"repro/internal/corpus"
 )
 
-// RunParallel executes a tool over every plugin of a corpus using a
-// bounded worker pool. Results keep corpus order, so Evaluate consumes
-// them identically to Run's output. The engines are documented as safe
-// for concurrent use on distinct targets; this is the practical mode for
-// auditing large plugin collections (the paper's §III integration story).
+// RunParallel is the pre-context form of Run with a worker count.
 //
-// The recorded Duration is wall-clock, so it is NOT comparable with the
-// serial Run used for Table III.
+// Deprecated: use Run with a context and Options.Workers.
 func RunParallel(tool analyzer.Analyzer, c *corpus.Corpus, workers int) (*ToolRun, error) {
-	return runParallel(tool, c, RunOptions{Workers: workers})
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	return runParallel(context.Background(), tool, c, Options{Workers: workers})
 }
 
-// runParallel is the worker-pool implementation behind RunWithOptions
-// and RunParallel. Every worker error is collected and returned joined;
-// the partial run (with Duration set) accompanies a non-nil error so
-// failed corpus sweeps are still inspectable.
-func runParallel(tool analyzer.Analyzer, c *corpus.Corpus, opts RunOptions) (*ToolRun, error) {
+// runParallel is the worker-pool implementation behind Run. Results
+// keep corpus order, so Evaluate consumes them identically to the
+// serial path; the recorded Duration is wall-clock, NOT comparable
+// with a serial sweep's Table III timing. Every worker error is
+// collected and returned joined; the partial run (with Duration set)
+// accompanies a non-nil error so failed corpus sweeps are still
+// inspectable.
+func runParallel(ctx context.Context, tool analyzer.Analyzer, c *corpus.Corpus, opts Options) (*ToolRun, error) {
 	workers := opts.Workers
 	if workers <= 0 {
 		workers = runtime.GOMAXPROCS(0)
@@ -64,7 +66,7 @@ func runParallel(tool analyzer.Analyzer, c *corpus.Corpus, opts RunOptions) (*To
 					rec.Observe("eval_queue_wait_seconds", time.Since(j.enqueued).Seconds())
 				}
 				sp := rec.StartNamedSpan("plugin:", j.target.Name, nil)
-				res, err := tool.Analyze(j.target)
+				res, err := analyzer.AnalyzeWith(ctx, tool, j.target, opts.Budgets)
 				sp.EndAndObserve("eval_plugin_seconds")
 				rec.Counter("eval_plugins_total").Inc()
 				if err != nil {

@@ -1,6 +1,8 @@
 package eval
 
 import (
+	"context"
+	"errors"
 	"fmt"
 	"strings"
 	"sync/atomic"
@@ -129,12 +131,28 @@ func TestParallelJoinsAllErrors(t *testing.T) {
 // also stamps Duration.
 func TestSerialDurationOnError(t *testing.T) {
 	c := failCorpus("bad-only")
-	run, err := Run(&flakyTool{failPrefix: "bad-"}, c)
+	run, err := Run(context.Background(), &flakyTool{failPrefix: "bad-"}, c, Options{})
 	if err == nil {
 		t.Fatal("want error, got nil")
 	}
 	if run == nil || run.Duration <= 0 {
 		t.Fatalf("partial run missing Duration: %+v", run)
+	}
+}
+
+// TestRunContextCancellation checks the collapsed Run entry point
+// refuses to analyze under a dead context — even for legacy analyzers
+// that never look at contexts, via the AnalyzeWith fallback.
+func TestRunContextCancellation(t *testing.T) {
+	c := failCorpus("p1", "p2", "p3")
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	run, err := Run(ctx, &flakyTool{failPrefix: "none"}, c, Options{})
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("cancelled sweep err = %v, want context.Canceled", err)
+	}
+	if run == nil || len(run.Results) != 0 {
+		t.Errorf("cancelled sweep still produced results: %+v", run)
 	}
 }
 

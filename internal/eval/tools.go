@@ -1,6 +1,7 @@
 package eval
 
 import (
+	"context"
 	"fmt"
 
 	"repro/internal/analyzer"
@@ -87,17 +88,21 @@ type EvalOptions struct {
 	// Progress, when non-nil, is called after every plugin of every
 	// tool run.
 	Progress func(ev Progress)
+	// Budgets carries per-plugin resource budgets into every engine;
+	// nil means defaults.
+	Budgets *analyzer.ScanOptions
 }
 
 // EvaluateCorpus runs the default tools over a corpus and matches the
 // results against its labels.
 func EvaluateCorpus(c *corpus.Corpus) (*Evaluation, error) {
-	return EvaluateCorpusWithOptions(c, EvalOptions{})
+	return EvaluateCorpusContext(context.Background(), c, EvalOptions{})
 }
 
-// EvaluateCorpusWithOptions is EvaluateCorpus with observability and
-// parallelism options.
-func EvaluateCorpusWithOptions(c *corpus.Corpus, opts EvalOptions) (*Evaluation, error) {
+// EvaluateCorpusContext runs the default tools over a corpus under ctx
+// and matches the results against its labels; cancelling ctx aborts
+// the sweep mid-tool with the wrapped context error.
+func EvaluateCorpusContext(ctx context.Context, c *corpus.Corpus, opts EvalOptions) (*Evaluation, error) {
 	runs := make([]*ToolRun, 0, 3)
 	for _, tool := range DefaultTools() {
 		var rec *obs.Recorder
@@ -107,10 +112,11 @@ func EvaluateCorpusWithOptions(c *corpus.Corpus, opts EvalOptions) (*Evaluation,
 		if rec != nil {
 			tool = observe(tool, rec)
 		}
-		run, err := RunWithOptions(tool, c, RunOptions{
+		run, err := Run(ctx, tool, c, Options{
 			Workers:  opts.Workers,
 			Recorder: rec,
 			Progress: opts.Progress,
+			Budgets:  opts.Budgets,
 		})
 		if err != nil {
 			return nil, err
@@ -118,6 +124,14 @@ func EvaluateCorpusWithOptions(c *corpus.Corpus, opts EvalOptions) (*Evaluation,
 		runs = append(runs, run)
 	}
 	return Evaluate(c, runs), nil
+}
+
+// EvaluateCorpusWithOptions is the pre-context form of
+// EvaluateCorpusContext.
+//
+// Deprecated: use EvaluateCorpusContext.
+func EvaluateCorpusWithOptions(c *corpus.Corpus, opts EvalOptions) (*Evaluation, error) {
+	return EvaluateCorpusContext(context.Background(), c, opts)
 }
 
 // observe rebinds a known engine to a recorder; tools without recorder

@@ -1,0 +1,5 @@
+<?php
+// Adversarial fixture: include cycle (a -> b -> a).
+include 'include_cycle_b.php';
+$ua = $_GET['a'];
+echo $ua;

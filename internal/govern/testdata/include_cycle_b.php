@@ -1,0 +1,5 @@
+<?php
+// Adversarial fixture: include cycle (b -> a -> b).
+include 'include_cycle_a.php';
+$ub = $_POST['b'];
+mysql_query($ub);

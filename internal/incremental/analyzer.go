@@ -1,6 +1,7 @@
 package incremental
 
 import (
+	"context"
 	"fmt"
 	"time"
 
@@ -38,8 +39,11 @@ type Analyzer struct {
 	rec         *obs.Recorder
 }
 
-// Compile-time check that Analyzer implements the shared interface.
-var _ analyzer.Analyzer = (*Analyzer)(nil)
+// Compile-time checks that Analyzer implements the shared interfaces.
+var (
+	_ analyzer.Analyzer        = (*Analyzer)(nil)
+	_ analyzer.ContextAnalyzer = (*Analyzer)(nil)
+)
 
 // New returns an incremental analyzer over eng and store. fingerprint
 // must identify the tool build and configuration profile (the engine's
@@ -59,18 +63,34 @@ func (a *Analyzer) Analyze(target *analyzer.Target) (*analyzer.Result, error) {
 	return res, err
 }
 
+// AnalyzeContext scans target with artifact reuse under a context and
+// resource budgets (analyzer.ContextAnalyzer).
+func (a *Analyzer) AnalyzeContext(ctx context.Context, target *analyzer.Target, opts *analyzer.ScanOptions) (*analyzer.Result, error) {
+	res, _, err := a.AnalyzeWithReportContext(ctx, target, opts)
+	return res, err
+}
+
 // AnalyzeWithReport scans target with artifact reuse and also returns
 // the reuse report.
 func (a *Analyzer) AnalyzeWithReport(target *analyzer.Target) (*analyzer.Result, *Report, error) {
+	return a.AnalyzeWithReportContext(context.Background(), target, nil)
+}
+
+// AnalyzeWithReportContext is AnalyzeWithReport under a context and
+// resource budgets. A cancelled scan returns the partial result with
+// the error and writes nothing back; a truncated or crash-isolated
+// scan exports no artifacts (the engine withholds them), so the store
+// never receives partial per-file state.
+func (a *Analyzer) AnalyzeWithReportContext(ctx context.Context, target *analyzer.Target, opts *analyzer.ScanOptions) (*analyzer.Result, *Report, error) {
 	if target == nil {
 		return nil, nil, fmt.Errorf("incremental: nil target")
 	}
 	plan := BuildPlan(a.store, a.eng, a.fingerprint, target)
 
 	start := time.Now()
-	res, arts, err := a.eng.AnalyzeIncremental(target, plan.Seed)
+	res, arts, err := a.eng.AnalyzeIncrementalContext(ctx, target, opts, plan.Seed)
 	if err != nil {
-		return nil, nil, err
+		return res, nil, err
 	}
 	elapsed := time.Since(start).Seconds()
 

@@ -155,16 +155,32 @@ func (p *Pool) worker() {
 		p.rec.Observe("jobs_wait_seconds", time.Since(t.enqueued).Seconds())
 		p.rec.Gauge("jobs_in_flight").Add(1)
 
-		ctx, cancel := p.baseCtx, context.CancelFunc(func() {})
-		if p.cfg.JobTimeout > 0 {
-			ctx, cancel = context.WithTimeout(p.baseCtx, p.cfg.JobTimeout)
-		}
 		start := time.Now()
-		t.fn(ctx)
-		cancel()
+		p.runJob(t.fn)
 
 		p.rec.Observe("jobs_run_seconds", time.Since(start).Seconds())
 		p.rec.Gauge("jobs_in_flight").Add(-1)
 		p.rec.Counter("jobs_completed_total").Inc()
 	}
+}
+
+// runJob runs one job under its timeout context. The cancel is
+// deferred — the earlier call-after-return ordering leaked the timeout
+// context's timer goroutine whenever a job panicked, and the panic
+// itself killed the worker, permanently shrinking the pool and leaving
+// jobs_in_flight stuck. Now a panicking job is contained: the timer is
+// released, the panic is counted, and the worker lives on.
+func (p *Pool) runJob(fn func(context.Context)) {
+	ctx := p.baseCtx
+	if p.cfg.JobTimeout > 0 {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(p.baseCtx, p.cfg.JobTimeout)
+		defer cancel()
+	}
+	defer func() {
+		if r := recover(); r != nil {
+			p.rec.Counter("jobs_panics_total").Inc()
+		}
+	}()
+	fn(ctx)
 }

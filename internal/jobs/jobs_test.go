@@ -2,6 +2,7 @@ package jobs
 
 import (
 	"context"
+	"runtime"
 	"sync"
 	"sync/atomic"
 	"testing"
@@ -163,6 +164,77 @@ func TestJobTimeout(t *testing.T) {
 	}
 	if err := p.Shutdown(context.Background()); err != nil {
 		t.Fatalf("shutdown: %v", err)
+	}
+}
+
+// TestTimeoutAndPanicDoNotLeakWorkers pins the regression where a
+// panicking job killed its worker (permanently shrinking the pool) and
+// leaked its timeout context's timer goroutine. The pool must keep its
+// full capacity through panics and timed-out jobs, and the process
+// goroutine count must return to its pre-pool baseline after Shutdown.
+func TestTimeoutAndPanicDoNotLeakWorkers(t *testing.T) {
+	baseline := runtime.NumGoroutine()
+
+	rec := obs.NewRecorder()
+	p := New(Config{Workers: 2, QueueSize: 32, JobTimeout: 5 * time.Millisecond, Recorder: rec})
+
+	// Panicking jobs and jobs that run to their timeout, interleaved.
+	var timedOut atomic.Int64
+	var wg sync.WaitGroup
+	for i := 0; i < 10; i++ {
+		wg.Add(2)
+		if err := p.Submit(func(context.Context) {
+			defer wg.Done()
+			panic("synthetic scan crash")
+		}); err != nil {
+			t.Fatalf("submit panicker %d: %v", i, err)
+		}
+		if err := p.Submit(func(ctx context.Context) {
+			defer wg.Done()
+			<-ctx.Done()
+			timedOut.Add(1)
+		}); err != nil {
+			t.Fatalf("submit sleeper %d: %v", i, err)
+		}
+	}
+	wg.Wait()
+
+	// Both workers survived every panic: a fresh job still runs.
+	ran := make(chan struct{})
+	if err := p.Submit(func(context.Context) { close(ran) }); err != nil {
+		t.Fatalf("post-panic submit: %v", err)
+	}
+	select {
+	case <-ran:
+	case <-time.After(2 * time.Second):
+		t.Fatal("pool stopped running jobs after panics")
+	}
+	if got := timedOut.Load(); got != 10 {
+		t.Errorf("timed-out jobs observed = %d, want 10", got)
+	}
+	snap := rec.Snapshot()
+	if got := snap.Counters["jobs_panics_total"]; got != 10 {
+		t.Errorf("jobs_panics_total = %d, want 10", got)
+	}
+	if got := snap.Gauges["jobs_in_flight"]; got != 0 {
+		t.Errorf("jobs_in_flight = %v, want 0", got)
+	}
+
+	if err := p.Shutdown(context.Background()); err != nil {
+		t.Fatalf("shutdown: %v", err)
+	}
+	// Timer goroutines from expired job contexts unwind asynchronously;
+	// poll briefly for the count to settle back to the baseline.
+	deadline := time.Now().Add(2 * time.Second)
+	for {
+		if n := runtime.NumGoroutine(); n <= baseline {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("goroutines = %d after shutdown, baseline %d: worker or timer leak",
+				runtime.NumGoroutine(), baseline)
+		}
+		time.Sleep(5 * time.Millisecond)
 	}
 }
 

@@ -11,6 +11,7 @@ package phplex
 import (
 	"strings"
 
+	"repro/internal/govern"
 	"repro/internal/obs"
 	"repro/internal/phptoken"
 )
@@ -96,6 +97,45 @@ func TokenizeCodeObserved(src string, rec *obs.Recorder, parent *obs.Span) []php
 	sp.EndAndObserve("stage_lex_seconds")
 	rec.Counter("lex_tokens_total").Add(int64(len(all)))
 	rec.Counter("lex_lines_total").Add(int64(strings.Count(src, "\n") + 1))
+	code := make([]phptoken.Token, 0, len(all))
+	for _, t := range all {
+		if !t.IsTrivia() {
+			code = append(code, t)
+		}
+	}
+	return code
+}
+
+// TokenizeCodeGoverned is TokenizeCodeObserved with a governance
+// checkpoint per token: when the governor halts (cancellation, scan
+// deadline, step budget, file slice) lexing stops and the stream is
+// terminated with an early EOF, so the parser sees a truncated but
+// well-formed input. A nil governor makes it identical to
+// TokenizeCodeObserved.
+func TokenizeCodeGoverned(src string, rec *obs.Recorder, parent *obs.Span, gov *govern.Governor) []phptoken.Token {
+	if gov == nil {
+		return TokenizeCodeObserved(src, rec, parent)
+	}
+	sp := rec.StartSpan("lex", parent)
+	l := New(src)
+	all := make([]phptoken.Token, 0, len(src)/4+8)
+	for {
+		gov.Step()
+		if gov.Halted() {
+			all = append(all, phptoken.Token{Kind: phptoken.EOF, Line: l.line, Offset: l.pos})
+			break
+		}
+		t := l.Next()
+		all = append(all, t)
+		if t.Kind == phptoken.EOF {
+			break
+		}
+	}
+	sp.EndAndObserve("stage_lex_seconds")
+	if rec != nil {
+		rec.Counter("lex_tokens_total").Add(int64(len(all)))
+		rec.Counter("lex_lines_total").Add(int64(strings.Count(src, "\n") + 1))
+	}
 	code := make([]phptoken.Token, 0, len(all))
 	for _, t := range all {
 		if !t.IsTrivia() {

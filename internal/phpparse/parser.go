@@ -13,6 +13,7 @@ import (
 	"fmt"
 	"strings"
 
+	"repro/internal/govern"
 	"repro/internal/obs"
 	"repro/internal/phpast"
 	"repro/internal/phplex"
@@ -34,13 +35,27 @@ func Parse(name, src string) *phpast.File {
 // Parse — the counting walk only runs when observation is on, so the
 // unobserved hot path stays unchanged.
 func ParseObserved(name, src string, rec *obs.Recorder, parent *obs.Span) *phpast.File {
+	return ParseGoverned(name, src, rec, parent, nil)
+}
+
+// ParseGoverned is ParseObserved under a resource governor: lexing and
+// statement parsing carry cancellation checkpoints (a halted governor
+// terminates the token stream and the statement list early, yielding a
+// truncated but well-formed AST), and expression/statement nesting is
+// bounded by the governor's parse-depth budget — deeper constructs
+// degrade to Bad nodes with a recorded error, exactly like other
+// malformed input. A nil governor still applies the default depth
+// budget, so the parser is stack-safe on hostile input everywhere.
+func ParseGoverned(name, src string, rec *obs.Recorder, parent *obs.Span, gov *govern.Governor) *phpast.File {
 	sp := rec.StartNamedSpan("parse:", name, parent)
 	p := &parser{
-		toks: phplex.TokenizeCodeObserved(src, rec, sp),
+		toks: phplex.TokenizeCodeGoverned(src, rec, sp, gov),
 		file: &phpast.File{
 			Name:  name,
 			Lines: strings.Count(src, "\n") + 1,
 		},
+		gov:      gov,
+		maxDepth: gov.MaxParseDepth(),
 	}
 	p.file.Stmts = p.parseStmtList(func(t phptoken.Token) bool { return false })
 	sp.EndAndObserve("stage_parse_seconds")
@@ -57,6 +72,44 @@ type parser struct {
 	toks []phptoken.Token
 	pos  int
 	file *phpast.File
+
+	// gov is the scan's resource governor (nil when ungoverned).
+	gov *govern.Governor
+	// depth tracks recursive-descent nesting against maxDepth; crossing
+	// the budget degrades the construct to a Bad node instead of risking
+	// stack exhaustion on hostile input.
+	depth        int
+	maxDepth     int
+	depthErrored bool
+}
+
+// enterNesting guards one level of parser recursion. It reports false —
+// recording the budget error once — when the depth budget is spent.
+func (p *parser) enterNesting() bool {
+	if p.depth >= p.maxDepth {
+		if !p.depthErrored {
+			p.depthErrored = true
+			p.errorf("line %d: nesting exceeds parser depth budget (%d); degrading to bad node",
+				p.cur().Line, p.maxDepth)
+			p.gov.NoteParseDepth()
+		}
+		return false
+	}
+	p.depth++
+	return true
+}
+
+// leaveNesting releases one level taken by enterNesting.
+func (p *parser) leaveNesting() { p.depth-- }
+
+// badExprOverDepth consumes one token (to guarantee forward progress in
+// every caller's loop) and returns a placeholder expression.
+func (p *parser) badExprOverDepth() phpast.Expr {
+	line := p.cur().Line
+	if !p.at(phptoken.EOF) {
+		p.pos++
+	}
+	return &phpast.BadExpr{Reason: "nesting depth budget exceeded", Position: phpast.NewPosition(line)}
 }
 
 // cur returns the current token; past the end it returns the final EOF.
@@ -123,6 +176,12 @@ func (p *parser) position() int { return p.cur().Line }
 func (p *parser) parseStmtList(stop func(phptoken.Token) bool) []phpast.Stmt {
 	var list []phpast.Stmt
 	for {
+		p.gov.Step()
+		if p.gov.Halted() {
+			// Cancellation or an exhausted budget: hand back what parsed
+			// so far; the engine records the truncation.
+			return list
+		}
 		t := p.cur()
 		if t.Kind == phptoken.EOF || stop(t) {
 			return list
@@ -175,6 +234,20 @@ func stopAtIdents(names ...string) func(phptoken.Token) bool {
 // parseStmt parses one statement. It may return nil for tokens that carry
 // no statement (open/close tags, stray semicolons).
 func (p *parser) parseStmt() phpast.Stmt {
+	if !p.enterNesting() {
+		line := p.cur().Line
+		if !p.at(phptoken.EOF) {
+			p.pos++
+		}
+		return &phpast.BadStmt{Reason: "nesting depth budget exceeded", Position: phpast.NewPosition(line)}
+	}
+	s := p.parseStmtTail()
+	p.leaveNesting()
+	return s
+}
+
+// parseStmtTail is parseStmt without the depth guard.
+func (p *parser) parseStmtTail() phpast.Stmt {
 	t := p.cur()
 	switch t.Kind {
 	case phptoken.OpenTag, phptoken.CloseTag:
@@ -912,7 +985,12 @@ func (p *parser) parseExprListUntil(stop func(phptoken.Token) bool) []phpast.Exp
 // parseExpr parses a full expression including the low-precedence word
 // operators (or, xor, and).
 func (p *parser) parseExpr() phpast.Expr {
-	return p.parseWordOr()
+	if !p.enterNesting() {
+		return p.badExprOverDepth()
+	}
+	x := p.parseWordOr()
+	p.leaveNesting()
+	return x
 }
 
 func (p *parser) parseWordOr() phpast.Expr {
@@ -1056,6 +1134,17 @@ var castNames = map[phptoken.Kind]string{
 
 // parseUnary parses prefix operators, casts and the expression keywords.
 func (p *parser) parseUnary() phpast.Expr {
+	if !p.enterNesting() {
+		return p.badExprOverDepth()
+	}
+	x := p.parseUnaryTail()
+	p.leaveNesting()
+	return x
+}
+
+// parseUnaryTail is parseUnary without the depth guard; the prefix
+// operators self-recurse through the guarded parseUnary.
+func (p *parser) parseUnaryTail() phpast.Expr {
 	t := p.cur()
 	switch t.Kind {
 	case phptoken.Bang:

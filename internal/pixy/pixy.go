@@ -23,12 +23,14 @@
 package pixy
 
 import (
+	"context"
 	"fmt"
 	"sort"
 	"strings"
 
 	"repro/internal/analyzer"
 	"repro/internal/config"
+	"repro/internal/govern"
 	"repro/internal/obs"
 	"repro/internal/phpast"
 	"repro/internal/phpparse"
@@ -47,7 +49,10 @@ type Engine struct {
 	rec *obs.Recorder
 }
 
-var _ analyzer.Analyzer = (*Engine)(nil)
+var (
+	_ analyzer.Analyzer        = (*Engine)(nil)
+	_ analyzer.ContextAnalyzer = (*Engine)(nil)
+)
 
 // New returns a Pixy engine with its 2007-era configuration.
 func New() *Engine {
@@ -86,11 +91,21 @@ func (e *Engine) WithRecorder(rec *obs.Recorder) *Engine {
 	return &clone
 }
 
-// Analyze scans one plugin target file by file.
+// Analyze scans one plugin target file by file with a background
+// context and default budgets.
 func (e *Engine) Analyze(target *analyzer.Target) (*analyzer.Result, error) {
+	return e.AnalyzeContext(context.Background(), target, nil)
+}
+
+// AnalyzeContext scans one plugin target under a context and resource
+// budgets (analyzer.ContextAnalyzer). Per-file analysis is
+// crash-isolated; a halted governor stops the scan between files and
+// inside the forward data-flow walk.
+func (e *Engine) AnalyzeContext(ctx context.Context, target *analyzer.Target, opts *analyzer.ScanOptions) (*analyzer.Result, error) {
 	if target == nil {
 		return nil, fmt.Errorf("pixy: nil target")
 	}
+	gov := govern.New(ctx, opts, e.rec)
 	res := &analyzer.Result{Tool: e.Name(), Target: target.Name}
 
 	scan := e.rec.StartNamedSpan("scan:", target.Name, nil)
@@ -101,7 +116,7 @@ func (e *Engine) Analyze(target *analyzer.Target) (*analyzer.Result, error) {
 	paths := make([]string, 0, len(target.Files))
 	files := make(map[string]*phpast.File, len(target.Files))
 	for _, sf := range target.Files {
-		files[sf.Path] = phpparse.ParseObserved(sf.Path, sf.Content, e.rec, msp)
+		files[sf.Path] = phpparse.ParseGoverned(sf.Path, sf.Content, e.rec, msp, gov)
 		paths = append(paths, sf.Path)
 	}
 	sort.Strings(paths)
@@ -118,21 +133,39 @@ func (e *Engine) Analyze(target *analyzer.Target) (*analyzer.Result, error) {
 				"%s: parse error: unexpected T_CLASS (object-oriented code is not supported)", path))
 			continue
 		}
+		gov.CheckNow()
+		if gov.ScanHalted() {
+			break
+		}
+		path := path
 		fa := &fileAnalysis{
 			eng:  e,
 			res:  res,
 			path: path,
 			fns:  collectFunctions(file),
 			vars: make(map[string]*cell),
+			gov:  gov,
 		}
-		fa.execStmts(file.Stmts)
-		res.FilesAnalyzed++
-		res.LinesAnalyzed += file.Lines
+		ok := govern.Protect(gov, path, res, func() {
+			gov.BeginFile(path)
+			fa.execStmts(file.Stmts)
+		})
+		if gov.EndFile() {
+			res.FilesFailed = append(res.FilesFailed, path)
+			res.Errors = append(res.Errors, fmt.Sprintf(
+				"%s: file time slice exhausted; file not fully analyzed", path))
+			continue
+		}
+		if ok && !gov.ScanHalted() {
+			res.FilesAnalyzed++
+			res.LinesAnalyzed += file.Lines
+		}
 	}
 	tsp.EndAndObserve("stage_taint_seconds")
 	res.Dedup()
+	err := gov.Finish(res)
 	scan.End()
-	return res, nil
+	return res, err
 }
 
 // hasClassDecl reports whether a file declares a class or interface.
@@ -195,6 +228,9 @@ type fileAnalysis struct {
 	// inFunction marks non-main scope (register_globals only applies to
 	// the main scope's undefined variables).
 	inFunction bool
+	// gov carries the scan's budgets into the statement walk (nil when
+	// ungoverned).
+	gov *govern.Governor
 }
 
 // lookup returns the cell for a variable, creating an undefined cell on
@@ -293,8 +329,13 @@ func (fa *fileAnalysis) execStmts(stmts []phpast.Stmt) {
 	}
 }
 
-// execStmt dispatches one statement.
+// execStmt dispatches one statement. It is the walk's governance
+// checkpoint.
 func (fa *fileAnalysis) execStmt(s phpast.Stmt) {
+	if fa.gov.Halted() {
+		return
+	}
+	fa.gov.Step()
 	switch st := s.(type) {
 	case *phpast.ExprStmt:
 		fa.eval(st.X)
@@ -398,8 +439,12 @@ const retName = "\x00return"
 // Expressions
 // ---------------------------------------------------------------------------
 
-// eval computes the taint of an expression.
+// eval computes the taint of an expression. A halted governor
+// collapses evaluation so deep trees unwind quickly.
 func (fa *fileAnalysis) eval(e phpast.Expr) *taint {
+	if fa.gov.Halted() {
+		return nil
+	}
 	switch x := e.(type) {
 	case nil:
 		return nil
@@ -673,6 +718,7 @@ func (fa *fileAnalysis) checkSink(sink string, class analyzer.VulnClass,
 			{File: fa.path, Line: line, Var: "$" + varName, Note: note},
 		},
 	})
+	fa.gov.CheckFindings(len(fa.res.Findings))
 }
 
 // RegisterGlobalsFinding reports whether a finding came from the

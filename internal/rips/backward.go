@@ -3,6 +3,7 @@ package rips
 import (
 	"repro/internal/analyzer"
 	"repro/internal/config"
+	"repro/internal/govern"
 	"repro/internal/phpast"
 )
 
@@ -14,6 +15,9 @@ type fileAnalysis struct {
 	eng   *Engine
 	model *model
 	res   *analyzer.Result
+	// gov carries the scan's budgets into the tracing recursion (nil
+	// when ungoverned).
+	gov *govern.Governor
 }
 
 // taintResult is the outcome of a backward trace.
@@ -57,6 +61,10 @@ type binding struct {
 // taint.
 func (fa *fileAnalysis) analyzeFunc(c *ctx) {
 	for i, ev := range c.fm.events {
+		fa.gov.Step()
+		if fa.gov.Halted() {
+			return
+		}
 		switch ev.kind {
 		case evSink:
 			if r := fa.traceExpr(c, i, ev.sinkExpr, ev.vuln); r.tainted {
@@ -96,6 +104,7 @@ func (fa *fileAnalysis) report(ev event, vuln analyzer.VulnClass, expr phpast.Ex
 				Note: "backward trace to " + r.source},
 		},
 	})
+	fa.gov.CheckFindings(len(fa.res.Findings))
 }
 
 // sinkName renders the sink label of an event.
@@ -124,6 +133,10 @@ func baseVarDeep(e phpast.Expr) (string, bool) {
 // event index idx of context c.
 func (fa *fileAnalysis) traceExpr(c *ctx, idx int, e phpast.Expr, class analyzer.VulnClass) taintResult {
 	if c.depth > maxDepth {
+		return clean
+	}
+	fa.gov.Step()
+	if fa.gov.Halted() {
 		return clean
 	}
 	switch x := e.(type) {

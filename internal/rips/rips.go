@@ -28,10 +28,12 @@
 package rips
 
 import (
+	"context"
 	"fmt"
 
 	"repro/internal/analyzer"
 	"repro/internal/config"
+	"repro/internal/govern"
 	"repro/internal/obs"
 	"repro/internal/phpast"
 	"repro/internal/phpparse"
@@ -45,7 +47,10 @@ type Engine struct {
 	rec *obs.Recorder
 }
 
-var _ analyzer.Analyzer = (*Engine)(nil)
+var (
+	_ analyzer.Analyzer        = (*Engine)(nil)
+	_ analyzer.ContextAnalyzer = (*Engine)(nil)
+)
 
 // New returns a RIPS engine. RIPS only knows generic PHP, so the natural
 // configuration is config.Compile(config.Generic()).
@@ -65,11 +70,21 @@ func (e *Engine) WithRecorder(rec *obs.Recorder) *Engine {
 	return &clone
 }
 
-// Analyze scans one plugin target file by file.
+// Analyze scans one plugin target file by file with a background
+// context and default budgets.
 func (e *Engine) Analyze(target *analyzer.Target) (*analyzer.Result, error) {
+	return e.AnalyzeContext(context.Background(), target, nil)
+}
+
+// AnalyzeContext scans one plugin target under a context and resource
+// budgets (analyzer.ContextAnalyzer). Per-file analysis is
+// crash-isolated; a halted governor stops the scan between files and
+// inside the backward-tracing recursion.
+func (e *Engine) AnalyzeContext(ctx context.Context, target *analyzer.Target, opts *analyzer.ScanOptions) (*analyzer.Result, error) {
 	if target == nil {
 		return nil, fmt.Errorf("rips: nil target")
 	}
+	gov := govern.New(ctx, opts, e.rec)
 	res := &analyzer.Result{Tool: e.Name(), Target: target.Name}
 
 	scan := e.rec.StartNamedSpan("scan:", target.Name, nil)
@@ -77,20 +92,37 @@ func (e *Engine) Analyze(target *analyzer.Target) (*analyzer.Result, error) {
 	// RIPS builds a program model per file but resolves user functions
 	// across the whole plugin (inter-procedural analysis).
 	msp := scan.StartChild("model")
-	model := buildModel(target, e.rec, msp)
+	model := buildModel(target, e.rec, msp, gov)
 	msp.EndAndObserve("stage_model_seconds")
 
 	tsp := scan.StartChild("taint")
 	for _, file := range model.fileOrder {
-		fa := &fileAnalysis{eng: e, model: model, res: res}
-		fa.analyzeFile(file)
-		res.FilesAnalyzed++
-		res.LinesAnalyzed += model.files[file].Lines
+		gov.CheckNow()
+		if gov.ScanHalted() {
+			break
+		}
+		file := file
+		fa := &fileAnalysis{eng: e, model: model, res: res, gov: gov}
+		ok := govern.Protect(gov, file, res, func() {
+			gov.BeginFile(file)
+			fa.analyzeFile(file)
+		})
+		if gov.EndFile() {
+			res.FilesFailed = append(res.FilesFailed, file)
+			res.Errors = append(res.Errors, fmt.Sprintf(
+				"%s: file time slice exhausted; file not fully analyzed", file))
+			continue
+		}
+		if ok && !gov.ScanHalted() {
+			res.FilesAnalyzed++
+			res.LinesAnalyzed += model.files[file].Lines
+		}
 	}
 	tsp.EndAndObserve("stage_taint_seconds")
 	res.Dedup()
+	err := gov.Finish(res)
 	scan.End()
-	return res, nil
+	return res, err
 }
 
 // model is the whole-target inventory RIPS uses for inter-procedural
@@ -166,8 +198,8 @@ type event struct {
 
 // buildModel parses all files and flattens every function and every
 // top-level flow. The recorder and parent span (both possibly nil)
-// observe the per-file parses.
-func buildModel(target *analyzer.Target, rec *obs.Recorder, parent *obs.Span) *model {
+// observe the per-file parses; the governor (possibly nil) bounds them.
+func buildModel(target *analyzer.Target, rec *obs.Recorder, parent *obs.Span, gov *govern.Governor) *model {
 	m := &model{
 		files:     make(map[string]*phpast.File, len(target.Files)),
 		funcs:     make(map[string]*funcModel),
@@ -175,7 +207,7 @@ func buildModel(target *analyzer.Target, rec *obs.Recorder, parent *obs.Span) *m
 		mains:     make(map[string]*funcModel, len(target.Files)),
 	}
 	for _, sf := range target.Files {
-		f := phpparse.ParseObserved(sf.Path, sf.Content, rec, parent)
+		f := phpparse.ParseGoverned(sf.Path, sf.Content, rec, parent, gov)
 		m.files[sf.Path] = f
 		m.fileOrder = append(m.fileOrder, sf.Path)
 	}

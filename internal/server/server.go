@@ -7,14 +7,23 @@
 //
 // Endpoints:
 //
-//	POST /v1/scans        submit a plugin (JSON file map or zip);
-//	                      returns 200 with the result when cached,
-//	                      202 with a job id when queued, 429 when the
-//	                      queue is full
-//	GET  /v1/scans/{id}   job status; ?format=json|sarif|html renders
-//	                      a finished scan's report
-//	GET  /healthz         liveness plus queue/cache occupancy
-//	GET  /metrics         obs registry (Prometheus text; ?format=json)
+//	POST /v1/scans             submit a plugin (JSON file map or zip);
+//	                           returns 200 with the result when cached,
+//	                           202 with a job id when queued, 429 when
+//	                           the queue is full. The JSON body may
+//	                           carry per-scan budget overrides
+//	                           (deadline_ms, max_parse_depth, max_steps,
+//	                           max_findings, file_slice_ms), clamped to
+//	                           the server's configured caps.
+//	POST /v1/scans/{id}/cancel cancel a queued or running scan; the
+//	                           scan settles in the "cancelled" state
+//	                           and its worker is freed at the next
+//	                           governor checkpoint
+//	GET  /v1/scans/{id}        job status; ?format=json|sarif|html
+//	                           renders a finished scan's report
+//	GET  /healthz              liveness plus queue/cache occupancy
+//	GET  /metrics              obs registry (Prometheus text;
+//	                           ?format=json)
 package server
 
 import (
@@ -75,16 +84,24 @@ type Config struct {
 	// re-submitting a new plugin version re-analyzes only what changed.
 	// The scan record then carries the reuse report.
 	IncStore *incremental.Store
+	// Budgets caps the resource budgets any single scan may run under.
+	// Each dimension is both the default for requests that leave it
+	// unset and the ceiling for requests that override it: a request
+	// can tighten a budget but never loosen it past the cap. Zero
+	// fields fall back to the analyzer package defaults (durations:
+	// disabled).
+	Budgets analyzer.ScanOptions
 }
 
 // scanState is a job's lifecycle position.
 type scanState string
 
 const (
-	stateQueued  scanState = "queued"
-	stateRunning scanState = "running"
-	stateDone    scanState = "done"
-	stateFailed  scanState = "failed"
+	stateQueued    scanState = "queued"
+	stateRunning   scanState = "running"
+	stateDone      scanState = "done"
+	stateFailed    scanState = "failed"
+	stateCancelled scanState = "cancelled"
 )
 
 // scan is one submission's record; all fields are guarded by
@@ -100,9 +117,18 @@ type scan struct {
 	Finished time.Time
 	Target   *analyzer.Target
 	Engine   analyzer.Analyzer
+	Opts     *analyzer.ScanOptions
 	Result   *analyzer.Result
 	Inc      *incremental.Report
 	Err      string
+
+	// cancelReq marks a cancellation request; set while queued it makes
+	// runScan settle immediately, set while running it is paired with a
+	// call to cancel.
+	cancelReq bool
+	// cancel aborts the running scan's context; non-nil only while the
+	// scan is actually running on a worker.
+	cancel context.CancelFunc
 }
 
 // Server is the daemon's HTTP handler. Create with New.
@@ -140,6 +166,7 @@ func New(cfg Config) *Server {
 		active: make(map[string]string),
 	}
 	s.mux.HandleFunc("POST /v1/scans", s.instrument("scans_submit", s.handleSubmit))
+	s.mux.HandleFunc("POST /v1/scans/{id}/cancel", s.instrument("scans_cancel", s.handleCancel))
 	s.mux.HandleFunc("GET /v1/scans/{id}", s.instrument("scans_get", s.handleGet))
 	s.mux.HandleFunc("GET /v1/diffs", s.instrument("diffs", s.handleDiff))
 	s.mux.HandleFunc("GET /healthz", s.instrument("healthz", s.handleHealthz))
@@ -161,6 +188,32 @@ func (s *Server) instrument(route string, h http.HandlerFunc) http.HandlerFunc {
 	}
 }
 
+// budgetJSON is the wire shape of a scan's effective budgets.
+// Durations are milliseconds; zero durations mean "no limit" and are
+// omitted. Integer budgets are always concrete (defaults resolved);
+// negative means unlimited.
+type budgetJSON struct {
+	DeadlineMS    int64 `json:"deadline_ms,omitempty"`
+	MaxParseDepth int   `json:"max_parse_depth,omitempty"`
+	MaxSteps      int64 `json:"max_steps,omitempty"`
+	MaxFindings   int   `json:"max_findings,omitempty"`
+	FileSliceMS   int64 `json:"file_slice_ms,omitempty"`
+}
+
+// budgetView renders effective ScanOptions for the wire.
+func budgetView(o *analyzer.ScanOptions) *budgetJSON {
+	if o == nil {
+		return nil
+	}
+	return &budgetJSON{
+		DeadlineMS:    o.Deadline.Milliseconds(),
+		MaxParseDepth: o.EffectiveMaxParseDepth(),
+		MaxSteps:      o.EffectiveMaxSteps(),
+		MaxFindings:   o.EffectiveMaxFindings(),
+		FileSliceMS:   o.FileTimeSlice.Milliseconds(),
+	}
+}
+
 // scanJSON is the wire shape of one scan record.
 type scanJSON struct {
 	ID       string              `json:"id"`
@@ -171,6 +224,7 @@ type scanJSON struct {
 	Cached   bool                `json:"cached"`
 	Created  time.Time           `json:"created"`
 	Finished *time.Time          `json:"finished,omitempty"`
+	Budgets  *budgetJSON         `json:"budgets,omitempty"`
 	Result   *analyzer.Result    `json:"result,omitempty"`
 	Inc      *incremental.Report `json:"incremental,omitempty"`
 	Error    string              `json:"error,omitempty"`
@@ -186,6 +240,7 @@ func (sc *scan) viewLocked() scanJSON {
 		Target:  sc.Target.Name,
 		Cached:  sc.Cached,
 		Created: sc.Created,
+		Budgets: budgetView(sc.Opts),
 		Result:  sc.Result,
 		Inc:     sc.Inc,
 		Error:   sc.Err,
@@ -208,6 +263,82 @@ type submitRequest struct {
 	// Files maps relative paths to PHP source text; non-PHP paths are
 	// ignored, matching the directory loader.
 	Files map[string]string `json:"files"`
+
+	// Per-scan budget overrides. Each may tighten the server's
+	// configured cap but never exceed it; unset (zero) fields take the
+	// cap itself. Durations are milliseconds.
+	DeadlineMS    int64 `json:"deadline_ms"`
+	MaxParseDepth int   `json:"max_parse_depth"`
+	MaxSteps      int64 `json:"max_steps"`
+	MaxFindings   int   `json:"max_findings"`
+	FileSliceMS   int64 `json:"file_slice_ms"`
+}
+
+// scanOptions converts the request's budget overrides to ScanOptions
+// (nil when no override was given).
+func (r *submitRequest) scanOptions() *analyzer.ScanOptions {
+	if r.DeadlineMS == 0 && r.MaxParseDepth == 0 && r.MaxSteps == 0 &&
+		r.MaxFindings == 0 && r.FileSliceMS == 0 {
+		return nil
+	}
+	return &analyzer.ScanOptions{
+		Deadline:      time.Duration(r.DeadlineMS) * time.Millisecond,
+		MaxParseDepth: r.MaxParseDepth,
+		MaxSteps:      r.MaxSteps,
+		MaxFindings:   r.MaxFindings,
+		FileTimeSlice: time.Duration(r.FileSliceMS) * time.Millisecond,
+	}
+}
+
+// tighterLimit picks the stricter of two integer budgets where
+// negative means unlimited (callers resolve zero-means-default first).
+func tighterLimit(a, b int64) int64 {
+	if a < 0 {
+		return b
+	}
+	if b < 0 || a < b {
+		return a
+	}
+	return b
+}
+
+// tighterDuration picks the stricter of two durations where <= 0
+// means no limit.
+func tighterDuration(a, b time.Duration) time.Duration {
+	if a <= 0 {
+		return b
+	}
+	if b <= 0 || a < b {
+		return a
+	}
+	return b
+}
+
+// effectiveBudgets clamps a request's overrides (which may be nil)
+// against the server caps, resolving integer defaults so the result
+// states the concrete budgets the scan runs under.
+func (s *Server) effectiveBudgets(req *analyzer.ScanOptions) *analyzer.ScanOptions {
+	caps := &s.cfg.Budgets
+	var r analyzer.ScanOptions
+	if req != nil {
+		r = *req
+	}
+	return &analyzer.ScanOptions{
+		Deadline:      tighterDuration(r.Deadline, caps.Deadline),
+		MaxParseDepth: int(tighterLimit(int64(r.EffectiveMaxParseDepth()), int64(caps.EffectiveMaxParseDepth()))),
+		MaxSteps:      tighterLimit(r.EffectiveMaxSteps(), caps.EffectiveMaxSteps()),
+		MaxFindings:   int(tighterLimit(int64(r.EffectiveMaxFindings()), int64(caps.EffectiveMaxFindings()))),
+		FileTimeSlice: tighterDuration(r.FileTimeSlice, caps.FileTimeSlice),
+	}
+}
+
+// budgetKey folds the effective budgets into the cache key so a
+// truncated result is only ever served to submissions that would run
+// under the same budgets.
+func budgetKey(o *analyzer.ScanOptions) string {
+	return fmt.Sprintf("d%d:p%d:s%d:f%d:t%d",
+		o.Deadline, o.EffectiveMaxParseDepth(), o.EffectiveMaxSteps(),
+		o.EffectiveMaxFindings(), o.FileTimeSlice)
 }
 
 // handleSubmit accepts a plugin, serves it from cache when possible,
@@ -228,14 +359,16 @@ func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
 		s.error(w, http.StatusBadRequest, err.Error())
 		return
 	}
-	key := scancache.Key(target, fmt.Sprintf("%s|%s|%s", s.cfg.Fingerprint, req.Tool, req.Profile))
+	opts := s.effectiveBudgets(req.scanOptions())
+	key := scancache.Key(target, fmt.Sprintf("%s|%s|%s|%s",
+		s.cfg.Fingerprint, req.Tool, req.Profile, budgetKey(opts)))
 
 	// Fast path: the content has been scanned before.
 	if res, ok := s.cfg.Cache.Get(key); ok {
 		sc := &scan{
 			ID: newID(), State: stateDone, Tool: req.Tool, Profile: req.Profile,
 			Key: key, Cached: true, Created: time.Now(), Finished: time.Now(),
-			Target: target, Result: res,
+			Target: target, Opts: opts, Result: res,
 		}
 		s.mu.Lock()
 		s.scans[sc.ID] = sc
@@ -258,7 +391,7 @@ func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
 	}
 	sc := &scan{
 		ID: newID(), State: stateQueued, Tool: req.Tool, Profile: req.Profile,
-		Key: key, Created: time.Now(), Target: target, Engine: engine,
+		Key: key, Created: time.Now(), Target: target, Engine: engine, Opts: opts,
 	}
 	s.scans[sc.ID] = sc
 	s.active[key] = sc.ID
@@ -288,47 +421,69 @@ func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
 	s.writeJSON(w, http.StatusAccepted, view)
 }
 
-// runScan executes one queued scan on a pool worker.
+// runScan executes one queued scan on a pool worker. The scan runs
+// under a child context so POST /v1/scans/{id}/cancel can abort just
+// this scan; the engines observe it at governor checkpoints, return a
+// partial result, and the worker moves on to the next job.
 func (s *Server) runScan(ctx context.Context, sc *scan) {
+	scanCtx, cancel := context.WithCancel(ctx)
+	defer cancel()
+
 	s.mu.Lock()
+	if sc.cancelReq {
+		// Cancelled while still queued: settle without running.
+		sc.State = stateCancelled
+		sc.Err = context.Canceled.Error()
+		sc.Finished = time.Now()
+		delete(s.active, sc.Key)
+		s.mu.Unlock()
+		s.rec.Counter("scans_cancelled_total").Inc()
+		return
+	}
 	sc.State = stateRunning
+	sc.cancel = cancel
 	s.mu.Unlock()
 	s.rec.Gauge("scans_in_flight").Add(1)
 	defer s.rec.Gauge("scans_in_flight").Add(-1)
 
-	var res *analyzer.Result
 	var incRep *incremental.Report
-	var hit bool
-	err := ctx.Err()
-	if err == nil {
-		res, hit, err = s.cfg.Cache.Do(sc.Key, func() (*analyzer.Result, error) {
-			// The scan span exists only when the engine actually runs:
-			// cache hits and joined flights record no span.
-			span := s.rec.StartNamedSpan("scan:", sc.Target.Name, nil)
-			defer span.EndAndObserve("scan_seconds")
-			if err := ctx.Err(); err != nil {
-				return nil, err
-			}
-			// Incremental reuse kicks in below the whole-result cache:
-			// an exact resubmission hits the scan cache, while a new
-			// version of a previously scanned plugin reuses the
-			// unchanged files' artifacts here.
-			if engine, ok := sc.Engine.(*taint.Engine); ok && s.cfg.IncStore != nil {
-				inc := incremental.New(engine, s.cfg.IncStore,
-					fmt.Sprintf("%s|%s|%s", s.cfg.Fingerprint, sc.Tool, sc.Profile), s.rec)
-				r, rep, err := inc.AnalyzeWithReport(sc.Target)
-				incRep = rep
-				return r, err
-			}
-			return sc.Engine.Analyze(sc.Target)
-		})
-	}
+	res, hit, err := s.cfg.Cache.Do(sc.Key, func() (*analyzer.Result, error) {
+		// The scan span exists only when the engine actually runs:
+		// cache hits and joined flights record no span.
+		span := s.rec.StartNamedSpan("scan:", sc.Target.Name, nil)
+		defer span.EndAndObserve("scan_seconds")
+		if err := scanCtx.Err(); err != nil {
+			return nil, err
+		}
+		// Incremental reuse kicks in below the whole-result cache:
+		// an exact resubmission hits the scan cache, while a new
+		// version of a previously scanned plugin reuses the
+		// unchanged files' artifacts here.
+		if engine, ok := sc.Engine.(*taint.Engine); ok && s.cfg.IncStore != nil {
+			inc := incremental.New(engine, s.cfg.IncStore,
+				fmt.Sprintf("%s|%s|%s", s.cfg.Fingerprint, sc.Tool, sc.Profile), s.rec)
+			r, rep, err := inc.AnalyzeWithReportContext(scanCtx, sc.Target, sc.Opts)
+			incRep = rep
+			return r, err
+		}
+		return analyzer.AnalyzeWith(scanCtx, sc.Engine, sc.Target, sc.Opts)
+	})
 
 	s.mu.Lock()
 	defer s.mu.Unlock()
+	sc.cancel = nil
 	delete(s.active, sc.Key)
 	sc.Finished = time.Now()
 	if err != nil {
+		if errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded) {
+			// Cancelled (or the pool's job timeout fired). Keep the
+			// engine's partial result: it is labelled, valid work.
+			sc.State = stateCancelled
+			sc.Err = err.Error()
+			sc.Result = res
+			s.rec.Counter("scans_cancelled_total").Inc()
+			return
+		}
 		sc.State = stateFailed
 		sc.Err = err.Error()
 		s.rec.Counter("scans_failed_total").Inc()
@@ -341,6 +496,35 @@ func (s *Server) runScan(ctx context.Context, sc *scan) {
 		sc.Inc = incRep
 	}
 	s.rec.Counter("scans_completed_total").Inc()
+}
+
+// handleCancel requests cancellation of a queued or running scan.
+// Cancellation is cooperative: a running scan stops at its next
+// governor checkpoint and settles as "cancelled" with whatever partial
+// result the engine had produced. Finished scans conflict.
+func (s *Server) handleCancel(w http.ResponseWriter, r *http.Request) {
+	s.mu.Lock()
+	sc, ok := s.scans[r.PathValue("id")]
+	if !ok {
+		s.mu.Unlock()
+		s.error(w, http.StatusNotFound, "unknown scan id")
+		return
+	}
+	switch sc.State {
+	case stateDone, stateFailed, stateCancelled:
+		state := sc.State
+		s.mu.Unlock()
+		s.error(w, http.StatusConflict, fmt.Sprintf("scan is already %s", state))
+		return
+	}
+	sc.cancelReq = true
+	if sc.cancel != nil {
+		sc.cancel()
+	}
+	view := sc.viewLocked()
+	s.mu.Unlock()
+	s.rec.Counter("scans_cancel_requests_total").Inc()
+	s.writeJSON(w, http.StatusAccepted, view)
 }
 
 // diffJSON is the wire shape of a cross-version comparison.

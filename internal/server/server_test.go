@@ -91,7 +91,7 @@ func (e *env) wait(t *testing.T, id string) scanJSON {
 		if err != nil {
 			t.Fatal(err)
 		}
-		if sc.Status == stateDone || sc.Status == stateFailed {
+		if sc.Status == stateDone || sc.Status == stateFailed || sc.Status == stateCancelled {
 			return sc
 		}
 		time.Sleep(5 * time.Millisecond)
@@ -415,6 +415,219 @@ type failingAnalyzer struct{}
 func (failingAnalyzer) Name() string { return "failing" }
 func (failingAnalyzer) Analyze(*analyzer.Target) (*analyzer.Result, error) {
 	return nil, fmt.Errorf("engine exploded")
+}
+
+// ctxAnalyzer parks every scan on its context, like a long scan whose
+// governor checkpoints are the only exit; it returns the partial
+// result alongside the wrapped ctx error, matching the engine
+// contract.
+type ctxAnalyzer struct {
+	started chan<- struct{}
+}
+
+func (c ctxAnalyzer) Name() string { return "ctxblocking" }
+
+func (c ctxAnalyzer) Analyze(t *analyzer.Target) (*analyzer.Result, error) {
+	return c.AnalyzeContext(context.Background(), t, nil)
+}
+
+func (c ctxAnalyzer) AnalyzeContext(ctx context.Context, t *analyzer.Target, _ *analyzer.ScanOptions) (*analyzer.Result, error) {
+	select {
+	case c.started <- struct{}{}:
+	default:
+	}
+	<-ctx.Done()
+	res := &analyzer.Result{Tool: c.Name(), Target: t.Name}
+	return res, fmt.Errorf("scan cancelled: %w", ctx.Err())
+}
+
+// TestCancelRunningScanFreesWorker drives the acceptance scenario:
+// cancelling a mid-flight scan settles it as "cancelled", frees its
+// worker for the next job, and the daemon keeps serving.
+func TestCancelRunningScanFreesWorker(t *testing.T) {
+	t.Parallel()
+	started := make(chan struct{}, 4)
+	e := newEnv(t, 1, 4, func(cfg *Config) {
+		cfg.BuildTool = func(_, _ string, _ *obs.Recorder) (analyzer.Analyzer, error) {
+			return ctxAnalyzer{started: started}, nil
+		}
+	})
+
+	_, first := e.submitJSON(t, submission("victim"))
+	<-started // the single worker is provably inside the scan
+
+	resp, err := http.Post(e.ts.URL+"/v1/scans/"+first.ID+"/cancel", "", nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusAccepted {
+		t.Fatalf("cancel status = %d, want 202", resp.StatusCode)
+	}
+
+	done := e.wait(t, first.ID)
+	if done.Status != stateCancelled {
+		t.Fatalf("cancelled scan ended %s (%s)", done.Status, done.Error)
+	}
+	if done.Error == "" {
+		t.Error("cancelled scan should carry the cancellation error")
+	}
+	if done.Result == nil || done.Result.Tool != "ctxblocking" {
+		t.Errorf("cancelled scan lost its partial result: %+v", done.Result)
+	}
+	if got := e.rec.Snapshot().Counters["scans_cancelled_total"]; got != 1 {
+		t.Errorf("scans_cancelled_total = %d, want 1", got)
+	}
+
+	// The worker is free: the next scan starts. The daemon still serves.
+	_, second := e.submitJSON(t, submission("next"))
+	select {
+	case <-started:
+	case <-time.After(10 * time.Second):
+		t.Fatal("worker was not freed by the cancellation")
+	}
+	if resp, err := http.Get(e.ts.URL + "/healthz"); err != nil || resp.StatusCode != http.StatusOK {
+		t.Fatalf("healthz after cancel: %v %v", resp, err)
+	} else {
+		resp.Body.Close()
+	}
+	http.Post(e.ts.URL+"/v1/scans/"+second.ID+"/cancel", "", nil)
+	e.wait(t, second.ID)
+
+	// Cancelling a settled scan conflicts; unknown ids are 404.
+	resp, err = http.Post(e.ts.URL+"/v1/scans/"+first.ID+"/cancel", "", nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusConflict {
+		t.Errorf("re-cancel status = %d, want 409", resp.StatusCode)
+	}
+	resp, err = http.Post(e.ts.URL+"/v1/scans/nope/cancel", "", nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusNotFound {
+		t.Errorf("unknown-id cancel status = %d, want 404", resp.StatusCode)
+	}
+}
+
+// TestCancelQueuedScanNeverRuns cancels a scan while it is still
+// waiting in the queue; it must settle as cancelled without the
+// engine ever starting.
+func TestCancelQueuedScanNeverRuns(t *testing.T) {
+	t.Parallel()
+	started := make(chan struct{}, 4)
+	e := newEnv(t, 1, 4, func(cfg *Config) {
+		cfg.BuildTool = func(_, _ string, _ *obs.Recorder) (analyzer.Analyzer, error) {
+			return ctxAnalyzer{started: started}, nil
+		}
+	})
+
+	_, blocker := e.submitJSON(t, submission("blocker"))
+	<-started
+	_, queued := e.submitJSON(t, submission("waiting"))
+
+	resp, err := http.Post(e.ts.URL+"/v1/scans/"+queued.ID+"/cancel", "", nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusAccepted {
+		t.Fatalf("queued cancel status = %d, want 202", resp.StatusCode)
+	}
+
+	// Free the worker; the queued scan must settle cancelled without
+	// its engine ever entering Analyze.
+	http.Post(e.ts.URL+"/v1/scans/"+blocker.ID+"/cancel", "", nil)
+	e.wait(t, blocker.ID)
+	done := e.wait(t, queued.ID)
+	if done.Status != stateCancelled {
+		t.Fatalf("queued-cancelled scan ended %s", done.Status)
+	}
+	select {
+	case <-started:
+		t.Error("cancelled queued scan still ran its engine")
+	default:
+	}
+}
+
+// TestBudgetOverridesClampedAndReported submits per-request budgets
+// beyond and below the server caps and checks the clamped effective
+// budgets on the scan record, plus genuine truncation (with its
+// budget-keyed cache entry) when the step budget bites.
+func TestBudgetOverridesClampedAndReported(t *testing.T) {
+	t.Parallel()
+	e := newEnv(t, 2, 8, func(cfg *Config) {
+		cfg.Budgets = analyzer.ScanOptions{MaxSteps: 100_000, Deadline: 30 * time.Second}
+	})
+
+	// A source long enough that the interpreter provably crosses a
+	// governor checkpoint (every 256 steps).
+	var b strings.Builder
+	b.WriteString("<?php\n$a = $_GET['x'];\n")
+	for i := 0; i < 2000; i++ {
+		fmt.Fprintf(&b, "$v%d = $a . 'pad';\n", i)
+	}
+	b.WriteString("echo $a;\n")
+	body, _ := json.Marshal(map[string]any{
+		"name":         "clamped",
+		"files":        map[string]string{"big.php": b.String()},
+		"max_steps":    500,       // tightens below the 100k cap
+		"deadline_ms":  3_600_000, // tries to exceed the 30s cap
+		"max_findings": 50,        // tightens below the default
+	})
+
+	status, sc := e.submitJSON(t, string(body))
+	if status != http.StatusAccepted {
+		t.Fatalf("submit status = %d, want 202", status)
+	}
+	if sc.Budgets == nil {
+		t.Fatal("scan record has no effective budgets")
+	}
+	if sc.Budgets.MaxSteps != 500 {
+		t.Errorf("effective max_steps = %d, want the tightened 500", sc.Budgets.MaxSteps)
+	}
+	if sc.Budgets.DeadlineMS != 30_000 {
+		t.Errorf("effective deadline_ms = %d, want clamped 30000", sc.Budgets.DeadlineMS)
+	}
+	if sc.Budgets.MaxFindings != 50 {
+		t.Errorf("effective max_findings = %d, want 50", sc.Budgets.MaxFindings)
+	}
+
+	done := e.wait(t, sc.ID)
+	if done.Status != stateDone {
+		t.Fatalf("budgeted scan ended %s (%s)", done.Status, done.Error)
+	}
+	if done.Result == nil || !done.Result.Truncated {
+		t.Fatal("500-step scan of a 2000-statement file must be truncated")
+	}
+	found := false
+	for _, dim := range done.Result.TruncatedBy {
+		if dim == "steps" {
+			found = true
+		}
+	}
+	if !found {
+		t.Errorf("truncated_by = %v, want to include steps", done.Result.TruncatedBy)
+	}
+
+	// The same content without the tight budget runs under a different
+	// cache key: it must not be served the truncated result.
+	full, _ := json.Marshal(map[string]any{
+		"name":  "clamped",
+		"files": map[string]string{"big.php": b.String()},
+	})
+	_, sc2 := e.submitJSON(t, string(full))
+	if sc2.Cached {
+		t.Fatal("default-budget submission reused the truncated result's cache entry")
+	}
+	done2 := e.wait(t, sc2.ID)
+	if done2.Status != stateDone || done2.Result == nil || done2.Result.Truncated {
+		t.Errorf("default-budget rescan = %s truncated=%v, want clean done",
+			done2.Status, done2.Result != nil && done2.Result.Truncated)
+	}
 }
 
 func readAll(t *testing.T, resp *http.Response) string {

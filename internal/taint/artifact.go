@@ -17,10 +17,12 @@ package taint
 // summarization and top-level flows with their recorded outcomes.
 
 import (
+	"context"
 	"fmt"
 	"sort"
 
 	"repro/internal/analyzer"
+	"repro/internal/govern"
 	"repro/internal/phpast"
 )
 
@@ -86,16 +88,25 @@ type PortableSummary struct {
 // the store). A nil seed makes it a cold scan that still exports
 // artifacts.
 func (e *Engine) AnalyzeIncremental(target *analyzer.Target, seed *Seed) (*analyzer.Result, map[string]*FileResult, error) {
-	return e.analyze(target, seed, true)
+	return e.analyze(context.Background(), target, nil, seed, true)
 }
 
-// analyze is the shared scan pipeline behind Analyze and
-// AnalyzeIncremental.
-func (e *Engine) analyze(target *analyzer.Target, seed *Seed, export bool) (*analyzer.Result, map[string]*FileResult, error) {
+// AnalyzeIncrementalContext is AnalyzeIncremental under a context and
+// resource budgets. A scan touched by any budget — truncation,
+// cancellation, a recovered panic — exports no artifacts: partial
+// per-file results must never be written back as reusable state.
+func (e *Engine) AnalyzeIncrementalContext(ctx context.Context, target *analyzer.Target, opts *analyzer.ScanOptions, seed *Seed) (*analyzer.Result, map[string]*FileResult, error) {
+	return e.analyze(ctx, target, opts, seed, true)
+}
+
+// analyze is the shared scan pipeline behind Analyze, AnalyzeContext
+// and the incremental entry points.
+func (e *Engine) analyze(ctx context.Context, target *analyzer.Target, opts *analyzer.ScanOptions, seed *Seed, export bool) (*analyzer.Result, map[string]*FileResult, error) {
 	if target == nil {
 		return nil, nil, fmt.Errorf("taint: nil target")
 	}
 	a := newAnalysis(e, target)
+	a.gov = govern.New(ctx, opts, e.rec)
 	if seed != nil {
 		a.skip = seed.Skip
 		a.preparsed = seed.Parsed
@@ -110,13 +121,14 @@ func (e *Engine) analyze(target *analyzer.Target, seed *Seed, export bool) (*ana
 	a.replaySkipped()
 	tsp.EndAndObserve("stage_taint_seconds")
 	a.result.Dedup()
+	err := a.gov.Finish(a.result)
 	scan.End()
 	a.flushStats()
 	var arts map[string]*FileResult
-	if export {
+	if export && err == nil && !a.result.Truncated && len(a.result.RobustnessFailures) == 0 {
 		arts = a.exportArtifacts()
 	}
-	return a.result, arts, nil
+	return a.result, arts, err
 }
 
 // skipped reports whether path's analysis is replayed from a seed.

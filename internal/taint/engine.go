@@ -25,12 +25,14 @@
 package taint
 
 import (
+	"context"
 	"fmt"
 	"sort"
 	"strings"
 
 	"repro/internal/analyzer"
 	"repro/internal/config"
+	"repro/internal/govern"
 	"repro/internal/obs"
 	"repro/internal/phpast"
 	"repro/internal/phpparse"
@@ -82,8 +84,11 @@ type Engine struct {
 	rec *obs.Recorder
 }
 
-// Compile-time check that Engine implements the shared interface.
-var _ analyzer.Analyzer = (*Engine)(nil)
+// Compile-time checks that Engine implements the shared interfaces.
+var (
+	_ analyzer.Analyzer        = (*Engine)(nil)
+	_ analyzer.ContextAnalyzer = (*Engine)(nil)
+)
 
 // New returns an engine over the given compiled configuration.
 func New(cfg *config.Compiled, opts Options) *Engine {
@@ -115,9 +120,21 @@ type scanStats struct {
 	sinkChecks       int64
 }
 
-// Analyze scans one plugin target.
+// Analyze scans one plugin target with a background context and default
+// budgets. It is a thin adapter over AnalyzeContext for callers that
+// need neither cancellation nor custom budgets.
 func (e *Engine) Analyze(target *analyzer.Target) (*analyzer.Result, error) {
-	res, _, err := e.analyze(target, nil, false)
+	return e.AnalyzeContext(context.Background(), target, nil)
+}
+
+// AnalyzeContext scans one plugin target under a context and resource
+// budgets (the context-first contract, see analyzer.ContextAnalyzer).
+// Cancellation returns the partial result plus an error wrapping
+// ctx.Err(); exhausted budgets return a partial result flagged
+// Truncated with a nil error; per-file panics and time-slice overruns
+// fail only the affected file.
+func (e *Engine) AnalyzeContext(ctx context.Context, target *analyzer.Target, opts *analyzer.ScanOptions) (*analyzer.Result, error) {
+	res, _, err := e.analyze(ctx, target, opts, nil, false)
 	return res, err
 }
 
@@ -247,6 +264,16 @@ type analysis struct {
 	// scan (see scanStats).
 	stats scanStats
 
+	// gov enforces the scan's context and resource budgets; checkpoints
+	// in the interpreter and the model stage consult it. Never nil — an
+	// ungoverned call path gets a background-context governor with
+	// default budgets.
+	gov *govern.Governor
+	// completed marks files whose analysis finished (replayed skips
+	// included): only these count into FilesAnalyzed/LinesAnalyzed and
+	// only these may export artifacts.
+	completed map[string]bool
+
 	result *analyzer.Result
 }
 
@@ -266,6 +293,7 @@ func newAnalysis(e *Engine, target *analyzer.Target) *analysis {
 		summaries:     make(map[string]*summary),
 		inProgress:    make(map[string]bool),
 		includeStack:  make(map[string]bool),
+		completed:     make(map[string]bool),
 		result: &analyzer.Result{
 			Tool:   e.Name(),
 			Target: target.Name,
@@ -280,7 +308,10 @@ func (a *analysis) buildModel(modelSpan *obs.Span) {
 	for _, sf := range a.target.Files {
 		f := a.preparsed[sf.Path]
 		if f == nil {
-			f = phpparse.ParseObserved(sf.Path, sf.Content, a.eng.rec, modelSpan)
+			// Under a halted governor the governed parser degenerates to
+			// an empty (but well-formed) AST, so a cancelled scan drains
+			// the model stage in O(files).
+			f = phpparse.ParseGoverned(sf.Path, sf.Content, a.eng.rec, modelSpan, a.gov)
 		}
 		a.files[sf.Path] = f
 		a.fileOrder = append(a.fileOrder, sf.Path)
@@ -361,28 +392,54 @@ func (a *analysis) registerClass(d *phpast.ClassDecl, path string) {
 }
 
 // run is the analysis stage (§III.C): first the functions not called from
-// plugin code, then the "main function" of every file.
+// plugin code, then the "main function" of every file. Every per-file
+// unit runs under govern.Protect, so a crash in one file degrades to a
+// RobustnessFailure instead of sinking the scan; a halted governor
+// stops the stage between files.
 func (a *analysis) run() {
 	failed := a.failOversizedFiles()
+	crashed := make(map[string]bool)
 
 	if a.opts.AnalyzeUncalled {
-		a.analyzeUncalled(failed)
+		a.analyzeUncalled(failed, crashed)
 	}
 
 	for _, path := range a.fileOrder {
-		if failed[path] || a.skipped(path) {
+		if failed[path] || crashed[path] {
 			continue
 		}
-		a.analyzeMainFlow(path)
+		if a.skipped(path) {
+			a.completed[path] = true
+			continue
+		}
+		a.gov.CheckNow()
+		if a.gov.ScanHalted() {
+			break
+		}
+		path := path
+		ok := govern.Protect(a.gov, path, a.result, func() {
+			a.gov.BeginFile(path)
+			a.analyzeMainFlow(path)
+		})
+		if a.gov.EndFile() {
+			// The file overran its time slice: fail it, keep the scan.
+			a.result.FilesFailed = append(a.result.FilesFailed, path)
+			a.result.Errors = append(a.result.Errors, fmt.Sprintf(
+				"%s: file time slice exhausted; file not fully analyzed", path))
+			continue
+		}
+		if ok && !a.gov.ScanHalted() {
+			a.completed[path] = true
+		}
 	}
 
-	// Accounting for §V.E (responsiveness and robustness).
+	// Accounting for §V.E (responsiveness and robustness): only files
+	// whose analysis ran to completion count.
 	for _, path := range a.fileOrder {
-		if failed[path] {
-			continue
+		if a.completed[path] {
+			a.result.FilesAnalyzed++
+			a.result.LinesAnalyzed += a.files[path].Lines
 		}
-		a.result.FilesAnalyzed++
-		a.result.LinesAnalyzed += a.files[path].Lines
 	}
 }
 
@@ -432,7 +489,7 @@ func (a *analysis) includeClosureSize(path string, seen map[string]bool) int {
 // analyzeUncalled analyzes every function and method that is never called
 // from plugin code (§III.B: "these functions should be parsed anyway, as
 // they may be directly called from the main application").
-func (a *analysis) analyzeUncalled(failed map[string]bool) {
+func (a *analysis) analyzeUncalled(failed, crashed map[string]bool) {
 	names := make([]string, 0, len(a.funcs))
 	for name := range a.funcs {
 		names = append(names, name)
@@ -440,10 +497,18 @@ func (a *analysis) analyzeUncalled(failed map[string]bool) {
 	sort.Strings(names)
 	for _, name := range names {
 		fi := a.funcs[name]
-		if a.calledFuncs[name] || failed[fi.file] {
+		if a.calledFuncs[name] || failed[fi.file] || crashed[fi.file] {
 			continue
 		}
-		a.summarizeFunction("func:"+name, fi.file, nil, fi.decl.Params, fi.decl.Body, nil)
+		if a.gov.ScanHalted() {
+			return
+		}
+		name := name
+		if !govern.Protect(a.gov, fi.file, a.result, func() {
+			a.summarizeFunction("func:"+name, fi.file, nil, fi.decl.Params, fi.decl.Body, nil)
+		}) {
+			crashed[fi.file] = true
+		}
 	}
 
 	if !a.opts.OOP {
@@ -456,7 +521,7 @@ func (a *analysis) analyzeUncalled(failed map[string]bool) {
 	sort.Strings(classNames)
 	for _, cn := range classNames {
 		ci := a.classes[cn]
-		if failed[ci.file] {
+		if failed[ci.file] || crashed[ci.file] {
 			continue
 		}
 		methodNames := make([]string, 0, len(ci.methods))
@@ -465,11 +530,19 @@ func (a *analysis) analyzeUncalled(failed map[string]bool) {
 		}
 		sort.Strings(methodNames)
 		for _, mn := range methodNames {
-			if a.calledMethods[mn] {
+			if a.calledMethods[mn] || crashed[ci.file] {
 				continue
 			}
+			if a.gov.ScanHalted() {
+				return
+			}
+			ci, cn, mn := ci, cn, mn
 			mi := ci.methods[mn]
-			a.summarizeFunction("method:"+cn+"::"+mn, mi.file, ci, mi.decl.Params, mi.decl.Body, nil)
+			if !govern.Protect(a.gov, mi.file, a.result, func() {
+				a.summarizeFunction("method:"+cn+"::"+mn, mi.file, ci, mi.decl.Params, mi.decl.Body, nil)
+			}) {
+				crashed[mi.file] = true
+			}
 		}
 	}
 }

@@ -83,8 +83,13 @@ func (a *analysis) execStmts(stmts []phpast.Stmt, sc *scope) {
 
 // execStmt dispatches one statement. Every dispatch is one taint
 // propagation step; the count sizes a scan's abstract-interpretation
-// work for the observability layer.
+// work for the observability layer and charges the governor's step
+// budget — this is the interpreter's cancellation checkpoint.
 func (a *analysis) execStmt(s phpast.Stmt, sc *scope) {
+	if a.gov.Halted() {
+		return
+	}
+	a.gov.Step()
 	a.stats.propagationSteps++
 	switch st := s.(type) {
 	case *phpast.ExprStmt:
@@ -215,8 +220,12 @@ func (a *analysis) execForeach(st *phpast.Foreach, sc *scope) {
 // ---------------------------------------------------------------------------
 
 // eval computes the abstract value of an expression, raising findings at
-// sinks along the way.
+// sinks along the way. A halted governor collapses evaluation to an
+// untainted constant so deep expression trees unwind quickly.
 func (a *analysis) eval(e phpast.Expr, sc *scope) *value {
+	if a.gov.Halted() {
+		return untainted()
+	}
 	switch x := e.(type) {
 	case nil:
 		return untainted()

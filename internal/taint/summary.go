@@ -324,6 +324,7 @@ func (a *analysis) report(sinkName string, class analyzer.VulnClass,
 		Vector:   t.vector,
 		Trace:    trace,
 	})
+	a.gov.CheckFindings(len(a.result.Findings))
 }
 
 // trimDollar removes a leading "$" from a variable display name.
