@@ -32,6 +32,17 @@
 //	                    default)
 //	-file-slice D       cap on wall-clock time per file; exceeding it
 //	                    fails that file and the scan continues (0 = off)
+//	-journal DIR        journal accepted scans to DIR so they survive a
+//	                    crash: on restart the daemon replays the journal,
+//	                    rehydrates finished results and resubmits
+//	                    interrupted scans (off without the flag)
+//	-max-attempts N     attempts per scan before it is quarantined
+//	                    (default 3)
+//	-retry-base D       backoff before a scan's second attempt; doubled
+//	                    per further attempt with jitter (default 100ms)
+//	-retry-cap D        upper bound on the backoff (default 5s)
+//	-journal-sync N     fsync the journal every N appends (1 = every
+//	                    append, the default; 0 keeps 1; -1 = never)
 //	-version            print the version and exit
 //
 // The four budget caps bound what POST /v1/scans requests may ask for:
@@ -39,8 +50,11 @@
 // and file_slice_ms fields can tighten a budget below the cap but
 // never exceed it.
 //
-// The daemon shuts down gracefully on SIGINT/SIGTERM: the listener
-// stops, accepted scans drain, and only then does the process exit.
+// The daemon shuts down gracefully on SIGINT/SIGTERM: /readyz flips to
+// draining, the listener stops, accepted scans drain, the journal is
+// compacted and closed, and only then does the process exit. A crash
+// (SIGKILL, power loss) instead leaves the journal behind; the next
+// start with the same -journal recovers every accepted scan.
 package main
 
 import (
@@ -56,6 +70,7 @@ import (
 	"time"
 
 	"repro/internal/analyzer"
+	"repro/internal/durable"
 	"repro/internal/incremental"
 	"repro/internal/jobs"
 	"repro/internal/obs"
@@ -81,6 +96,11 @@ func run() int {
 	maxSteps := flag.Int64("max-steps", 0, "cap on interpreter steps per scan (0 = default)")
 	maxFindings := flag.Int("max-findings", 0, "cap on findings per scan (0 = default)")
 	fileSlice := flag.Duration("file-slice", 0, "cap on wall-clock time per file (0 = off)")
+	journalDir := flag.String("journal", "", "journal accepted scans to this directory (off when empty)")
+	maxAttempts := flag.Int("max-attempts", jobs.DefaultMaxAttempts, "attempts per scan before quarantine")
+	retryBase := flag.Duration("retry-base", jobs.DefaultRetryBase, "backoff before a scan's second attempt")
+	retryCap := flag.Duration("retry-cap", jobs.DefaultRetryCap, "upper bound on the retry backoff")
+	journalSync := flag.Int("journal-sync", 1, "fsync the journal every N appends (-1 = never)")
 	showVersion := flag.Bool("version", false, "print the version and exit")
 	flag.Parse()
 
@@ -103,12 +123,31 @@ func run() int {
 		log.Printf("incremental store: %v", err)
 		return 1
 	}
+	var journal *durable.Journal
+	var replayRecords []durable.Record
+	if *journalDir != "" {
+		journal, replayRecords, err = durable.Open(*journalDir, durable.Options{
+			SyncEvery: *journalSync,
+			Recorder:  rec,
+		})
+		if err != nil {
+			log.Printf("journal: %v", err)
+			return 1
+		}
+		defer journal.Close()
+	}
 	api := server.New(server.Config{
 		Pool:           pool,
 		Cache:          cache,
 		Recorder:       rec,
 		MaxUploadBytes: *maxUploadMB << 20,
 		IncStore:       incStore,
+		Journal:        journal,
+		Retry: jobs.RetryPolicy{
+			MaxAttempts: *maxAttempts,
+			Base:        *retryBase,
+			Cap:         *retryCap,
+		},
 		Budgets: analyzer.ScanOptions{
 			Deadline:      *scanDeadline,
 			MaxParseDepth: *maxParseDepth,
@@ -117,6 +156,13 @@ func run() int {
 			FileTimeSlice: *fileSlice,
 		},
 	})
+	if journal != nil {
+		resubmitted, rehydrated, quarantined := api.Replay(replayRecords)
+		if resubmitted+rehydrated+quarantined > 0 {
+			log.Printf("journal replay: %d scans resubmitted, %d rehydrated, %d quarantined",
+				resubmitted, rehydrated, quarantined)
+		}
+	}
 
 	httpSrv := &http.Server{
 		Addr:              *addr,
@@ -140,7 +186,8 @@ func run() int {
 		return 1
 	}
 
-	// Stop intake first, then let queued scans finish.
+	// Flip readiness off, stop intake, then let queued scans finish.
+	api.StartDrain()
 	shutdownCtx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
 	defer cancel()
 	if err := httpSrv.Shutdown(shutdownCtx); err != nil {
@@ -149,6 +196,11 @@ func run() int {
 	if err := pool.Shutdown(shutdownCtx); err != nil && !errors.Is(err, context.Canceled) {
 		log.Printf("pool drain: %v", err)
 		return 1
+	}
+	if journal != nil {
+		// A clean exit leaves a compact journal: the next start replays
+		// one snapshot instead of the whole WAL.
+		api.CompactJournal()
 	}
 	log.Printf("drained, bye")
 	return 0

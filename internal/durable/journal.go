@@ -1,0 +1,509 @@
+// Package durable is the crash-safety substrate of the scan daemon: a
+// write-ahead journal that makes an accepted scan survive process
+// death. The daemon appends one record per lifecycle transition
+// (accepted, started, attempt_failed, completed, quarantined); on
+// restart it replays the journal, rehydrates finished scans from their
+// persisted results and resubmits everything still in flight.
+//
+// Format. The journal is a directory holding two append-only JSONL
+// files: snapshot.jsonl (the compacted state as of the last
+// compaction) and wal.jsonl (every record since). Each line is
+//
+//	<crc32-ieee hex8> <record JSON>\n
+//
+// where the checksum covers the JSON bytes. The checksum plus the
+// trailing newline make torn writes detectable: replay stops at the
+// first line that is incomplete, unparsable or checksum-damaged,
+// truncates the WAL back to the last intact record, and carries on
+// with the prefix — a crash mid-append loses at most the record being
+// written, never the journal.
+//
+// Durability policy. Options.SyncEvery picks how many appends may pass
+// between fsyncs: 1 (the default) syncs every record, so an accepted
+// scan survives OS-level crash and power loss; N amortizes the sync
+// over N appends (process-crash-safe; power loss may lose the last
+// N-1 records); negative never syncs explicitly.
+//
+// Compaction. Compact rewrites the snapshot from the caller's live
+// record set (atomically: temp file, fsync, rename) and resets the
+// WAL. The snapshot's first line is a meta record carrying the highest
+// sequence number it covers, so a crash between the rename and the WAL
+// reset is harmless: replay skips WAL records the snapshot already
+// absorbed.
+//
+// Failure. The journal is an aid, never a gate: when the disk fails
+// mid-flight the journal flips to degraded (Degraded reports it,
+// journal_degraded_events_total counts it), stops touching the disk,
+// and every later Append returns ErrDegraded immediately — the scan
+// path keeps running in-memory. govern.IOFaultHookForTesting injects
+// exactly these failures in tests.
+package durable
+
+import (
+	"bytes"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"hash/crc32"
+	"os"
+	"path/filepath"
+	"sync"
+	"time"
+
+	"repro/internal/govern"
+	"repro/internal/obs"
+)
+
+// RecordType is a scan lifecycle transition.
+type RecordType string
+
+const (
+	// RecAccepted marks a scan accepted into the queue; its payload is
+	// the submission (target files, tool, budgets) so replay can rebuild
+	// and resubmit the job.
+	RecAccepted RecordType = "accepted"
+	// RecStarted marks one attempt beginning on a worker.
+	RecStarted RecordType = "started"
+	// RecAttemptFailed marks one attempt failing retryably; the job
+	// goes back to the queue after backoff.
+	RecAttemptFailed RecordType = "attempt_failed"
+	// RecCompleted marks the scan finished; its payload is the
+	// persisted result, from which replay rehydrates the registry.
+	RecCompleted RecordType = "completed"
+	// RecQuarantined marks the scan dead-lettered after exhausting its
+	// attempts (or failing terminally).
+	RecQuarantined RecordType = "quarantined"
+	// recSnapshot is the meta record heading a snapshot file; it
+	// carries the highest sequence number the snapshot absorbed.
+	recSnapshot RecordType = "snapshot"
+)
+
+// Record is one journal line. Payload is opaque to the journal; the
+// server stores its submission and result envelopes there.
+type Record struct {
+	Seq       uint64          `json:"seq"`
+	Type      RecordType      `json:"type"`
+	Time      time.Time       `json:"time"`
+	ScanID    string          `json:"scan,omitempty"`
+	Attempt   int             `json:"attempt,omitempty"`
+	Error     string          `json:"error,omitempty"`
+	BackoffMS int64           `json:"backoff_ms,omitempty"`
+	Payload   json.RawMessage `json:"payload,omitempty"`
+}
+
+// ErrDegraded is returned by Append once the journal has flipped to
+// degraded mode after a disk failure; the caller should keep working
+// in-memory.
+var ErrDegraded = errors.New("durable: journal degraded, running in-memory")
+
+// Options tunes a Journal.
+type Options struct {
+	// SyncEvery is how many appends may pass between fsyncs: 0 or 1
+	// syncs every append, N>1 every Nth, negative never.
+	SyncEvery int
+	// Recorder, which may be nil, receives the journal_* counters.
+	Recorder *obs.Recorder
+}
+
+const (
+	walName  = "wal.jsonl"
+	snapName = "snapshot.jsonl"
+)
+
+// Journal is an open scan journal. All methods are safe for
+// concurrent use.
+type Journal struct {
+	dir string
+	opt Options
+	rec *obs.Recorder
+
+	mu          sync.Mutex
+	wal         *os.File
+	seq         uint64
+	unsynced    int
+	walBytes    int64
+	degraded    bool
+	degradedErr error
+}
+
+// Open opens (creating if needed) the journal in dir and replays it:
+// the returned records are every intact lifecycle record, snapshot
+// first, in append order. The WAL is truncated back to its last
+// intact record so subsequent appends continue from a clean tail.
+func Open(dir string, opt Options) (*Journal, []Record, error) {
+	if dir == "" {
+		return nil, nil, errors.New("durable: empty journal directory")
+	}
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return nil, nil, fmt.Errorf("durable: creating journal dir: %w", err)
+	}
+	j := &Journal{dir: dir, opt: opt, rec: opt.Recorder}
+
+	snapRecs, _, err := readLog(filepath.Join(dir, snapName), j.rec)
+	if err != nil {
+		return nil, nil, err
+	}
+	// The snapshot's meta record tells us which WAL records it already
+	// absorbed (a crash between snapshot rename and WAL reset leaves
+	// them behind).
+	var coveredSeq uint64
+	records := make([]Record, 0, len(snapRecs))
+	for _, r := range snapRecs {
+		if r.Type == recSnapshot {
+			coveredSeq = r.Seq
+			continue
+		}
+		records = append(records, r)
+		if r.Seq > j.seq {
+			j.seq = r.Seq
+		}
+	}
+
+	walPath := filepath.Join(dir, walName)
+	walRecs, goodLen, err := readLog(walPath, j.rec)
+	if err != nil {
+		return nil, nil, err
+	}
+	for _, r := range walRecs {
+		if r.Seq <= coveredSeq {
+			continue
+		}
+		records = append(records, r)
+		if r.Seq > j.seq {
+			j.seq = r.Seq
+		}
+	}
+	// Cut any damaged tail off before reopening for append.
+	if fi, statErr := os.Stat(walPath); statErr == nil && fi.Size() > goodLen {
+		if err := os.Truncate(walPath, goodLen); err != nil {
+			return nil, nil, fmt.Errorf("durable: truncating damaged WAL tail: %w", err)
+		}
+		j.count("journal_tail_truncations_total")
+	}
+	j.wal, err = os.OpenFile(walPath, os.O_CREATE|os.O_WRONLY|os.O_APPEND, 0o644)
+	if err != nil {
+		return nil, nil, fmt.Errorf("durable: opening WAL: %w", err)
+	}
+	j.walBytes = goodLen
+	j.count("journal_opens_total")
+	if n := len(records); n > 0 {
+		j.add("journal_replayed_records_total", int64(n))
+	}
+	return j, records, nil
+}
+
+// readLog parses one CRC-guarded JSONL file, tolerating a damaged
+// tail: it returns every intact record plus the byte offset where the
+// intact prefix ends. A missing file is an empty log.
+func readLog(path string, rec *obs.Recorder) ([]Record, int64, error) {
+	data, err := os.ReadFile(path)
+	if errors.Is(err, os.ErrNotExist) {
+		return nil, 0, nil
+	}
+	if err != nil {
+		return nil, 0, fmt.Errorf("durable: reading %s: %w", filepath.Base(path), err)
+	}
+	var records []Record
+	var good int64
+	for off := 0; off < len(data); {
+		nl := bytes.IndexByte(data[off:], '\n')
+		if nl < 0 {
+			// Incomplete final line: a torn write. Keep the prefix.
+			break
+		}
+		line := data[off : off+nl]
+		r, ok := parseLine(line)
+		if !ok {
+			// Checksum or format damage. Nothing after a damaged
+			// record can be trusted to be ordered, so stop here.
+			if rec != nil {
+				rec.Counter("journal_corrupt_records_total").Inc()
+			}
+			break
+		}
+		records = append(records, r)
+		off += nl + 1
+		good = int64(off)
+	}
+	return records, good, nil
+}
+
+// parseLine decodes one "crc8hex json" line, verifying the checksum.
+func parseLine(line []byte) (Record, bool) {
+	var r Record
+	if len(line) < 10 || line[8] != ' ' {
+		return r, false
+	}
+	var sum uint32
+	if _, err := fmt.Sscanf(string(line[:8]), "%08x", &sum); err != nil {
+		return r, false
+	}
+	body := line[9:]
+	if crc32.ChecksumIEEE(body) != sum {
+		return r, false
+	}
+	if err := json.Unmarshal(body, &r); err != nil {
+		return r, false
+	}
+	return r, true
+}
+
+// encodeLine renders a record as its CRC-guarded journal line.
+func encodeLine(r Record) ([]byte, error) {
+	body, err := json.Marshal(r)
+	if err != nil {
+		return nil, err
+	}
+	line := make([]byte, 0, len(body)+10)
+	line = append(line, fmt.Sprintf("%08x ", crc32.ChecksumIEEE(body))...)
+	line = append(line, body...)
+	line = append(line, '\n')
+	return line, nil
+}
+
+// Append journals one record, assigning its sequence number and
+// timestamp, and fsyncs per the sync policy. After a disk failure the
+// journal is degraded and Append returns ErrDegraded without touching
+// the disk; it never blocks on a broken device.
+func (j *Journal) Append(r Record) error {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	if j.degraded {
+		return ErrDegraded
+	}
+	j.seq++
+	r.Seq = j.seq
+	if r.Time.IsZero() {
+		r.Time = time.Now().UTC()
+	}
+	line, err := encodeLine(r)
+	if err != nil {
+		return fmt.Errorf("durable: encoding record: %w", err)
+	}
+	if err := j.faultLocked("append", j.wal.Name()); err != nil {
+		return j.degradeLocked(err)
+	}
+	if _, err := j.wal.Write(line); err != nil {
+		return j.degradeLocked(err)
+	}
+	j.walBytes += int64(len(line))
+	j.count("journal_appends_total")
+	j.unsynced++
+	every := j.opt.SyncEvery
+	if every == 0 {
+		every = 1
+	}
+	if every > 0 && j.unsynced >= every {
+		if err := j.syncLocked(); err != nil {
+			return j.degradeLocked(err)
+		}
+	}
+	return nil
+}
+
+// syncLocked fsyncs the WAL; caller holds j.mu.
+func (j *Journal) syncLocked() error {
+	if err := j.faultLocked("fsync", j.wal.Name()); err != nil {
+		return err
+	}
+	if err := j.wal.Sync(); err != nil {
+		return err
+	}
+	j.unsynced = 0
+	j.count("journal_fsyncs_total")
+	return nil
+}
+
+// Compact atomically replaces the snapshot with the live record set
+// and resets the WAL. Callers pass the minimal records that
+// reconstruct current state (typically one accepted plus one terminal
+// record per retained scan); sequence numbers are reassigned.
+func (j *Journal) Compact(live []Record) error {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	if j.degraded {
+		return ErrDegraded
+	}
+	// The meta record pins the sequence horizon: every WAL record with
+	// Seq <= j.seq is absorbed by this snapshot.
+	recs := make([]Record, 0, len(live)+1)
+	recs = append(recs, Record{Seq: j.seq, Type: recSnapshot, Time: time.Now().UTC()})
+	for _, r := range live {
+		recs = append(recs, r)
+	}
+	tmp := filepath.Join(j.dir, snapName+".tmp")
+	if err := j.writeSnapshotLocked(tmp, recs); err != nil {
+		return j.degradeLocked(err)
+	}
+	if err := j.faultLocked("rename", tmp); err != nil {
+		return j.degradeLocked(err)
+	}
+	if err := os.Rename(tmp, filepath.Join(j.dir, snapName)); err != nil {
+		return j.degradeLocked(err)
+	}
+	if err := j.wal.Truncate(0); err != nil {
+		return j.degradeLocked(err)
+	}
+	if _, err := j.wal.Seek(0, 0); err != nil {
+		return j.degradeLocked(err)
+	}
+	j.walBytes = 0
+	j.unsynced = 0
+	j.count("journal_compactions_total")
+	return nil
+}
+
+// writeSnapshotLocked writes and fsyncs one snapshot file.
+func (j *Journal) writeSnapshotLocked(path string, recs []Record) error {
+	if err := j.faultLocked("snapshot", path); err != nil {
+		return err
+	}
+	f, err := os.OpenFile(path, os.O_CREATE|os.O_WRONLY|os.O_TRUNC, 0o644)
+	if err != nil {
+		return err
+	}
+	for _, r := range recs {
+		line, err := encodeLine(r)
+		if err != nil {
+			f.Close()
+			return err
+		}
+		if _, err := f.Write(line); err != nil {
+			f.Close()
+			return err
+		}
+	}
+	if err := f.Sync(); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
+}
+
+// faultLocked consults the test-only disk fault hook.
+func (j *Journal) faultLocked(op, path string) error {
+	if hook := govern.IOFaultHookForTesting; hook != nil {
+		return hook(op, path)
+	}
+	return nil
+}
+
+// degradeLocked flips the journal to in-memory mode on its first disk
+// failure; caller holds j.mu. The triggering error is returned so the
+// caller can log it.
+func (j *Journal) degradeLocked(err error) error {
+	j.count("journal_append_errors_total")
+	if !j.degraded {
+		j.degraded = true
+		j.degradedErr = err
+		j.count("journal_degraded_events_total")
+		j.wal.Close()
+	}
+	return fmt.Errorf("durable: journal degraded: %w", err)
+}
+
+// Degraded reports whether a disk failure has flipped the journal to
+// in-memory mode (and with which error).
+func (j *Journal) Degraded() (bool, error) {
+	if j == nil {
+		return false, nil
+	}
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	return j.degraded, j.degradedErr
+}
+
+// WALBytes returns the current WAL size, the signal callers use to
+// decide when to Compact.
+func (j *Journal) WALBytes() int64 {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	return j.walBytes
+}
+
+// Close fsyncs and closes the WAL. The journal must not be used after.
+func (j *Journal) Close() error {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	if j.degraded {
+		return nil
+	}
+	if j.unsynced > 0 && j.opt.SyncEvery >= 0 {
+		if err := j.syncLocked(); err != nil {
+			return err
+		}
+	}
+	return j.wal.Close()
+}
+
+func (j *Journal) count(name string) { j.add(name, 1) }
+
+func (j *Journal) add(name string, n int64) {
+	if j.rec != nil {
+		j.rec.Counter(name).Add(n)
+	}
+}
+
+// JobState is one scan's folded journal state: the latest
+// lifecycle-determining record plus the bookkeeping replay needs.
+type JobState struct {
+	// ScanID identifies the scan across records.
+	ScanID string
+	// Phase is the scan's current lifecycle position: RecCompleted and
+	// RecQuarantined are settled; anything else means the scan is still
+	// owed an execution and must be resubmitted.
+	Phase RecordType
+	// Attempts is how many attempts have already failed (the count of
+	// attempt_failed records since the last accepted), so a resubmitted
+	// job resumes its retry budget instead of resetting it.
+	Attempts int
+	// Accepted is the submission record (payload: the target).
+	Accepted Record
+	// Final is the completed or quarantined record when settled
+	// (payload: the persisted result, if any).
+	Final *Record
+}
+
+// Settled reports whether the scan needs no further execution.
+func (s *JobState) Settled() bool {
+	return s.Phase == RecCompleted || s.Phase == RecQuarantined
+}
+
+// Fold collapses a replayed record stream into per-scan states, in
+// first-accepted order. A fresh accepted record after a terminal one
+// (the manual retry path) re-opens the scan with a reset attempt
+// budget. Records for scans with no accepted record (their acceptance
+// fell in a lost tail) are dropped: there is nothing to resubmit.
+func Fold(records []Record) []*JobState {
+	byID := make(map[string]*JobState)
+	var order []*JobState
+	for _, r := range records {
+		switch r.Type {
+		case RecAccepted:
+			st, ok := byID[r.ScanID]
+			if !ok {
+				st = &JobState{ScanID: r.ScanID}
+				byID[r.ScanID] = st
+				order = append(order, st)
+			}
+			st.Phase = RecAccepted
+			st.Attempts = 0
+			st.Accepted = r
+			st.Final = nil
+		case RecStarted, RecAttemptFailed, RecCompleted, RecQuarantined:
+			st, ok := byID[r.ScanID]
+			if !ok {
+				continue
+			}
+			st.Phase = r.Type
+			if r.Type == RecAttemptFailed {
+				st.Attempts = r.Attempt
+			}
+			if r.Type == RecCompleted || r.Type == RecQuarantined {
+				rr := r
+				st.Final = &rr
+			}
+		}
+	}
+	return order
+}

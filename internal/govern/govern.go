@@ -81,6 +81,15 @@ type Governor struct {
 // files; production code never sets it.
 var FaultHookForTesting func(file string)
 
+// IOFaultHookForTesting is the disk sibling of FaultHookForTesting:
+// when non-nil, durability-layer disk operations (journal appends,
+// fsyncs, snapshot renames) consult it first and treat a non-nil
+// return as that operation failing. The crash-safety suite uses it to
+// fail the scan journal mid-flight and assert the daemon degrades to
+// in-memory mode instead of blocking the scan path; production code
+// never sets it.
+var IOFaultHookForTesting func(op, path string) error
+
 // New builds a Governor for one scan. A nil opts means default
 // budgets; a nil rec disables counters. The context's own deadline (if
 // any) is enforced through the cancellation path, not the truncation

@@ -46,9 +46,11 @@ type Config struct {
 	Recorder *obs.Recorder
 }
 
-// task is one accepted unit of work.
+// task is one accepted unit of work: either a fire-and-forget fn
+// (Submit) or a retryable job (SubmitJob).
 type task struct {
 	fn       func(context.Context)
+	job      *Job
 	enqueued time.Time
 }
 
@@ -67,6 +69,9 @@ type Pool struct {
 
 	mu     sync.Mutex
 	closed bool
+	// retryTimers tracks jobs parked in backoff so Shutdown can stop
+	// their timers instead of leaking them.
+	retryTimers map[*time.Timer]struct{}
 }
 
 // New starts a pool with cfg's workers already running.
@@ -79,11 +84,12 @@ func New(cfg Config) *Pool {
 	}
 	ctx, cancel := context.WithCancel(context.Background())
 	p := &Pool{
-		cfg:     cfg,
-		rec:     cfg.Recorder,
-		queue:   make(chan task, cfg.QueueSize),
-		baseCtx: ctx,
-		cancel:  cancel,
+		cfg:         cfg,
+		rec:         cfg.Recorder,
+		queue:       make(chan task, cfg.QueueSize),
+		baseCtx:     ctx,
+		cancel:      cancel,
+		retryTimers: make(map[*time.Timer]struct{}),
 	}
 	for i := 0; i < cfg.Workers; i++ {
 		p.wg.Add(1)
@@ -130,6 +136,16 @@ func (p *Pool) Shutdown(ctx context.Context) error {
 		p.closed = true
 		close(p.queue)
 	}
+	// Jobs parked in backoff are dropped, not drained: their journaled
+	// attempt_failed records mean a restart resubmits them, and holding
+	// shutdown open for an arbitrary backoff would defeat the drain
+	// deadline.
+	for timer := range p.retryTimers {
+		if timer.Stop() {
+			p.rec.Counter("jobs_retries_dropped_total").Inc()
+		}
+		delete(p.retryTimers, timer)
+	}
 	p.mu.Unlock()
 
 	done := make(chan struct{})
@@ -156,21 +172,28 @@ func (p *Pool) worker() {
 		p.rec.Gauge("jobs_in_flight").Add(1)
 
 		start := time.Now()
-		p.runJob(t.fn)
+		if t.job != nil {
+			p.runRetryable(t.job)
+		} else if p.runJob(t.fn) {
+			p.rec.Counter("jobs_completed_total").Inc()
+		} else {
+			p.rec.Counter("jobs_failed_total").Inc()
+		}
 
 		p.rec.Observe("jobs_run_seconds", time.Since(start).Seconds())
 		p.rec.Gauge("jobs_in_flight").Add(-1)
-		p.rec.Counter("jobs_completed_total").Inc()
 	}
 }
 
-// runJob runs one job under its timeout context. The cancel is
-// deferred — the earlier call-after-return ordering leaked the timeout
-// context's timer goroutine whenever a job panicked, and the panic
-// itself killed the worker, permanently shrinking the pool and leaving
-// jobs_in_flight stuck. Now a panicking job is contained: the timer is
-// released, the panic is counted, and the worker lives on.
-func (p *Pool) runJob(fn func(context.Context)) {
+// runJob runs one job under its timeout context, reporting whether it
+// completed without panicking (panicked jobs count as failed, not
+// completed). The cancel is deferred — the earlier call-after-return
+// ordering leaked the timeout context's timer goroutine whenever a job
+// panicked, and the panic itself killed the worker, permanently
+// shrinking the pool and leaving jobs_in_flight stuck. Now a panicking
+// job is contained: the timer is released, the panic is counted, and
+// the worker lives on.
+func (p *Pool) runJob(fn func(context.Context)) (ok bool) {
 	ctx := p.baseCtx
 	if p.cfg.JobTimeout > 0 {
 		var cancel context.CancelFunc
@@ -183,4 +206,5 @@ func (p *Pool) runJob(fn func(context.Context)) {
 		}
 	}()
 	fn(ctx)
+	return true
 }

@@ -1,0 +1,277 @@
+// Retrying job lifecycle: jobs with identities, attempt budgets,
+// exponential backoff with jitter between attempts, and a dead-letter
+// quarantine for jobs that keep failing. This is the execution model
+// under the daemon's crash-safe scan path — the journal records every
+// transition these callbacks expose.
+//
+// Classification. A failed attempt is retried when the failure looks
+// transient: a deadline (the per-job timeout firing), a recovered
+// panic (*PanicError), or any plain error such as injected I/O faults.
+// It is terminal — straight to quarantine, no further attempts — when
+// the job was cancelled (context.Canceled: someone decided this job
+// should stop) or the error is wrapped with Terminal.
+//
+// Backoff never holds a worker: a retrying job leaves the pool, waits
+// out its delay on a timer, and re-enters the queue. Re-entry never
+// sheds the job on a full queue (it waits for a slot); only pool
+// shutdown drops a waiting retry, counted in
+// jobs_retries_dropped_total — the durable journal's attempt_failed
+// record means a restart resubmits it.
+
+package jobs
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"math/rand/v2"
+	"time"
+)
+
+// DefaultMaxAttempts is a Job's attempt budget when its policy leaves
+// it unset.
+const DefaultMaxAttempts = 3
+
+// Default backoff window when the policy leaves it unset.
+const (
+	DefaultRetryBase = 100 * time.Millisecond
+	DefaultRetryCap  = 5 * time.Second
+)
+
+// PanicError is a recovered panic from a job attempt, classified as
+// retryable: scans crash transiently (fault injection, resource
+// pressure) and deterministically (poisoned inputs), and the attempt
+// budget separates the two.
+type PanicError struct {
+	// Value is the recovered panic value.
+	Value any
+}
+
+func (e *PanicError) Error() string { return fmt.Sprintf("job panicked: %v", e.Value) }
+
+// terminalError marks a failure that retrying cannot fix.
+type terminalError struct{ err error }
+
+func (e *terminalError) Error() string { return e.err.Error() }
+func (e *terminalError) Unwrap() error { return e.err }
+
+// Terminal wraps err so the retry lifecycle sends the job straight to
+// quarantine instead of retrying. A nil err stays nil.
+func Terminal(err error) error {
+	if err == nil {
+		return nil
+	}
+	return &terminalError{err: err}
+}
+
+// Retryable classifies a failed attempt: false for Terminal-wrapped
+// errors and cancellation, true for everything else (deadlines,
+// recovered panics, I/O faults).
+func Retryable(err error) bool {
+	var te *terminalError
+	if errors.As(err, &te) {
+		return false
+	}
+	return !errors.Is(err, context.Canceled)
+}
+
+// RetryPolicy shapes a job's attempt budget and backoff schedule.
+type RetryPolicy struct {
+	// MaxAttempts bounds total attempts, first included
+	// (DefaultMaxAttempts when 0; 1 means never retry).
+	MaxAttempts int
+	// Base is the delay before the second attempt; each further
+	// attempt doubles it (DefaultRetryBase when 0).
+	Base time.Duration
+	// Cap bounds the doubled delay (DefaultRetryCap when 0).
+	Cap time.Duration
+	// Jitter, when non-nil, replaces the uniform random source used to
+	// spread delays (tests pin it for determinism). It must return
+	// values in [0, 1).
+	Jitter func() float64
+}
+
+func (p RetryPolicy) withDefaults() RetryPolicy {
+	if p.MaxAttempts <= 0 {
+		p.MaxAttempts = DefaultMaxAttempts
+	}
+	if p.Base <= 0 {
+		p.Base = DefaultRetryBase
+	}
+	if p.Cap <= 0 {
+		p.Cap = DefaultRetryCap
+	}
+	if p.Jitter == nil {
+		p.Jitter = rand.Float64
+	}
+	return p
+}
+
+// Backoff returns the delay after the attempt-th failure (1-based):
+// exponential doubling from Base, bounded by Cap, with equal jitter —
+// uniformly drawn from [d/2, d), so consecutive attempts of many
+// failing jobs spread out instead of thundering back together, while
+// the delay never collapses below half its nominal value.
+func (p RetryPolicy) Backoff(attempt int) time.Duration {
+	p = p.withDefaults()
+	d := p.Base
+	for i := 1; i < attempt && d < p.Cap; i++ {
+		d *= 2
+	}
+	if d > p.Cap {
+		d = p.Cap
+	}
+	half := d / 2
+	return half + time.Duration(p.Jitter()*float64(half))
+}
+
+// Job is one identified, retryable unit of work for Pool.SubmitJob.
+// The callbacks fire on the worker (OnStart, OnRetry, OnQuarantine,
+// OnComplete run sequentially for one job, never concurrently) and
+// must not block for long — the daemon journals from them.
+type Job struct {
+	// ID names the job across attempts (the daemon uses the scan id).
+	ID string
+	// Run is one attempt. A nil return completes the job; an error is
+	// classified by Retryable. Panics are recovered into *PanicError.
+	Run func(ctx context.Context) error
+	// Retry shapes the attempt budget and backoff (zero value: 3
+	// attempts, 100ms base, 5s cap).
+	Retry RetryPolicy
+	// PriorAttempts seeds the attempt counter — journal replay resumes
+	// a job's budget rather than resetting it.
+	PriorAttempts int
+
+	// OnStart fires as attempt (1-based, PriorAttempts included)
+	// begins.
+	OnStart func(attempt int)
+	// OnRetry fires when attempt failed retryably with budget left;
+	// the job re-enters the queue after backoff.
+	OnRetry func(attempt int, err error, backoff time.Duration)
+	// OnQuarantine fires when the job dead-letters: attempts is the
+	// total spent, err the final failure.
+	OnQuarantine func(attempts int, err error)
+	// OnComplete fires when an attempt succeeds.
+	OnComplete func(attempts int)
+
+	attempt int // attempts consumed so far; worker-goroutine only
+}
+
+// SubmitJob enqueues a retryable job, failing fast like Submit when
+// the queue is full or the pool is closed. Once accepted the job runs
+// until it completes or quarantines; backoff waits happen off-worker.
+func (p *Pool) SubmitJob(j *Job) error {
+	if j == nil || j.Run == nil {
+		return errors.New("jobs: nil job")
+	}
+	j.attempt = j.PriorAttempts
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	if p.closed {
+		p.rec.Counter("jobs_rejected_total").Inc()
+		return ErrClosed
+	}
+	select {
+	case p.queue <- task{job: j, enqueued: time.Now()}:
+		p.rec.Counter("jobs_submitted_total").Inc()
+		p.rec.Gauge("jobs_queue_depth").Set(float64(len(p.queue)))
+		return nil
+	default:
+		p.rec.Counter("jobs_rejected_total").Inc()
+		return ErrQueueFull
+	}
+}
+
+// runRetryable executes one attempt of a retryable job and settles or
+// reschedules it.
+func (p *Pool) runRetryable(j *Job) {
+	pol := j.Retry.withDefaults()
+	j.attempt++
+	attempt := j.attempt
+	if j.OnStart != nil {
+		j.OnStart(attempt)
+	}
+	err := p.runAttempt(j.Run)
+	if err == nil {
+		p.rec.Counter("jobs_completed_total").Inc()
+		if j.OnComplete != nil {
+			j.OnComplete(attempt)
+		}
+		return
+	}
+	p.rec.Counter("jobs_failed_total").Inc()
+	if !Retryable(err) || attempt >= pol.MaxAttempts {
+		p.rec.Counter("jobs_quarantined_total").Inc()
+		if j.OnQuarantine != nil {
+			j.OnQuarantine(attempt, err)
+		}
+		return
+	}
+	backoff := pol.Backoff(attempt)
+	p.rec.Counter("jobs_retries_total").Inc()
+	if j.OnRetry != nil {
+		j.OnRetry(attempt, err, backoff)
+	}
+	p.scheduleRetry(j, backoff)
+}
+
+// runAttempt runs one attempt under the per-job timeout, converting a
+// panic into *PanicError.
+func (p *Pool) runAttempt(fn func(ctx context.Context) error) (err error) {
+	ctx := p.baseCtx
+	if p.cfg.JobTimeout > 0 {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(p.baseCtx, p.cfg.JobTimeout)
+		defer cancel()
+	}
+	defer func() {
+		if r := recover(); r != nil {
+			p.rec.Counter("jobs_panics_total").Inc()
+			err = &PanicError{Value: r}
+		}
+	}()
+	return fn(ctx)
+}
+
+// scheduleRetry parks j on a timer for its backoff, then re-enqueues
+// it. Timers are tracked so Shutdown can stop them.
+func (p *Pool) scheduleRetry(j *Job, d time.Duration) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	if p.closed {
+		p.rec.Counter("jobs_retries_dropped_total").Inc()
+		return
+	}
+	var timer *time.Timer
+	timer = time.AfterFunc(d, func() {
+		p.mu.Lock()
+		delete(p.retryTimers, timer)
+		p.mu.Unlock()
+		p.requeue(j)
+	})
+	p.retryTimers[timer] = struct{}{}
+}
+
+// requeue puts a backed-off job back on the queue. Unlike Submit it
+// never sheds on a full queue — the job was accepted long ago — but
+// it polls rather than blocks so pool shutdown can still interleave;
+// a closed pool drops the retry (the journal re-owns it on restart).
+func (p *Pool) requeue(j *Job) {
+	for {
+		p.mu.Lock()
+		if p.closed {
+			p.mu.Unlock()
+			p.rec.Counter("jobs_retries_dropped_total").Inc()
+			return
+		}
+		select {
+		case p.queue <- task{job: j, enqueued: time.Now()}:
+			p.rec.Gauge("jobs_queue_depth").Set(float64(len(p.queue)))
+			p.mu.Unlock()
+			return
+		default:
+		}
+		p.mu.Unlock()
+		time.Sleep(2 * time.Millisecond)
+	}
+}

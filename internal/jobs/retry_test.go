@@ -1,0 +1,381 @@
+package jobs
+
+import (
+	"context"
+	"errors"
+	"sync"
+	"testing"
+	"time"
+
+	"repro/internal/obs"
+)
+
+// jobEvents collects a job's lifecycle callbacks for assertions.
+type jobEvents struct {
+	mu          sync.Mutex
+	starts      []int
+	startTimes  []time.Time
+	retries     []time.Duration
+	quarantined int
+	quarErr     error
+	completed   int
+	done        chan struct{}
+}
+
+func newJobEvents() *jobEvents { return &jobEvents{done: make(chan struct{})} }
+
+func (e *jobEvents) bind(j *Job) *Job {
+	j.OnStart = func(attempt int) {
+		e.mu.Lock()
+		e.starts = append(e.starts, attempt)
+		e.startTimes = append(e.startTimes, time.Now())
+		e.mu.Unlock()
+	}
+	j.OnRetry = func(attempt int, err error, backoff time.Duration) {
+		e.mu.Lock()
+		e.retries = append(e.retries, backoff)
+		e.mu.Unlock()
+	}
+	j.OnQuarantine = func(attempts int, err error) {
+		e.mu.Lock()
+		e.quarantined = attempts
+		e.quarErr = err
+		e.mu.Unlock()
+		close(e.done)
+	}
+	j.OnComplete = func(attempts int) {
+		e.mu.Lock()
+		e.completed = attempts
+		e.mu.Unlock()
+		close(e.done)
+	}
+	return j
+}
+
+func (e *jobEvents) wait(t *testing.T) {
+	t.Helper()
+	select {
+	case <-e.done:
+	case <-time.After(10 * time.Second):
+		t.Fatal("job never settled")
+	}
+}
+
+func TestRetrySucceedsAfterTransientFailures(t *testing.T) {
+	t.Parallel()
+	rec := obs.NewRecorder()
+	p := New(Config{Workers: 2, QueueSize: 8, Recorder: rec})
+	defer p.Shutdown(context.Background())
+
+	var attempts int
+	ev := newJobEvents()
+	j := ev.bind(&Job{
+		ID: "flaky",
+		Run: func(context.Context) error {
+			attempts++
+			if attempts < 3 {
+				return errors.New("transient I/O fault")
+			}
+			return nil
+		},
+		Retry: RetryPolicy{MaxAttempts: 5, Base: time.Millisecond, Cap: 4 * time.Millisecond},
+	})
+	if err := p.SubmitJob(j); err != nil {
+		t.Fatal(err)
+	}
+	ev.wait(t)
+	if ev.completed != 3 {
+		t.Fatalf("completed on attempt %d, want 3", ev.completed)
+	}
+	if len(ev.starts) != 3 || ev.starts[0] != 1 || ev.starts[2] != 3 {
+		t.Fatalf("starts = %v", ev.starts)
+	}
+	snap := rec.Snapshot()
+	if got := snap.Counters["jobs_completed_total"]; got != 1 {
+		t.Errorf("jobs_completed_total = %d, want 1", got)
+	}
+	if got := snap.Counters["jobs_failed_total"]; got != 2 {
+		t.Errorf("jobs_failed_total = %d, want 2", got)
+	}
+	if got := snap.Counters["jobs_retries_total"]; got != 2 {
+		t.Errorf("jobs_retries_total = %d, want 2", got)
+	}
+	if got := snap.Counters["jobs_quarantined_total"]; got != 0 {
+		t.Errorf("jobs_quarantined_total = %d, want 0", got)
+	}
+}
+
+func TestPoisonJobQuarantinesAfterExactlyMaxAttempts(t *testing.T) {
+	t.Parallel()
+	rec := obs.NewRecorder()
+	p := New(Config{Workers: 1, QueueSize: 8, Recorder: rec})
+	defer p.Shutdown(context.Background())
+
+	const maxAttempts = 3
+	base := 30 * time.Millisecond
+	var runs int
+	ev := newJobEvents()
+	j := ev.bind(&Job{
+		ID: "poison",
+		Run: func(context.Context) error {
+			runs++
+			panic("poisoned plugin")
+		},
+		Retry: RetryPolicy{MaxAttempts: maxAttempts, Base: base, Cap: base * 8},
+	})
+	if err := p.SubmitJob(j); err != nil {
+		t.Fatal(err)
+	}
+	ev.wait(t)
+
+	if runs != maxAttempts {
+		t.Fatalf("job ran %d times, want exactly %d", runs, maxAttempts)
+	}
+	if ev.quarantined != maxAttempts {
+		t.Fatalf("quarantined after %d attempts, want %d", ev.quarantined, maxAttempts)
+	}
+	var pe *PanicError
+	if !errors.As(ev.quarErr, &pe) {
+		t.Fatalf("quarantine error = %v, want *PanicError", ev.quarErr)
+	}
+
+	// Backoff must actually have been observed between attempts: equal
+	// jitter draws from [d/2, d), so attempt gaps are at least half the
+	// nominal delay.
+	if len(ev.startTimes) != maxAttempts {
+		t.Fatalf("start times = %d, want %d", len(ev.startTimes), maxAttempts)
+	}
+	for i := 1; i < maxAttempts; i++ {
+		gap := ev.startTimes[i].Sub(ev.startTimes[i-1])
+		nominal := base << (i - 1)
+		if gap < nominal/2 {
+			t.Errorf("gap before attempt %d = %v, want >= %v (backoff not observed)",
+				i+1, gap, nominal/2)
+		}
+	}
+
+	snap := rec.Snapshot()
+	if got := snap.Counters["jobs_quarantined_total"]; got != 1 {
+		t.Errorf("jobs_quarantined_total = %d, want 1", got)
+	}
+	if got := snap.Counters["jobs_failed_total"]; got != int64(maxAttempts) {
+		t.Errorf("jobs_failed_total = %d, want %d", got, maxAttempts)
+	}
+	if got := snap.Counters["jobs_panics_total"]; got != int64(maxAttempts) {
+		t.Errorf("jobs_panics_total = %d, want %d", got, maxAttempts)
+	}
+	if got := snap.Counters["jobs_completed_total"]; got != 0 {
+		t.Errorf("jobs_completed_total = %d, want 0", got)
+	}
+}
+
+func TestTerminalErrorSkipsRetry(t *testing.T) {
+	t.Parallel()
+	p := New(Config{Workers: 1, QueueSize: 4})
+	defer p.Shutdown(context.Background())
+
+	var runs int
+	ev := newJobEvents()
+	j := ev.bind(&Job{
+		ID: "hopeless",
+		Run: func(context.Context) error {
+			runs++
+			return Terminal(errors.New("malformed beyond retry"))
+		},
+		Retry: RetryPolicy{MaxAttempts: 5, Base: time.Millisecond},
+	})
+	if err := p.SubmitJob(j); err != nil {
+		t.Fatal(err)
+	}
+	ev.wait(t)
+	if runs != 1 {
+		t.Fatalf("terminal job ran %d times, want 1", runs)
+	}
+	if ev.quarantined != 1 {
+		t.Fatalf("quarantined after %d attempts, want 1", ev.quarantined)
+	}
+}
+
+func TestCancellationIsTerminal(t *testing.T) {
+	t.Parallel()
+	p := New(Config{Workers: 1, QueueSize: 4})
+	defer p.Shutdown(context.Background())
+
+	var runs int
+	ev := newJobEvents()
+	j := ev.bind(&Job{
+		ID: "cancelled",
+		Run: func(context.Context) error {
+			runs++
+			return context.Canceled
+		},
+		Retry: RetryPolicy{MaxAttempts: 5, Base: time.Millisecond},
+	})
+	if err := p.SubmitJob(j); err != nil {
+		t.Fatal(err)
+	}
+	ev.wait(t)
+	if runs != 1 || ev.quarantined != 1 {
+		t.Fatalf("cancelled job: runs=%d quarantined-after=%d, want 1/1", runs, ev.quarantined)
+	}
+}
+
+func TestPriorAttemptsResumeBudget(t *testing.T) {
+	t.Parallel()
+	p := New(Config{Workers: 1, QueueSize: 4})
+	defer p.Shutdown(context.Background())
+
+	// 2 of 3 attempts already burned before the (simulated) restart:
+	// exactly one more run is allowed.
+	var runs int
+	ev := newJobEvents()
+	j := ev.bind(&Job{
+		ID: "resumed",
+		Run: func(context.Context) error {
+			runs++
+			return errors.New("still failing")
+		},
+		Retry:         RetryPolicy{MaxAttempts: 3, Base: time.Millisecond},
+		PriorAttempts: 2,
+	})
+	if err := p.SubmitJob(j); err != nil {
+		t.Fatal(err)
+	}
+	ev.wait(t)
+	if runs != 1 {
+		t.Fatalf("resumed job ran %d times, want 1", runs)
+	}
+	if ev.quarantined != 3 {
+		t.Fatalf("quarantined after %d total attempts, want 3", ev.quarantined)
+	}
+}
+
+func TestRetrySurvivesFullQueue(t *testing.T) {
+	t.Parallel()
+	p := New(Config{Workers: 1, QueueSize: 1})
+	defer p.Shutdown(context.Background())
+
+	// A retrying job whose backoff expires while the worker is busy
+	// and the queue is full must wait for a slot, not be shed.
+	block := make(chan struct{})
+	var unblock sync.Once
+	defer unblock.Do(func() { close(block) })
+
+	var runs int
+	retried := make(chan struct{})
+	ev := newJobEvents()
+	j := ev.bind(&Job{
+		ID: "squeezed",
+		Run: func(context.Context) error {
+			runs++
+			if runs == 1 {
+				return errors.New("transient")
+			}
+			return nil
+		},
+		Retry: RetryPolicy{MaxAttempts: 3, Base: 40 * time.Millisecond, Cap: 40 * time.Millisecond},
+	})
+	onRetry := j.OnRetry
+	j.OnRetry = func(attempt int, err error, backoff time.Duration) {
+		onRetry(attempt, err, backoff)
+		close(retried)
+	}
+	if err := p.SubmitJob(j); err != nil {
+		t.Fatal(err)
+	}
+	// After the first attempt fails, saturate the pool: the worker
+	// parks on the blocker and a filler occupies the only queue slot,
+	// so the job's requeue finds the queue full when its backoff ends.
+	select {
+	case <-retried:
+	case <-time.After(5 * time.Second):
+		t.Fatal("first attempt never failed")
+	}
+	started := make(chan struct{})
+	if err := p.Submit(func(context.Context) { close(started); <-block }); err != nil {
+		t.Fatal(err)
+	}
+	<-started
+	if err := p.Submit(func(context.Context) {}); err != nil {
+		t.Fatal(err)
+	}
+	// Give the backoff time to expire against the saturated queue,
+	// then free the worker and let everything drain.
+	time.Sleep(100 * time.Millisecond)
+	unblock.Do(func() { close(block) })
+	ev.wait(t)
+	if ev.completed != 2 {
+		t.Fatalf("completed on attempt %d, want 2", ev.completed)
+	}
+	if runs != 2 {
+		t.Fatalf("job ran %d times, want 2", runs)
+	}
+}
+
+func TestShutdownDropsParkedRetries(t *testing.T) {
+	t.Parallel()
+	rec := obs.NewRecorder()
+	p := New(Config{Workers: 1, QueueSize: 4, Recorder: rec})
+
+	settled := make(chan struct{})
+	j := &Job{
+		ID:  "parked",
+		Run: func(context.Context) error { return errors.New("always failing") },
+		// A long backoff guarantees the job is parked when Shutdown runs.
+		Retry:        RetryPolicy{MaxAttempts: 3, Base: time.Hour, Cap: time.Hour},
+		OnRetry:      func(int, error, time.Duration) { close(settled) },
+		OnQuarantine: func(int, error) { t.Error("parked job must not quarantine at shutdown") },
+	}
+	if err := p.SubmitJob(j); err != nil {
+		t.Fatal(err)
+	}
+	select {
+	case <-settled:
+	case <-time.After(5 * time.Second):
+		t.Fatal("first attempt never failed")
+	}
+	if err := p.Shutdown(context.Background()); err != nil {
+		t.Fatalf("shutdown: %v", err)
+	}
+	if got := rec.Snapshot().Counters["jobs_retries_dropped_total"]; got != 1 {
+		t.Errorf("jobs_retries_dropped_total = %d, want 1", got)
+	}
+}
+
+func TestBackoffSchedule(t *testing.T) {
+	t.Parallel()
+	pol := RetryPolicy{Base: 100 * time.Millisecond, Cap: time.Second, Jitter: func() float64 { return 0 }}
+	want := []time.Duration{50, 100, 200, 400, 500, 500} // ms; jitter 0 → d/2
+	for i, w := range want {
+		if got := pol.Backoff(i + 1); got != w*time.Millisecond {
+			t.Errorf("Backoff(%d) = %v, want %v", i+1, got, w*time.Millisecond)
+		}
+	}
+	// Max jitter stays under the nominal delay.
+	pol.Jitter = func() float64 { return 0.999999 }
+	if got := pol.Backoff(1); got < 50*time.Millisecond || got >= 100*time.Millisecond {
+		t.Errorf("jittered Backoff(1) = %v, want in [50ms, 100ms)", got)
+	}
+}
+
+func TestClassification(t *testing.T) {
+	t.Parallel()
+	cases := []struct {
+		err  error
+		want bool
+	}{
+		{context.DeadlineExceeded, true},
+		{&PanicError{Value: "boom"}, true},
+		{errors.New("disk I/O error"), true},
+		{context.Canceled, false},
+		{Terminal(errors.New("bad input")), false},
+	}
+	for _, c := range cases {
+		if got := Retryable(c.err); got != c.want {
+			t.Errorf("Retryable(%v) = %v, want %v", c.err, got, c.want)
+		}
+	}
+	if Terminal(nil) != nil {
+		t.Error("Terminal(nil) != nil")
+	}
+}

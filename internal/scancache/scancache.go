@@ -186,6 +186,20 @@ func (c *Cache) Do(key string, compute func() (*analyzer.Result, error)) (res *a
 	return cl.res, false, cl.err
 }
 
+// Put inserts an already-computed result under key, exactly as Do
+// would after a successful compute (most recently used, evicting under
+// budget pressure). The daemon's journal replay uses it to rehydrate
+// the cache from persisted results, so re-submitting pre-crash content
+// is served byte-identically from cache instead of being re-analyzed.
+func (c *Cache) Put(key string, res *analyzer.Result) {
+	if res == nil {
+		return
+	}
+	c.mu.Lock()
+	c.addLocked(key, res)
+	c.mu.Unlock()
+}
+
 // Len returns the number of cached entries.
 func (c *Cache) Len() int {
 	c.mu.Lock()

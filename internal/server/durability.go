@@ -1,0 +1,445 @@
+// Durability: journaling helpers, crash replay, registry retention and
+// the operational endpoints (quarantine, retry, livez, readyz) that sit
+// on top of the durable journal. The journal itself (format, fsync,
+// compaction mechanics) lives in package durable; this file decides
+// what the daemon records and how it recovers.
+
+package server
+
+import (
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"sort"
+	"time"
+
+	"repro/internal/analyzer"
+	"repro/internal/durable"
+	"repro/internal/incremental"
+	"repro/internal/jobs"
+)
+
+// filePayload is one source file in a journaled submission. The wire
+// tags are explicit (analyzer.SourceFile has none) so the journal
+// format stays stable even if the in-memory type grows fields.
+type filePayload struct {
+	Path    string `json:"path"`
+	Content string `json:"content"`
+}
+
+// submissionPayload is the accepted record's payload: everything
+// needed to re-create and re-run the scan after a crash.
+type submissionPayload struct {
+	Name    string                `json:"name"`
+	Tool    string                `json:"tool"`
+	Profile string                `json:"profile"`
+	Key     string                `json:"key"`
+	Created time.Time             `json:"created"`
+	Files   []filePayload         `json:"files"`
+	Opts    *analyzer.ScanOptions `json:"opts,omitempty"`
+}
+
+// resultPayload is the completed/quarantined record's payload: the
+// settled state and whatever result (possibly partial) the scan ended
+// with, so replay rehydrates it byte-identically.
+type resultPayload struct {
+	State  scanState           `json:"state"`
+	Cached bool                `json:"cached,omitempty"`
+	Result *analyzer.Result    `json:"result,omitempty"`
+	Inc    *incremental.Report `json:"incremental,omitempty"`
+	Error  string              `json:"error,omitempty"`
+}
+
+// acceptedRecord builds the submission record for sc. Marshalling the
+// payload cannot fail (every field round-trips JSON); an impossible
+// failure journals an empty payload rather than nothing.
+func (s *Server) acceptedRecord(sc *scan) durable.Record {
+	p := submissionPayload{
+		Name: sc.Target.Name, Tool: sc.Tool, Profile: sc.Profile,
+		Key: sc.Key, Created: sc.Created, Opts: sc.Opts,
+		Files: make([]filePayload, 0, len(sc.Target.Files)),
+	}
+	for _, f := range sc.Target.Files {
+		p.Files = append(p.Files, filePayload{Path: f.Path, Content: f.Content})
+	}
+	raw, _ := json.Marshal(p)
+	return durable.Record{Type: durable.RecAccepted, ScanID: sc.ID, Payload: raw}
+}
+
+// resultPayloadLocked marshals sc's settled outcome; caller holds s.mu.
+func (s *Server) resultPayloadLocked(sc *scan) json.RawMessage {
+	raw, _ := json.Marshal(resultPayload{
+		State: sc.State, Cached: sc.Cached, Result: sc.Result,
+		Inc: sc.Inc, Error: sc.Err,
+	})
+	return raw
+}
+
+// journal appends one lifecycle record, taking journalMu. A degraded
+// journal swallows the append (the durable package counts it); the
+// scan path never blocks on disk health.
+func (s *Server) journal(r durable.Record) {
+	if s.cfg.Journal == nil {
+		return
+	}
+	s.journalMu.Lock()
+	s.journalLocked(r)
+	s.journalMu.Unlock()
+}
+
+// journalLocked appends one record; caller holds s.journalMu.
+func (s *Server) journalLocked(r durable.Record) {
+	if s.cfg.Journal == nil {
+		return
+	}
+	if err := s.cfg.Journal.Append(r); err != nil {
+		s.rec.Counter("journal_append_errors_total").Inc()
+	}
+}
+
+// maybeCompact snapshots the journal when the WAL has outgrown the
+// configured threshold. Called after a scan settles, off the s.mu lock.
+func (s *Server) maybeCompact() {
+	if s.cfg.Journal == nil {
+		return
+	}
+	if s.cfg.Journal.WALBytes() < s.cfg.CompactWALBytes {
+		return
+	}
+	s.CompactJournal()
+}
+
+// CompactJournal folds the live registry into a snapshot and truncates
+// the WAL. The live set is rebuilt from the registry itself — an
+// accepted record per tracked scan, a final record for settled ones,
+// and an attempt_failed marker preserving an unsettled scan's spent
+// budget — so compaction also garbage-collects records of evicted
+// scans.
+func (s *Server) CompactJournal() {
+	if s.cfg.Journal == nil {
+		return
+	}
+	s.journalMu.Lock()
+	defer s.journalMu.Unlock()
+
+	s.mu.Lock()
+	live := make([]durable.Record, 0, 2*len(s.scans))
+	for _, sc := range s.scans {
+		live = append(live, s.acceptedRecord(sc))
+		switch sc.State {
+		case stateDone, stateCancelled:
+			live = append(live, durable.Record{
+				Type: durable.RecCompleted, ScanID: sc.ID,
+				Attempt: sc.Attempts, Error: sc.Err,
+				Payload: s.resultPayloadLocked(sc),
+			})
+		case stateQuarantined:
+			live = append(live, durable.Record{
+				Type: durable.RecQuarantined, ScanID: sc.ID,
+				Attempt: sc.Attempts, Error: sc.Err,
+				Payload: s.resultPayloadLocked(sc),
+			})
+		default:
+			if sc.Attempts > 0 {
+				live = append(live, durable.Record{
+					Type: durable.RecAttemptFailed, ScanID: sc.ID,
+					Attempt: sc.Attempts, Error: sc.Err,
+				})
+			}
+		}
+	}
+	s.mu.Unlock()
+
+	if err := s.cfg.Journal.Compact(live); err != nil {
+		s.rec.Counter("journal_compact_errors_total").Inc()
+		return
+	}
+	s.rec.Counter("journal_compactions_total").Inc()
+}
+
+// Replay rebuilds the scan registry from a journal's replayed records
+// (the second return of durable.Open). Settled scans are rehydrated —
+// finished results are also re-seeded into the content cache, so
+// resubmitting pre-crash content is served byte-identically — and
+// unsettled ones are resubmitted with their attempt budget resumed.
+// Call it once, after New and before serving traffic.
+func (s *Server) Replay(records []durable.Record) (resubmitted, rehydrated, quarantined int) {
+	for _, st := range durable.Fold(records) {
+		var sub submissionPayload
+		if err := json.Unmarshal(st.Accepted.Payload, &sub); err != nil {
+			// An accepted record we cannot decode is unrecoverable
+			// work; count it rather than guess.
+			s.rec.Counter("replay_undecodable_total").Inc()
+			continue
+		}
+		target := &analyzer.Target{Name: sub.Name, Files: make([]analyzer.SourceFile, 0, len(sub.Files))}
+		for _, f := range sub.Files {
+			target.Files = append(target.Files, analyzer.SourceFile{Path: f.Path, Content: f.Content})
+		}
+		sc := &scan{
+			ID: st.ScanID, Tool: sub.Tool, Profile: sub.Profile,
+			Key: sub.Key, Created: sub.Created, Target: target, Opts: sub.Opts,
+		}
+
+		if st.Settled() {
+			var res resultPayload
+			if st.Final != nil {
+				if err := json.Unmarshal(st.Final.Payload, &res); err != nil {
+					res = resultPayload{}
+				}
+				sc.Finished = st.Final.Time
+				sc.Attempts = st.Final.Attempt
+			}
+			sc.State = res.State
+			if sc.State == "" {
+				// Payload lost (e.g. journaled while degraded):
+				// fall back to the record type.
+				if st.Phase == durable.RecQuarantined {
+					sc.State = stateQuarantined
+				} else {
+					sc.State = stateDone
+				}
+			}
+			sc.Result = res.Result
+			sc.Inc = res.Inc
+			sc.Cached = res.Cached
+			sc.Err = res.Error
+			s.mu.Lock()
+			s.addScanLocked(sc)
+			s.mu.Unlock()
+			if sc.State == stateDone && sc.Result != nil {
+				s.cfg.Cache.Put(sc.Key, sc.Result)
+			}
+			if sc.State == stateQuarantined {
+				quarantined++
+			} else {
+				rehydrated++
+			}
+			continue
+		}
+
+		// Unsettled: the crash interrupted it. Rebuild the engine and
+		// resubmit with the journaled attempt budget already spent.
+		sc.State = stateQueued
+		sc.Attempts = st.Attempts
+		engine, err := s.cfg.BuildTool(sc.Tool, sc.Profile, s.rec)
+		if err != nil {
+			// The tool that accepted this scan no longer builds
+			// (config drift across the restart): dead-letter it so the
+			// submission stays visible instead of vanishing.
+			s.mu.Lock()
+			s.addScanLocked(sc)
+			s.mu.Unlock()
+			s.settleQuarantined(sc, st.Attempts, jobs.Terminal(err))
+			quarantined++
+			continue
+		}
+		sc.Engine = engine
+		s.mu.Lock()
+		s.addScanLocked(sc)
+		s.active[sc.Key] = sc.ID
+		s.mu.Unlock()
+		for {
+			err := s.cfg.Pool.SubmitJob(s.scanJob(sc, st.Attempts))
+			if err == nil {
+				break
+			}
+			if err == jobs.ErrClosed {
+				// Shut down mid-replay; the journal still owns the scan.
+				return resubmitted, rehydrated, quarantined
+			}
+			// Queue full: replay outran the workers. Wait for a slot —
+			// accepted scans are never shed.
+			time.Sleep(5 * time.Millisecond)
+		}
+		s.rec.Counter("scans_replayed_total").Inc()
+		resubmitted++
+	}
+	return resubmitted, rehydrated, quarantined
+}
+
+// StartDrain flips readiness off ahead of shutdown: /readyz starts
+// answering 503 so load balancers stop routing new submissions while
+// in-flight scans finish.
+func (s *Server) StartDrain() {
+	s.mu.Lock()
+	s.draining = true
+	s.mu.Unlock()
+	s.rec.Counter("server_drains_total").Inc()
+}
+
+// addScanLocked registers sc and enforces the registry bound; caller
+// holds s.mu.
+func (s *Server) addScanLocked(sc *scan) {
+	s.scans[sc.ID] = sc
+	s.evictScansLocked()
+}
+
+// settledState reports whether state needs no further execution.
+func settledState(st scanState) bool {
+	switch st {
+	case stateDone, stateFailed, stateCancelled, stateQuarantined:
+		return true
+	}
+	return false
+}
+
+// evictScansLocked enforces ScanTTL and MaxScans over settled scans;
+// queued and running scans are never evicted. Caller holds s.mu.
+func (s *Server) evictScansLocked() {
+	if s.cfg.ScanTTL > 0 {
+		cutoff := time.Now().Add(-s.cfg.ScanTTL)
+		for id, sc := range s.scans {
+			if settledState(sc.State) && !sc.Finished.IsZero() && sc.Finished.Before(cutoff) {
+				delete(s.scans, id)
+				s.rec.Counter("scans_evicted_total").Inc()
+			}
+		}
+	}
+	for len(s.scans) > s.cfg.MaxScans {
+		var victim *scan
+		for _, sc := range s.scans {
+			if !settledState(sc.State) {
+				continue
+			}
+			if victim == nil || sc.Finished.Before(victim.Finished) {
+				victim = sc
+			}
+		}
+		if victim == nil {
+			// Everything tracked is still queued or running; the pool's
+			// bounded queue keeps this transient.
+			return
+		}
+		delete(s.scans, victim.ID)
+		s.rec.Counter("scans_evicted_total").Inc()
+	}
+}
+
+// handleQuarantine lists dead-lettered scans, oldest first.
+func (s *Server) handleQuarantine(w http.ResponseWriter, _ *http.Request) {
+	s.mu.Lock()
+	views := make([]scanJSON, 0)
+	for _, sc := range s.scans {
+		if sc.State == stateQuarantined {
+			views = append(views, sc.viewLocked())
+		}
+	}
+	s.mu.Unlock()
+	sortViewsByCreated(views)
+	s.writeJSON(w, http.StatusOK, map[string]any{
+		"count":       len(views),
+		"quarantined": views,
+	})
+}
+
+// handleRetry resubmits a quarantined scan with a fresh attempt
+// budget. Only quarantined scans are retryable: everything else is
+// either still owed an execution or finished successfully.
+func (s *Server) handleRetry(w http.ResponseWriter, r *http.Request) {
+	s.mu.Lock()
+	sc, ok := s.scans[r.PathValue("id")]
+	if !ok {
+		s.mu.Unlock()
+		s.error(w, http.StatusNotFound, "unknown scan id")
+		return
+	}
+	if sc.State != stateQuarantined {
+		state := sc.State
+		s.mu.Unlock()
+		s.error(w, http.StatusConflict, fmt.Sprintf("scan is %s; only quarantined scans can be retried", state))
+		return
+	}
+	if id, inflight := s.active[sc.Key]; inflight {
+		s.mu.Unlock()
+		s.error(w, http.StatusConflict, fmt.Sprintf("identical content is already in flight as scan %s", id))
+		return
+	}
+	if sc.Engine == nil {
+		// Quarantined scans rehydrated by replay carry no engine.
+		engine, err := s.cfg.BuildTool(sc.Tool, sc.Profile, s.rec)
+		if err != nil {
+			s.mu.Unlock()
+			s.error(w, http.StatusInternalServerError, err.Error())
+			return
+		}
+		sc.Engine = engine
+	}
+	sc.State = stateQueued
+	sc.Attempts = 0
+	sc.Err = ""
+	sc.Result = nil
+	sc.Inc = nil
+	sc.Cached = false
+	sc.Finished = time.Time{}
+	sc.cancelReq = false
+	s.active[sc.Key] = sc.ID
+	s.mu.Unlock()
+
+	// A fresh accepted record resets the journaled attempt budget
+	// (Fold folds re-acceptance into a reopened scan).
+	s.journalMu.Lock()
+	err := s.cfg.Pool.SubmitJob(s.scanJob(sc, 0))
+	if err == nil {
+		s.journalLocked(s.acceptedRecord(sc))
+	}
+	s.journalMu.Unlock()
+	if err != nil {
+		s.mu.Lock()
+		sc.State = stateQuarantined
+		delete(s.active, sc.Key)
+		s.mu.Unlock()
+		switch err {
+		case jobs.ErrQueueFull:
+			s.error(w, http.StatusTooManyRequests, "scan queue is full, retry later")
+		case jobs.ErrClosed:
+			s.error(w, http.StatusServiceUnavailable, "daemon is shutting down")
+		default:
+			s.error(w, http.StatusInternalServerError, err.Error())
+		}
+		return
+	}
+	s.rec.Counter("scans_retry_requests_total").Inc()
+	s.mu.Lock()
+	view := sc.viewLocked()
+	s.mu.Unlock()
+	s.writeJSON(w, http.StatusAccepted, view)
+}
+
+// handleLivez is pure liveness: if the process can answer, it is live.
+func (s *Server) handleLivez(w http.ResponseWriter, _ *http.Request) {
+	s.writeJSON(w, http.StatusOK, map[string]string{"status": "ok"})
+}
+
+// handleReadyz reports whether the daemon should receive new
+// submissions: 503 while draining; "degraded" (still 200 — the daemon
+// scans correctly, it has just lost durability) when the journal has
+// failed over to in-memory mode.
+func (s *Server) handleReadyz(w http.ResponseWriter, _ *http.Request) {
+	s.mu.Lock()
+	draining := s.draining
+	s.mu.Unlock()
+	if draining {
+		s.writeJSON(w, http.StatusServiceUnavailable, map[string]string{"status": "draining"})
+		return
+	}
+	if s.cfg.Journal != nil {
+		if degraded, err := s.cfg.Journal.Degraded(); degraded {
+			msg := ""
+			if err != nil {
+				msg = err.Error()
+			}
+			s.writeJSON(w, http.StatusOK, map[string]string{
+				"status": "degraded", "journal_error": msg,
+			})
+			return
+		}
+	}
+	s.writeJSON(w, http.StatusOK, map[string]string{"status": "ready"})
+}
+
+// sortViewsByCreated orders scan views oldest first (stable listing
+// for the quarantine endpoint).
+func sortViewsByCreated(views []scanJSON) {
+	sort.Slice(views, func(i, j int) bool { return views[i].Created.Before(views[j].Created) })
+}

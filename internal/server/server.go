@@ -21,9 +21,24 @@
 //	                           governor checkpoint
 //	GET  /v1/scans/{id}        job status; ?format=json|sarif|html
 //	                           renders a finished scan's report
-//	GET  /healthz              liveness plus queue/cache occupancy
+//	POST /v1/scans/{id}/retry  resubmit a quarantined scan with a
+//	                           fresh attempt budget
+//	GET  /v1/quarantine        list dead-lettered scans
+//	GET  /healthz              combined health plus queue/cache/journal
+//	                           occupancy
+//	GET  /livez                liveness only (always ok while serving)
+//	GET  /readyz               readiness: 503 while draining, a
+//	                           "degraded" status when the scan journal
+//	                           has failed to in-memory mode
 //	GET  /metrics              obs registry (Prometheus text;
 //	                           ?format=json)
+//
+// When Config.Journal is set, every scan lifecycle transition is
+// journaled before the client sees it, and Replay rebuilds the
+// registry after a crash: finished scans are rehydrated from their
+// persisted results (and re-seeded into the cache, so resubmitting
+// pre-crash content stays byte-identical), unsettled scans are
+// resubmitted, and quarantined scans stay visible for manual retry.
 package server
 
 import (
@@ -38,10 +53,12 @@ import (
 	"io"
 	"net/http"
 	"sort"
+	"strings"
 	"sync"
 	"time"
 
 	"repro/internal/analyzer"
+	"repro/internal/durable"
 	"repro/internal/eval"
 	"repro/internal/evolution"
 	"repro/internal/incremental"
@@ -91,17 +108,47 @@ type Config struct {
 	// fields fall back to the analyzer package defaults (durations:
 	// disabled).
 	Budgets analyzer.ScanOptions
+	// Journal, when set, makes accepted scans durable: lifecycle
+	// transitions are journaled and Replay recovers them after a
+	// crash. A nil Journal runs fully in-memory, as before.
+	Journal *durable.Journal
+	// Retry shapes each scan's attempt budget and backoff schedule
+	// (zero value: jobs package defaults — 3 attempts, 100ms base,
+	// 5s cap).
+	Retry jobs.RetryPolicy
+	// MaxScans bounds the registry: when tracked scans exceed it, the
+	// oldest finished ones are evicted (DefaultMaxScans when 0;
+	// queued/running scans are never evicted). Journal replay honours
+	// the same bound.
+	MaxScans int
+	// ScanTTL, when positive, additionally evicts finished scans older
+	// than this at insertion sweeps.
+	ScanTTL time.Duration
+	// CompactWALBytes is the journal size that triggers a
+	// snapshot+compaction after a scan settles
+	// (DefaultCompactWALBytes when 0).
+	CompactWALBytes int64
 }
+
+// DefaultMaxScans bounds the scan registry when Config.MaxScans is
+// unset: enough for a day of steady scanning, small enough that a
+// long-lived daemon's memory stays flat.
+const DefaultMaxScans = 4096
+
+// DefaultCompactWALBytes triggers journal compaction once the WAL
+// outgrows it.
+const DefaultCompactWALBytes = 4 << 20
 
 // scanState is a job's lifecycle position.
 type scanState string
 
 const (
-	stateQueued    scanState = "queued"
-	stateRunning   scanState = "running"
-	stateDone      scanState = "done"
-	stateFailed    scanState = "failed"
-	stateCancelled scanState = "cancelled"
+	stateQueued      scanState = "queued"
+	stateRunning     scanState = "running"
+	stateDone        scanState = "done"
+	stateFailed      scanState = "failed"
+	stateCancelled   scanState = "cancelled"
+	stateQuarantined scanState = "quarantined"
 )
 
 // scan is one submission's record; all fields are guarded by
@@ -121,6 +168,7 @@ type scan struct {
 	Result   *analyzer.Result
 	Inc      *incremental.Report
 	Err      string
+	Attempts int
 
 	// cancelReq marks a cancellation request; set while queued it makes
 	// runScan settle immediately, set while running it is paired with a
@@ -141,8 +189,17 @@ type Server struct {
 	scans map[string]*scan
 	// active maps a cache key to the queued/running scan computing it,
 	// so a duplicate submission joins the existing job instead of
-	// occupying a second queue slot.
+	// occupying a second queue slot. An entry survives retries and is
+	// removed only when the scan settles.
 	active map[string]string
+	// draining flips readiness off ahead of shutdown (StartDrain).
+	draining bool
+
+	// journalMu serializes journal appends against compaction's
+	// build-live-set-and-truncate, so no lifecycle record can fall
+	// between a snapshot and the WAL reset. Lock order: journalMu
+	// before mu, never the reverse.
+	journalMu sync.Mutex
 }
 
 // New builds a Server over cfg, filling defaults.
@@ -158,6 +215,12 @@ func New(cfg Config) *Server {
 	if cfg.Fingerprint == "" {
 		cfg.Fingerprint = version.Version
 	}
+	if cfg.MaxScans <= 0 {
+		cfg.MaxScans = DefaultMaxScans
+	}
+	if cfg.CompactWALBytes <= 0 {
+		cfg.CompactWALBytes = DefaultCompactWALBytes
+	}
 	s := &Server{
 		cfg:    cfg,
 		rec:    cfg.Recorder,
@@ -167,9 +230,13 @@ func New(cfg Config) *Server {
 	}
 	s.mux.HandleFunc("POST /v1/scans", s.instrument("scans_submit", s.handleSubmit))
 	s.mux.HandleFunc("POST /v1/scans/{id}/cancel", s.instrument("scans_cancel", s.handleCancel))
+	s.mux.HandleFunc("POST /v1/scans/{id}/retry", s.instrument("scans_retry", s.handleRetry))
 	s.mux.HandleFunc("GET /v1/scans/{id}", s.instrument("scans_get", s.handleGet))
+	s.mux.HandleFunc("GET /v1/quarantine", s.instrument("quarantine", s.handleQuarantine))
 	s.mux.HandleFunc("GET /v1/diffs", s.instrument("diffs", s.handleDiff))
 	s.mux.HandleFunc("GET /healthz", s.instrument("healthz", s.handleHealthz))
+	s.mux.HandleFunc("GET /livez", s.instrument("livez", s.handleLivez))
+	s.mux.HandleFunc("GET /readyz", s.instrument("readyz", s.handleReadyz))
 	s.mux.HandleFunc("GET /metrics", s.instrument("metrics", s.handleMetrics))
 	return s
 }
@@ -224,6 +291,7 @@ type scanJSON struct {
 	Cached   bool                `json:"cached"`
 	Created  time.Time           `json:"created"`
 	Finished *time.Time          `json:"finished,omitempty"`
+	Attempts int                 `json:"attempts,omitempty"`
 	Budgets  *budgetJSON         `json:"budgets,omitempty"`
 	Result   *analyzer.Result    `json:"result,omitempty"`
 	Inc      *incremental.Report `json:"incremental,omitempty"`
@@ -233,17 +301,18 @@ type scanJSON struct {
 // viewLocked renders a scan for the wire; caller holds s.mu.
 func (sc *scan) viewLocked() scanJSON {
 	v := scanJSON{
-		ID:      sc.ID,
-		Status:  sc.State,
-		Tool:    sc.Tool,
-		Profile: sc.Profile,
-		Target:  sc.Target.Name,
-		Cached:  sc.Cached,
-		Created: sc.Created,
-		Budgets: budgetView(sc.Opts),
-		Result:  sc.Result,
-		Inc:     sc.Inc,
-		Error:   sc.Err,
+		ID:       sc.ID,
+		Status:   sc.State,
+		Tool:     sc.Tool,
+		Profile:  sc.Profile,
+		Target:   sc.Target.Name,
+		Cached:   sc.Cached,
+		Created:  sc.Created,
+		Attempts: sc.Attempts,
+		Budgets:  budgetView(sc.Opts),
+		Result:   sc.Result,
+		Inc:      sc.Inc,
+		Error:    sc.Err,
 	}
 	if !sc.Finished.IsZero() {
 		f := sc.Finished
@@ -371,7 +440,7 @@ func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
 			Target: target, Opts: opts, Result: res,
 		}
 		s.mu.Lock()
-		s.scans[sc.ID] = sc
+		s.addScanLocked(sc)
 		view := sc.viewLocked()
 		s.mu.Unlock()
 		s.rec.Counter("scans_served_from_cache_total").Inc()
@@ -393,11 +462,18 @@ func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
 		ID: newID(), State: stateQueued, Tool: req.Tool, Profile: req.Profile,
 		Key: key, Created: time.Now(), Target: target, Engine: engine, Opts: opts,
 	}
-	s.scans[sc.ID] = sc
+	s.addScanLocked(sc)
 	s.active[key] = sc.ID
 	s.mu.Unlock()
 
-	err = s.cfg.Pool.Submit(func(ctx context.Context) { s.runScan(ctx, sc) })
+	// journalMu spans the pool submission and the accepted record so
+	// the journal sees "accepted" before any record the worker writes.
+	s.journalMu.Lock()
+	err = s.cfg.Pool.SubmitJob(s.scanJob(sc, 0))
+	if err == nil {
+		s.journalLocked(s.acceptedRecord(sc))
+	}
+	s.journalMu.Unlock()
 	if err != nil {
 		s.mu.Lock()
 		delete(s.scans, sc.ID)
@@ -421,24 +497,70 @@ func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
 	s.writeJSON(w, http.StatusAccepted, view)
 }
 
-// runScan executes one queued scan on a pool worker. The scan runs
-// under a child context so POST /v1/scans/{id}/cancel can abort just
-// this scan; the engines observe it at governor checkpoints, return a
-// partial result, and the worker moves on to the next job.
-func (s *Server) runScan(ctx context.Context, sc *scan) {
+// robustnessRetryError classifies a scan whose per-file analysis
+// crashed (panics recovered into RobustnessFailures) as a failed
+// attempt: transient crashes heal on retry, deterministic ones exhaust
+// the attempt budget and quarantine the plugin with the partial result
+// attached.
+type robustnessRetryError struct {
+	res   *analyzer.Result
+	files []string
+}
+
+func (e *robustnessRetryError) Error() string {
+	return fmt.Sprintf("analysis crashed on %d file(s): %s", len(e.files), strings.Join(e.files, ", "))
+}
+
+// scanJob wraps one scan as a retryable pool job, journaling every
+// lifecycle transition.
+func (s *Server) scanJob(sc *scan, priorAttempts int) *jobs.Job {
+	return &jobs.Job{
+		ID:            sc.ID,
+		Retry:         s.cfg.Retry,
+		PriorAttempts: priorAttempts,
+		Run: func(ctx context.Context) error {
+			return s.runScanAttempt(ctx, sc)
+		},
+		OnStart: func(attempt int) {
+			s.mu.Lock()
+			sc.Attempts = attempt
+			s.mu.Unlock()
+			s.journal(durable.Record{Type: durable.RecStarted, ScanID: sc.ID, Attempt: attempt})
+		},
+		OnRetry: func(attempt int, err error, backoff time.Duration) {
+			s.mu.Lock()
+			sc.State = stateQueued
+			sc.cancel = nil
+			sc.Err = err.Error()
+			s.mu.Unlock()
+			s.rec.Counter("scans_retried_total").Inc()
+			s.journal(durable.Record{
+				Type: durable.RecAttemptFailed, ScanID: sc.ID, Attempt: attempt,
+				Error: err.Error(), BackoffMS: backoff.Milliseconds(),
+			})
+		},
+		OnQuarantine: func(attempts int, err error) {
+			s.settleQuarantined(sc, attempts, err)
+		},
+	}
+}
+
+// runScanAttempt executes one attempt of a queued scan on a pool
+// worker. The scan runs under a child context so POST
+// /v1/scans/{id}/cancel can abort just this scan; the engines observe
+// it at governor checkpoints, return a partial result, and the worker
+// moves on to the next job. A nil return settles the scan (done or
+// cancelled); an error hands the attempt to the retry lifecycle.
+func (s *Server) runScanAttempt(ctx context.Context, sc *scan) error {
 	scanCtx, cancel := context.WithCancel(ctx)
 	defer cancel()
 
 	s.mu.Lock()
 	if sc.cancelReq {
-		// Cancelled while still queued: settle without running.
-		sc.State = stateCancelled
-		sc.Err = context.Canceled.Error()
-		sc.Finished = time.Now()
-		delete(s.active, sc.Key)
-		s.mu.Unlock()
-		s.rec.Counter("scans_cancelled_total").Inc()
-		return
+		// Cancelled while still queued (or parked between attempts):
+		// settle without running.
+		s.settleCancelledLocked(sc, context.Canceled, nil)
+		return nil
 	}
 	sc.State = stateRunning
 	sc.cancel = cancel
@@ -459,43 +581,105 @@ func (s *Server) runScan(ctx context.Context, sc *scan) {
 		// an exact resubmission hits the scan cache, while a new
 		// version of a previously scanned plugin reuses the
 		// unchanged files' artifacts here.
+		var r *analyzer.Result
+		var aerr error
 		if engine, ok := sc.Engine.(*taint.Engine); ok && s.cfg.IncStore != nil {
 			inc := incremental.New(engine, s.cfg.IncStore,
 				fmt.Sprintf("%s|%s|%s", s.cfg.Fingerprint, sc.Tool, sc.Profile), s.rec)
-			r, rep, err := inc.AnalyzeWithReportContext(scanCtx, sc.Target, sc.Opts)
-			incRep = rep
-			return r, err
+			r, incRep, aerr = inc.AnalyzeWithReportContext(scanCtx, sc.Target, sc.Opts)
+		} else {
+			r, aerr = analyzer.AnalyzeWith(scanCtx, sc.Engine, sc.Target, sc.Opts)
 		}
-		return analyzer.AnalyzeWith(scanCtx, sc.Engine, sc.Target, sc.Opts)
+		if aerr == nil && r != nil && len(r.RobustnessFailures) > 0 {
+			// Crash-grade file failures fail the attempt (and are
+			// never cached): a retry may heal a transient crash.
+			files := make([]string, 0, len(r.RobustnessFailures))
+			for _, rf := range r.RobustnessFailures {
+				files = append(files, rf.File)
+			}
+			return r, &robustnessRetryError{res: r, files: files}
+		}
+		return r, aerr
 	})
 
 	s.mu.Lock()
-	defer s.mu.Unlock()
 	sc.cancel = nil
-	delete(s.active, sc.Key)
-	sc.Finished = time.Now()
 	if err != nil {
-		if errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded) {
-			// Cancelled (or the pool's job timeout fired). Keep the
-			// engine's partial result: it is labelled, valid work.
-			sc.State = stateCancelled
-			sc.Err = err.Error()
-			sc.Result = res
-			s.rec.Counter("scans_cancelled_total").Inc()
-			return
+		if errors.Is(err, context.Canceled) {
+			// The client (or shutdown) cancelled: terminal, keep the
+			// engine's labelled partial result.
+			s.settleCancelledLocked(sc, err, res)
+			return nil
 		}
-		sc.State = stateFailed
-		sc.Err = err.Error()
-		s.rec.Counter("scans_failed_total").Inc()
-		return
+		// Deadline (job timeout), crashed files, injected faults,
+		// engine errors: the attempt failed. Remember the latest
+		// partial result so an eventual quarantine keeps it, and let
+		// the retry lifecycle classify the error.
+		if res != nil {
+			sc.Result = res
+		}
+		s.mu.Unlock()
+		return err
 	}
 	sc.State = stateDone
+	sc.Finished = time.Now()
 	sc.Result = res
 	sc.Cached = hit
 	if !hit {
 		sc.Inc = incRep
 	}
+	delete(s.active, sc.Key)
+	payload := s.resultPayloadLocked(sc)
+	s.mu.Unlock()
 	s.rec.Counter("scans_completed_total").Inc()
+	s.journal(durable.Record{
+		Type: durable.RecCompleted, ScanID: sc.ID, Attempt: sc.Attempts, Payload: payload,
+	})
+	s.maybeCompact()
+	return nil
+}
+
+// settleCancelledLocked settles a cancelled scan; caller holds s.mu,
+// which is released before journaling.
+func (s *Server) settleCancelledLocked(sc *scan, cause error, partial *analyzer.Result) {
+	sc.State = stateCancelled
+	sc.Err = cause.Error()
+	if partial != nil {
+		sc.Result = partial
+	}
+	sc.Finished = time.Now()
+	delete(s.active, sc.Key)
+	payload := s.resultPayloadLocked(sc)
+	s.mu.Unlock()
+	s.rec.Counter("scans_cancelled_total").Inc()
+	// A cancelled scan is settled work: journal it as completed (the
+	// payload records the cancelled state) so replay does not re-run
+	// what a client deliberately stopped.
+	s.journal(durable.Record{
+		Type: durable.RecCompleted, ScanID: sc.ID, Attempt: sc.Attempts,
+		Error: sc.Err, Payload: payload,
+	})
+	s.maybeCompact()
+}
+
+// settleQuarantined dead-letters a scan whose attempts are exhausted
+// (or whose failure was terminal), keeping its latest partial result.
+func (s *Server) settleQuarantined(sc *scan, attempts int, err error) {
+	s.mu.Lock()
+	sc.State = stateQuarantined
+	sc.Attempts = attempts
+	sc.Err = err.Error()
+	sc.Finished = time.Now()
+	sc.cancel = nil
+	delete(s.active, sc.Key)
+	payload := s.resultPayloadLocked(sc)
+	s.mu.Unlock()
+	s.rec.Counter("scans_quarantined_total").Inc()
+	s.journal(durable.Record{
+		Type: durable.RecQuarantined, ScanID: sc.ID, Attempt: attempts,
+		Error: err.Error(), Payload: payload,
+	})
+	s.maybeCompact()
 }
 
 // handleCancel requests cancellation of a queued or running scan.
@@ -511,7 +695,7 @@ func (s *Server) handleCancel(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	switch sc.State {
-	case stateDone, stateFailed, stateCancelled:
+	case stateDone, stateFailed, stateCancelled, stateQuarantined:
 		state := sc.State
 		s.mu.Unlock()
 		s.error(w, http.StatusConflict, fmt.Sprintf("scan is already %s", state))
@@ -632,21 +816,45 @@ func (s *Server) handleGet(w http.ResponseWriter, r *http.Request) {
 	}
 }
 
-// handleHealthz reports liveness and occupancy.
+// handleHealthz reports liveness and occupancy. The status flips to
+// "degraded" when the journal has failed over to in-memory mode: the
+// daemon still scans correctly but accepted work would not survive a
+// crash.
 func (s *Server) handleHealthz(w http.ResponseWriter, _ *http.Request) {
 	s.mu.Lock()
 	tracked := len(s.scans)
+	draining := s.draining
 	s.mu.Unlock()
-	s.writeJSON(w, http.StatusOK, map[string]any{
-		"status":      "ok",
+	status := "ok"
+	body := map[string]any{
 		"version":     version.Version,
 		"queue_depth": s.cfg.Pool.QueueDepth(),
 		"workers":     s.cfg.Pool.Workers(),
 		"scans":       tracked,
+		"draining":    draining,
 		"cache_items": s.cfg.Cache.Len(),
 		"cache_bytes": s.cfg.Cache.Bytes(),
 		"cache_stats": s.cfg.Cache.Stats(),
-	})
+	}
+	if s.cfg.Journal != nil {
+		degraded, jerr := s.cfg.Journal.Degraded()
+		j := map[string]any{
+			"enabled":   true,
+			"degraded":  degraded,
+			"wal_bytes": s.cfg.Journal.WALBytes(),
+		}
+		if degraded {
+			status = "degraded"
+			if jerr != nil {
+				j["error"] = jerr.Error()
+			}
+		}
+		body["journal"] = j
+	} else {
+		body["journal"] = map[string]any{"enabled": false}
+	}
+	body["status"] = status
+	s.writeJSON(w, http.StatusOK, body)
 }
 
 // handleMetrics exposes the obs registry.

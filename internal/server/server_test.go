@@ -32,6 +32,7 @@ mysql_query("SELECT * FROM users WHERE login='" . $user . "'");
 // env is one daemon-in-a-test: server, pool, cache and recorder.
 type env struct {
 	ts   *httptest.Server
+	srv  *Server
 	pool *jobs.Pool
 	rec  *obs.Recorder
 }
@@ -49,14 +50,15 @@ func newEnv(t *testing.T, workers, queueSize int, mutate ...func(*Config)) *env 
 	for _, m := range mutate {
 		m(&cfg)
 	}
-	ts := httptest.NewServer(New(cfg))
+	srv := New(cfg)
+	ts := httptest.NewServer(srv)
 	t.Cleanup(func() {
 		ts.Close()
 		ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
 		defer cancel()
 		pool.Shutdown(ctx)
 	})
-	return &env{ts: ts, pool: pool, rec: rec}
+	return &env{ts: ts, srv: srv, pool: pool, rec: rec}
 }
 
 // submitJSON posts a JSON submission and decodes the scan envelope.
@@ -91,7 +93,8 @@ func (e *env) wait(t *testing.T, id string) scanJSON {
 		if err != nil {
 			t.Fatal(err)
 		}
-		if sc.Status == stateDone || sc.Status == stateFailed || sc.Status == stateCancelled {
+		if sc.Status == stateDone || sc.Status == stateFailed ||
+			sc.Status == stateCancelled || sc.Status == stateQuarantined {
 			return sc
 		}
 		time.Sleep(5 * time.Millisecond)
@@ -388,20 +391,28 @@ func TestDuplicateInFlightSubmissionJoins(t *testing.T) {
 	}
 }
 
-func TestFailedScanReportsError(t *testing.T) {
+func TestFailedScanRetriesThenQuarantines(t *testing.T) {
 	t.Parallel()
 	e := newEnv(t, 1, 4, func(cfg *Config) {
 		cfg.BuildTool = func(_, _ string, _ *obs.Recorder) (analyzer.Analyzer, error) {
 			return failingAnalyzer{}, nil
 		}
+		cfg.Retry = jobs.RetryPolicy{MaxAttempts: 2, Base: 2 * time.Millisecond, Cap: 5 * time.Millisecond}
 	})
 	_, sc := e.submitJSON(t, submission("broken"))
 	done := e.wait(t, sc.ID)
-	if done.Status != stateFailed || done.Error == "" {
-		t.Fatalf("failed scan = %+v", done)
+	if done.Status != stateQuarantined || done.Error == "" {
+		t.Fatalf("failing scan = %+v, want quarantined with error", done)
 	}
-	if got := e.rec.Snapshot().Counters["scans_failed_total"]; got != 1 {
-		t.Errorf("scans_failed_total = %d, want 1", got)
+	if done.Attempts != 2 {
+		t.Errorf("attempts = %d, want 2 (the full budget)", done.Attempts)
+	}
+	snap := e.rec.Snapshot()
+	if got := snap.Counters["scans_quarantined_total"]; got != 1 {
+		t.Errorf("scans_quarantined_total = %d, want 1", got)
+	}
+	if got := snap.Counters["scans_retried_total"]; got != 1 {
+		t.Errorf("scans_retried_total = %d, want 1", got)
 	}
 	// Failures are not cached: a resubmission runs again.
 	_, sc2 := e.submitJSON(t, submission("broken"))
