@@ -158,6 +158,13 @@ func Open(dir string, opt Options) (*Journal, []Record, error) {
 			j.seq = r.Seq
 		}
 	}
+	// Resume numbering above the snapshot's horizon, not just above the
+	// live records it carries: otherwise appends after a reopen would
+	// reuse sequence numbers the meta record already covers, and the
+	// next replay's Seq <= coveredSeq filter would silently drop them.
+	if coveredSeq > j.seq {
+		j.seq = coveredSeq
+	}
 
 	walPath := filepath.Join(dir, walName)
 	walRecs, goodLen, err := readLog(walPath, j.rec)
@@ -325,10 +332,22 @@ func (j *Journal) Compact(live []Record) error {
 		return ErrDegraded
 	}
 	// The meta record pins the sequence horizon: every WAL record with
-	// Seq <= j.seq is absorbed by this snapshot.
+	// Seq <= the horizon is absorbed by this snapshot, and a reopened
+	// journal resumes numbering above it. Live records get fresh
+	// sequence numbers under that horizon (the max() keeps the horizon
+	// sound even if the caller hands us more records than were ever
+	// journaled).
+	horizon := j.seq
+	if n := uint64(len(live)); n > horizon {
+		horizon = n
+	}
 	recs := make([]Record, 0, len(live)+1)
-	recs = append(recs, Record{Seq: j.seq, Type: recSnapshot, Time: time.Now().UTC()})
-	for _, r := range live {
+	recs = append(recs, Record{Seq: horizon, Type: recSnapshot, Time: time.Now().UTC()})
+	for i, r := range live {
+		r.Seq = uint64(i + 1)
+		if r.Time.IsZero() {
+			r.Time = time.Now().UTC()
+		}
 		recs = append(recs, r)
 	}
 	tmp := filepath.Join(j.dir, snapName+".tmp")
@@ -341,16 +360,39 @@ func (j *Journal) Compact(live []Record) error {
 	if err := os.Rename(tmp, filepath.Join(j.dir, snapName)); err != nil {
 		return j.degradeLocked(err)
 	}
+	// Make the rename durable before touching the WAL: if the truncate
+	// persisted while the rename did not, power loss would leave an
+	// empty WAL beside the stale snapshot — the whole journal gone.
+	if err := j.syncDirLocked(); err != nil {
+		return j.degradeLocked(err)
+	}
 	if err := j.wal.Truncate(0); err != nil {
 		return j.degradeLocked(err)
 	}
 	if _, err := j.wal.Seek(0, 0); err != nil {
 		return j.degradeLocked(err)
 	}
+	if err := j.syncLocked(); err != nil {
+		return j.degradeLocked(err)
+	}
+	j.seq = horizon
 	j.walBytes = 0
-	j.unsynced = 0
 	j.count("journal_compactions_total")
 	return nil
+}
+
+// syncDirLocked fsyncs the journal directory, making the snapshot
+// rename (a directory-metadata operation) durable; caller holds j.mu.
+func (j *Journal) syncDirLocked() error {
+	if err := j.faultLocked("syncdir", j.dir); err != nil {
+		return err
+	}
+	d, err := os.Open(j.dir)
+	if err != nil {
+		return err
+	}
+	defer d.Close()
+	return d.Sync()
 }
 
 // writeSnapshotLocked writes and fsyncs one snapshot file.

@@ -209,6 +209,53 @@ func TestCompactionShrinksWALAndPreservesState(t *testing.T) {
 	}
 }
 
+func TestAppendsAfterCompactedReopenSurviveNextReplay(t *testing.T) {
+	t.Parallel()
+	dir := t.TempDir()
+	j, _ := openT(t, dir, Options{})
+	j.Append(Record{Type: RecAccepted, ScanID: "s1"})
+	j.Append(Record{Type: RecCompleted, ScanID: "s1"})
+	if err := j.Compact([]Record{
+		{Type: RecAccepted, ScanID: "s1"},
+		{Type: RecCompleted, ScanID: "s1"},
+	}); err != nil {
+		t.Fatalf("compact: %v", err)
+	}
+	j.Close()
+
+	// Clean restart from the compacted journal, then new work: the
+	// reopened journal must number the append above the snapshot's
+	// horizon, or the next replay's stale-WAL filter discards it.
+	j2, recs := openT(t, dir, Options{})
+	if len(recs) != 2 {
+		t.Fatalf("replayed %d records from snapshot, want 2", len(recs))
+	}
+	if err := j2.Append(Record{Type: RecAccepted, ScanID: "s2"}); err != nil {
+		t.Fatal(err)
+	}
+	j2.Close()
+
+	// The crash: reopen again and fold. s2 must still be owed work.
+	j3, recs3 := openT(t, dir, Options{})
+	defer j3.Close()
+	states := Fold(recs3)
+	if len(states) != 2 {
+		t.Fatalf("folded %d scans after compacted-reopen append, want 2 (post-compaction append lost)", len(states))
+	}
+	s2 := states[1]
+	if s2.ScanID != "s2" || s2.Settled() {
+		t.Errorf("scan s2 = %+v, want unsettled accepted scan", s2)
+	}
+	// And the WAL append carries a sequence number above the snapshot's
+	// horizon, so it survives the Seq <= coveredSeq filter.
+	last := recs3[len(recs3)-1]
+	for _, r := range recs3[:len(recs3)-1] {
+		if r.Seq >= last.Seq {
+			t.Errorf("post-compaction append seq %d not above snapshot record seq %d", last.Seq, r.Seq)
+		}
+	}
+}
+
 func TestSnapshotAbsorbsStaleWALRecords(t *testing.T) {
 	t.Parallel()
 	dir := t.TempDir()

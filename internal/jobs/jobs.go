@@ -60,7 +60,12 @@ type Pool struct {
 	cfg   Config
 	rec   *obs.Recorder
 	queue chan task
-	wg    sync.WaitGroup
+	// quit is closed by Shutdown: workers drain the queue and exit, and
+	// blocked requeues give up. The queue channel itself is never
+	// closed, so a backed-off job can block on a send without racing a
+	// close.
+	quit chan struct{}
+	wg   sync.WaitGroup
 
 	// baseCtx parents every job context; cancel aborts running jobs
 	// when a Shutdown deadline expires.
@@ -87,6 +92,7 @@ func New(cfg Config) *Pool {
 		cfg:         cfg,
 		rec:         cfg.Recorder,
 		queue:       make(chan task, cfg.QueueSize),
+		quit:        make(chan struct{}),
 		baseCtx:     ctx,
 		cancel:      cancel,
 		retryTimers: make(map[*time.Timer]struct{}),
@@ -134,7 +140,7 @@ func (p *Pool) Shutdown(ctx context.Context) error {
 	p.mu.Lock()
 	if !p.closed {
 		p.closed = true
-		close(p.queue)
+		close(p.quit)
 	}
 	// Jobs parked in backoff are dropped, not drained: their journaled
 	// attempt_failed records mean a restart resubmits them, and holding
@@ -163,26 +169,44 @@ func (p *Pool) Shutdown(ctx context.Context) error {
 	}
 }
 
-// worker consumes the queue until it is closed and drained.
+// worker consumes the queue until Shutdown begins, then drains what was
+// already accepted and exits.
 func (p *Pool) worker() {
 	defer p.wg.Done()
-	for t := range p.queue {
-		p.rec.Gauge("jobs_queue_depth").Set(float64(len(p.queue)))
-		p.rec.Observe("jobs_wait_seconds", time.Since(t.enqueued).Seconds())
-		p.rec.Gauge("jobs_in_flight").Add(1)
-
-		start := time.Now()
-		if t.job != nil {
-			p.runRetryable(t.job)
-		} else if p.runJob(t.fn) {
-			p.rec.Counter("jobs_completed_total").Inc()
-		} else {
-			p.rec.Counter("jobs_failed_total").Inc()
+	for {
+		select {
+		case t := <-p.queue:
+			p.process(t)
+		case <-p.quit:
+			for {
+				select {
+				case t := <-p.queue:
+					p.process(t)
+				default:
+					return
+				}
+			}
 		}
-
-		p.rec.Observe("jobs_run_seconds", time.Since(start).Seconds())
-		p.rec.Gauge("jobs_in_flight").Add(-1)
 	}
+}
+
+// process runs one dequeued task with its queue metrics.
+func (p *Pool) process(t task) {
+	p.rec.Gauge("jobs_queue_depth").Set(float64(len(p.queue)))
+	p.rec.Observe("jobs_wait_seconds", time.Since(t.enqueued).Seconds())
+	p.rec.Gauge("jobs_in_flight").Add(1)
+
+	start := time.Now()
+	if t.job != nil {
+		p.runRetryable(t.job)
+	} else if p.runJob(t.fn) {
+		p.rec.Counter("jobs_completed_total").Inc()
+	} else {
+		p.rec.Counter("jobs_failed_total").Inc()
+	}
+
+	p.rec.Observe("jobs_run_seconds", time.Since(start).Seconds())
+	p.rec.Gauge("jobs_in_flight").Add(-1)
 }
 
 // runJob runs one job under its timeout context, reporting whether it

@@ -64,6 +64,12 @@ func Terminal(err error) error {
 	return &terminalError{err: err}
 }
 
+// ErrInterrupted marks an attempt abandoned because the pool was shut
+// down mid-run, not failed: when Run returns it (alone or wrapped) the
+// lifecycle settles nothing — no completion, no retry, no quarantine —
+// so a durable journal's unsettled records re-own the job on restart.
+var ErrInterrupted = errors.New("jobs: attempt interrupted by shutdown")
+
 // Retryable classifies a failed attempt: false for Terminal-wrapped
 // errors and cancellation, true for everything else (deadlines,
 // recovered panics, I/O faults).
@@ -199,6 +205,13 @@ func (p *Pool) runRetryable(j *Job) {
 		}
 		return
 	}
+	if errors.Is(err, ErrInterrupted) {
+		// Shutdown abandoned the attempt: the job is neither completed
+		// nor failed, and settling it here would journal a terminal
+		// state for work the restart must still run.
+		p.rec.Counter("jobs_interrupted_total").Inc()
+		return
+	}
 	p.rec.Counter("jobs_failed_total").Inc()
 	if !Retryable(err) || attempt >= pol.MaxAttempts {
 		p.rec.Counter("jobs_quarantined_total").Inc()
@@ -253,25 +266,17 @@ func (p *Pool) scheduleRetry(j *Job, d time.Duration) {
 }
 
 // requeue puts a backed-off job back on the queue. Unlike Submit it
-// never sheds on a full queue — the job was accepted long ago — but
-// it polls rather than blocks so pool shutdown can still interleave;
-// a closed pool drops the retry (the journal re-owns it on restart).
+// never sheds on a full queue — the job was accepted long ago — so it
+// blocks on the send until a worker frees a slot; a pool shutdown
+// wakes the wait and drops the retry instead (the journal re-owns it
+// on restart). A send that races shutdown is harmless either way:
+// draining workers still empty the queue before exiting, and anything
+// left behind is unsettled work the journal replays.
 func (p *Pool) requeue(j *Job) {
-	for {
-		p.mu.Lock()
-		if p.closed {
-			p.mu.Unlock()
-			p.rec.Counter("jobs_retries_dropped_total").Inc()
-			return
-		}
-		select {
-		case p.queue <- task{job: j, enqueued: time.Now()}:
-			p.rec.Gauge("jobs_queue_depth").Set(float64(len(p.queue)))
-			p.mu.Unlock()
-			return
-		default:
-		}
-		p.mu.Unlock()
-		time.Sleep(2 * time.Millisecond)
+	select {
+	case p.queue <- task{job: j, enqueued: time.Now()}:
+		p.rec.Gauge("jobs_queue_depth").Set(float64(len(p.queue)))
+	case <-p.quit:
+		p.rec.Counter("jobs_retries_dropped_total").Inc()
 	}
 }

@@ -3,6 +3,7 @@ package jobs
 import (
 	"context"
 	"errors"
+	"fmt"
 	"sync"
 	"testing"
 	"time"
@@ -217,6 +218,45 @@ func TestCancellationIsTerminal(t *testing.T) {
 	ev.wait(t)
 	if runs != 1 || ev.quarantined != 1 {
 		t.Fatalf("cancelled job: runs=%d quarantined-after=%d, want 1/1", runs, ev.quarantined)
+	}
+}
+
+func TestInterruptedAttemptSettlesNothing(t *testing.T) {
+	t.Parallel()
+	rec := obs.NewRecorder()
+	p := New(Config{Workers: 1, QueueSize: 4, Recorder: rec})
+	defer p.Shutdown(context.Background())
+
+	// A shutdown-interrupted attempt must neither complete nor
+	// quarantine: the job stays unsettled for journal replay.
+	ran := make(chan struct{})
+	ev := newJobEvents()
+	j := ev.bind(&Job{
+		ID: "interrupted",
+		Run: func(context.Context) error {
+			close(ran)
+			return fmt.Errorf("drain deadline: %w", ErrInterrupted)
+		},
+		Retry: RetryPolicy{MaxAttempts: 3, Base: time.Millisecond},
+	})
+	if err := p.SubmitJob(j); err != nil {
+		t.Fatal(err)
+	}
+	<-ran
+	time.Sleep(50 * time.Millisecond)
+	select {
+	case <-ev.done:
+		t.Fatalf("interrupted job settled: completed=%d quarantined=%d", ev.completed, ev.quarantined)
+	default:
+	}
+	snap := rec.Snapshot()
+	if got := snap.Counters["jobs_interrupted_total"]; got != 1 {
+		t.Errorf("jobs_interrupted_total = %d, want 1", got)
+	}
+	for _, c := range []string{"jobs_completed_total", "jobs_failed_total", "jobs_quarantined_total", "jobs_retries_total"} {
+		if got := snap.Counters[c]; got != 0 {
+			t.Errorf("%s = %d, want 0", c, got)
+		}
 	}
 }
 

@@ -21,10 +21,14 @@ import (
 
 // filePayload is one source file in a journaled submission. The wire
 // tags are explicit (analyzer.SourceFile has none) so the journal
-// format stays stable even if the in-memory type grows fields.
+// format stays stable even if the in-memory type grows fields. Content
+// is []byte (base64 on the wire): zip submissions may carry non-UTF-8
+// source, which a JSON string would silently mangle into U+FFFD —
+// replay would then re-run the scan on corrupted bytes and seed the
+// wrong result under the original content key.
 type filePayload struct {
 	Path    string `json:"path"`
-	Content string `json:"content"`
+	Content []byte `json:"content"`
 }
 
 // submissionPayload is the accepted record's payload: everything
@@ -60,7 +64,7 @@ func (s *Server) acceptedRecord(sc *scan) durable.Record {
 		Files: make([]filePayload, 0, len(sc.Target.Files)),
 	}
 	for _, f := range sc.Target.Files {
-		p.Files = append(p.Files, filePayload{Path: f.Path, Content: f.Content})
+		p.Files = append(p.Files, filePayload{Path: f.Path, Content: []byte(f.Content)})
 	}
 	raw, _ := json.Marshal(p)
 	return durable.Record{Type: durable.RecAccepted, ScanID: sc.ID, Payload: raw}
@@ -174,7 +178,7 @@ func (s *Server) Replay(records []durable.Record) (resubmitted, rehydrated, quar
 		}
 		target := &analyzer.Target{Name: sub.Name, Files: make([]analyzer.SourceFile, 0, len(sub.Files))}
 		for _, f := range sub.Files {
-			target.Files = append(target.Files, analyzer.SourceFile{Path: f.Path, Content: f.Content})
+			target.Files = append(target.Files, analyzer.SourceFile{Path: f.Path, Content: string(f.Content)})
 		}
 		sc := &scan{
 			ID: st.ScanID, Tool: sub.Tool, Profile: sub.Profile,

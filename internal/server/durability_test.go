@@ -125,7 +125,7 @@ func TestReplayResubmitsUnsettledScanAndResumesBudget(t *testing.T) {
 	payload, _ := json.Marshal(submissionPayload{
 		Name: "interrupted", Tool: "phpsafe", Profile: "wordpress",
 		Key: "replay-test-key", Created: time.Now(),
-		Files: []filePayload{{Path: "interrupted.php", Content: vulnerablePHP}},
+		Files: []filePayload{{Path: "interrupted.php", Content: []byte(vulnerablePHP)}},
 	})
 	const id = "replayscan001"
 	for _, r := range []durable.Record{
@@ -152,6 +152,109 @@ func TestReplayResubmitsUnsettledScanAndResumesBudget(t *testing.T) {
 		t.Errorf("attempts after replay = %d, want 2 (1 journaled + 1 live)", done.Attempts)
 	}
 	if got := e.rec.Snapshot().Counters["scans_replayed_total"]; got != 1 {
+		t.Errorf("scans_replayed_total = %d, want 1", got)
+	}
+}
+
+// TestJournalPreservesNonUTF8Source covers the zip path: archive
+// members may be arbitrary bytes, and the journal must replay them
+// exactly — a JSON string payload would mangle invalid UTF-8 into
+// U+FFFD and re-run the scan on corrupted source.
+func TestJournalPreservesNonUTF8Source(t *testing.T) {
+	t.Parallel()
+	dir := t.TempDir()
+	raw := "<?php $x = $_GET['a']; echo $x; // \xff\xfe\x80 latin1 comment"
+
+	j, _, err := durable.Open(dir, durable.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	payload, err := json.Marshal(submissionPayload{
+		Name: "binary", Tool: "phpsafe", Profile: "wordpress",
+		Key: "bin-key", Created: time.Now(),
+		Files: []filePayload{{Path: "bin.php", Content: []byte(raw)}},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	const id = "binscan00001"
+	if err := j.Append(durable.Record{Type: durable.RecAccepted, ScanID: id, Payload: payload}); err != nil {
+		t.Fatal(err)
+	}
+	if err := j.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	e := newJournalEnv(t, dir)
+	done := e.wait(t, id)
+	if done.Status != stateDone {
+		t.Fatalf("replayed binary scan = %+v, want done", done)
+	}
+	e.srv.mu.Lock()
+	got := e.srv.scans[id].Target.Files[0].Content
+	e.srv.mu.Unlock()
+	if got != raw {
+		t.Errorf("replayed source = %q, want the original bytes %q", got, raw)
+	}
+	// And a freshly journaled acceptance round-trips the same bytes.
+	rec := e.srv.acceptedRecord(&scan{ID: "x", Target: &analyzer.Target{
+		Name: "x", Files: []analyzer.SourceFile{{Path: "x.php", Content: raw}},
+	}})
+	var sub submissionPayload
+	if err := json.Unmarshal(rec.Payload, &sub); err != nil {
+		t.Fatal(err)
+	}
+	if string(sub.Files[0].Content) != raw {
+		t.Errorf("journaled payload = %q, want %q", sub.Files[0].Content, raw)
+	}
+}
+
+// TestShutdownInterruptedScanReplaysAfterRestart pins the drain-deadline
+// path: a scan cancelled because shutdown blew its deadline must not be
+// journaled as terminally cancelled — after restart the journal still
+// owes it an execution.
+func TestShutdownInterruptedScanReplaysAfterRestart(t *testing.T) {
+	t.Parallel()
+	dir := t.TempDir()
+	started := make(chan struct{}, 1)
+	e1 := newJournalEnv(t, dir, func(cfg *Config) {
+		cfg.BuildTool = func(_, _ string, _ *obs.Recorder) (analyzer.Analyzer, error) {
+			return ctxAnalyzer{started: started}, nil
+		}
+	})
+	_, sc := e1.submitJSON(t, submission("interrupted-by-drain"))
+	<-started // the worker is provably inside the scan
+
+	// A drain whose deadline has already expired: Shutdown cancels the
+	// pool's base context, aborting the in-flight attempt.
+	e1.ts.Close()
+	expired, cancel := context.WithCancel(context.Background())
+	cancel()
+	if err := e1.pool.Shutdown(expired); !errors.Is(err, context.Canceled) {
+		t.Fatalf("deadline-blown shutdown = %v, want context.Canceled", err)
+	}
+	// Shutdown returned before the worker observed the cancellation;
+	// a second (idempotent) call waits for the workers to finish.
+	ctx, cancel2 := context.WithTimeout(context.Background(), 10*time.Second)
+	defer cancel2()
+	if err := e1.pool.Shutdown(ctx); err != nil {
+		t.Fatalf("draining workers: %v", err)
+	}
+	if got := e1.rec.Snapshot().Counters["scans_interrupted_total"]; got != 1 {
+		t.Errorf("scans_interrupted_total = %d, want 1", got)
+	}
+	if err := e1.srv.cfg.Journal.Close(); err != nil {
+		t.Fatalf("closing journal: %v", err)
+	}
+
+	// Restart with a working engine: replay resubmits the interrupted
+	// scan and it completes.
+	e2 := newJournalEnv(t, dir)
+	done := e2.wait(t, sc.ID)
+	if done.Status != stateDone || done.Result == nil {
+		t.Fatalf("replayed interrupted scan = %+v, want done (was it journaled as cancelled?)", done)
+	}
+	if got := e2.rec.Snapshot().Counters["scans_replayed_total"]; got != 1 {
 		t.Errorf("scans_replayed_total = %d, want 1", got)
 	}
 }

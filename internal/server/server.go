@@ -606,10 +606,24 @@ func (s *Server) runScanAttempt(ctx context.Context, sc *scan) error {
 	sc.cancel = nil
 	if err != nil {
 		if errors.Is(err, context.Canceled) {
-			// The client (or shutdown) cancelled: terminal, keep the
-			// engine's labelled partial result.
-			s.settleCancelledLocked(sc, err, res)
-			return nil
+			if sc.cancelReq {
+				// The client cancelled: terminal, keep the engine's
+				// labelled partial result.
+				s.settleCancelledLocked(sc, err, res)
+				return nil
+			}
+			// Only shutdown cancels the pool's base context, so this
+			// cancellation is drain-deadline pressure, not a decision
+			// about the scan. Leave it unsettled — no terminal journal
+			// record — so replay resubmits it after restart, exactly as
+			// if the process had been killed mid-attempt.
+			sc.State = stateQueued
+			if res != nil {
+				sc.Result = res
+			}
+			s.mu.Unlock()
+			s.rec.Counter("scans_interrupted_total").Inc()
+			return jobs.ErrInterrupted
 		}
 		// Deadline (job timeout), crashed files, injected faults,
 		// engine errors: the attempt failed. Remember the latest
