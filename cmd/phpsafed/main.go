@@ -43,7 +43,21 @@
 //	-retry-cap D        upper bound on the backoff (default 5s)
 //	-journal-sync N     fsync the journal every N appends (1 = every
 //	                    append, the default; 0 keeps 1; -1 = never)
+//	-log-format F       structured log encoding on stdout: text
+//	                    (default) or json (one object per line)
+//	-log-level L        minimum log severity: debug, info (default),
+//	                    warn or error
+//	-slow-scan D        log a scan's full flight-recorder timeline at
+//	                    warn level when its end-to-end time reaches D
+//	                    (default 30s; 0 = off)
 //	-version            print the version and exit
+//
+// Every log line is structured (log/slog) and carries a component
+// attribute; scan lifecycle lines carry scan_id, so the daemon's
+// output is machine-parseable end to end. The flight recorder behind
+// GET /v1/scans/{id}/trace and GET /debug/events records each scan's
+// lifecycle timeline (queue wait, attempts, backoff, reuse,
+// degradations, replay, settle).
 //
 // The four budget caps bound what POST /v1/scans requests may ask for:
 // a request's deadline_ms, max_parse_depth, max_steps, max_findings
@@ -62,7 +76,6 @@ import (
 	"errors"
 	"flag"
 	"fmt"
-	"log"
 	"net/http"
 	"os"
 	"os/signal"
@@ -101,6 +114,9 @@ func run() int {
 	retryBase := flag.Duration("retry-base", jobs.DefaultRetryBase, "backoff before a scan's second attempt")
 	retryCap := flag.Duration("retry-cap", jobs.DefaultRetryCap, "upper bound on the retry backoff")
 	journalSync := flag.Int("journal-sync", 1, "fsync the journal every N appends (-1 = never)")
+	logFormat := flag.String("log-format", "text", "log encoding: text or json")
+	logLevel := flag.String("log-level", "info", "minimum log severity: debug, info, warn or error")
+	slowScan := flag.Duration("slow-scan", 30*time.Second, "log a scan's full timeline when it takes at least this long (0 = off)")
 	showVersion := flag.Bool("version", false, "print the version and exit")
 	flag.Parse()
 
@@ -109,6 +125,13 @@ func run() int {
 		return 0
 	}
 
+	logger, err := obs.NewLogger(os.Stdout, *logFormat, *logLevel)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		return 2
+	}
+	dlog := logger.With("component", "phpsafed")
+
 	// A daemon is always instrumented: /metrics is part of the API.
 	rec := obs.NewRecorder()
 	pool := jobs.New(jobs.Config{
@@ -116,11 +139,12 @@ func run() int {
 		QueueSize:  *queue,
 		JobTimeout: *jobTimeout,
 		Recorder:   rec,
+		Logger:     logger,
 	})
 	cache := scancache.New(*cacheMB<<20, rec)
 	incStore, err := incremental.NewStore(*incCache, rec)
 	if err != nil {
-		log.Printf("incremental store: %v", err)
+		dlog.Error("incremental store failed to open", "error", err.Error())
 		return 1
 	}
 	var journal *durable.Journal
@@ -129,9 +153,10 @@ func run() int {
 		journal, replayRecords, err = durable.Open(*journalDir, durable.Options{
 			SyncEvery: *journalSync,
 			Recorder:  rec,
+			Logger:    logger,
 		})
 		if err != nil {
-			log.Printf("journal: %v", err)
+			dlog.Error("journal failed to open", "dir", *journalDir, "error", err.Error())
 			return 1
 		}
 		defer journal.Close()
@@ -155,12 +180,14 @@ func run() int {
 			MaxFindings:   *maxFindings,
 			FileTimeSlice: *fileSlice,
 		},
+		Logger:            logger,
+		SlowScanThreshold: *slowScan,
 	})
 	if journal != nil {
 		resubmitted, rehydrated, quarantined := api.Replay(replayRecords)
 		if resubmitted+rehydrated+quarantined > 0 {
-			log.Printf("journal replay: %d scans resubmitted, %d rehydrated, %d quarantined",
-				resubmitted, rehydrated, quarantined)
+			dlog.Info("journal replay finished",
+				"resubmitted", resubmitted, "rehydrated", rehydrated, "quarantined", quarantined)
 		}
 	}
 
@@ -175,14 +202,15 @@ func run() int {
 
 	errCh := make(chan error, 1)
 	go func() { errCh <- httpSrv.ListenAndServe() }()
-	log.Printf("phpsafed %s listening on %s (%d workers, queue %d, cache %d MiB)",
-		version.Version, *addr, pool.Workers(), *queue, *cacheMB)
+	dlog.Info("listening",
+		"version", version.Version, "addr", *addr, "workers", pool.Workers(),
+		"queue", *queue, "cache_mb", *cacheMB, "journal", *journalDir != "")
 
 	select {
 	case <-ctx.Done():
-		log.Printf("signal received, draining")
+		dlog.Info("signal received, draining")
 	case err := <-errCh:
-		log.Printf("listener failed: %v", err)
+		dlog.Error("listener failed", "error", err.Error())
 		return 1
 	}
 
@@ -191,10 +219,10 @@ func run() int {
 	shutdownCtx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
 	defer cancel()
 	if err := httpSrv.Shutdown(shutdownCtx); err != nil {
-		log.Printf("http shutdown: %v", err)
+		dlog.Error("http shutdown failed", "error", err.Error())
 	}
 	if err := pool.Shutdown(shutdownCtx); err != nil && !errors.Is(err, context.Canceled) {
-		log.Printf("pool drain: %v", err)
+		dlog.Error("pool drain failed", "error", err.Error())
 		return 1
 	}
 	if journal != nil {
@@ -202,6 +230,6 @@ func run() int {
 		// one snapshot instead of the whole WAL.
 		api.CompactJournal()
 	}
-	log.Printf("drained, bye")
+	dlog.Info("drained, bye")
 	return 0
 }

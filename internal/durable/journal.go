@@ -45,6 +45,7 @@ import (
 	"errors"
 	"fmt"
 	"hash/crc32"
+	"log/slog"
 	"os"
 	"path/filepath"
 	"sync"
@@ -103,6 +104,9 @@ type Options struct {
 	SyncEvery int
 	// Recorder, which may be nil, receives the journal_* counters.
 	Recorder *obs.Recorder
+	// Logger, when non-nil, receives structured journal events (tail
+	// truncation, degradation); nil discards them.
+	Logger *slog.Logger
 }
 
 const (
@@ -116,6 +120,7 @@ type Journal struct {
 	dir string
 	opt Options
 	rec *obs.Recorder
+	log *slog.Logger
 
 	mu          sync.Mutex
 	wal         *os.File
@@ -137,7 +142,11 @@ func Open(dir string, opt Options) (*Journal, []Record, error) {
 	if err := os.MkdirAll(dir, 0o755); err != nil {
 		return nil, nil, fmt.Errorf("durable: creating journal dir: %w", err)
 	}
-	j := &Journal{dir: dir, opt: opt, rec: opt.Recorder}
+	logger := opt.Logger
+	if logger == nil {
+		logger = obs.DiscardLogger()
+	}
+	j := &Journal{dir: dir, opt: opt, rec: opt.Recorder, log: logger.With("component", "journal")}
 
 	snapRecs, _, err := readLog(filepath.Join(dir, snapName), j.rec)
 	if err != nil {
@@ -186,6 +195,7 @@ func Open(dir string, opt Options) (*Journal, []Record, error) {
 			return nil, nil, fmt.Errorf("durable: truncating damaged WAL tail: %w", err)
 		}
 		j.count("journal_tail_truncations_total")
+		j.log.Warn("truncated damaged WAL tail", "bytes_dropped", fi.Size()-goodLen)
 	}
 	j.wal, err = os.OpenFile(walPath, os.O_CREATE|os.O_WRONLY|os.O_APPEND, 0o644)
 	if err != nil {
@@ -440,6 +450,7 @@ func (j *Journal) degradeLocked(err error) error {
 		j.degradedErr = err
 		j.count("journal_degraded_events_total")
 		j.wal.Close()
+		j.log.Error("journal degraded to in-memory mode", "error", err.Error())
 	}
 	return fmt.Errorf("durable: journal degraded: %w", err)
 }

@@ -15,8 +15,10 @@ package jobs
 import (
 	"context"
 	"errors"
+	"log/slog"
 	"runtime"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"repro/internal/obs"
@@ -40,10 +42,13 @@ type Config struct {
 	// JobTimeout bounds each job's context (0 means no per-job limit).
 	JobTimeout time.Duration
 	// Recorder, when non-nil, receives queue metrics: the
-	// jobs_queue_depth and jobs_in_flight gauges, the
-	// jobs_{submitted,rejected,completed}_total counters and the
+	// jobs_queue_depth, jobs_in_flight and jobs_retry_backlog gauges,
+	// the jobs_{submitted,rejected,completed}_total counters and the
 	// jobs_{wait,run}_seconds histograms.
 	Recorder *obs.Recorder
+	// Logger, when non-nil, receives structured pool events (panics,
+	// dropped retries); nil discards them.
+	Logger *slog.Logger
 }
 
 // task is one accepted unit of work: either a fire-and-forget fn
@@ -59,7 +64,11 @@ type task struct {
 type Pool struct {
 	cfg   Config
 	rec   *obs.Recorder
+	log   *slog.Logger
 	queue chan task
+	// inflight counts jobs currently executing on workers, exposed via
+	// InFlight for scrape-time gauges and readiness detail.
+	inflight atomic.Int64
 	// quit is closed by Shutdown: workers drain the queue and exit, and
 	// blocked requeues give up. The queue channel itself is never
 	// closed, so a backed-off job can block on a send without racing a
@@ -87,10 +96,14 @@ func New(cfg Config) *Pool {
 	if cfg.QueueSize <= 0 {
 		cfg.QueueSize = 64
 	}
+	if cfg.Logger == nil {
+		cfg.Logger = obs.DiscardLogger()
+	}
 	ctx, cancel := context.WithCancel(context.Background())
 	p := &Pool{
 		cfg:         cfg,
 		rec:         cfg.Recorder,
+		log:         cfg.Logger.With("component", "jobs"),
 		queue:       make(chan task, cfg.QueueSize),
 		quit:        make(chan struct{}),
 		baseCtx:     ctx,
@@ -128,8 +141,22 @@ func (p *Pool) Submit(fn func(ctx context.Context)) error {
 // QueueDepth returns the number of jobs accepted but not yet started.
 func (p *Pool) QueueDepth() int { return len(p.queue) }
 
+// QueueCap returns the queue's capacity.
+func (p *Pool) QueueCap() int { return cap(p.queue) }
+
 // Workers returns the pool's worker count.
 func (p *Pool) Workers() int { return p.cfg.Workers }
+
+// InFlight returns the number of jobs currently executing on workers.
+func (p *Pool) InFlight() int { return int(p.inflight.Load()) }
+
+// RetryBacklog returns the number of jobs parked in backoff awaiting
+// their next attempt.
+func (p *Pool) RetryBacklog() int {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return len(p.retryTimers)
+}
 
 // Shutdown stops intake and drains: workers finish every accepted job.
 // If ctx expires first, the contexts of still-running jobs are
@@ -146,13 +173,19 @@ func (p *Pool) Shutdown(ctx context.Context) error {
 	// attempt_failed records mean a restart resubmits them, and holding
 	// shutdown open for an arbitrary backoff would defeat the drain
 	// deadline.
+	dropped := 0
 	for timer := range p.retryTimers {
 		if timer.Stop() {
 			p.rec.Counter("jobs_retries_dropped_total").Inc()
+			dropped++
 		}
 		delete(p.retryTimers, timer)
 	}
+	p.rec.Gauge("jobs_retry_backlog").Set(0)
 	p.mu.Unlock()
+	if dropped > 0 {
+		p.log.Warn("dropped parked retries at shutdown", "count", dropped)
+	}
 
 	done := make(chan struct{})
 	go func() {
@@ -194,6 +227,8 @@ func (p *Pool) worker() {
 func (p *Pool) process(t task) {
 	p.rec.Gauge("jobs_queue_depth").Set(float64(len(p.queue)))
 	p.rec.Observe("jobs_wait_seconds", time.Since(t.enqueued).Seconds())
+	p.inflight.Add(1)
+	defer p.inflight.Add(-1)
 	p.rec.Gauge("jobs_in_flight").Add(1)
 
 	start := time.Now()

@@ -198,6 +198,10 @@ func (p *Pool) runRetryable(j *Job) {
 		j.OnStart(attempt)
 	}
 	err := p.runAttempt(j.Run)
+	var pe *PanicError
+	if errors.As(err, &pe) {
+		p.log.Error("job attempt panicked", "job_id", j.ID, "attempt", attempt, "panic", fmt.Sprint(pe.Value))
+	}
 	if err == nil {
 		p.rec.Counter("jobs_completed_total").Inc()
 		if j.OnComplete != nil {
@@ -259,10 +263,12 @@ func (p *Pool) scheduleRetry(j *Job, d time.Duration) {
 	timer = time.AfterFunc(d, func() {
 		p.mu.Lock()
 		delete(p.retryTimers, timer)
+		p.rec.Gauge("jobs_retry_backlog").Set(float64(len(p.retryTimers)))
 		p.mu.Unlock()
 		p.requeue(j)
 	})
 	p.retryTimers[timer] = struct{}{}
+	p.rec.Gauge("jobs_retry_backlog").Set(float64(len(p.retryTimers)))
 }
 
 // requeue puts a backed-off job back on the queue. Unlike Submit it

@@ -1,0 +1,176 @@
+package obs
+
+import (
+	"sync"
+	"time"
+)
+
+// DefaultMaxEvents bounds the flight recorder's ring buffer. At the
+// daemon's typical ~10 events per scan lifecycle this keeps the last
+// several hundred scans' timelines resident; older events are evicted
+// oldest-first and counted in Dropped.
+const DefaultMaxEvents = 8192
+
+// Event is one timestamped step of a scan's lifecycle (or a
+// daemon-level occurrence when Scan is empty). Events are the flight
+// recorder's unit: the daemon appends one per transition — accepted,
+// queued, attempt started/failed, replayed, reuse, degradation,
+// settled — and the trace endpoint stitches a scan's events back into
+// a timeline.
+type Event struct {
+	// Seq is the log-assigned global sequence number; it orders events
+	// across scans and survives ring eviction (gaps reveal drops).
+	Seq uint64 `json:"seq"`
+	// Time is when the event happened (log clock unless the appender
+	// backfills a historical time, e.g. journal replay).
+	Time time.Time `json:"time"`
+	// Scan is the owning scan id; empty for daemon-level events.
+	Scan string `json:"scan_id,omitempty"`
+	// Type names the lifecycle step ("accepted", "queued", ...).
+	Type string `json:"type"`
+	// Attempt is the 1-based attempt number, when the event belongs to
+	// one.
+	Attempt int `json:"attempt,omitempty"`
+	// DurMS is the event's associated duration in milliseconds: queue
+	// wait for attempt starts, backoff for failures, end-to-end
+	// elapsed for settles, render time for renders.
+	DurMS int64 `json:"dur_ms,omitempty"`
+	// Err carries the failure message for failed/quarantined events.
+	Err string `json:"error,omitempty"`
+	// Detail is free-form context ("truncated_by:deadline",
+	// "3/5 files reused", ...).
+	Detail string `json:"detail,omitempty"`
+}
+
+// EventLog is a bounded, concurrency-safe ring buffer of events. When
+// full, appends evict the oldest event. All methods are safe for
+// concurrent use and for a nil receiver (the disabled state).
+type EventLog struct {
+	clock Clock
+
+	mu      sync.Mutex
+	buf     []Event
+	head    int // index of the oldest resident event
+	n       int // resident events
+	seq     uint64
+	dropped int64
+}
+
+// NewEventLog returns a ring holding at most capacity events
+// (DefaultMaxEvents when non-positive), timestamped by clock (system
+// clock when nil).
+func NewEventLog(capacity int, clock Clock) *EventLog {
+	if capacity <= 0 {
+		capacity = DefaultMaxEvents
+	}
+	if clock == nil {
+		clock = SystemClock()
+	}
+	return &EventLog{clock: clock, buf: make([]Event, capacity)}
+}
+
+// Append stamps e with the next sequence number (and the clock's time,
+// unless the caller backfilled one) and stores it, evicting the oldest
+// event when the ring is full. It returns the assigned sequence number
+// (0 on a nil log).
+func (l *EventLog) Append(e Event) uint64 {
+	if l == nil {
+		return 0
+	}
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	l.seq++
+	e.Seq = l.seq
+	if e.Time.IsZero() {
+		e.Time = l.clock.Now()
+	}
+	if l.n == len(l.buf) {
+		// Full: overwrite the oldest slot.
+		l.buf[l.head] = e
+		l.head = (l.head + 1) % len(l.buf)
+		l.dropped++
+	} else {
+		l.buf[(l.head+l.n)%len(l.buf)] = e
+		l.n++
+	}
+	return l.seq
+}
+
+// ForScan returns the resident events of one scan, in append order.
+func (l *EventLog) ForScan(id string) []Event {
+	if l == nil {
+		return nil
+	}
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	var out []Event
+	for i := 0; i < l.n; i++ {
+		e := l.buf[(l.head+i)%len(l.buf)]
+		if e.Scan == id {
+			out = append(out, e)
+		}
+	}
+	return out
+}
+
+// Since returns up to max resident events with Seq > since, in append
+// order (max <= 0 means no limit). It is the tail primitive behind
+// /debug/events: a poller passes the last Seq it saw and receives only
+// what is new.
+func (l *EventLog) Since(since uint64, max int) []Event {
+	if l == nil {
+		return nil
+	}
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	var out []Event
+	for i := 0; i < l.n; i++ {
+		e := l.buf[(l.head+i)%len(l.buf)]
+		if e.Seq <= since {
+			continue
+		}
+		out = append(out, e)
+		if max > 0 && len(out) >= max {
+			break
+		}
+	}
+	return out
+}
+
+// Len returns the number of resident events.
+func (l *EventLog) Len() int {
+	if l == nil {
+		return 0
+	}
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return l.n
+}
+
+// Cap returns the ring's capacity (0 on a nil log).
+func (l *EventLog) Cap() int {
+	if l == nil {
+		return 0
+	}
+	return len(l.buf)
+}
+
+// Dropped returns how many events eviction has discarded.
+func (l *EventLog) Dropped() int64 {
+	if l == nil {
+		return 0
+	}
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return l.dropped
+}
+
+// LastSeq returns the most recently assigned sequence number.
+func (l *EventLog) LastSeq() uint64 {
+	if l == nil {
+		return 0
+	}
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return l.seq
+}

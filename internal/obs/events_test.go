@@ -1,0 +1,229 @@
+package obs
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+)
+
+func TestEventLogAppendAndForScan(t *testing.T) {
+	clock := NewManualClock(time.Unix(1700000000, 0).UTC())
+	l := NewEventLog(8, clock)
+
+	l.Append(Event{Scan: "a", Type: "accepted"})
+	clock.Advance(5 * time.Millisecond)
+	l.Append(Event{Scan: "b", Type: "accepted"})
+	clock.Advance(5 * time.Millisecond)
+	l.Append(Event{Scan: "a", Type: "queued", Detail: "worker pool"})
+
+	got := l.ForScan("a")
+	if len(got) != 2 {
+		t.Fatalf("ForScan(a) = %d events, want 2", len(got))
+	}
+	if got[0].Type != "accepted" || got[1].Type != "queued" {
+		t.Fatalf("ForScan(a) order = %s,%s, want accepted,queued", got[0].Type, got[1].Type)
+	}
+	if got[0].Seq != 1 || got[1].Seq != 3 {
+		t.Fatalf("ForScan(a) seqs = %d,%d, want 1,3", got[0].Seq, got[1].Seq)
+	}
+	if !got[1].Time.Equal(time.Unix(1700000000, 0).UTC().Add(10 * time.Millisecond)) {
+		t.Fatalf("queued event time = %v, want origin+10ms", got[1].Time)
+	}
+	if l.Len() != 3 || l.Cap() != 8 || l.Dropped() != 0 || l.LastSeq() != 3 {
+		t.Fatalf("Len/Cap/Dropped/LastSeq = %d/%d/%d/%d", l.Len(), l.Cap(), l.Dropped(), l.LastSeq())
+	}
+}
+
+func TestEventLogBackfilledTimeIsKept(t *testing.T) {
+	clock := NewManualClock(time.Unix(1700000000, 0).UTC())
+	l := NewEventLog(4, clock)
+	historical := time.Unix(1600000000, 0).UTC()
+	l.Append(Event{Scan: "old", Type: "accepted", Time: historical})
+	got := l.ForScan("old")
+	if len(got) != 1 || !got[0].Time.Equal(historical) {
+		t.Fatalf("backfilled time not preserved: %+v", got)
+	}
+}
+
+func TestEventLogEviction(t *testing.T) {
+	l := NewEventLog(4, NewManualClock(time.Unix(0, 0)))
+	for i := 0; i < 10; i++ {
+		l.Append(Event{Scan: "s", Type: fmt.Sprintf("e%d", i)})
+	}
+	if l.Len() != 4 {
+		t.Fatalf("Len = %d, want 4", l.Len())
+	}
+	if l.Dropped() != 6 {
+		t.Fatalf("Dropped = %d, want 6", l.Dropped())
+	}
+	got := l.ForScan("s")
+	if len(got) != 4 || got[0].Type != "e6" || got[3].Type != "e9" {
+		t.Fatalf("resident after eviction = %+v, want e6..e9", got)
+	}
+	// Seq numbers survive eviction: the oldest resident is seq 7.
+	if got[0].Seq != 7 {
+		t.Fatalf("oldest resident seq = %d, want 7", got[0].Seq)
+	}
+}
+
+func TestEventLogSince(t *testing.T) {
+	l := NewEventLog(16, NewManualClock(time.Unix(0, 0)))
+	for i := 0; i < 6; i++ {
+		l.Append(Event{Scan: "s", Type: "tick"})
+	}
+	tail := l.Since(4, 0)
+	if len(tail) != 2 || tail[0].Seq != 5 || tail[1].Seq != 6 {
+		t.Fatalf("Since(4) = %+v, want seqs 5,6", tail)
+	}
+	if got := l.Since(0, 3); len(got) != 3 || got[2].Seq != 3 {
+		t.Fatalf("Since(0, max 3) = %+v, want seqs 1..3", got)
+	}
+	if got := l.Since(6, 0); got != nil {
+		t.Fatalf("Since(last) = %+v, want nil", got)
+	}
+}
+
+func TestEventLogNilSafe(t *testing.T) {
+	var l *EventLog
+	if seq := l.Append(Event{Type: "x"}); seq != 0 {
+		t.Fatalf("nil Append = %d, want 0", seq)
+	}
+	if l.ForScan("x") != nil || l.Since(0, 0) != nil {
+		t.Fatal("nil reads should return nil")
+	}
+	if l.Len() != 0 || l.Cap() != 0 || l.Dropped() != 0 || l.LastSeq() != 0 {
+		t.Fatal("nil counters should be zero")
+	}
+}
+
+// TestEventLogConcurrency hammers a small ring from concurrent
+// appenders and readers. Run under -race (the CI race job covers this
+// package); correctness checks: every assigned seq is unique, reads
+// see events in strictly increasing seq order, and resident + dropped
+// equals total appends.
+func TestEventLogConcurrency(t *testing.T) {
+	const (
+		writers   = 8
+		perWriter = 500
+	)
+	l := NewEventLog(64, nil) // tiny ring: eviction is constant
+	var wg sync.WaitGroup
+	seqs := make([][]uint64, writers)
+	for w := 0; w < writers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			id := fmt.Sprintf("scan-%d", w%4)
+			for i := 0; i < perWriter; i++ {
+				seqs[w] = append(seqs[w], l.Append(Event{Scan: id, Type: "tick", Attempt: i}))
+			}
+		}(w)
+	}
+	stop := make(chan struct{})
+	var readers sync.WaitGroup
+	for r := 0; r < 4; r++ {
+		readers.Add(1)
+		go func(r int) {
+			defer readers.Done()
+			var since uint64
+			for {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				var evs []Event
+				if r%2 == 0 {
+					evs = l.Since(since, 16)
+				} else {
+					evs = l.ForScan("scan-1")
+				}
+				last := uint64(0)
+				for _, e := range evs {
+					if e.Seq <= last {
+						t.Errorf("reader saw non-increasing seqs: %d then %d", last, e.Seq)
+						return
+					}
+					last = e.Seq
+				}
+				if r%2 == 0 && last > since {
+					since = last
+				}
+			}
+		}(r)
+	}
+	wg.Wait()
+	close(stop)
+	readers.Wait()
+
+	seen := make(map[uint64]bool)
+	for _, ws := range seqs {
+		for _, s := range ws {
+			if s == 0 || seen[s] {
+				t.Fatalf("seq %d assigned twice (or zero)", s)
+			}
+			seen[s] = true
+		}
+	}
+	total := int64(writers * perWriter)
+	if int64(l.Len())+l.Dropped() != total {
+		t.Fatalf("resident %d + dropped %d != appended %d", l.Len(), l.Dropped(), total)
+	}
+	if l.LastSeq() != uint64(total) {
+		t.Fatalf("LastSeq = %d, want %d", l.LastSeq(), total)
+	}
+}
+
+func TestNewLoggerJSONOutput(t *testing.T) {
+	var buf bytes.Buffer
+	logger, err := NewLogger(&buf, "json", "debug")
+	if err != nil {
+		t.Fatal(err)
+	}
+	logger.With("component", "test").Info("scan accepted", "scan_id", "scan-1", "files", 3)
+	logger.Debug("fine detail")
+
+	lines := strings.Split(strings.TrimSpace(buf.String()), "\n")
+	if len(lines) != 2 {
+		t.Fatalf("got %d log lines, want 2: %q", len(lines), buf.String())
+	}
+	var rec map[string]any
+	if err := json.Unmarshal([]byte(lines[0]), &rec); err != nil {
+		t.Fatalf("line is not JSON: %v (%q)", err, lines[0])
+	}
+	if rec["msg"] != "scan accepted" || rec["scan_id"] != "scan-1" || rec["component"] != "test" {
+		t.Fatalf("unexpected record: %v", rec)
+	}
+}
+
+func TestNewLoggerLevelFilter(t *testing.T) {
+	var buf bytes.Buffer
+	logger, err := NewLogger(&buf, "text", "warn")
+	if err != nil {
+		t.Fatal(err)
+	}
+	logger.Info("dropped")
+	logger.Warn("kept")
+	out := buf.String()
+	if strings.Contains(out, "dropped") || !strings.Contains(out, "kept") {
+		t.Fatalf("level filter wrong: %q", out)
+	}
+}
+
+func TestNewLoggerRejectsBadConfig(t *testing.T) {
+	if _, err := NewLogger(&bytes.Buffer{}, "yaml", "info"); err == nil {
+		t.Fatal("want error for unknown format")
+	}
+	if _, err := NewLogger(&bytes.Buffer{}, "json", "loud"); err == nil {
+		t.Fatal("want error for unknown level")
+	}
+}
+
+func TestDiscardLogger(t *testing.T) {
+	// Must not panic, and With must stay discarding.
+	DiscardLogger().With("k", "v").Info("nothing")
+}

@@ -112,6 +112,18 @@ func (h *Histogram) snapshot() HistogramSnapshot {
 	return hs
 }
 
+// Snapshot freezes one span's subtree. It lets the daemon attach a
+// single scan's span tree to its trace without exporting every root
+// the recorder holds. A nil span yields the zero snapshot.
+func (s *Span) Snapshot() SpanSnapshot {
+	if s == nil {
+		return SpanSnapshot{}
+	}
+	s.rec.mu.Lock()
+	defer s.rec.mu.Unlock()
+	return snapshotSpanLocked(s)
+}
+
 // snapshotSpanLocked copies one span subtree; the caller holds rec.mu.
 func snapshotSpanLocked(s *Span) SpanSnapshot {
 	ss := SpanSnapshot{Name: s.name, Start: s.start}

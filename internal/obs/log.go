@@ -1,0 +1,53 @@
+package obs
+
+import (
+	"context"
+	"fmt"
+	"io"
+	"log/slog"
+	"strings"
+)
+
+// NewLogger builds a structured logger writing to w. Format is "text"
+// (logfmt-style, the default) or "json" (one JSON object per line);
+// level is the minimum severity emitted: "debug", "info" (default),
+// "warn" or "error". Both are validated so a typo in a daemon flag
+// fails startup instead of silently logging nothing.
+func NewLogger(w io.Writer, format, level string) (*slog.Logger, error) {
+	var lv slog.Level
+	switch strings.ToLower(level) {
+	case "", "info":
+		lv = slog.LevelInfo
+	case "debug":
+		lv = slog.LevelDebug
+	case "warn", "warning":
+		lv = slog.LevelWarn
+	case "error":
+		lv = slog.LevelError
+	default:
+		return nil, fmt.Errorf("obs: unknown log level %q (want debug, info, warn or error)", level)
+	}
+	opts := &slog.HandlerOptions{Level: lv}
+	switch strings.ToLower(format) {
+	case "", "text":
+		return slog.New(slog.NewTextHandler(w, opts)), nil
+	case "json":
+		return slog.New(slog.NewJSONHandler(w, opts)), nil
+	default:
+		return nil, fmt.Errorf("obs: unknown log format %q (want text or json)", format)
+	}
+}
+
+// discardHandler drops every record. (slog.DiscardHandler arrived in
+// Go 1.24; the module targets 1.22.)
+type discardHandler struct{}
+
+func (discardHandler) Enabled(context.Context, slog.Level) bool  { return false }
+func (discardHandler) Handle(context.Context, slog.Record) error { return nil }
+func (discardHandler) WithAttrs([]slog.Attr) slog.Handler        { return discardHandler{} }
+func (discardHandler) WithGroup(string) slog.Handler             { return discardHandler{} }
+
+// DiscardLogger returns a logger that drops everything. Packages take
+// it as the default for an unset Config.Logger, so instrumented code
+// never branches on whether logging is enabled.
+func DiscardLogger() *slog.Logger { return slog.New(discardHandler{}) }

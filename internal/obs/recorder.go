@@ -1,6 +1,9 @@
 package obs
 
-import "sync"
+import (
+	"sync"
+	"time"
+)
 
 // DefaultMaxSpans bounds the span tree so unattended corpus runs cannot
 // grow memory without limit; spans beyond the cap are counted in the
@@ -15,6 +18,7 @@ const DefaultMaxSpans = 65536
 type Recorder struct {
 	clock   Clock
 	metrics *Metrics
+	events  *EventLog
 
 	mu        sync.Mutex
 	roots     []*Span
@@ -33,7 +37,31 @@ func NewRecorderWithClock(c Clock) *Recorder {
 	if c == nil {
 		c = SystemClock()
 	}
-	return &Recorder{clock: c, metrics: NewMetrics(), maxSpans: DefaultMaxSpans}
+	return &Recorder{
+		clock:    c,
+		metrics:  NewMetrics(),
+		events:   NewEventLog(DefaultMaxEvents, c),
+		maxSpans: DefaultMaxSpans,
+	}
+}
+
+// Now reads the recorder's clock; a nil recorder falls back to the
+// system clock, so callers can time lifecycle fields without branching
+// on enablement.
+func (r *Recorder) Now() time.Time {
+	if r == nil {
+		return time.Now()
+	}
+	return r.clock.Now()
+}
+
+// Events returns the recorder's flight-recorder event log (nil when
+// the recorder is nil, which is itself a valid no-op log).
+func (r *Recorder) Events() *EventLog {
+	if r == nil {
+		return nil
+	}
+	return r.events
 }
 
 // Metrics returns the recorder's registry (nil when the recorder is

@@ -17,6 +17,7 @@ import (
 	"repro/internal/durable"
 	"repro/internal/incremental"
 	"repro/internal/jobs"
+	"repro/internal/obs"
 )
 
 // filePayload is one source file in a journaled submission. The wire
@@ -91,10 +92,15 @@ func (s *Server) journal(r durable.Record) {
 	s.journalMu.Unlock()
 }
 
-// journalLocked appends one record; caller holds s.journalMu.
+// journalLocked appends one record; caller holds s.journalMu. Records
+// are stamped from the server's clock so journaled times agree with
+// the flight recorder (and stay deterministic under a manual clock).
 func (s *Server) journalLocked(r durable.Record) {
 	if s.cfg.Journal == nil {
 		return
+	}
+	if r.Time.IsZero() {
+		r.Time = s.now()
 	}
 	if err := s.cfg.Journal.Append(r); err != nil {
 		s.rec.Counter("journal_append_errors_total").Inc()
@@ -132,15 +138,17 @@ func (s *Server) CompactJournal() {
 		live = append(live, s.acceptedRecord(sc))
 		switch sc.State {
 		case stateDone, stateCancelled:
+			// Time carries the original settle time through compaction so
+			// replay rehydrates Finished (and the trace timeline) exactly.
 			live = append(live, durable.Record{
 				Type: durable.RecCompleted, ScanID: sc.ID,
-				Attempt: sc.Attempts, Error: sc.Err,
+				Attempt: sc.Attempts, Error: sc.Err, Time: sc.Finished,
 				Payload: s.resultPayloadLocked(sc),
 			})
 		case stateQuarantined:
 			live = append(live, durable.Record{
 				Type: durable.RecQuarantined, ScanID: sc.ID,
-				Attempt: sc.Attempts, Error: sc.Err,
+				Attempt: sc.Attempts, Error: sc.Err, Time: sc.Finished,
 				Payload: s.resultPayloadLocked(sc),
 			})
 		default:
@@ -174,6 +182,8 @@ func (s *Server) Replay(records []durable.Record) (resubmitted, rehydrated, quar
 			// An accepted record we cannot decode is unrecoverable
 			// work; count it rather than guess.
 			s.rec.Counter("replay_undecodable_total").Inc()
+			s.log.Error("journal replay: undecodable accepted record",
+				"scan_id", st.ScanID, "error", err.Error())
 			continue
 		}
 		target := &analyzer.Target{Name: sub.Name, Files: make([]analyzer.SourceFile, 0, len(sub.Files))}
@@ -214,6 +224,23 @@ func (s *Server) Replay(records []durable.Record) (resubmitted, rehydrated, quar
 			if sc.State == stateDone && sc.Result != nil {
 				s.cfg.Cache.Put(sc.Key, sc.Result)
 			}
+			// Reconstruct the pre-crash timeline from the journal so the
+			// trace spans both process lifetimes: acceptance and settle
+			// keep their historical times, the replay marker gets the
+			// boot's.
+			s.recordEvent(obs.Event{Scan: sc.ID, Type: evAccepted, Time: sc.Created, Detail: sc.Target.Name})
+			if !sc.Finished.IsZero() {
+				s.recordEvent(obs.Event{
+					Scan: sc.ID, Type: evSettled, Time: sc.Finished,
+					Detail: string(sc.State), Err: sc.Err,
+				})
+			}
+			s.recordEvent(obs.Event{
+				Scan: sc.ID, Type: evReplayed,
+				Detail: "rehydrated as " + string(sc.State) + " from journal",
+			})
+			s.log.Info("journal replay: scan rehydrated",
+				"scan_id", sc.ID, "state", string(sc.State), "target", sc.Target.Name)
 			if sc.State == stateQuarantined {
 				quarantined++
 			} else {
@@ -226,6 +253,8 @@ func (s *Server) Replay(records []durable.Record) (resubmitted, rehydrated, quar
 		// resubmit with the journaled attempt budget already spent.
 		sc.State = stateQueued
 		sc.Attempts = st.Attempts
+		sc.queuedAt = s.now()
+		s.recordEvent(obs.Event{Scan: sc.ID, Type: evAccepted, Time: sc.Created, Detail: sc.Target.Name})
 		engine, err := s.cfg.BuildTool(sc.Tool, sc.Profile, s.rec)
 		if err != nil {
 			// The tool that accepted this scan no longer builds
@@ -234,6 +263,12 @@ func (s *Server) Replay(records []durable.Record) (resubmitted, rehydrated, quar
 			s.mu.Lock()
 			s.addScanLocked(sc)
 			s.mu.Unlock()
+			s.recordEvent(obs.Event{
+				Scan: sc.ID, Type: evReplayed, Err: err.Error(),
+				Detail: "engine no longer builds; quarantined",
+			})
+			s.log.Error("journal replay: engine no longer builds, quarantining",
+				"scan_id", sc.ID, "tool", sc.Tool, "error", err.Error())
 			s.settleQuarantined(sc, st.Attempts, jobs.Terminal(err))
 			quarantined++
 			continue
@@ -243,6 +278,14 @@ func (s *Server) Replay(records []durable.Record) (resubmitted, rehydrated, quar
 		s.addScanLocked(sc)
 		s.active[sc.Key] = sc.ID
 		s.mu.Unlock()
+		// Record the resubmission before the pool sees the job: a worker
+		// may start the attempt immediately, and the timeline must read
+		// resubmitted → queued → attempt_started.
+		s.recordEvent(obs.Event{
+			Scan: sc.ID, Type: evResubmitted, Attempt: st.Attempts,
+			Detail: fmt.Sprintf("resubmitted with %d prior attempt(s)", st.Attempts),
+		})
+		s.recordEvent(obs.Event{Scan: sc.ID, Type: evQueued, Detail: "journal replay"})
 		for {
 			err := s.cfg.Pool.SubmitJob(s.scanJob(sc, st.Attempts))
 			if err == nil {
@@ -257,6 +300,8 @@ func (s *Server) Replay(records []durable.Record) (resubmitted, rehydrated, quar
 			time.Sleep(5 * time.Millisecond)
 		}
 		s.rec.Counter("scans_replayed_total").Inc()
+		s.log.Info("journal replay: scan resubmitted",
+			"scan_id", sc.ID, "prior_attempts", st.Attempts, "target", sc.Target.Name)
 		resubmitted++
 	}
 	return resubmitted, rehydrated, quarantined
@@ -292,7 +337,7 @@ func settledState(st scanState) bool {
 // queued and running scans are never evicted. Caller holds s.mu.
 func (s *Server) evictScansLocked() {
 	if s.cfg.ScanTTL > 0 {
-		cutoff := time.Now().Add(-s.cfg.ScanTTL)
+		cutoff := s.now().Add(-s.cfg.ScanTTL)
 		for id, sc := range s.scans {
 			if settledState(sc.State) && !sc.Finished.IsZero() && sc.Finished.Before(cutoff) {
 				delete(s.scans, id)
@@ -377,6 +422,7 @@ func (s *Server) handleRetry(w http.ResponseWriter, r *http.Request) {
 	sc.Cached = false
 	sc.Finished = time.Time{}
 	sc.cancelReq = false
+	sc.queuedAt = s.now()
 	s.active[sc.Key] = sc.ID
 	s.mu.Unlock()
 
@@ -404,6 +450,9 @@ func (s *Server) handleRetry(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	s.rec.Counter("scans_retry_requests_total").Inc()
+	s.recordEvent(obs.Event{Scan: sc.ID, Type: evRetryRequest, Detail: "quarantined scan resubmitted with fresh budget"})
+	s.recordEvent(obs.Event{Scan: sc.ID, Type: evQueued, Detail: "manual retry"})
+	s.log.Info("quarantined scan resubmitted", "scan_id", sc.ID)
 	s.mu.Lock()
 	view := sc.viewLocked()
 	s.mu.Unlock()
@@ -418,28 +467,37 @@ func (s *Server) handleLivez(w http.ResponseWriter, _ *http.Request) {
 // handleReadyz reports whether the daemon should receive new
 // submissions: 503 while draining; "degraded" (still 200 — the daemon
 // scans correctly, it has just lost durability) when the journal has
-// failed over to in-memory mode.
+// failed over to in-memory mode. Every response carries live queue
+// occupancy detail, so a saturating queue is visible before it turns
+// into 429s.
 func (s *Server) handleReadyz(w http.ResponseWriter, _ *http.Request) {
 	s.mu.Lock()
 	draining := s.draining
 	s.mu.Unlock()
+	body := map[string]any{
+		"queue_depth":      s.cfg.Pool.QueueDepth(),
+		"queue_capacity":   s.cfg.Pool.QueueCap(),
+		"inflight_workers": s.cfg.Pool.InFlight(),
+		"retry_backlog":    s.cfg.Pool.RetryBacklog(),
+		"workers":          s.cfg.Pool.Workers(),
+	}
 	if draining {
-		s.writeJSON(w, http.StatusServiceUnavailable, map[string]string{"status": "draining"})
+		body["status"] = "draining"
+		s.writeJSON(w, http.StatusServiceUnavailable, body)
 		return
 	}
+	body["status"] = "ready"
 	if s.cfg.Journal != nil {
 		if degraded, err := s.cfg.Journal.Degraded(); degraded {
-			msg := ""
+			body["status"] = "degraded"
 			if err != nil {
-				msg = err.Error()
+				body["journal_error"] = err.Error()
+			} else {
+				body["journal_error"] = ""
 			}
-			s.writeJSON(w, http.StatusOK, map[string]string{
-				"status": "degraded", "journal_error": msg,
-			})
-			return
 		}
 	}
-	s.writeJSON(w, http.StatusOK, map[string]string{"status": "ready"})
+	s.writeJSON(w, http.StatusOK, body)
 }
 
 // sortViewsByCreated orders scan views oldest first (stable listing

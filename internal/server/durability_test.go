@@ -397,19 +397,30 @@ func TestScanTTLEvictsStaleFinishedScans(t *testing.T) {
 func TestLivezReadyzAndDrain(t *testing.T) {
 	t.Parallel()
 	e := newEnv(t, 1, 4)
-	var body map[string]string
-	if code := e.getJSON(t, "/livez", &body); code != http.StatusOK || body["status"] != "ok" {
-		t.Errorf("livez = %d %v, want 200 ok", code, body)
+	var live map[string]string
+	if code := e.getJSON(t, "/livez", &live); code != http.StatusOK || live["status"] != "ok" {
+		t.Errorf("livez = %d %v, want 200 ok", code, live)
 	}
+	var body map[string]any
 	if code := e.getJSON(t, "/readyz", &body); code != http.StatusOK || body["status"] != "ready" {
 		t.Errorf("readyz = %d %v, want 200 ready", code, body)
+	}
+	// Readiness carries live queue occupancy so saturation is visible
+	// before it turns into 429s.
+	for _, field := range []string{"queue_depth", "queue_capacity", "inflight_workers", "retry_backlog", "workers"} {
+		if _, ok := body[field]; !ok {
+			t.Errorf("readyz body missing %q: %v", field, body)
+		}
+	}
+	if got := body["queue_capacity"]; got != float64(4) {
+		t.Errorf("readyz queue_capacity = %v, want 4", got)
 	}
 	e.srv.StartDrain()
 	if code := e.getJSON(t, "/readyz", &body); code != http.StatusServiceUnavailable || body["status"] != "draining" {
 		t.Errorf("readyz while draining = %d %v, want 503 draining", code, body)
 	}
 	// Liveness is unaffected by draining.
-	if code := e.getJSON(t, "/livez", &body); code != http.StatusOK {
+	if code := e.getJSON(t, "/livez", &live); code != http.StatusOK {
 		t.Errorf("livez while draining = %d, want 200", code)
 	}
 }
@@ -419,7 +430,7 @@ func TestJournalDiskFailureDegradesButKeepsScanning(t *testing.T) {
 	dir := t.TempDir()
 	e := newJournalEnv(t, dir)
 
-	var body map[string]string
+	var body map[string]any
 	if code := e.getJSON(t, "/readyz", &body); code != http.StatusOK || body["status"] != "ready" {
 		t.Fatalf("readyz before fault = %d %v", code, body)
 	}

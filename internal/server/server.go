@@ -30,6 +30,14 @@
 //	GET  /readyz               readiness: 503 while draining, a
 //	                           "degraded" status when the scan journal
 //	                           has failed to in-memory mode
+//	GET  /v1/scans/{id}/trace  the scan's flight-recorder timeline:
+//	                           every lifecycle event (accepted, queued,
+//	                           attempts with queue wait and backoff,
+//	                           cache/incremental reuse, degradations,
+//	                           journal replay, settle) plus the last
+//	                           attempt's span tree
+//	GET  /debug/events         tail of the global event ring
+//	                           (?since=SEQ&limit=N)
 //	GET  /metrics              obs registry (Prometheus text;
 //	                           ?format=json)
 //
@@ -51,6 +59,7 @@ import (
 	"errors"
 	"fmt"
 	"io"
+	"log/slog"
 	"net/http"
 	"sort"
 	"strings"
@@ -128,6 +137,17 @@ type Config struct {
 	// snapshot+compaction after a scan settles
 	// (DefaultCompactWALBytes when 0).
 	CompactWALBytes int64
+	// Logger receives structured scan lifecycle logs (accept, attempt,
+	// retry, settle, replay), each line carrying scan_id and component
+	// attrs. Nil discards them.
+	Logger *slog.Logger
+	// SlowScanThreshold, when positive, makes the daemon log a scan's
+	// full flight-recorder timeline at warn level whenever its
+	// end-to-end time (accept to settle) reaches the threshold.
+	SlowScanThreshold time.Duration
+	// NewID generates scan ids (random hex when nil); tests pin it for
+	// deterministic traces.
+	NewID func() string
 }
 
 // DefaultMaxScans bounds the scan registry when Config.MaxScans is
@@ -170,6 +190,14 @@ type scan struct {
 	Err      string
 	Attempts int
 
+	// queuedAt is when the scan (re-)entered the queue: acceptance,
+	// replay resubmission, or the projected end of a retry backoff.
+	// Attempt starts measure queue wait against it.
+	queuedAt time.Time
+	// span is the span tree of the scan's last executed attempt,
+	// stitched into the trace endpoint's response.
+	span *obs.Span
+
 	// cancelReq marks a cancellation request; set while queued it makes
 	// runScan settle immediately, set while running it is paired with a
 	// call to cancel.
@@ -183,6 +211,7 @@ type scan struct {
 type Server struct {
 	cfg Config
 	rec *obs.Recorder
+	log *slog.Logger
 	mux *http.ServeMux
 
 	mu    sync.Mutex
@@ -221,9 +250,16 @@ func New(cfg Config) *Server {
 	if cfg.CompactWALBytes <= 0 {
 		cfg.CompactWALBytes = DefaultCompactWALBytes
 	}
+	if cfg.Logger == nil {
+		cfg.Logger = obs.DiscardLogger()
+	}
+	if cfg.NewID == nil {
+		cfg.NewID = newID
+	}
 	s := &Server{
 		cfg:    cfg,
 		rec:    cfg.Recorder,
+		log:    cfg.Logger.With("component", "server"),
 		mux:    http.NewServeMux(),
 		scans:  make(map[string]*scan),
 		active: make(map[string]string),
@@ -232,6 +268,8 @@ func New(cfg Config) *Server {
 	s.mux.HandleFunc("POST /v1/scans/{id}/cancel", s.instrument("scans_cancel", s.handleCancel))
 	s.mux.HandleFunc("POST /v1/scans/{id}/retry", s.instrument("scans_retry", s.handleRetry))
 	s.mux.HandleFunc("GET /v1/scans/{id}", s.instrument("scans_get", s.handleGet))
+	s.mux.HandleFunc("GET /v1/scans/{id}/trace", s.instrument("scans_trace", s.handleTrace))
+	s.mux.HandleFunc("GET /debug/events", s.instrument("debug_events", s.handleDebugEvents))
 	s.mux.HandleFunc("GET /v1/quarantine", s.instrument("quarantine", s.handleQuarantine))
 	s.mux.HandleFunc("GET /v1/diffs", s.instrument("diffs", s.handleDiff))
 	s.mux.HandleFunc("GET /healthz", s.instrument("healthz", s.handleHealthz))
@@ -243,6 +281,11 @@ func New(cfg Config) *Server {
 
 // ServeHTTP implements http.Handler.
 func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) { s.mux.ServeHTTP(w, r) }
+
+// now reads the recorder's clock so scan lifecycle times (and thus
+// trace timelines) are deterministic under obs.ManualClock in tests;
+// a nil recorder falls back to the system clock.
+func (s *Server) now() time.Time { return s.rec.Now() }
 
 // instrument wraps a handler with the per-route counter and latency
 // histogram.
@@ -434,9 +477,10 @@ func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
 
 	// Fast path: the content has been scanned before.
 	if res, ok := s.cfg.Cache.Get(key); ok {
+		now := s.now()
 		sc := &scan{
-			ID: newID(), State: stateDone, Tool: req.Tool, Profile: req.Profile,
-			Key: key, Cached: true, Created: time.Now(), Finished: time.Now(),
+			ID: s.cfg.NewID(), State: stateDone, Tool: req.Tool, Profile: req.Profile,
+			Key: key, Cached: true, Created: now, Finished: now,
 			Target: target, Opts: opts, Result: res,
 		}
 		s.mu.Lock()
@@ -444,6 +488,9 @@ func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
 		view := sc.viewLocked()
 		s.mu.Unlock()
 		s.rec.Counter("scans_served_from_cache_total").Inc()
+		s.recordEvent(obs.Event{Scan: sc.ID, Type: evAccepted, Detail: sc.Target.Name})
+		s.recordEvent(obs.Event{Scan: sc.ID, Type: evCacheHit, Detail: "served from result cache"})
+		s.settleEvent(sc, stateDone, "", now, now)
 		s.writeJSON(w, http.StatusOK, view)
 		return
 	}
@@ -455,16 +502,25 @@ func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
 		view := s.scans[id].viewLocked()
 		s.mu.Unlock()
 		s.rec.Counter("scans_joined_inflight_total").Inc()
+		s.recordEvent(obs.Event{Scan: id, Type: evJoinedInflight, Detail: "duplicate submission joined"})
 		s.writeJSON(w, http.StatusAccepted, view)
 		return
 	}
+	now := s.now()
 	sc := &scan{
-		ID: newID(), State: stateQueued, Tool: req.Tool, Profile: req.Profile,
-		Key: key, Created: time.Now(), Target: target, Engine: engine, Opts: opts,
+		ID: s.cfg.NewID(), State: stateQueued, Tool: req.Tool, Profile: req.Profile,
+		Key: key, Created: now, queuedAt: now, Target: target, Engine: engine, Opts: opts,
 	}
 	s.addScanLocked(sc)
 	s.active[key] = sc.ID
 	s.mu.Unlock()
+
+	// Record acceptance before the pool sees the job: a worker may
+	// start the attempt immediately, and the timeline must read
+	// accepted → queued → attempt_started. A failed submission below
+	// closes the pair with a rejected event.
+	s.recordEvent(obs.Event{Scan: sc.ID, Type: evAccepted, Detail: sc.Target.Name})
+	s.recordEvent(obs.Event{Scan: sc.ID, Type: evQueued})
 
 	// journalMu spans the pool submission and the accepted record so
 	// the journal sees "accepted" before any record the worker writes.
@@ -479,6 +535,7 @@ func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
 		delete(s.scans, sc.ID)
 		delete(s.active, key)
 		s.mu.Unlock()
+		s.recordEvent(obs.Event{Scan: sc.ID, Type: evRejected, Err: err.Error()})
 		switch {
 		case errors.Is(err, jobs.ErrQueueFull):
 			s.rec.Counter("scans_rejected_total").Inc()
@@ -491,6 +548,9 @@ func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	s.rec.Counter("scans_accepted_total").Inc()
+	s.log.Info("scan accepted",
+		"scan_id", sc.ID, "target", sc.Target.Name, "tool", sc.Tool,
+		"profile", sc.Profile, "files", len(sc.Target.Files))
 	s.mu.Lock()
 	view := sc.viewLocked()
 	s.mu.Unlock()
@@ -522,18 +582,42 @@ func (s *Server) scanJob(sc *scan, priorAttempts int) *jobs.Job {
 			return s.runScanAttempt(ctx, sc)
 		},
 		OnStart: func(attempt int) {
+			now := s.now()
 			s.mu.Lock()
 			sc.Attempts = attempt
+			wait := now.Sub(sc.queuedAt)
 			s.mu.Unlock()
+			if wait < 0 {
+				// A retry's queuedAt is the projected end of its backoff;
+				// a worker picking it up early clamps to zero.
+				wait = 0
+			}
+			s.rec.Observe("scan_queue_wait_seconds", wait.Seconds())
+			s.recordEvent(obs.Event{
+				Scan: sc.ID, Type: evAttemptStarted, Attempt: attempt,
+				DurMS: wait.Milliseconds(),
+			})
+			s.log.Debug("scan attempt started",
+				"scan_id", sc.ID, "attempt", attempt, "queue_wait_ms", wait.Milliseconds())
 			s.journal(durable.Record{Type: durable.RecStarted, ScanID: sc.ID, Attempt: attempt})
 		},
 		OnRetry: func(attempt int, err error, backoff time.Duration) {
+			now := s.now()
 			s.mu.Lock()
 			sc.State = stateQueued
 			sc.cancel = nil
 			sc.Err = err.Error()
+			sc.queuedAt = now.Add(backoff)
 			s.mu.Unlock()
 			s.rec.Counter("scans_retried_total").Inc()
+			s.recordEvent(obs.Event{
+				Scan: sc.ID, Type: evAttemptFailed, Attempt: attempt,
+				Err: err.Error(), DurMS: backoff.Milliseconds(),
+			})
+			s.recordEvent(obs.Event{Scan: sc.ID, Type: evQueued, Detail: "retry after backoff"})
+			s.log.Warn("scan attempt failed, retrying",
+				"scan_id", sc.ID, "attempt", attempt, "error", err.Error(),
+				"backoff_ms", backoff.Milliseconds())
 			s.journal(durable.Record{
 				Type: durable.RecAttemptFailed, ScanID: sc.ID, Attempt: attempt,
 				Error: err.Error(), BackoffMS: backoff.Milliseconds(),
@@ -567,6 +651,10 @@ func (s *Server) runScanAttempt(ctx context.Context, sc *scan) error {
 	s.mu.Unlock()
 	s.rec.Gauge("scans_in_flight").Add(1)
 	defer s.rec.Gauge("scans_in_flight").Add(-1)
+	attemptStart := s.now()
+	defer func() {
+		s.rec.Observe("scan_attempt_seconds", s.now().Sub(attemptStart).Seconds())
+	}()
 
 	var incRep *incremental.Report
 	res, hit, err := s.cfg.Cache.Do(sc.Key, func() (*analyzer.Result, error) {
@@ -574,6 +662,9 @@ func (s *Server) runScanAttempt(ctx context.Context, sc *scan) error {
 		// cache hits and joined flights record no span.
 		span := s.rec.StartNamedSpan("scan:", sc.Target.Name, nil)
 		defer span.EndAndObserve("scan_seconds")
+		s.mu.Lock()
+		sc.span = span
+		s.mu.Unlock()
 		if err := scanCtx.Err(); err != nil {
 			return nil, err
 		}
@@ -623,6 +714,11 @@ func (s *Server) runScanAttempt(ctx context.Context, sc *scan) error {
 			}
 			s.mu.Unlock()
 			s.rec.Counter("scans_interrupted_total").Inc()
+			s.recordEvent(obs.Event{
+				Scan: sc.ID, Type: evInterrupted, Attempt: sc.Attempts,
+				Detail: "shutdown interrupted the attempt; journal replay re-owns the scan",
+			})
+			s.log.Info("scan attempt interrupted by shutdown", "scan_id", sc.ID)
 			return jobs.ErrInterrupted
 		}
 		// Deadline (job timeout), crashed files, injected faults,
@@ -636,7 +732,7 @@ func (s *Server) runScanAttempt(ctx context.Context, sc *scan) error {
 		return err
 	}
 	sc.State = stateDone
-	sc.Finished = time.Now()
+	sc.Finished = s.now()
 	sc.Result = res
 	sc.Cached = hit
 	if !hit {
@@ -644,13 +740,47 @@ func (s *Server) runScanAttempt(ctx context.Context, sc *scan) error {
 	}
 	delete(s.active, sc.Key)
 	payload := s.resultPayloadLocked(sc)
+	created, finished := sc.Created, sc.Finished
 	s.mu.Unlock()
 	s.rec.Counter("scans_completed_total").Inc()
+	if hit {
+		s.recordEvent(obs.Event{Scan: sc.ID, Type: evCacheHit, Detail: "coalesced with in-flight identical scan"})
+	}
+	if !hit && incRep != nil && incRep.ReusedFiles > 0 {
+		s.recordEvent(obs.Event{
+			Scan: sc.ID, Type: evIncReuse,
+			Detail: fmt.Sprintf("%d/%d files reused", incRep.ReusedFiles, incRep.TotalFiles),
+		})
+	}
+	s.degradationEvents(sc.ID, res)
+	s.settleEvent(sc, stateDone, "", created, finished)
 	s.journal(durable.Record{
 		Type: durable.RecCompleted, ScanID: sc.ID, Attempt: sc.Attempts, Payload: payload,
 	})
 	s.maybeCompact()
 	return nil
+}
+
+// degradationEvents records governor degradations of a finished
+// attempt — truncated budgets and per-file failures — so a trace shows
+// not just that a scan was slow or partial but which ladder rung it
+// hit.
+func (s *Server) degradationEvents(id string, res *analyzer.Result) {
+	if res == nil {
+		return
+	}
+	if res.Truncated {
+		s.recordEvent(obs.Event{
+			Scan: id, Type: evDegraded,
+			Detail: "truncated_by:" + strings.Join(res.TruncatedBy, ","),
+		})
+	}
+	if n := len(res.FilesFailed); n > 0 {
+		s.recordEvent(obs.Event{
+			Scan: id, Type: evDegraded,
+			Detail: fmt.Sprintf("%d file(s) failed analysis", n),
+		})
+	}
 }
 
 // settleCancelledLocked settles a cancelled scan; caller holds s.mu,
@@ -661,11 +791,13 @@ func (s *Server) settleCancelledLocked(sc *scan, cause error, partial *analyzer.
 	if partial != nil {
 		sc.Result = partial
 	}
-	sc.Finished = time.Now()
+	sc.Finished = s.now()
 	delete(s.active, sc.Key)
 	payload := s.resultPayloadLocked(sc)
+	created, finished := sc.Created, sc.Finished
 	s.mu.Unlock()
 	s.rec.Counter("scans_cancelled_total").Inc()
+	s.settleEvent(sc, stateCancelled, cause.Error(), created, finished)
 	// A cancelled scan is settled work: journal it as completed (the
 	// payload records the cancelled state) so replay does not re-run
 	// what a client deliberately stopped.
@@ -683,12 +815,14 @@ func (s *Server) settleQuarantined(sc *scan, attempts int, err error) {
 	sc.State = stateQuarantined
 	sc.Attempts = attempts
 	sc.Err = err.Error()
-	sc.Finished = time.Now()
+	sc.Finished = s.now()
 	sc.cancel = nil
 	delete(s.active, sc.Key)
 	payload := s.resultPayloadLocked(sc)
+	created, finished := sc.Created, sc.Finished
 	s.mu.Unlock()
 	s.rec.Counter("scans_quarantined_total").Inc()
+	s.settleEvent(sc, stateQuarantined, err.Error(), created, finished)
 	s.journal(durable.Record{
 		Type: durable.RecQuarantined, ScanID: sc.ID, Attempt: attempts,
 		Error: err.Error(), Payload: payload,
@@ -722,6 +856,8 @@ func (s *Server) handleCancel(w http.ResponseWriter, r *http.Request) {
 	view := sc.viewLocked()
 	s.mu.Unlock()
 	s.rec.Counter("scans_cancel_requests_total").Inc()
+	s.recordEvent(obs.Event{Scan: sc.ID, Type: evCancelRequest})
+	s.log.Info("scan cancellation requested", "scan_id", sc.ID)
 	s.writeJSON(w, http.StatusAccepted, view)
 }
 
@@ -813,6 +949,7 @@ func (s *Server) handleGet(w http.ResponseWriter, r *http.Request) {
 			fmt.Sprintf("scan is %s; %s is only available for finished scans", view.Status, format))
 		return
 	}
+	renderStart := s.now()
 	switch format {
 	case "sarif":
 		data, err := report.SARIF(view.Result)
@@ -827,7 +964,13 @@ func (s *Server) handleGet(w http.ResponseWriter, r *http.Request) {
 		io.WriteString(w, report.HTML(view.Result))
 	default:
 		s.error(w, http.StatusBadRequest, fmt.Sprintf("unknown format %q (want json, sarif or html)", format))
+		return
 	}
+	elapsed := s.now().Sub(renderStart)
+	s.rec.Observe("render_seconds", elapsed.Seconds())
+	s.recordEvent(obs.Event{
+		Scan: view.ID, Type: evRendered, Detail: format, DurMS: elapsed.Milliseconds(),
+	})
 }
 
 // handleHealthz reports liveness and occupancy. The status flips to
@@ -876,6 +1019,10 @@ func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 	// Occupancy gauges are sampled at scrape time; everything else is
 	// pushed by the pool, cache and engines as it happens.
 	s.rec.Gauge("jobs_queue_depth").Set(float64(s.cfg.Pool.QueueDepth()))
+	s.rec.Gauge("jobs_inflight_workers").Set(float64(s.cfg.Pool.InFlight()))
+	s.rec.Gauge("jobs_retry_backlog").Set(float64(s.cfg.Pool.RetryBacklog()))
+	s.rec.Gauge("obs_events_resident").Set(float64(s.rec.Events().Len()))
+	s.rec.Gauge("obs_events_dropped").Set(float64(s.rec.Events().Dropped()))
 	s.rec.Gauge("scancache_entries").Set(float64(s.cfg.Cache.Len()))
 	s.rec.Gauge("scancache_bytes").Set(float64(s.cfg.Cache.Bytes()))
 	snap := s.rec.Snapshot()
