@@ -14,6 +14,9 @@
 //	evalrepro -table inertia # §V.D
 //	evalrepro -table 3       # Table III + robustness
 //	evalrepro -table stages  # per-stage timing breakdown only
+//	evalrepro -table classes # per-class precision/recall (CWE, severity)
+//	                         # over the extended corpus; -packs selects
+//	                         # the rule packs (not part of "all")
 //	evalrepro -seed 7        # alternative corpus seed
 //	evalrepro -parallel 8    # worker pool (detection identical; timings
 //	                         # not comparable with the paper's Table III)
@@ -47,8 +50,9 @@ func main() {
 
 // run executes the reproduction and returns the process exit code.
 func run() int {
-	table := flag.String("table", "all", "which artifact to print: 1, venn, 2, inertia, 3, stages, all")
+	table := flag.String("table", "all", "which artifact to print: 1, venn, 2, inertia, 3, stages, classes, all")
 	seed := flag.Int64("seed", corpus.DefaultSpec().Seed, "corpus generation seed")
+	packs := flag.String("packs", "wordpress,security-extended", "rule packs for -table classes")
 	parallel := flag.Int("parallel", 0, "worker pool size (0 = serial; parallel wall-clock is not comparable for Table III)")
 	summary := flag.String("summary", "", "also write machine-readable JSON summaries to <file>-2012.json and <file>-2014.json")
 	bench := flag.String("bench", "BENCH_eval.json", "write per-tool per-stage timings to this file (\"\" disables)")
@@ -62,6 +66,10 @@ func run() int {
 	// the running engine stops at its next governor checkpoint.
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt)
 	defer stop()
+
+	if *table == "classes" {
+		return runClassTable(ctx, spec, *packs)
+	}
 
 	fmt.Fprintf(os.Stderr, "generating corpus (seed %d)...\n", spec.Seed)
 	c12, c14, err := corpus.Generate(spec)
@@ -164,6 +172,39 @@ func run() int {
 	}
 	if show("stages") {
 		fmt.Println(stageTable(recorders))
+	}
+	return 0
+}
+
+// runClassTable prints the per-class precision/recall breakdown (with
+// CWE and severity metadata) over the extended corpus: the default
+// population plus the command-injection, code-evaluation, traversal,
+// inclusion and redirect seeds the selected rule packs can detect.
+func runClassTable(ctx context.Context, spec corpus.Spec, packs string) int {
+	spec.ExtendedClasses = true
+	fmt.Fprintf(os.Stderr, "generating extended corpus (seed %d)...\n", spec.Seed)
+	c12, c14, err := corpus.Generate(spec)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "evalrepro: %v\n", err)
+		return 1
+	}
+	tool, err := eval.BuildTool("phpsafe", packs, eval.ToolOptions{})
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "evalrepro: %v\n", err)
+		return 1
+	}
+	for _, snap := range []struct {
+		tag string
+		c   *corpus.Corpus
+	}{{"2012", c12}, {"2014", c14}} {
+		run, err := eval.Run(ctx, tool, snap.c, eval.Options{})
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "evalrepro: %v\n", err)
+			return 1
+		}
+		rows := eval.ClassBreakdown(snap.c, run)
+		fmt.Println(eval.ClassTable(
+			fmt.Sprintf("%s, %s corpus, packs %s", run.Tool, snap.tag, packs), rows))
 	}
 	return 0
 }

@@ -6,8 +6,16 @@
 //
 //	phpsafe [flags] <plugin-dir|file.php>
 //	phpsafe -diff [flags] <old-dir> <new-dir>
+//	phpsafe rules lint [FILE...]
 //
 //	-profile wordpress|generic   configuration profile (default wordpress)
+//	-packs LIST                  comma-separated rule packs to scan with,
+//	                             overriding -profile (builtin packs:
+//	                             generic, wordpress, drupal, joomla,
+//	                             security-extended)
+//	-rule-pack FILE              load a custom rule pack from a JSON file
+//	                             and append it to the pack spec
+//	                             (repeatable)
 //	-tool phpsafe|rips|pixy      analysis engine (default phpsafe)
 //	-no-oop                      disable object-oriented analysis (§III.E)
 //	-no-uncalled                 skip functions never called by the plugin
@@ -46,6 +54,10 @@
 //	                             fails that file and the scan continues
 //	-version                     print the version and exit
 //
+// The "rules lint" subcommand validates rule-pack files (builtin packs
+// when no files are given) and exits nonzero on the first invalid pack,
+// so CI can gate custom packs before they reach a scanner.
+//
 // SIGINT cancels a running scan cleanly: the engine stops at its next
 // checkpoint and whatever was analyzed so far is reported.
 //
@@ -71,17 +83,24 @@ import (
 	"repro/internal/incremental"
 	"repro/internal/obs"
 	"repro/internal/report"
+	"repro/internal/rulepack"
 	"repro/internal/taint"
 	"repro/internal/version"
 )
 
 func main() {
+	if len(os.Args) > 1 && os.Args[1] == "rules" {
+		os.Exit(runRules(os.Args[2:]))
+	}
 	os.Exit(run())
 }
 
 // run parses flags, loads the target and scans it.
 func run() int {
 	profile := flag.String("profile", "wordpress", "configuration profile: wordpress or generic")
+	packSpec := flag.String("packs", "", "comma-separated rule packs to scan with (overrides -profile)")
+	var packFiles stringList
+	flag.Var(&packFiles, "rule-pack", "load a rule pack from this JSON file and append it to the pack spec (repeatable)")
 	toolName := flag.String("tool", "phpsafe", "engine: phpsafe, rips or pixy")
 	noOOP := flag.Bool("no-oop", false, "disable object-oriented analysis")
 	noUncalled := flag.Bool("no-uncalled", false, "skip functions not called from plugin code")
@@ -139,10 +158,28 @@ func run() int {
 		rec = obs.NewRecorder()
 	}
 
-	tool, err := eval.BuildTool(*toolName, *profile, eval.ToolOptions{
+	// The effective rule-pack spec: -packs overrides -profile, and every
+	// -rule-pack file is loaded and appended on top of the spec.
+	spec := *profile
+	if *packSpec != "" {
+		spec = *packSpec
+	}
+	var extra []*rulepack.Pack
+	for _, path := range packFiles {
+		p, err := rulepack.LoadFile(path)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "phpsafe: %v\n", err)
+			return 2
+		}
+		extra = append(extra, p)
+		spec += "," + p.Name
+	}
+
+	tool, err := eval.BuildTool(*toolName, spec, eval.ToolOptions{
 		NoOOP:      *noOOP,
 		NoUncalled: *noUncalled,
 		Recorder:   rec,
+		ExtraPacks: extra,
 	})
 	if err != nil {
 		fmt.Fprintf(os.Stderr, "phpsafe: %v\n", err)
@@ -200,10 +237,11 @@ func run() int {
 			fmt.Fprintf(os.Stderr, "phpsafe: %v\n", err)
 			return 2
 		}
-		// The fingerprint pins tool version and profile; the planner
-		// folds the engine's own option set in on top.
+		// The fingerprint pins tool version and pack spec; the planner
+		// folds the engine's own option set (including the compiled
+		// rule-set digest) in on top.
 		scanner = &incReporting{inc: incremental.New(engine, store,
-			version.String()+"|"+*profile, rec)}
+			version.String()+"|"+spec, rec)}
 	}
 
 	res, err := analyzer.AnalyzeWith(ctx, scanner, target, opts)
@@ -262,6 +300,60 @@ func run() int {
 	}
 	if len(res.Findings) > 0 {
 		return 1
+	}
+	return 0
+}
+
+// stringList collects a repeatable string flag.
+type stringList []string
+
+func (l *stringList) String() string { return strings.Join(*l, ",") }
+
+func (l *stringList) Set(v string) error {
+	*l = append(*l, v)
+	return nil
+}
+
+// runRules handles the "rules" subcommand. "rules lint [FILE...]"
+// validates the given pack files — plus the builtin packs when no files
+// are given — and checks that every pack's extends chain resolves
+// against the builtins and the other linted files. Exit status is 0
+// when every pack is valid, 2 otherwise.
+func runRules(args []string) int {
+	if len(args) == 0 || args[0] != "lint" {
+		fmt.Fprintln(os.Stderr, "usage: phpsafe rules lint [FILE...]")
+		return 2
+	}
+	reg := rulepack.NewRegistry()
+	failed := false
+	var names []string
+	if len(args) == 1 {
+		// No files: lint the builtins themselves.
+		for _, p := range rulepack.Builtins() {
+			names = append(names, p.Name)
+			fmt.Printf("ok  %-20s %3d rules (builtin)\n", p.Name, p.RuleCount())
+		}
+	}
+	for _, path := range args[1:] {
+		p, err := reg.RegisterFile(path)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "FAIL %s\n", err)
+			failed = true
+			continue
+		}
+		names = append(names, p.Name)
+		fmt.Printf("ok  %-20s %3d rules (%s)\n", p.Name, p.RuleCount(), path)
+	}
+	// Resolution catches dangling or cyclic extends chains that per-file
+	// validation cannot see.
+	for _, name := range names {
+		if _, err := reg.Resolve(name); err != nil {
+			fmt.Fprintf(os.Stderr, "FAIL %s: %v\n", name, err)
+			failed = true
+		}
+	}
+	if failed {
+		return 2
 	}
 	return 0
 }

@@ -1,14 +1,24 @@
-// Custom CMS profile: extend the analyzer's configuration to a different
-// framework — the paper's §III.A extensibility claim ("this ability can
-// be easily extended to other CMSs, by adding their input, filtering and
-// sink functions to the configuration files") and its §VI future work
-// (Drupal, Joomla).
+// Custom CMS rule pack: extend the analyzer's configuration to a
+// different framework — the paper's §III.A extensibility claim ("this
+// ability can be easily extended to other CMSs, by adding their input,
+// filtering and sink functions to the configuration files") and its §VI
+// future work (Drupal, Joomla).
 //
-// The example defines a small profile for a fictional "Joomla-like" CMS
-// with its own database object, escaping API and input wrapper, then
-// shows that the same plugin scans very differently with and without the
-// framework knowledge: the framework-blind scan both misses a real
-// vulnerability and raises a false alarm.
+// The framework knowledge lives entirely in joomla-like.json, a rule
+// pack: a JSON document declaring the fictional CMS's database object,
+// escaping API and input wrapper, layered on the builtin "generic" pack
+// via "extends". No Go code is needed to teach the analyzer a new CMS —
+// the same file also works with the scanners directly:
+//
+//	phpsafe -rule-pack examples/custom-cms/joomla-like.json <plugin-dir>
+//	phpsafe rules lint examples/custom-cms/joomla-like.json
+//
+// or with the daemon, by POSTing {"rule_packs": ["joomla-like"]} after
+// registering the pack.
+//
+// The example scans the same plugin with and without the framework
+// knowledge: the framework-blind scan both misses a real vulnerability
+// and raises a false alarm.
 //
 // Run with:
 //
@@ -16,45 +26,16 @@
 package main
 
 import (
+	_ "embed"
 	"fmt"
 
 	"repro/internal/analyzer"
-	"repro/internal/config"
+	"repro/internal/rulepack"
 	"repro/internal/taint"
 )
 
-// joomlaLikeProfile models the fictional CMS: JFactory-style database
-// access, JInput request wrappers, and an escaping helper.
-func joomlaLikeProfile() config.Profile {
-	xss := []analyzer.VulnClass{analyzer.XSS}
-	sqli := []analyzer.VulnClass{analyzer.SQLi}
-	return config.Profile{
-		Name: "joomla-like",
-		Sources: []config.Source{
-			// $db->loadObjectList() returns attacker-poisonable rows.
-			{Kind: config.MethodSource, Class: "jdatabase", Name: "loadobjectlist",
-				Vector: analyzer.VectorDB, Taints: xss},
-			{Kind: config.MethodSource, Class: "jdatabase", Name: "loadresult",
-				Vector: analyzer.VectorDB, Taints: xss},
-			// $input->getString('x') wraps the request.
-			{Kind: config.MethodSource, Class: "jinput", Name: "getstring",
-				Vector: analyzer.VectorRequest},
-		},
-		Sanitizers: []config.Sanitizer{
-			{Name: "jhtml_escape", Untaints: xss},
-			{Class: "jdatabase", Name: "quote", Untaints: sqli},
-			// $input->getInt() returns an integer: safe everywhere.
-			{Class: "jinput", Name: "getint"},
-		},
-		Sinks: []config.Sink{
-			{Class: "jdatabase", Name: "setquery", Vuln: analyzer.SQLi, Args: []int{0}},
-		},
-		ObjectClasses: map[string]string{
-			"db":    "jdatabase",
-			"input": "jinput",
-		},
-	}
-}
+//go:embed joomla-like.json
+var packJSON []byte
 
 // extension is a plugin for the fictional CMS.
 const extension = `<?php
@@ -83,23 +64,37 @@ func main() {
 		Files: []analyzer.SourceFile{{Path: "extension.php", Content: extension}},
 	}
 
+	// Load and validate the pack, then register it so its "extends"
+	// chain resolves against the builtin packs.
+	pack, err := rulepack.Load(packJSON)
+	if err != nil {
+		panic(err)
+	}
+	reg := rulepack.NewRegistry()
+	reg.Register(pack)
+
 	// Framework-aware scan: generic PHP + the custom CMS layer.
-	aware := config.Compile(config.Merge("generic+joomla-like",
-		config.Generic(), joomlaLikeProfile()))
+	aware, err := reg.Compile("joomla-like")
+	if err != nil {
+		panic(err)
+	}
 	scan(taint.New(aware, taint.DefaultOptions()), target,
-		"WITH the joomla-like profile")
+		"WITH the joomla-like pack")
 
 	// Framework-blind scan: generic PHP only.
-	blind := config.Compile(config.Generic())
+	blind, err := reg.Compile("generic")
+	if err != nil {
+		panic(err)
+	}
 	scan(taint.New(blind, taint.DefaultOptions()), target,
 		"WITHOUT framework knowledge")
 
-	fmt.Println("With the profile, the analyzer sees the loadObjectList rows as a")
+	fmt.Println("With the pack, the analyzer sees the loadObjectList rows as a")
 	fmt.Println("database source (1 real XSS), knows $db->quote protects the query")
 	fmt.Println("and that jhtml_escape is safe. Without it, the real vulnerability")
 	fmt.Println("disappears AND the escaped echo becomes a false alarm — the paper's")
-	fmt.Println("§III.A argument for CMS-aware configuration, applied to a new CMS")
-	fmt.Println("in about 40 lines.")
+	fmt.Println("§III.A argument for CMS-aware configuration, expressed as a JSON")
+	fmt.Println("rule pack instead of code.")
 }
 
 // scan runs one configuration and prints a summary.

@@ -33,11 +33,20 @@ const (
 	// FileInclusion is local/remote file inclusion: tainted data used as
 	// an include/require path.
 	FileInclusion
+	// CodeEval is dynamic code evaluation / remote code execution:
+	// tainted data reaching an eval-like sink (assert, create_function).
+	CodeEval
+	// PathTraversal is directory traversal: tainted data used as a
+	// filesystem path in a read/write/delete operation.
+	PathTraversal
+	// OpenRedirect is an open redirect: tainted data controlling a
+	// Location header or redirect target.
+	OpenRedirect
 )
 
 // Classes lists all vulnerability classes in display order.
 func Classes() []VulnClass {
-	return []VulnClass{XSS, SQLi, CmdInjection, FileInclusion}
+	return []VulnClass{XSS, SQLi, CmdInjection, FileInclusion, CodeEval, PathTraversal, OpenRedirect}
 }
 
 // String returns the conventional abbreviation.
@@ -51,8 +60,107 @@ func (c VulnClass) String() string {
 		return "CMDi"
 	case FileInclusion:
 		return "LFI"
+	case CodeEval:
+		return "EVAL"
+	case PathTraversal:
+		return "TRAVERSAL"
+	case OpenRedirect:
+		return "REDIRECT"
 	default:
 		return fmt.Sprintf("VulnClass(%d)", int(c))
+	}
+}
+
+// Slug returns the lower-case identifier used in rule packs and SARIF
+// rule IDs.
+func (c VulnClass) Slug() string {
+	switch c {
+	case XSS:
+		return "xss"
+	case SQLi:
+		return "sqli"
+	case CmdInjection:
+		return "cmdi"
+	case FileInclusion:
+		return "lfi"
+	case CodeEval:
+		return "eval"
+	case PathTraversal:
+		return "traversal"
+	case OpenRedirect:
+		return "redirect"
+	default:
+		return fmt.Sprintf("class-%d", int(c))
+	}
+}
+
+// ParseClassSlug resolves a rule-pack class slug to its VulnClass.
+func ParseClassSlug(slug string) (VulnClass, bool) {
+	for _, c := range Classes() {
+		if c.Slug() == slug {
+			return c, true
+		}
+	}
+	return 0, false
+}
+
+// CWE returns the class's default CWE identifier (MITRE Common Weakness
+// Enumeration); rule packs may override it per sink rule.
+func (c VulnClass) CWE() int {
+	switch c {
+	case XSS:
+		return 79
+	case SQLi:
+		return 89
+	case CmdInjection:
+		return 78
+	case FileInclusion:
+		return 98
+	case CodeEval:
+		return 95
+	case PathTraversal:
+		return 22
+	case OpenRedirect:
+		return 601
+	default:
+		return 0
+	}
+}
+
+// Severity returns the class's default severity label ("medium",
+// "high", "critical"); rule packs may override it per sink rule.
+func (c VulnClass) Severity() string {
+	switch c {
+	case SQLi, CmdInjection, CodeEval, FileInclusion:
+		return "critical"
+	case XSS, PathTraversal:
+		return "high"
+	case OpenRedirect:
+		return "medium"
+	default:
+		return "high"
+	}
+}
+
+// Description returns the one-line rule description used in reports.
+func (c VulnClass) Description() string {
+	switch c {
+	case XSS:
+		return "Cross-Site Scripting: attacker data reaches an HTML output sink"
+	case SQLi:
+		return "SQL Injection: attacker data reaches a query sink"
+	case CmdInjection:
+		return "Command Injection: attacker data reaches a shell-execution sink"
+	case FileInclusion:
+		return "File Inclusion: attacker data used as an include path"
+	case CodeEval:
+		return "Code Injection: attacker data evaluated as PHP code"
+	case PathTraversal:
+		return "Path Traversal: attacker data used as a filesystem path"
+	case OpenRedirect:
+		return "Open Redirect: attacker data controls a redirect target"
+	default:
+		return "Tainted data reaches a sensitive sink"
 	}
 }
 
@@ -164,8 +272,32 @@ type Finding struct {
 	Variable string `json:"variable,omitempty"`
 	// Vector is the input vector the taint entered through.
 	Vector Vector `json:"vector"`
+	// CWE is the finding's Common Weakness Enumeration identifier. Zero
+	// means unset; readers should fall back to Class.CWE().
+	CWE int `json:"cwe,omitempty"`
+	// Severity is the finding's severity label ("medium", "high",
+	// "critical"). Empty means unset; readers should fall back to
+	// Class.Severity().
+	Severity string `json:"severity,omitempty"`
 	// Trace is the data-flow path from source to sink, oldest first.
 	Trace []TraceStep `json:"trace,omitempty"`
+}
+
+// EffectiveCWE returns the finding's CWE, defaulting to the class CWE.
+func (f Finding) EffectiveCWE() int {
+	if f.CWE != 0 {
+		return f.CWE
+	}
+	return f.Class.CWE()
+}
+
+// EffectiveSeverity returns the finding's severity, defaulting to the
+// class severity.
+func (f Finding) EffectiveSeverity() string {
+	if f.Severity != "" {
+		return f.Severity
+	}
+	return f.Class.Severity()
 }
 
 // Key returns a stable identity for deduplication: tools reporting the

@@ -14,11 +14,23 @@ func TestVulnClassStrings(t *testing.T) {
 	if s := VulnClass(99).String(); !strings.Contains(s, "99") {
 		t.Errorf("unknown class = %q", s)
 	}
-	if len(Classes()) != 4 {
-		t.Errorf("Classes() = %v, want 4 entries", Classes())
+	if len(Classes()) != 7 {
+		t.Errorf("Classes() = %v, want 7 entries", Classes())
 	}
 	if CmdInjection.String() != "CMDi" || FileInclusion.String() != "LFI" {
 		t.Errorf("extended class names wrong: %s %s", CmdInjection, FileInclusion)
+	}
+	if CodeEval.String() != "EVAL" || PathTraversal.String() != "TRAVERSAL" || OpenRedirect.String() != "REDIRECT" {
+		t.Errorf("new class names wrong: %s %s %s", CodeEval, PathTraversal, OpenRedirect)
+	}
+	for _, c := range Classes() {
+		if c.CWE() == 0 || c.Severity() == "" || c.Slug() == "" || c.Description() == "" {
+			t.Errorf("%v: incomplete metadata (cwe=%d severity=%q slug=%q)", c, c.CWE(), c.Severity(), c.Slug())
+		}
+		back, ok := ParseClassSlug(c.Slug())
+		if !ok || back != c {
+			t.Errorf("ParseClassSlug(%q) = %v, %v", c.Slug(), back, ok)
+		}
 	}
 }
 

@@ -16,19 +16,13 @@ func (c *VulnClass) UnmarshalJSON(data []byte) error {
 	if err := json.Unmarshal(data, &s); err != nil {
 		return err
 	}
-	switch s {
-	case "XSS":
-		*c = XSS
-	case "SQLi":
-		*c = SQLi
-	case "CMDi":
-		*c = CmdInjection
-	case "LFI":
-		*c = FileInclusion
-	default:
-		return fmt.Errorf("analyzer: unknown vulnerability class %q", s)
+	for _, cand := range Classes() {
+		if cand.String() == s {
+			*c = cand
+			return nil
+		}
 	}
-	return nil
+	return fmt.Errorf("analyzer: unknown vulnerability class %q", s)
 }
 
 // MarshalJSON renders the vector as its display name.

@@ -79,6 +79,12 @@ type Sink struct {
 	// Args lists the 0-based sensitive argument positions; empty means
 	// every argument.
 	Args []int
+	// CWE is the rule's Common Weakness Enumeration identifier; zero
+	// means the class default (Vuln.CWE()), filled in by Compile.
+	CWE int
+	// Severity is the rule's severity label; empty means the class
+	// default (Vuln.Severity()), filled in by Compile.
+	Severity string
 }
 
 // Profile is one named configuration layer.
@@ -148,6 +154,8 @@ type Compiled struct {
 	methodSinks map[string][]Sink
 
 	objectClasses map[string]string
+
+	digest string
 }
 
 // Compile preprocesses a profile.
@@ -177,15 +185,23 @@ func Compile(p Profile) *Compiled {
 	for _, s := range p.Sanitizers {
 		classes := classesOrAll(s.Untaints)
 		if s.Class == "" {
-			c.funcSanitizers[strings.ToLower(s.Name)] = classes
+			name := strings.ToLower(s.Name)
+			c.funcSanitizers[name] = unionClasses(c.funcSanitizers[name], classes)
 		} else {
-			c.methodSanitizers[methodKey(s.Class, s.Name)] = classes
+			k := methodKey(s.Class, s.Name)
+			c.methodSanitizers[k] = unionClasses(c.methodSanitizers[k], classes)
 		}
 	}
 	for _, r := range p.Reverts {
 		c.reverts[strings.ToLower(r)] = true
 	}
 	for _, s := range p.Sinks {
+		if s.CWE == 0 {
+			s.CWE = s.Vuln.CWE()
+		}
+		if s.Severity == "" {
+			s.Severity = s.Vuln.Severity()
+		}
 		if s.Class == "" {
 			name := strings.ToLower(s.Name)
 			c.funcSinks[name] = append(c.funcSinks[name], s)
@@ -197,7 +213,40 @@ func Compile(p Profile) *Compiled {
 	for k, v := range p.ObjectClasses {
 		c.objectClasses[k] = strings.ToLower(v)
 	}
+	c.digest = profileDigest(p)
 	return c
+}
+
+// unionClasses merges two sanitizer class lists, preserving first-seen
+// order. Duplicate sanitizer entries (a layered profile re-declaring a
+// function for additional classes) widen what the function protects
+// against rather than overwriting it.
+func unionClasses(have, add []analyzer.VulnClass) []analyzer.VulnClass {
+	if len(have) == 0 {
+		return add
+	}
+	out := have
+	copied := false
+	for _, c := range add {
+		seen := false
+		for _, h := range out {
+			if h == c {
+				seen = true
+				break
+			}
+		}
+		if !seen {
+			if !copied {
+				// Profiles share class-list slices between entries; never
+				// append into a caller-owned backing array.
+				out = append(append([]analyzer.VulnClass(nil), out...), c)
+				copied = true
+			} else {
+				out = append(out, c)
+			}
+		}
+	}
+	return out
 }
 
 // methodKey builds the lookup key for class-qualified names.

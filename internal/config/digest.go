@@ -1,0 +1,64 @@
+package config
+
+import (
+	"crypto/sha256"
+	"fmt"
+	"sort"
+	"strings"
+
+	"repro/internal/analyzer"
+)
+
+// profileDigest computes a deterministic content hash of a profile: two
+// profiles with the same sources, sanitizers, reverts, sinks and object
+// classes share a digest regardless of their display names. Engines fold
+// the digest into their options fingerprint so the scan cache and the
+// incremental artifact store never serve results computed under a
+// different rule set (cross-pack cache pollution).
+func profileDigest(p Profile) string {
+	h := sha256.New()
+	w := func(parts ...any) {
+		for _, part := range parts {
+			fmt.Fprintf(h, "%v\x1f", part)
+		}
+		h.Write([]byte{'\n'})
+	}
+	w("schema", 1)
+	for _, s := range p.Sources {
+		w("source", int(s.Kind), strings.ToLower(s.Name), strings.ToLower(s.Class),
+			int(s.Vector), classInts(s.Taints))
+	}
+	for _, s := range p.Sanitizers {
+		w("sanitizer", strings.ToLower(s.Name), strings.ToLower(s.Class), classInts(s.Untaints))
+	}
+	for _, r := range p.Reverts {
+		w("revert", strings.ToLower(r))
+	}
+	for _, s := range p.Sinks {
+		w("sink", strings.ToLower(s.Name), strings.ToLower(s.Class), int(s.Vuln),
+			s.Args, s.CWE, s.Severity)
+	}
+	keys := make([]string, 0, len(p.ObjectClasses))
+	for k := range p.ObjectClasses {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	for _, k := range keys {
+		w("object", k, strings.ToLower(p.ObjectClasses[k]))
+	}
+	return fmt.Sprintf("%x", h.Sum(nil))
+}
+
+// classInts renders a class list for hashing.
+func classInts(cs []analyzer.VulnClass) string {
+	var sb strings.Builder
+	for _, c := range cs {
+		fmt.Fprintf(&sb, "%d,", int(c))
+	}
+	return sb.String()
+}
+
+// Digest returns the compiled profile's deterministic content hash (see
+// profileDigest). It is stable across processes and releases for
+// identical rule content.
+func (c *Compiled) Digest() string { return c.digest }

@@ -62,6 +62,12 @@ type Spec struct {
 	// HugeIncludeParts is how many part files each huge file includes;
 	// it must exceed the analyzer's include budget.
 	HugeIncludeParts int
+	// ExtendedClasses additionally seeds vulnerability classes beyond
+	// the paper's XSS/SQLi evaluation: command injection, code
+	// evaluation, path traversal, file inclusion and open redirect
+	// (see extendedVulnDistribution). Off by default — the paper-
+	// calibrated corpus is byte-identical with the flag off.
+	ExtendedClasses bool
 }
 
 // DefaultSpec returns the paper-calibrated specification. The seed is the

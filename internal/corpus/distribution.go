@@ -59,6 +59,23 @@ const (
 	// vkRegGlobals: an uninitialized variable echoed — exploitable only
 	// under register_globals=1 (Pixy's specialty, §V.A).
 	vkRegGlobals
+	// --- Extended classes (Spec.ExtendedClasses), beyond the paper's
+	// XSS/SQLi evaluation. ---
+	// vkCmdExec: user input concatenated into system/exec/passthru
+	// (command injection, CWE-78).
+	vkCmdExec
+	// vkEvalInject: user input reaching assert/create_function (code
+	// evaluation, CWE-95; needs the security-extended rule pack).
+	vkEvalInject
+	// vkPathRead: user input in a filesystem path (path traversal,
+	// CWE-22; needs the security-extended rule pack).
+	vkPathRead
+	// vkIncludeGet: user input in a native include/require path (file
+	// inclusion, CWE-98).
+	vkIncludeGet
+	// vkHeaderRedirect: user input in a Location header (open redirect,
+	// CWE-601; needs the security-extended rule pack).
+	vkHeaderRedirect
 )
 
 // trapKind selects the false-positive trap template.
@@ -155,6 +172,22 @@ var vulnDistribution = []vulnRow{
 	{kind: vkFileEcho, class: analyzer.XSS, vector: analyzer.VectorFile, place: placeUncalled, both: 2, only12: 18, only14: 3},
 	{kind: vkFileEcho, class: analyzer.XSS, vector: analyzer.VectorFile, place: placeMethod, both: 1, only12: 11, only14: 4},
 	{kind: vkFileEcho, class: analyzer.XSS, vector: analyzer.VectorFile, place: placeTopProc, both: 1, only12: 8, only14: 0},
+}
+
+// extendedVulnDistribution seeds the classes beyond the paper's XSS/SQLi
+// evaluation (Spec.ExtendedClasses): command injection, code evaluation,
+// path traversal, file inclusion and open redirect. It is expanded after
+// the base tables so enabling it never perturbs the base corpus — the
+// default corpus stays byte-identical with the flag off.
+var extendedVulnDistribution = []vulnRow{
+	{kind: vkCmdExec, class: analyzer.CmdInjection, vector: analyzer.VectorGET, place: placeTopProc, both: 4, only12: 2, only14: 3},
+	{kind: vkCmdExec, class: analyzer.CmdInjection, vector: analyzer.VectorGET, place: placeUncalled, both: 3, only12: 1, only14: 2},
+	{kind: vkEvalInject, class: analyzer.CodeEval, vector: analyzer.VectorPOST, place: placeTopProc, both: 3, only12: 1, only14: 2},
+	{kind: vkEvalInject, class: analyzer.CodeEval, vector: analyzer.VectorPOST, place: placeUncalled, both: 2, only12: 0, only14: 2},
+	{kind: vkPathRead, class: analyzer.PathTraversal, vector: analyzer.VectorGET, place: placeTopProc, both: 4, only12: 1, only14: 3},
+	{kind: vkPathRead, class: analyzer.PathTraversal, vector: analyzer.VectorGET, place: placeUncalled, both: 2, only12: 1, only14: 2},
+	{kind: vkIncludeGet, class: analyzer.FileInclusion, vector: analyzer.VectorGET, place: placeTopProc, both: 3, only12: 1, only14: 2},
+	{kind: vkHeaderRedirect, class: analyzer.OpenRedirect, vector: analyzer.VectorGET, place: placeTopProc, both: 3, only12: 1, only14: 2},
 }
 
 // trapRow is one line of the false-positive trap distribution.
@@ -257,6 +290,22 @@ func buildMasterPlan(spec Spec, rng *rand.Rand) *masterPlan {
 		}
 		for i := 0; i < row.only14; i++ {
 			addVuln(row, false, true)
+		}
+	}
+	// Extended classes come strictly after the base tables: the base
+	// plans consume the same rng draws either way, so the default corpus
+	// is byte-identical whether or not the extension is enabled.
+	if spec.ExtendedClasses {
+		for _, row := range extendedVulnDistribution {
+			for i := 0; i < row.both; i++ {
+				addVuln(row, true, true)
+			}
+			for i := 0; i < row.only12; i++ {
+				addVuln(row, true, false)
+			}
+			for i := 0; i < row.only14; i++ {
+				addVuln(row, false, true)
+			}
 		}
 	}
 

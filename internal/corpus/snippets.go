@@ -181,6 +181,76 @@ func vulnSnippet(p vulnPlan, ng *nameGen) snippet {
 			fmt.Sprintf("echo '<div class=\"notice\">' . $%s . '</div>';", v),
 		}, sinkIdx: 0}
 
+	case vkCmdExec:
+		switch p.variant % 3 {
+		case 0:
+			return snippet{lines: []string{
+				fmt.Sprintf("$%s = $_GET['%s'];", v, key),
+				fmt.Sprintf("system('ls -la exports/' . $%s);", v),
+			}, sinkIdx: 1}
+		case 1:
+			return snippet{lines: []string{
+				fmt.Sprintf("exec('tar czf backups/%s.tgz ' . $_GET['%s']);", key, key),
+			}, sinkIdx: 0}
+		default:
+			return snippet{lines: []string{
+				fmt.Sprintf("$%s = $_GET['%s'];", v, key),
+				fmt.Sprintf("passthru(\"convert uploads/$%s thumb_%s.png\");", v, key),
+			}, sinkIdx: 1}
+		}
+
+	case vkEvalInject:
+		if p.variant%2 == 0 {
+			return snippet{lines: []string{
+				fmt.Sprintf("assert($_POST['%s']);", key),
+			}, sinkIdx: 0}
+		}
+		return snippet{lines: []string{
+			fmt.Sprintf("$%s = $_POST['%s'];", v, key),
+			fmt.Sprintf("assert('is_string(' . $%s . ')');", v),
+		}, sinkIdx: 1}
+
+	case vkPathRead:
+		switch p.variant % 3 {
+		case 0:
+			return snippet{lines: []string{
+				fmt.Sprintf("readfile('uploads/' . $_GET['%s']);", key),
+			}, sinkIdx: 0}
+		case 1:
+			fh := ng.v("fh")
+			return snippet{lines: []string{
+				fmt.Sprintf("$%s = $_GET['%s'];", v, key),
+				fmt.Sprintf("$%s = fopen('attachments/' . $%s, 'rb');", fh, v),
+			}, sinkIdx: 1}
+		default:
+			return snippet{lines: []string{
+				fmt.Sprintf("unlink('cache/' . $_GET['%s'] . '.tmp');", key),
+			}, sinkIdx: 0}
+		}
+
+	case vkIncludeGet:
+		if p.variant%2 == 0 {
+			return snippet{lines: []string{
+				fmt.Sprintf("include $_GET['%s'] . '.php';", key),
+			}, sinkIdx: 0}
+		}
+		return snippet{lines: []string{
+			fmt.Sprintf("$%s = $_GET['%s'];", v, key),
+			fmt.Sprintf("require 'pages/' . $%s;", v),
+		}, sinkIdx: 1}
+
+	case vkHeaderRedirect:
+		if p.variant%2 == 0 {
+			return snippet{lines: []string{
+				fmt.Sprintf("header('Location: ' . $_GET['%s']);", key),
+			}, sinkIdx: 0}
+		}
+		return snippet{lines: []string{
+			fmt.Sprintf("$%s = $_GET['%s'];", v, key),
+			fmt.Sprintf("header('Location: ' . $%s);", v),
+			"exit;",
+		}, sinkIdx: 1}
+
 	default:
 		return snippet{lines: []string{"// unreachable"}, sinkIdx: 0}
 	}
@@ -328,6 +398,16 @@ func kindName(k vulnKind) string {
 		return "sqli-wpdb"
 	case vkRegGlobals:
 		return "register-globals"
+	case vkCmdExec:
+		return "cmd-exec"
+	case vkEvalInject:
+		return "eval-inject"
+	case vkPathRead:
+		return "path-read"
+	case vkIncludeGet:
+		return "include-get"
+	case vkHeaderRedirect:
+		return "header-redirect"
 	default:
 		return "unknown"
 	}

@@ -1,0 +1,95 @@
+package eval
+
+import (
+	"fmt"
+	"strings"
+
+	"repro/internal/analyzer"
+	"repro/internal/corpus"
+)
+
+// ClassRow is one vulnerability class's outcome for one tool run,
+// scored against every seeded instance of the class. Unlike the paper's
+// optimistic FN (which only counts misses another tool caught, §V.A),
+// FN here is the real residual: seeded instances the tool missed.
+type ClassRow struct {
+	// Class is the vulnerability class.
+	Class analyzer.VulnClass
+	// CWE and Severity are the class's default metadata.
+	CWE      int
+	Severity string
+	// Seeded counts the ground-truth instances of this class.
+	Seeded int
+	// TP/FP/FN are the tool's counts for this class.
+	TP, FP, FN int
+}
+
+// Precision is TP/(TP+FP), or -1 when undefined.
+func (r ClassRow) Precision() float64 {
+	if r.TP+r.FP == 0 {
+		return -1
+	}
+	return float64(r.TP) / float64(r.TP+r.FP)
+}
+
+// Recall is TP/Seeded, or -1 when nothing was seeded.
+func (r ClassRow) Recall() float64 {
+	if r.Seeded == 0 {
+		return -1
+	}
+	return float64(r.TP) / float64(r.Seeded)
+}
+
+// ClassBreakdown scores one tool run per vulnerability class against
+// the corpus labels. Classes with no seeded instances and no findings
+// are omitted.
+func ClassBreakdown(c *corpus.Corpus, run *ToolRun) []ClassRow {
+	ev := Evaluate(c, []*ToolRun{run})
+	tm := ev.Tools[0]
+
+	seeded := make(map[analyzer.VulnClass]int, len(analyzer.Classes()))
+	for _, g := range c.Truths {
+		seeded[g.Class]++
+	}
+
+	rows := make([]ClassRow, 0, len(analyzer.Classes()))
+	for _, class := range analyzer.Classes() {
+		counts := tm.ByClass[class]
+		row := ClassRow{
+			Class:    class,
+			CWE:      class.CWE(),
+			Severity: class.Severity(),
+			Seeded:   seeded[class],
+			TP:       counts.TP,
+			FP:       counts.FP,
+			FN:       seeded[class] - counts.TP,
+		}
+		if row.Seeded == 0 && row.TP == 0 && row.FP == 0 {
+			continue
+		}
+		rows = append(rows, row)
+	}
+	return rows
+}
+
+// ClassTable renders a breakdown as an aligned text table.
+func ClassTable(tool string, rows []ClassRow) string {
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "Per-class breakdown — %s\n", tool)
+	fmt.Fprintf(&sb, "%-10s %-8s %-9s %7s %5s %5s %5s %6s %7s\n",
+		"Class", "CWE", "Severity", "Seeded", "TP", "FP", "FN", "Prec", "Recall")
+	for _, r := range rows {
+		fmt.Fprintf(&sb, "%-10s CWE-%-4d %-9s %7d %5d %5d %5d %6s %7s\n",
+			r.Class.Slug(), r.CWE, r.Severity, r.Seeded, r.TP, r.FP, r.FN,
+			pct(r.Precision()), pct(r.Recall()))
+	}
+	return sb.String()
+}
+
+// pct renders a ratio as a percentage, "-" when undefined.
+func pct(v float64) string {
+	if v < 0 {
+		return "-"
+	}
+	return fmt.Sprintf("%.0f%%", v*100)
+}

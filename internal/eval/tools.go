@@ -3,13 +3,14 @@ package eval
 import (
 	"context"
 	"fmt"
+	"strings"
 
 	"repro/internal/analyzer"
-	"repro/internal/config"
 	"repro/internal/corpus"
 	"repro/internal/obs"
 	"repro/internal/pixy"
 	"repro/internal/rips"
+	"repro/internal/rulepack"
 	"repro/internal/taint"
 	"repro/internal/wordpress"
 )
@@ -43,22 +44,31 @@ type ToolOptions struct {
 	NoUncalled bool
 	// Recorder, when non-nil, instruments the engine.
 	Recorder *obs.Recorder
+	// ExtraPacks are rule packs loaded from files, registered on top of
+	// the builtin packs before the profile spec is resolved.
+	ExtraPacks []*rulepack.Pack
 }
 
 // BuildTool constructs one engine by name ("phpsafe", "rips" or
-// "pixy") over the named configuration profile ("wordpress" or
-// "generic"). The phpsafe CLI and the phpsafed daemon both construct
-// engines through this function, so the two binaries cannot drift in
-// how a tool/profile pair maps onto an analyzer.
+// "pixy") over a rule-pack spec: a comma-separated list of pack names
+// ("wordpress", "generic", "wordpress,security-extended", ...) resolved
+// against the builtin packs plus opts.ExtraPacks. The phpsafe CLI and
+// the phpsafed daemon both construct engines through this function, so
+// the two binaries cannot drift in how a tool/pack pair maps onto an
+// analyzer.
 func BuildTool(name, profile string, opts ToolOptions) (analyzer.Analyzer, error) {
-	var cfg *config.Compiled
-	switch profile {
-	case "wordpress":
-		cfg = wordpress.Compiled()
-	case "generic":
-		cfg = config.Compile(config.Generic())
-	default:
-		return nil, fmt.Errorf("unknown profile %q", profile)
+	reg := rulepack.NewRegistry()
+	for _, p := range opts.ExtraPacks {
+		reg.Register(p)
+	}
+	names := rulepack.SplitSpec(profile)
+	if len(names) == 0 {
+		return nil, fmt.Errorf("empty rule-pack spec (known packs: %s)",
+			strings.Join(reg.Names(), ", "))
+	}
+	cfg, err := reg.Compile(names...)
+	if err != nil {
+		return nil, err
 	}
 	switch name {
 	case "phpsafe":

@@ -83,6 +83,10 @@ func profile2007() config.Profile {
 // Name returns the tool name used in reports.
 func (e *Engine) Name() string { return "Pixy" }
 
+// OptionsFingerprint identifies the configuration the engine scans with,
+// so cached results are never reused across different rule sets.
+func (e *Engine) OptionsFingerprint() string { return "pixy|cfg:" + e.cfg.Digest() }
+
 // WithRecorder returns a copy of the engine that records per-plugin
 // model/analysis stage spans and parse metrics into rec.
 func (e *Engine) WithRecorder(rec *obs.Recorder) *Engine {

@@ -22,14 +22,15 @@ func SARIF(res *analyzer.Result) ([]byte, error) {
 				InformationURI: "https://github.com/JoseCarlosFonseca/phpSAFE",
 				Rules:          sarifRules(),
 			}},
-			Results: make([]sarifResult, 0, len(res.Findings)),
+			Taxonomies: []sarifTaxonomy{cweTaxonomy()},
+			Results:    make([]sarifResult, 0, len(res.Findings)),
 		}},
 	}
 	run := &log.Runs[0]
 	for _, f := range res.Findings {
 		run.Results = append(run.Results, sarifResult{
 			RuleID:  ruleID(f.Class),
-			Level:   "error",
+			Level:   severityLevel(f.EffectiveSeverity()),
 			Message: sarifMessage{Text: f.String()},
 			Locations: []sarifLocation{{
 				PhysicalLocation: sarifPhysicalLocation{
@@ -38,6 +39,10 @@ func SARIF(res *analyzer.Result) ([]byte, error) {
 				},
 			}},
 			CodeFlows: sarifFlows(f),
+			Properties: &sarifResultProps{
+				CWE:      fmt.Sprintf("CWE-%d", f.EffectiveCWE()),
+				Severity: f.EffectiveSeverity(),
+			},
 		})
 	}
 	for _, failed := range res.FilesFailed {
@@ -54,28 +59,85 @@ func SARIF(res *analyzer.Result) ([]byte, error) {
 
 // ruleID maps vulnerability classes to stable rule identifiers.
 func ruleID(c analyzer.VulnClass) string {
-	switch c {
-	case analyzer.XSS:
-		return "phpsafe/xss"
-	case analyzer.SQLi:
-		return "phpsafe/sqli"
-	case analyzer.CmdInjection:
-		return "phpsafe/cmdi"
-	case analyzer.FileInclusion:
-		return "phpsafe/lfi"
+	if slug := c.Slug(); slug != "" {
+		return "phpsafe/" + slug
+	}
+	return fmt.Sprintf("phpsafe/class-%d", int(c))
+}
+
+// severityLevel maps a finding severity to a SARIF result level.
+func severityLevel(severity string) string {
+	switch severity {
+	case "critical", "high":
+		return "error"
+	case "medium":
+		return "warning"
 	default:
-		return fmt.Sprintf("phpsafe/class-%d", int(c))
+		return "note"
 	}
 }
 
-// sarifRules describes the four rule IDs.
-func sarifRules() []sarifRule {
-	return []sarifRule{
-		{ID: "phpsafe/xss", ShortDescription: sarifMessage{Text: "Cross-Site Scripting: attacker data reaches an HTML output sink"}},
-		{ID: "phpsafe/sqli", ShortDescription: sarifMessage{Text: "SQL Injection: attacker data reaches a query sink"}},
-		{ID: "phpsafe/cmdi", ShortDescription: sarifMessage{Text: "Command Injection: attacker data reaches a shell-execution sink"}},
-		{ID: "phpsafe/lfi", ShortDescription: sarifMessage{Text: "File Inclusion: attacker data used as an include path"}},
+// securityScore maps a severity label to GitHub's security-severity
+// scale (a CVSS-shaped 0-10 score carried as a string property).
+func securityScore(severity string) string {
+	switch severity {
+	case "critical":
+		return "9.8"
+	case "high":
+		return "8.0"
+	case "medium":
+		return "5.0"
+	default:
+		return "3.0"
 	}
+}
+
+// sarifRules describes one rule per vulnerability class, with CWE and
+// severity metadata and a taxonomy reference into the CWE taxonomy.
+func sarifRules() []sarifRule {
+	classes := analyzer.Classes()
+	rules := make([]sarifRule, 0, len(classes))
+	for _, c := range classes {
+		rules = append(rules, sarifRule{
+			ID:               ruleID(c),
+			ShortDescription: sarifMessage{Text: c.Description()},
+			Properties: &sarifRuleProps{
+				CWE:              fmt.Sprintf("CWE-%d", c.CWE()),
+				Severity:         c.Severity(),
+				SecuritySeverity: securityScore(c.Severity()),
+			},
+			Relationships: []sarifRelationship{{
+				Target: sarifReportingDescriptorRef{
+					ID:            fmt.Sprintf("CWE-%d", c.CWE()),
+					ToolComponent: sarifToolComponentRef{Name: "CWE"},
+				},
+				Kinds: []string{"superset"},
+			}},
+		})
+	}
+	return rules
+}
+
+// cweTaxonomy builds the CWE taxonomy component the rules reference:
+// one taxon per distinct CWE across the vulnerability classes.
+func cweTaxonomy() sarifTaxonomy {
+	tax := sarifTaxonomy{
+		Name:             "CWE",
+		Organization:     "MITRE",
+		ShortDescription: sarifMessage{Text: "The MITRE Common Weakness Enumeration"},
+	}
+	seen := make(map[int]bool, 8)
+	for _, c := range analyzer.Classes() {
+		if seen[c.CWE()] {
+			continue
+		}
+		seen[c.CWE()] = true
+		tax.Taxa = append(tax.Taxa, sarifTaxon{
+			ID:               fmt.Sprintf("CWE-%d", c.CWE()),
+			ShortDescription: sarifMessage{Text: c.Description()},
+		})
+	}
+	return tax
 }
 
 // sarifFlows converts a finding's trace into a SARIF code flow.
@@ -108,6 +170,7 @@ type sarifLog struct {
 
 type sarifRun struct {
 	Tool        sarifTool         `json:"tool"`
+	Taxonomies  []sarifTaxonomy   `json:"taxonomies,omitempty"`
 	Results     []sarifResult     `json:"results"`
 	Invocations []sarifInvocation `json:"invocations,omitempty"`
 }
@@ -123,16 +186,56 @@ type sarifDriver struct {
 }
 
 type sarifRule struct {
+	ID               string              `json:"id"`
+	ShortDescription sarifMessage        `json:"shortDescription"`
+	Properties       *sarifRuleProps     `json:"properties,omitempty"`
+	Relationships    []sarifRelationship `json:"relationships,omitempty"`
+}
+
+type sarifRuleProps struct {
+	CWE              string `json:"cwe"`
+	Severity         string `json:"severity"`
+	SecuritySeverity string `json:"security-severity"`
+}
+
+type sarifRelationship struct {
+	Target sarifReportingDescriptorRef `json:"target"`
+	Kinds  []string                    `json:"kinds,omitempty"`
+}
+
+type sarifReportingDescriptorRef struct {
+	ID            string                `json:"id"`
+	ToolComponent sarifToolComponentRef `json:"toolComponent"`
+}
+
+type sarifToolComponentRef struct {
+	Name string `json:"name"`
+}
+
+type sarifTaxonomy struct {
+	Name             string       `json:"name"`
+	Organization     string       `json:"organization,omitempty"`
+	ShortDescription sarifMessage `json:"shortDescription"`
+	Taxa             []sarifTaxon `json:"taxa"`
+}
+
+type sarifTaxon struct {
 	ID               string       `json:"id"`
 	ShortDescription sarifMessage `json:"shortDescription"`
 }
 
 type sarifResult struct {
-	RuleID    string          `json:"ruleId"`
-	Level     string          `json:"level"`
-	Message   sarifMessage    `json:"message"`
-	Locations []sarifLocation `json:"locations"`
-	CodeFlows []sarifCodeFlow `json:"codeFlows,omitempty"`
+	RuleID     string            `json:"ruleId"`
+	Level      string            `json:"level"`
+	Message    sarifMessage      `json:"message"`
+	Locations  []sarifLocation   `json:"locations"`
+	CodeFlows  []sarifCodeFlow   `json:"codeFlows,omitempty"`
+	Properties *sarifResultProps `json:"properties,omitempty"`
+}
+
+type sarifResultProps struct {
+	CWE      string `json:"cwe"`
+	Severity string `json:"severity"`
 }
 
 type sarifMessage struct {

@@ -68,6 +68,84 @@ func TestSARIFRuleIDs(t *testing.T) {
 	}
 }
 
+func TestSARIFCWEMetadata(t *testing.T) {
+	t.Parallel()
+	res := &analyzer.Result{
+		Tool:   "phpSAFE",
+		Target: "demo",
+		Findings: []analyzer.Finding{
+			{Class: analyzer.SQLi, File: "a.php", Line: 3, Sink: "query"},
+			{Class: analyzer.OpenRedirect, File: "b.php", Line: 9, Sink: "header",
+				CWE: 601, Severity: "medium"},
+		},
+	}
+	data, err := SARIF(res)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var doc map[string]any
+	if err := json.Unmarshal(data, &doc); err != nil {
+		t.Fatal(err)
+	}
+	run := doc["runs"].([]any)[0].(map[string]any)
+
+	// Every rule carries CWE, severity and security-severity properties
+	// plus a relationship into the CWE taxonomy.
+	rules := run["tool"].(map[string]any)["driver"].(map[string]any)["rules"].([]any)
+	if len(rules) != len(analyzer.Classes()) {
+		t.Fatalf("rules = %d, want one per class (%d)", len(rules), len(analyzer.Classes()))
+	}
+	for _, r := range rules {
+		rule := r.(map[string]any)
+		props := rule["properties"].(map[string]any)
+		for _, key := range []string{"cwe", "severity", "security-severity"} {
+			if s, _ := props[key].(string); s == "" {
+				t.Errorf("rule %v: missing property %q", rule["id"], key)
+			}
+		}
+		rels := rule["relationships"].([]any)
+		target := rels[0].(map[string]any)["target"].(map[string]any)
+		if tc := target["toolComponent"].(map[string]any); tc["name"] != "CWE" {
+			t.Errorf("rule %v: relationship target component = %v", rule["id"], tc["name"])
+		}
+	}
+
+	// The run-level taxonomy enumerates each distinct CWE once.
+	tax := run["taxonomies"].([]any)[0].(map[string]any)
+	if tax["name"] != "CWE" {
+		t.Fatalf("taxonomy name = %v", tax["name"])
+	}
+	taxa := tax["taxa"].([]any)
+	seen := map[string]bool{}
+	for _, tx := range taxa {
+		id := tx.(map[string]any)["id"].(string)
+		if seen[id] {
+			t.Errorf("duplicate taxon %s", id)
+		}
+		seen[id] = true
+	}
+	if !seen["CWE-89"] || !seen["CWE-601"] {
+		t.Errorf("taxa missing expected CWEs: %v", seen)
+	}
+
+	// Results carry per-finding CWE/severity and severity-derived levels.
+	results := run["results"].([]any)
+	sqli := results[0].(map[string]any)
+	if sqli["level"] != "error" {
+		t.Errorf("sqli level = %v, want error (critical severity)", sqli["level"])
+	}
+	if props := sqli["properties"].(map[string]any); props["cwe"] != "CWE-89" || props["severity"] != "critical" {
+		t.Errorf("sqli properties = %v", props)
+	}
+	redirect := results[1].(map[string]any)
+	if redirect["level"] != "warning" {
+		t.Errorf("redirect level = %v, want warning (medium severity)", redirect["level"])
+	}
+	if props := redirect["properties"].(map[string]any); props["cwe"] != "CWE-601" {
+		t.Errorf("redirect properties = %v", props)
+	}
+}
+
 func TestSARIFEmptyResult(t *testing.T) {
 	t.Parallel()
 	data, err := SARIF(&analyzer.Result{Tool: "phpSAFE", Target: "clean"})

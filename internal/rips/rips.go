@@ -62,6 +62,10 @@ func NewDefault() *Engine { return New(config.Compile(config.Generic())) }
 // Name returns the tool name used in reports.
 func (e *Engine) Name() string { return "RIPS" }
 
+// OptionsFingerprint identifies the configuration the engine scans with,
+// so cached results are never reused across different rule sets.
+func (e *Engine) OptionsFingerprint() string { return "rips|cfg:" + e.cfg.Digest() }
+
 // WithRecorder returns a copy of the engine that records per-plugin
 // model/slice stage spans and parse metrics into rec.
 func (e *Engine) WithRecorder(rec *obs.Recorder) *Engine {

@@ -1,0 +1,43 @@
+package rulepack
+
+import "testing"
+
+// FuzzPackLoad asserts the loader's contract on arbitrary bytes: Load
+// either returns a fully validated pack or an error — it never panics,
+// and anything it accepts marshals and reloads cleanly.
+func FuzzPackLoad(f *testing.F) {
+	f.Add([]byte(mini))
+	for _, p := range Builtins() {
+		if data, err := p.Marshal(); err == nil {
+			f.Add(data)
+		}
+	}
+	f.Add([]byte(`{"schema_version": 1, "name": "x", "extends": ["x"]}`))
+	f.Add([]byte(`{"schema_version": 99}`))
+	f.Add([]byte(`{"schema_version": 1, "name": "x", "sinks": [{"name": "e", "vuln": "nope"}]}`))
+	f.Add([]byte(`{"schema_version": 1, "name": "x", "sources": [{"kind": "?", "name": "_GET", "vector": "get"}]}`))
+	f.Add([]byte(`{"schema_version": 1, "name": "x", "sinks": [{"name": "e", "vuln": "xss", "args": [-2]}]}`))
+	f.Add([]byte(`{}`))
+	f.Add([]byte(`null`))
+	f.Add([]byte(`[]`))
+	f.Add([]byte(``))
+	f.Add([]byte(`{"schema_version": 1, "name": "x"}{"schema_version": 1, "name": "y"}`))
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		p, err := Load(data)
+		if err != nil {
+			return
+		}
+		// Accepted packs must survive a marshal/reload round trip and
+		// convert to a profile without panicking.
+		out, err := p.Marshal()
+		if err != nil {
+			t.Fatalf("accepted pack does not marshal: %v", err)
+		}
+		if _, err := Load(out); err != nil {
+			t.Fatalf("marshalled pack does not reload: %v", err)
+		}
+		_ = p.Profile()
+		_ = p.RuleCount()
+	})
+}

@@ -1,0 +1,115 @@
+package rulepack
+
+import (
+	"flag"
+	"os"
+	"path/filepath"
+	"reflect"
+	"testing"
+
+	"repro/internal/config"
+	"repro/internal/wordpress"
+)
+
+var update = flag.Bool("update", false, "regenerate builtin packs from the Go profiles")
+
+// generated describes the builtin packs derived from the original
+// compiled-in Go profiles. wordpress and drupal are stored as layers
+// extending generic, mirroring how the Go code merges them.
+var generated = []struct {
+	file        string
+	description string
+	extends     []string
+	profile     func() config.Profile
+}{
+	{"generic.json", "Generic PHP sources, sanitizers and sinks (phpSAFE class-vulnerable-*.php)",
+		nil, config.Generic},
+	{"wordpress.json", "WordPress framework layer: wpdb, esc_* sanitizers, nonce/option APIs",
+		[]string{"generic"}, wordpress.Profile},
+	{"drupal.json", "Drupal 7-era layer: db_fetch_* sources, check/filter API, db_query sinks",
+		[]string{"generic"}, config.Drupal},
+}
+
+// TestGeneratedPacksInSync regenerates the derived builtin packs with
+// -update, and otherwise proves byte-for-byte sync between the embedded
+// JSON and the Go profiles they were generated from.
+func TestGeneratedPacksInSync(t *testing.T) {
+	for _, g := range generated {
+		p, err := FromProfile(nameFromFile(g.file), g.description, g.profile())
+		if err != nil {
+			t.Fatalf("%s: FromProfile: %v", g.file, err)
+		}
+		p.Extends = g.extends
+		want, err := p.Marshal()
+		if err != nil {
+			t.Fatalf("%s: marshal: %v", g.file, err)
+		}
+		path := filepath.Join("builtin", g.file)
+		if *update {
+			if err := os.WriteFile(path, want, 0o644); err != nil {
+				t.Fatalf("write %s: %v", path, err)
+			}
+			continue
+		}
+		got, err := os.ReadFile(path)
+		if err != nil {
+			t.Fatalf("read %s: %v", path, err)
+		}
+		if string(got) != string(want) {
+			t.Errorf("%s is out of sync with its Go profile; run: go test ./internal/rulepack -run TestGeneratedPacksInSync -update", path)
+		}
+	}
+}
+
+func nameFromFile(file string) string {
+	return file[:len(file)-len(".json")]
+}
+
+// TestResolvedEqualsMerged proves the pack path and the Go path build
+// the same profile: resolving a derived pack must deep-equal the
+// corresponding config.Merge chain, names aside.
+func TestResolvedEqualsMerged(t *testing.T) {
+	if *update {
+		t.Skip("regenerating")
+	}
+	cases := []struct {
+		packs []string
+		want  config.Profile
+	}{
+		{[]string{"generic"}, config.Merge("x", config.Generic())},
+		{[]string{"wordpress"}, config.Merge("x", config.Generic(), wordpress.Profile())},
+		{[]string{"drupal"}, config.Merge("x", config.Generic(), config.Drupal())},
+	}
+	r := NewRegistry()
+	for _, c := range cases {
+		got, err := r.Resolve(c.packs...)
+		if err != nil {
+			t.Fatalf("resolve %v: %v", c.packs, err)
+		}
+		got.Name = "x"
+		if !reflect.DeepEqual(normalize(got), normalize(c.want)) {
+			t.Errorf("resolve %v != merged Go profiles", c.packs)
+		}
+	}
+}
+
+// normalize maps empty slices/maps to nil so JSON round-trips compare
+// equal to hand-built profiles.
+func normalize(p config.Profile) config.Profile {
+	if len(p.Sources) == 0 {
+		p.Sources = nil
+	}
+	if len(p.Sanitizers) == 0 {
+		p.Sanitizers = nil
+	}
+	if len(p.Reverts) == 0 {
+		p.Reverts = nil
+	}
+	if len(p.Sinks) == 0 {
+		p.Sinks = nil
+	}
+	if len(p.ObjectClasses) == 0 {
+		p.ObjectClasses = nil
+	}
+	return p
+}

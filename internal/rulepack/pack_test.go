@@ -1,0 +1,196 @@
+package rulepack
+
+import (
+	"strings"
+	"testing"
+)
+
+// mini is a syntactically minimal valid pack used as the mutation base.
+const mini = `{
+  "schema_version": 1,
+  "name": "mini",
+  "sources": [{"kind": "superglobal", "name": "_GET", "vector": "get"}],
+  "sanitizers": [{"name": "esc_html", "untaints": ["xss"]}],
+  "reverts": ["stripslashes"],
+  "sinks": [{"name": "echo", "vuln": "xss", "args": [0]}]
+}`
+
+func TestLoadValid(t *testing.T) {
+	p, err := Load([]byte(mini))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.Name != "mini" || p.RuleCount() != 4 {
+		t.Fatalf("got name=%q rules=%d, want mini/4", p.Name, p.RuleCount())
+	}
+}
+
+func TestLoadRejectsMalformed(t *testing.T) {
+	cases := []struct {
+		name    string
+		mutate  func(string) string
+		wantErr string
+	}{
+		{"bad schema version", func(s string) string {
+			return strings.Replace(s, `"schema_version": 1`, `"schema_version": 2`, 1)
+		}, "unsupported schema_version"},
+		{"bad pack name", func(s string) string {
+			return strings.Replace(s, `"name": "mini"`, `"name": "Mini Pack"`, 1)
+		}, "invalid pack name"},
+		{"unknown field", func(s string) string {
+			return strings.Replace(s, `"name": "mini",`, `"name": "mini", "bogus": true,`, 1)
+		}, "unknown field"},
+		{"trailing data", func(s string) string {
+			return s + `{"schema_version": 1, "name": "extra"}`
+		}, "trailing data"},
+		{"not json", func(string) string { return "sources: []" }, "parse"},
+		{"unknown source kind", func(s string) string {
+			return strings.Replace(s, `"kind": "superglobal"`, `"kind": "global"`, 1)
+		}, "unknown kind"},
+		{"unknown vector", func(s string) string {
+			return strings.Replace(s, `"vector": "get"`, `"vector": "url"`, 1)
+		}, "unknown vector"},
+		{"class on non-method source", func(s string) string {
+			return strings.Replace(s, `"name": "_GET",`, `"name": "_GET", "class": "wpdb",`, 1)
+		}, "non-method source"},
+		{"unknown taint slug", func(s string) string {
+			return strings.Replace(s, `"untaints": ["xss"]`, `"untaints": ["csrf"]`, 1)
+		}, "unknown vulnerability class"},
+		{"unknown sink vuln", func(s string) string {
+			return strings.Replace(s, `"vuln": "xss"`, `"vuln": "rce"`, 1)
+		}, "unknown vulnerability class"},
+		{"negative arg index", func(s string) string {
+			return strings.Replace(s, `"args": [0]`, `"args": [-1]`, 1)
+		}, "negative arg index"},
+		{"bad severity", func(s string) string {
+			return strings.Replace(s, `"vuln": "xss"`, `"vuln": "xss", "severity": "urgent"`, 1)
+		}, "unknown severity"},
+		{"self extend", func(s string) string {
+			return strings.Replace(s, `"name": "mini",`, `"name": "mini", "extends": ["mini"],`, 1)
+		}, "extends itself"},
+		{"missing sink name", func(s string) string {
+			return strings.Replace(s, `"name": "echo",`, ``, 1)
+		}, "missing name"},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			_, err := Load([]byte(tc.mutate(mini)))
+			if err == nil {
+				t.Fatalf("mutation accepted, want error containing %q", tc.wantErr)
+			}
+			if !strings.Contains(err.Error(), tc.wantErr) {
+				t.Fatalf("error = %v, want substring %q", err, tc.wantErr)
+			}
+		})
+	}
+}
+
+func TestLoadRejectsDuplicateRuleIDs(t *testing.T) {
+	dup := strings.Replace(mini,
+		`{"name": "echo", "vuln": "xss", "args": [0]}`,
+		`{"name": "echo", "vuln": "xss", "args": [0]}, {"name": "echo", "vuln": "xss"}`, 1)
+	if _, err := Load([]byte(dup)); err == nil || !strings.Contains(err.Error(), "duplicate rule id") {
+		t.Fatalf("duplicate sinks: err = %v, want duplicate rule id", err)
+	}
+	// Explicit IDs collide too, even across rule categories.
+	ids := strings.Replace(mini, `{"kind": "superglobal"`, `{"id": "r1", "kind": "superglobal"`, 1)
+	ids = strings.Replace(ids, `{"name": "echo"`, `{"id": "r1", "name": "echo"`, 1)
+	if _, err := Load([]byte(ids)); err == nil || !strings.Contains(err.Error(), "duplicate rule id") {
+		t.Fatalf("duplicate explicit ids: err = %v, want duplicate rule id", err)
+	}
+}
+
+func TestMarshalRoundTrip(t *testing.T) {
+	for _, p := range Builtins() {
+		data, err := p.Marshal()
+		if err != nil {
+			t.Fatalf("%s: %v", p.Name, err)
+		}
+		back, err := Load(data)
+		if err != nil {
+			t.Fatalf("%s: reload: %v", p.Name, err)
+		}
+		again, err := back.Marshal()
+		if err != nil {
+			t.Fatalf("%s: re-marshal: %v", p.Name, err)
+		}
+		if string(data) != string(again) {
+			t.Errorf("%s: marshal not stable across a load round trip", p.Name)
+		}
+	}
+}
+
+func TestRegistryResolve(t *testing.T) {
+	reg := NewRegistry()
+
+	t.Run("unknown pack lists known packs", func(t *testing.T) {
+		_, err := reg.Resolve("no-such-pack")
+		if err == nil {
+			t.Fatal("want error")
+		}
+		for _, name := range []string{"generic", "wordpress", "drupal", "joomla", "security-extended"} {
+			if !strings.Contains(err.Error(), name) {
+				t.Errorf("error %v does not list builtin %q", err, name)
+			}
+		}
+	})
+
+	t.Run("extends cycle detected", func(t *testing.T) {
+		a := &Pack{SchemaVersion: SchemaVersion, Name: "cyc-a", Extends: []string{"cyc-b"}}
+		b := &Pack{SchemaVersion: SchemaVersion, Name: "cyc-b", Extends: []string{"cyc-a"}}
+		r := NewRegistry()
+		r.Register(a)
+		r.Register(b)
+		if _, err := r.Resolve("cyc-a"); err == nil || !strings.Contains(err.Error(), "cycle") {
+			t.Fatalf("err = %v, want extends cycle", err)
+		}
+	})
+
+	t.Run("diamond extends applied once", func(t *testing.T) {
+		// left and right both extend generic; resolving both must merge
+		// generic exactly once (no duplicated sinks).
+		left := &Pack{SchemaVersion: SchemaVersion, Name: "left", Extends: []string{"generic"}}
+		right := &Pack{SchemaVersion: SchemaVersion, Name: "right", Extends: []string{"generic"}}
+		r := NewRegistry()
+		r.Register(left)
+		r.Register(right)
+		diamond, err := r.Resolve("left", "right")
+		if err != nil {
+			t.Fatal(err)
+		}
+		solo, err := r.Resolve("generic")
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(diamond.Sinks) != len(solo.Sinks) {
+			t.Errorf("diamond sinks = %d, generic alone = %d (base merged twice?)",
+				len(diamond.Sinks), len(solo.Sinks))
+		}
+	})
+
+	t.Run("compile succeeds for every builtin", func(t *testing.T) {
+		for _, name := range reg.Names() {
+			if _, err := reg.Compile(name); err != nil {
+				t.Errorf("compile %s: %v", name, err)
+			}
+		}
+	})
+}
+
+func TestSplitSpec(t *testing.T) {
+	cases := []struct {
+		in   string
+		want int
+	}{
+		{"", 0},
+		{" , ", 0},
+		{"wordpress", 1},
+		{"wordpress,security-extended", 2},
+		{" generic , joomla ", 2},
+	}
+	for _, tc := range cases {
+		if got := SplitSpec(tc.in); len(got) != tc.want {
+			t.Errorf("SplitSpec(%q) = %v, want %d names", tc.in, got, tc.want)
+		}
+	}
+}

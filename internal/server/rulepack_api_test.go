@@ -1,0 +1,136 @@
+package server
+
+import (
+	"encoding/json"
+	"net/http"
+	"testing"
+
+	"repro/internal/analyzer"
+)
+
+// TestRulepackListing exercises GET /v1/rulepacks: every builtin pack
+// is listed with its metadata.
+func TestRulepackListing(t *testing.T) {
+	t.Parallel()
+	e := newEnv(t, 1, 4)
+
+	resp, err := http.Get(e.ts.URL + "/v1/rulepacks")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("status = %d, want 200", resp.StatusCode)
+	}
+	var body struct {
+		Rulepacks []rulepackJSON `json:"rulepacks"`
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&body); err != nil {
+		t.Fatal(err)
+	}
+	got := make(map[string]rulepackJSON, len(body.Rulepacks))
+	for _, p := range body.Rulepacks {
+		got[p.Name] = p
+	}
+	for _, name := range []string{"generic", "wordpress", "drupal", "joomla", "security-extended"} {
+		p, ok := got[name]
+		if !ok {
+			t.Errorf("pack %q missing from listing", name)
+			continue
+		}
+		if p.Rules == 0 {
+			t.Errorf("pack %q lists zero rules", name)
+		}
+	}
+	if got["wordpress"].Extends[0] != "generic" {
+		t.Errorf("wordpress extends = %v", got["wordpress"].Extends)
+	}
+}
+
+// TestPackSelectionChangesResults is the end-to-end pack-selection and
+// cache-separation check: the same content scanned under the default
+// packs and under security-extended must produce different results —
+// which also proves the scan-cache keys of the two pack sets are
+// distinct, because a key collision would serve the first (finding-free)
+// result for the second submission.
+func TestPackSelectionChangesResults(t *testing.T) {
+	t.Parallel()
+	e := newEnv(t, 1, 8)
+
+	const traversal = `{"name":"trav","files":{"dl.php":"<?php readfile('uploads/' . $_GET['f']);"}}`
+
+	status, sc := e.submitJSON(t, traversal)
+	if status != http.StatusAccepted {
+		t.Fatalf("default submit status = %d", status)
+	}
+	if done := e.wait(t, sc.ID); len(done.Result.Findings) != 0 {
+		t.Fatalf("default packs found %d findings, want 0: %+v", len(done.Result.Findings), done.Result.Findings)
+	}
+
+	const withPacks = `{"name":"trav","rule_packs":["wordpress","security-extended"],"files":{"dl.php":"<?php readfile('uploads/' . $_GET['f']);"}}`
+	status, sc = e.submitJSON(t, withPacks)
+	if status != http.StatusAccepted {
+		t.Fatalf("extended submit status = %d (a cache key collision would yield 200)", status)
+	}
+	done := e.wait(t, sc.ID)
+	if done.Profile != "wordpress,security-extended" {
+		t.Errorf("profile = %q", done.Profile)
+	}
+	if len(done.Result.Findings) != 1 {
+		t.Fatalf("extended packs found %d findings, want 1: %+v", len(done.Result.Findings), done.Result.Findings)
+	}
+	f := done.Result.Findings[0]
+	if f.Class != analyzer.PathTraversal || f.Sink != "readfile" {
+		t.Errorf("finding = %+v, want readfile path traversal", f)
+	}
+	if f.CWE != 22 || f.Severity != "high" {
+		t.Errorf("finding metadata cwe=%d severity=%q, want 22/high", f.CWE, f.Severity)
+	}
+}
+
+// TestNewClassesEndToEnd drives one representative of each new
+// vulnerability class through the daemon under the security-extended
+// pack and checks class, CWE and severity on the wire.
+func TestNewClassesEndToEnd(t *testing.T) {
+	t.Parallel()
+	e := newEnv(t, 2, 8)
+
+	cases := []struct {
+		name, php string
+		class     analyzer.VulnClass
+		cwe       int
+	}{
+		{"cmdi", `<?php system('ls ' . $_GET['d']);`, analyzer.CmdInjection, 78},
+		{"eval", `<?php assert($_POST['expr']);`, analyzer.CodeEval, 95},
+		{"traversal", `<?php $fh = fopen($_GET['p'], 'r');`, analyzer.PathTraversal, 22},
+		{"redirect", `<?php header('Location: ' . $_GET['next']);`, analyzer.OpenRedirect, 601},
+		{"lfi", `<?php include $_GET['page'] . '.php';`, analyzer.FileInclusion, 98},
+	}
+	for _, tc := range cases {
+		body, _ := json.Marshal(map[string]any{
+			"name":       tc.name,
+			"rule_packs": []string{"generic", "security-extended"},
+			"files":      map[string]string{tc.name + ".php": tc.php},
+		})
+		status, sc := e.submitJSON(t, string(body))
+		if status != http.StatusAccepted && status != http.StatusOK {
+			t.Fatalf("%s: submit status = %d", tc.name, status)
+		}
+		done := e.wait(t, sc.ID)
+		found := false
+		for _, f := range done.Result.Findings {
+			if f.Class == tc.class {
+				found = true
+				if f.CWE != tc.cwe {
+					t.Errorf("%s: cwe = %d, want %d", tc.name, f.CWE, tc.cwe)
+				}
+				if f.Severity == "" {
+					t.Errorf("%s: empty severity", tc.name)
+				}
+			}
+		}
+		if !found {
+			t.Errorf("%s: no %v finding: %+v", tc.name, tc.class, done.Result.Findings)
+		}
+	}
+}

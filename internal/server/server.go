@@ -74,6 +74,7 @@ import (
 	"repro/internal/jobs"
 	"repro/internal/obs"
 	"repro/internal/report"
+	"repro/internal/rulepack"
 	"repro/internal/scancache"
 	"repro/internal/taint"
 	"repro/internal/version"
@@ -271,6 +272,7 @@ func New(cfg Config) *Server {
 	s.mux.HandleFunc("GET /v1/scans/{id}/trace", s.instrument("scans_trace", s.handleTrace))
 	s.mux.HandleFunc("GET /debug/events", s.instrument("debug_events", s.handleDebugEvents))
 	s.mux.HandleFunc("GET /v1/quarantine", s.instrument("quarantine", s.handleQuarantine))
+	s.mux.HandleFunc("GET /v1/rulepacks", s.instrument("rulepacks", s.handleRulepacks))
 	s.mux.HandleFunc("GET /v1/diffs", s.instrument("diffs", s.handleDiff))
 	s.mux.HandleFunc("GET /healthz", s.instrument("healthz", s.handleHealthz))
 	s.mux.HandleFunc("GET /livez", s.instrument("livez", s.handleLivez))
@@ -370,8 +372,13 @@ type submitRequest struct {
 	Name string `json:"name"`
 	// Tool picks the engine: phpsafe (default), rips or pixy.
 	Tool string `json:"tool"`
-	// Profile picks the configuration: wordpress (default) or generic.
+	// Profile picks the configuration: a rule-pack spec, i.e. a
+	// comma-separated list of pack names (default "wordpress"; see
+	// GET /v1/rulepacks for the available packs).
 	Profile string `json:"profile"`
+	// RulePacks, when non-empty, overrides Profile with an explicit
+	// pack list: ["wordpress","security-extended"] scans with both.
+	RulePacks []string `json:"rule_packs"`
 	// Files maps relative paths to PHP source text; non-PHP paths are
 	// ignored, matching the directory loader.
 	Files map[string]string `json:"files"`
@@ -472,8 +479,8 @@ func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	opts := s.effectiveBudgets(req.scanOptions())
-	key := scancache.Key(target, fmt.Sprintf("%s|%s|%s|%s",
-		s.cfg.Fingerprint, req.Tool, req.Profile, budgetKey(opts)))
+	key := scancache.Key(target, fmt.Sprintf("%s|%s|%s|%s|%s",
+		s.cfg.Fingerprint, req.Tool, req.Profile, engineFingerprint(engine), budgetKey(opts)))
 
 	// Fast path: the content has been scanned before.
 	if res, ok := s.cfg.Cache.Get(key); ok {
@@ -973,6 +980,41 @@ func (s *Server) handleGet(w http.ResponseWriter, r *http.Request) {
 	})
 }
 
+// engineFingerprint returns the engine's self-reported configuration
+// fingerprint (rule digest + options), or "" for engines that do not
+// expose one. Folding it into the cache key keeps results computed
+// under different rule-pack sets from ever being served for each other.
+func engineFingerprint(a analyzer.Analyzer) string {
+	if f, ok := a.(interface{ OptionsFingerprint() string }); ok {
+		return f.OptionsFingerprint()
+	}
+	return ""
+}
+
+// rulepackJSON is the wire shape of one pack in the listing.
+type rulepackJSON struct {
+	Name        string   `json:"name"`
+	Description string   `json:"description,omitempty"`
+	Extends     []string `json:"extends,omitempty"`
+	Rules       int      `json:"rules"`
+}
+
+// handleRulepacks lists the builtin rule packs a submission may name in
+// its profile / rule_packs fields.
+func (s *Server) handleRulepacks(w http.ResponseWriter, _ *http.Request) {
+	packs := rulepack.Builtins()
+	out := make([]rulepackJSON, 0, len(packs))
+	for _, p := range packs {
+		out = append(out, rulepackJSON{
+			Name:        p.Name,
+			Description: p.Description,
+			Extends:     p.Extends,
+			Rules:       p.RuleCount(),
+		})
+	}
+	s.writeJSON(w, http.StatusOK, map[string]any{"rulepacks": out})
+}
+
 // handleHealthz reports liveness and occupancy. The status flips to
 // "degraded" when the journal has failed over to in-memory mode: the
 // daemon still scans correctly but accepted work would not survive a
@@ -1055,10 +1097,16 @@ func (s *Server) parseSubmission(r *http.Request) (*submitRequest, error) {
 		req.Files = files
 		q := r.URL.Query()
 		req.Name, req.Tool, req.Profile = q.Get("name"), q.Get("tool"), q.Get("profile")
+		if packs := q.Get("packs"); packs != "" {
+			req.Profile = packs
+		}
 	default:
 		if err := json.NewDecoder(body).Decode(req); err != nil {
 			return nil, fmt.Errorf("decoding JSON body: %w", err)
 		}
+	}
+	if len(req.RulePacks) > 0 {
+		req.Profile = strings.Join(req.RulePacks, ",")
 	}
 	if req.Name == "" {
 		req.Name = "upload"

@@ -217,12 +217,31 @@ func TestBadRequests(t *testing.T) {
 		{"no files", `{"name":"x","files":{}}`, http.StatusBadRequest},
 		{"no php files", `{"name":"x","files":{"a.txt":"hi"}}`, http.StatusBadRequest},
 		{"unknown tool", `{"tool":"sonar","files":{"a.php":"<?php"}}`, http.StatusBadRequest},
-		{"unknown profile", `{"profile":"joomla","files":{"a.php":"<?php"}}`, http.StatusBadRequest},
+		{"unknown pack", `{"profile":"no-such-pack","files":{"a.php":"<?php"}}`, http.StatusBadRequest},
+		{"unknown pack in list", `{"rule_packs":["wordpress","no-such-pack"],"files":{"a.php":"<?php"}}`, http.StatusBadRequest},
+		{"joomla is a builtin pack now", `{"profile":"joomla","files":{"a.php":"<?php"}}`, http.StatusAccepted},
 	}
 	for _, tc := range cases {
 		status, _ := e.submitJSON(t, tc.body)
 		if status != tc.want {
 			t.Errorf("%s: status = %d, want %d", tc.name, status, tc.want)
+		}
+	}
+
+	// The unknown-pack rejection must tell the caller what packs exist.
+	resp, err := http.Post(e.ts.URL+"/v1/scans", "application/json",
+		strings.NewReader(`{"profile":"no-such-pack","files":{"a.php":"<?php"}}`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	body, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusBadRequest {
+		t.Fatalf("unknown pack status = %d, want 400", resp.StatusCode)
+	}
+	for _, name := range []string{"generic", "wordpress", "drupal", "joomla", "security-extended"} {
+		if !strings.Contains(string(body), name) {
+			t.Errorf("unknown-pack 400 body does not name pack %q: %s", name, body)
 		}
 	}
 
@@ -240,7 +259,7 @@ func TestBadRequests(t *testing.T) {
 	t.Cleanup(func() { close(block) })
 	eSlow := newEnv(t, 1, 4, withBlockingAnalyzer(block, nil))
 	_, sc := eSlow.submitJSON(t, submission("slow"))
-	resp, err := http.Get(eSlow.ts.URL + "/v1/scans/" + sc.ID + "?format=sarif")
+	resp, err = http.Get(eSlow.ts.URL + "/v1/scans/" + sc.ID + "?format=sarif")
 	if err != nil {
 		t.Fatal(err)
 	}

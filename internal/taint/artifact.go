@@ -74,6 +74,8 @@ type PortableFlow struct {
 	File     string             `json:"file"`
 	Line     int                `json:"line"`
 	Variable string             `json:"variable,omitempty"`
+	CWE      int                `json:"cwe,omitempty"`
+	Severity string             `json:"severity,omitempty"`
 }
 
 // PortableSummary is the serializable form of one function summary.
@@ -237,6 +239,8 @@ func portableSummary(s *summary) *PortableSummary {
 			File:     f.file,
 			Line:     f.line,
 			Variable: f.variable,
+			CWE:      f.cwe,
+			Severity: f.severity,
 		})
 	}
 	return out
@@ -258,6 +262,8 @@ func (p *PortableSummary) summary(file string) *summary {
 			file:     f.File,
 			line:     f.Line,
 			variable: f.Variable,
+			cwe:      f.CWE,
+			severity: f.Severity,
 		})
 	}
 	return s

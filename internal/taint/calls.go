@@ -63,10 +63,13 @@ func (a *analysis) evalFuncCall(x *phpast.FuncCall, sc *scope) *value {
 		})
 	}
 
-	// Sink: check the sensitive arguments.
-	if sinks := a.cfg.FunctionSinks(name); len(sinks) > 0 {
+	// Sink: check the sensitive arguments. A function may be both a sink
+	// and a source (file_get_contents reads an attacker-chosen path and
+	// returns attacker-influenced content), so the source check below
+	// still runs; pure sinks return untainted after it.
+	sinks := a.cfg.FunctionSinks(name)
+	if len(sinks) > 0 {
 		a.checkSinkArgs(sinks, name, x.Args, argVals, x.Pos(), sc)
-		return untainted()
 	}
 
 	// Source: the return value is attacker influenced.
@@ -75,6 +78,9 @@ func (a *analysis) evalFuncCall(x *phpast.FuncCall, sc *scope) *value {
 			File: a.curFile, Line: x.Pos(), Var: name + "()",
 			Note: "source: " + name,
 		})
+	}
+	if len(sinks) > 0 {
+		return untainted()
 	}
 
 	// User-defined function: inter-procedural analysis via summary.
@@ -315,7 +321,7 @@ func (a *analysis) checkSinkArgs(sinks []config.Sink, sinkName string,
 			if i < len(args) {
 				varName = exprName(args[i].Value)
 			}
-			a.checkSink(sinkName, sink.Vuln, v, line, varName, sc)
+			a.checkSinkMeta(sinkName, sink.Vuln, v, line, varName, sc, sink.CWE, sink.Severity)
 		}
 	}
 }

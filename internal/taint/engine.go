@@ -150,11 +150,13 @@ func (e *Engine) IsSuperglobal(name string) bool {
 }
 
 // OptionsFingerprint returns a deterministic rendering of the engine's
-// analysis options for cache keys: two engines with equal fingerprints
-// (and equal configurations) produce identical results on identical
-// input, so cached artifacts may flow between them.
+// analysis options AND its configuration digest for cache keys: two
+// engines with equal fingerprints produce identical results on identical
+// input, so cached artifacts may flow between them. Folding the rule-set
+// digest in keeps the scan cache and the incremental artifact store from
+// mixing results across different rule-pack selections.
 func (e *Engine) OptionsFingerprint() string {
-	return fmt.Sprintf("%+v", e.opts)
+	return fmt.Sprintf("%+v|cfg:%s", e.opts, e.cfg.Digest())
 }
 
 // flushStats publishes the scan's accumulated counts to the recorder.

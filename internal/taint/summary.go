@@ -27,7 +27,8 @@ type summary struct {
 }
 
 // sinkFlow records that parameter 'param', if tainted for 'class',
-// reaches the named sink at file:line.
+// reaches the named sink at file:line. cwe/severity carry the sink
+// rule's metadata (zero/empty = class defaults).
 type sinkFlow struct {
 	param    int
 	class    analyzer.VulnClass
@@ -35,6 +36,8 @@ type sinkFlow struct {
 	file     string
 	line     int
 	variable string
+	cwe      int
+	severity string
 }
 
 // addReturn merges a return value into the summary.
@@ -146,7 +149,8 @@ func (a *analysis) instantiate(sum *summary, args []*value, displayName string, 
 			Note: "passed into " + displayName,
 		}
 		inner := t.withStep(a.opts.MaxTraceDepth, step)
-		a.report(flow.sink, flow.class, flow.file, flow.line, flow.variable, inner)
+		a.report(flow.sink, flow.class, flow.file, flow.line, flow.variable, inner,
+			flow.cwe, flow.severity)
 	}
 	// Transitive parameter flows: an argument carrying outer-parameter
 	// dependencies turns inner sink flows into outer sink flows.
@@ -164,6 +168,8 @@ func (a *analysis) instantiate(sum *summary, args []*value, displayName string, 
 					file:     flow.file,
 					line:     flow.line,
 					variable: flow.variable,
+					cwe:      flow.cwe,
+					severity: flow.severity,
 				})
 			}
 		}
@@ -263,17 +269,25 @@ func (a *analysis) callConcrete(key, file string, class *classInfo,
 // Findings
 // ---------------------------------------------------------------------------
 
-// checkSink inspects a value reaching a sink. Active taint of the sink's
-// class yields a finding; in summary mode, parameter dependence records a
-// flow for call-site instantiation.
+// checkSink inspects a value reaching a native sink (echo, backticks,
+// include) whose CWE/severity metadata is the class default.
 func (a *analysis) checkSink(sinkName string, class analyzer.VulnClass,
 	v *value, line int, varName string, sc *scope) {
+	a.checkSinkMeta(sinkName, class, v, line, varName, sc, 0, "")
+}
+
+// checkSinkMeta inspects a value reaching a sink. Active taint of the
+// sink's class yields a finding; in summary mode, parameter dependence
+// records a flow for call-site instantiation. cwe/severity carry the
+// sink rule's metadata (zero/empty = class defaults).
+func (a *analysis) checkSinkMeta(sinkName string, class analyzer.VulnClass,
+	v *value, line int, varName string, sc *scope, cwe int, severity string) {
 	a.stats.sinkChecks++
 	if v == nil {
 		return
 	}
 	if t, ok := v.taints[class]; ok {
-		a.report(sinkName, class, a.curFile, line, varName, t)
+		a.report(sinkName, class, a.curFile, line, varName, t, cwe, severity)
 	}
 	if sc.collector != nil {
 		for param, classes := range v.params {
@@ -285,6 +299,8 @@ func (a *analysis) checkSink(sinkName string, class analyzer.VulnClass,
 					file:     a.curFile,
 					line:     line,
 					variable: varName,
+					cwe:      cwe,
+					severity: severity,
 				})
 			}
 		}
@@ -305,10 +321,18 @@ func (a *analysis) recordFlow(sum *summary, flow sinkFlow) {
 	sum.flows = append(sum.flows, flow)
 }
 
-// report emits a finding with its data-flow trace.
+// report emits a finding with its data-flow trace. cwe and severity
+// carry the sink rule's metadata; zero/empty fall back to the class
+// defaults so native sinks (echo, backticks, include) need no rule.
 func (a *analysis) report(sinkName string, class analyzer.VulnClass,
-	file string, line int, varName string, t *taintInfo) {
+	file string, line int, varName string, t *taintInfo, cwe int, severity string) {
 
+	if cwe == 0 {
+		cwe = class.CWE()
+	}
+	if severity == "" {
+		severity = class.Severity()
+	}
 	trace := make([]analyzer.TraceStep, 0, len(t.trace)+1)
 	trace = append(trace, t.trace...)
 	trace = append(trace, analyzer.TraceStep{
@@ -322,6 +346,8 @@ func (a *analysis) report(sinkName string, class analyzer.VulnClass,
 		Sink:     sinkName,
 		Variable: trimDollar(varName),
 		Vector:   t.vector,
+		CWE:      cwe,
+		Severity: severity,
 		Trace:    trace,
 	})
 	a.gov.CheckFindings(len(a.result.Findings))
