@@ -9,7 +9,24 @@
 //	phpsafed [flags]
 //
 //	-addr ADDR          listen address (default :8477)
-//	-workers N          scan workers (default NumCPU)
+//	-role ROLE          process role: standalone (default; the full
+//	                    single-process daemon, byte-identical to a
+//	                    phpsafed without the flag), coordinator (owns
+//	                    the client API and the journal, dispatches
+//	                    scans to workers over a consistent-hash ring)
+//	                    or worker (runs the analyzer stack behind
+//	                    /internal/v1/scan for one coordinator)
+//	-workers N|URLS     standalone/worker: scan worker goroutines
+//	                    (default NumCPU); coordinator: comma-separated
+//	                    worker base URLs (required), e.g.
+//	                    http://10.0.0.2:8477,http://10.0.0.3:8477
+//	-advertise URL      worker: base URL reported in heartbeats so the
+//	                    coordinator's logs name this worker the way it
+//	                    was configured (optional)
+//	-heartbeat-interval D
+//	                    coordinator: worker heartbeat probe cadence
+//	                    (default 1s); dead workers are re-probed on the
+//	                    jittered -retry-base/-retry-cap backoff curve
 //	-queue N            queued-scan bound; beyond it submissions get
 //	                    HTTP 429 (default 64)
 //	-job-timeout D      per-scan context timeout (default 2m)
@@ -79,11 +96,14 @@ import (
 	"net/http"
 	"os"
 	"os/signal"
+	"strconv"
+	"strings"
 	"syscall"
 	"time"
 
 	"repro/internal/analyzer"
 	"repro/internal/durable"
+	"repro/internal/fleet"
 	"repro/internal/incremental"
 	"repro/internal/jobs"
 	"repro/internal/obs"
@@ -98,7 +118,10 @@ func main() {
 
 func run() int {
 	addr := flag.String("addr", ":8477", "listen address")
-	workers := flag.Int("workers", 0, "scan workers (0 = NumCPU)")
+	role := flag.String("role", "standalone", "process role: standalone, coordinator or worker")
+	workersFlag := flag.String("workers", "0", "standalone/worker: scan worker goroutines (0 = NumCPU); coordinator: comma-separated worker base URLs")
+	advertise := flag.String("advertise", "", "worker: base URL reported in heartbeats")
+	heartbeatInterval := flag.Duration("heartbeat-interval", time.Second, "coordinator: worker heartbeat probe cadence")
 	queue := flag.Int("queue", 64, "max queued scans before submissions get 429")
 	jobTimeout := flag.Duration("job-timeout", 2*time.Minute, "per-scan context timeout")
 	cacheMB := flag.Int64("cache-mb", 256, "result cache budget in MiB")
@@ -132,10 +155,47 @@ func run() int {
 	}
 	dlog := logger.With("component", "phpsafed")
 
+	// Resolve the role before building anything: it decides how
+	// -workers parses and which layers this process runs.
+	var fleetWorkers []string
+	poolWorkers := 0
+	switch *role {
+	case "standalone", "worker":
+		if n, perr := strconv.Atoi(*workersFlag); perr == nil && n >= 0 {
+			poolWorkers = n
+		} else {
+			fmt.Fprintf(os.Stderr, "phpsafed: -role=%s needs -workers to be a worker count, got %q\n", *role, *workersFlag)
+			return 2
+		}
+	case "coordinator":
+		for _, u := range strings.Split(*workersFlag, ",") {
+			if u = strings.TrimSpace(u); u != "" && u != "0" {
+				fleetWorkers = append(fleetWorkers, strings.TrimRight(u, "/"))
+			}
+		}
+		if len(fleetWorkers) == 0 {
+			fmt.Fprintln(os.Stderr, "phpsafed: -role=coordinator needs -workers with at least one worker URL")
+			return 2
+		}
+		// Coordinator pool slots hold network waits, not CPU: size by
+		// fleet width so a small coordinator host can still keep every
+		// worker's queue fed.
+		poolWorkers = 4 * len(fleetWorkers)
+	default:
+		fmt.Fprintf(os.Stderr, "phpsafed: unknown -role %q (want standalone, coordinator or worker)\n", *role)
+		return 2
+	}
+	if *role == "worker" && *journalDir != "" {
+		// Acceptance durability lives on the coordinator; a worker
+		// journal would resurrect scans nobody will poll.
+		dlog.Warn("-journal is ignored for -role=worker; the coordinator owns the journal")
+		*journalDir = ""
+	}
+
 	// A daemon is always instrumented: /metrics is part of the API.
 	rec := obs.NewRecorder()
 	pool := jobs.New(jobs.Config{
-		Workers:    *workers,
+		Workers:    poolWorkers,
 		QueueSize:  *queue,
 		JobTimeout: *jobTimeout,
 		Recorder:   rec,
@@ -161,18 +221,34 @@ func run() int {
 		}
 		defer journal.Close()
 	}
-	api := server.New(server.Config{
+	retry := jobs.RetryPolicy{
+		MaxAttempts: *maxAttempts,
+		Base:        *retryBase,
+		Cap:         *retryCap,
+	}
+	if *role == "worker" {
+		// The coordinator owns the attempt budget; a worker retrying
+		// internally would burn budget the coordinator cannot see.
+		retry.MaxAttempts = 1
+	}
+	var fl *fleet.Fleet
+	if *role == "coordinator" {
+		fl = fleet.New(fleet.Config{
+			Workers:           fleetWorkers,
+			HeartbeatInterval: *heartbeatInterval,
+			ReconnectBackoff:  jobs.RetryPolicy{Base: *retryBase, Cap: *retryCap},
+			Recorder:          rec,
+			Logger:            logger.With("component", "fleet"),
+		})
+	}
+	srvCfg := server.Config{
 		Pool:           pool,
 		Cache:          cache,
 		Recorder:       rec,
 		MaxUploadBytes: *maxUploadMB << 20,
 		IncStore:       incStore,
 		Journal:        journal,
-		Retry: jobs.RetryPolicy{
-			MaxAttempts: *maxAttempts,
-			Base:        *retryBase,
-			Cap:         *retryCap,
-		},
+		Retry:          retry,
 		Budgets: analyzer.ScanOptions{
 			Deadline:      *scanDeadline,
 			MaxParseDepth: *maxParseDepth,
@@ -182,7 +258,12 @@ func run() int {
 		},
 		Logger:            logger,
 		SlowScanThreshold: *slowScan,
-	})
+	}
+	if fl != nil {
+		srvCfg.Dispatch = fl.Dispatch
+		srvCfg.FleetStatus = fl.Status
+	}
+	api := server.New(srvCfg)
 	if journal != nil {
 		resubmitted, rehydrated, quarantined := api.Replay(replayRecords)
 		if resubmitted+rehydrated+quarantined > 0 {
@@ -191,9 +272,17 @@ func run() int {
 		}
 	}
 
+	var handler http.Handler = api
+	if *role == "worker" {
+		handler = fleet.NewWorkerHandler(api, pool, *advertise)
+	}
+	if fl != nil {
+		fl.Start()
+	}
+
 	httpSrv := &http.Server{
 		Addr:              *addr,
-		Handler:           api,
+		Handler:           handler,
 		ReadHeaderTimeout: 10 * time.Second,
 	}
 
@@ -203,7 +292,7 @@ func run() int {
 	errCh := make(chan error, 1)
 	go func() { errCh <- httpSrv.ListenAndServe() }()
 	dlog.Info("listening",
-		"version", version.Version, "addr", *addr, "workers", pool.Workers(),
+		"version", version.Version, "addr", *addr, "role", *role, "workers", pool.Workers(),
 		"queue", *queue, "cache_mb", *cacheMB, "journal", *journalDir != "")
 
 	select {
@@ -224,6 +313,10 @@ func run() int {
 	if err := pool.Shutdown(shutdownCtx); err != nil && !errors.Is(err, context.Canceled) {
 		dlog.Error("pool drain failed", "error", err.Error())
 		return 1
+	}
+	if fl != nil {
+		// After the pool drained no dispatches remain; stop probing.
+		fl.Stop()
 	}
 	if journal != nil {
 		// A clean exit leaves a compact journal: the next start replays

@@ -89,7 +89,12 @@ type Record struct {
 	Attempt   int             `json:"attempt,omitempty"`
 	Error     string          `json:"error,omitempty"`
 	BackoffMS int64           `json:"backoff_ms,omitempty"`
-	Payload   json.RawMessage `json:"payload,omitempty"`
+	// Worker names the fleet worker that executed the transition, when
+	// the daemon runs as a coordinator; empty in standalone mode. It
+	// makes the journal a forensic record of where each scan actually
+	// ran across ownership handoffs.
+	Worker  string          `json:"worker,omitempty"`
+	Payload json.RawMessage `json:"payload,omitempty"`
 }
 
 // ErrDegraded is returned by Append once the journal has flipped to

@@ -1,0 +1,318 @@
+// Dispatch: executing one scan attempt on the worker that owns the
+// scan's content digest. Dispatch plugs into server.Config.Dispatch,
+// so it runs inside the coordinator's jobs pool with the full retry
+// lifecycle around it; its error contract is therefore the jobs
+// classification:
+//
+//	plain error        → retryable; the next attempt re-picks the ring
+//	                     owner, which is how handoff happens
+//	jobs.Terminal(err) → the worker rejected the submission as
+//	                     malformed; retrying cannot help
+//	ctx.Err()          → the coordinator cancelled or is shutting
+//	                     down; the scan settles cancelled or replays
+//	                     as jobs.ErrInterrupted, never terminally
+//
+// The severed-dispatch case is the subtle one: when the health monitor
+// declares a worker dead it cancels that worker's dispatch contexts.
+// That cancellation must NOT surface as context.Canceled (jobs would
+// classify the scan as cancelled and settle it); Dispatch detects
+// "my context died but the scan's didn't" and returns a plain
+// retryable error instead, so the attempt budget and the ring decide
+// what happens next.
+
+package fleet
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"net/http"
+	"time"
+
+	"repro/internal/analyzer"
+	"repro/internal/incremental"
+	"repro/internal/jobs"
+	"repro/internal/obs"
+	"repro/internal/server"
+)
+
+// maxTrackedOwners bounds the lastOwner map (scan ids are bounded by
+// the server's registry cap, but the fleet should not trust that).
+const maxTrackedOwners = 8192
+
+// wireFile carries one source file to a worker. Content is []byte so
+// JSON transports it as base64: PHP plugins in the wild contain
+// non-UTF-8 bytes that a JSON string round-trip would mangle into
+// U+FFFD, breaking byte-identity with a standalone scan.
+type wireFile struct {
+	Path    string `json:"path"`
+	Content []byte `json:"content"`
+}
+
+// dispatchWire is the coordinator→worker scan submission.
+type dispatchWire struct {
+	ScanID  string                `json:"scan_id"`
+	Attempt int                   `json:"attempt"`
+	Name    string                `json:"name"`
+	Tool    string                `json:"tool"`
+	Profile string                `json:"profile"`
+	Files   []wireFile            `json:"files"`
+	Opts    *analyzer.ScanOptions `json:"opts,omitempty"`
+}
+
+// workerScanView is the slice of the worker's scan envelope the
+// coordinator reads back.
+type workerScanView struct {
+	ID     string              `json:"id"`
+	Status string              `json:"status"`
+	Result *analyzer.Result    `json:"result"`
+	Inc    *incremental.Report `json:"incremental"`
+	Error  string              `json:"error"`
+}
+
+// Dispatch executes one scan attempt on the ring owner of req.Key.
+func (f *Fleet) Dispatch(ctx context.Context, req *server.DispatchRequest) (*server.DispatchResult, error) {
+	owner, ok := f.pickOwner(req)
+	if !ok {
+		return nil, errors.New("fleet: no workers reachable")
+	}
+
+	// Register this dispatch so worker death severs it; the severed
+	// context is how a mid-scan kill turns into a retry + handoff.
+	dctx, cancel := context.WithCancel(ctx)
+	f.register(owner, req.ScanID, cancel)
+	defer func() {
+		cancel()
+		f.unregister(owner, req.ScanID)
+	}()
+
+	start := f.rec.Now()
+	res, err := f.dispatchTo(dctx, owner, req)
+	f.rec.Observe("fleet_dispatch_seconds", f.rec.Now().Sub(start).Seconds())
+	if err != nil {
+		// Disambiguate whose cancellation aborted the exchange.
+		if ctx.Err() != nil {
+			// The scan itself was cancelled or the coordinator is
+			// draining: propagate so jobs settles it as
+			// cancelled/interrupted (the poll loop already forwarded a
+			// best-effort cancel to the worker when it had a scan id).
+			return nil, ctx.Err()
+		}
+		if dctx.Err() != nil {
+			// Severed by the health monitor: the worker is dead. The
+			// per-scan heartbeat_lost event was appended when the
+			// monitor cut the cord; return retryable so the next
+			// attempt hands the scan to the next ring owner.
+			return nil, fmt.Errorf("fleet: dispatch to %s severed: worker declared dead", owner)
+		}
+		return nil, err
+	}
+	f.ReportSuccess(owner)
+	f.forgetOwner(req.ScanID)
+	return res, nil
+}
+
+// pickOwner routes req to the live ring owner of its content digest,
+// recording handoff trace events when ownership moved since the scan's
+// previous attempt. Events are appended before the dispatch happens so
+// the timeline reads transferred → resubmitted → dispatched → outcome.
+func (f *Fleet) pickOwner(req *server.DispatchRequest) (string, bool) {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	owner, ok := f.ring.OwnerWhere(req.Key, func(m string) bool {
+		return f.workers[m].state != StateDead
+	})
+	if !ok {
+		return "", false
+	}
+	if prev, had := f.lastOwner[req.ScanID]; had && prev != owner {
+		f.rec.Counter("fleet_handoffs_total").Inc()
+		f.rec.Events().Append(obs.Event{
+			Scan: req.ScanID, Type: EvOwnershipTransferred,
+			Attempt: req.Attempt, Detail: prev + " -> " + owner,
+		})
+		f.rec.Events().Append(obs.Event{
+			Scan: req.ScanID, Type: EvResubmittedToPeer,
+			Attempt: req.Attempt, Detail: owner,
+		})
+		f.log.Info("fleet scan handoff",
+			"scan_id", req.ScanID, "from", prev, "to", owner, "attempt", req.Attempt)
+	}
+	if len(f.lastOwner) >= maxTrackedOwners {
+		// Crude but bounded: ownership memory only matters for scans
+		// mid-retry, which is a tiny working set.
+		f.lastOwner = make(map[string]string)
+	}
+	f.lastOwner[req.ScanID] = owner
+	f.rec.Events().Append(obs.Event{
+		Scan: req.ScanID, Type: EvDispatched,
+		Attempt: req.Attempt, Detail: owner,
+	})
+	return owner, true
+}
+
+func (f *Fleet) register(owner, scanID string, cancel context.CancelFunc) {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	if w, ok := f.workers[owner]; ok {
+		w.dispatches[scanID] = cancel
+	}
+}
+
+func (f *Fleet) unregister(owner, scanID string) {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	if w, ok := f.workers[owner]; ok {
+		delete(w.dispatches, scanID)
+	}
+}
+
+func (f *Fleet) forgetOwner(scanID string) {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	delete(f.lastOwner, scanID)
+}
+
+// dispatchTo submits req to owner and waits for the worker's scan to
+// settle, polling when the worker queued it asynchronously.
+func (f *Fleet) dispatchTo(ctx context.Context, owner string, req *server.DispatchRequest) (*server.DispatchResult, error) {
+	wire := dispatchWire{
+		ScanID: req.ScanID, Attempt: req.Attempt,
+		Name: req.Name, Tool: req.Tool, Profile: req.Profile,
+		Files: make([]wireFile, 0, len(req.Target.Files)),
+		Opts:  req.Opts,
+	}
+	for _, sf := range req.Target.Files {
+		wire.Files = append(wire.Files, wireFile{Path: sf.Path, Content: []byte(sf.Content)})
+	}
+	body, err := json.Marshal(wire)
+	if err != nil {
+		return nil, jobs.Terminal(fmt.Errorf("fleet: encode dispatch: %w", err))
+	}
+	hreq, err := http.NewRequestWithContext(ctx, http.MethodPost, owner+"/internal/v1/scan", bytes.NewReader(body))
+	if err != nil {
+		return nil, jobs.Terminal(err)
+	}
+	hreq.Header.Set("Content-Type", "application/json")
+	resp, err := f.client.Do(hreq)
+	if err != nil {
+		f.ReportFailure(owner, err)
+		return nil, fmt.Errorf("fleet: dispatch to %s: %w", owner, err)
+	}
+	defer resp.Body.Close()
+	switch resp.StatusCode {
+	case http.StatusOK, http.StatusAccepted:
+		// 200: served from the worker's cache shard, result inline.
+		// 202: accepted; poll the worker's scan until it settles.
+	case http.StatusBadRequest:
+		return nil, jobs.Terminal(fmt.Errorf("fleet: worker %s rejected scan: %s", owner, readError(resp.Body)))
+	case http.StatusTooManyRequests, http.StatusServiceUnavailable:
+		// The worker is alive but saturated or draining; retry
+		// without counting a liveness miss.
+		return nil, fmt.Errorf("fleet: worker %s busy: HTTP %d", owner, resp.StatusCode)
+	default:
+		return nil, fmt.Errorf("fleet: worker %s returned HTTP %d: %s", owner, resp.StatusCode, readError(resp.Body))
+	}
+	var view workerScanView
+	if err := json.NewDecoder(resp.Body).Decode(&view); err != nil {
+		return nil, fmt.Errorf("fleet: decode worker response: %w", err)
+	}
+	if resp.StatusCode == http.StatusAccepted {
+		if err := f.pollUntilSettled(ctx, owner, &view); err != nil {
+			return nil, err
+		}
+	}
+	switch view.Status {
+	case "done":
+		return &server.DispatchResult{Worker: owner, Result: view.Result, Inc: view.Inc}, nil
+	case "failed", "quarantined":
+		// The worker runs with a single-attempt budget; the
+		// coordinator's own retry lifecycle decides whether this
+		// failure retries, hands off, or quarantines.
+		msg := view.Error
+		if msg == "" {
+			msg = "scan " + view.Status + " on worker"
+		}
+		return nil, fmt.Errorf("fleet: worker %s: %s", owner, msg)
+	default:
+		return nil, fmt.Errorf("fleet: worker %s settled scan in unexpected state %q", owner, view.Status)
+	}
+}
+
+// pollUntilSettled polls owner's scan view until it leaves the
+// queued/running states, backing off 5ms → 250ms between polls.
+func (f *Fleet) pollUntilSettled(ctx context.Context, owner string, view *workerScanView) error {
+	delay := 5 * time.Millisecond
+	for {
+		select {
+		case <-ctx.Done():
+			f.forwardCancel(owner, view.ID)
+			return ctx.Err()
+		case <-time.After(delay):
+		}
+		if delay *= 2; delay > 250*time.Millisecond {
+			delay = 250 * time.Millisecond
+		}
+		hreq, err := http.NewRequestWithContext(ctx, http.MethodGet, owner+"/v1/scans/"+view.ID, nil)
+		if err != nil {
+			return err
+		}
+		resp, err := f.client.Do(hreq)
+		if err != nil {
+			f.ReportFailure(owner, err)
+			return fmt.Errorf("fleet: poll %s: %w", owner, err)
+		}
+		if resp.StatusCode != http.StatusOK {
+			resp.Body.Close()
+			return fmt.Errorf("fleet: poll %s: HTTP %d", owner, resp.StatusCode)
+		}
+		next := workerScanView{}
+		err = json.NewDecoder(resp.Body).Decode(&next)
+		resp.Body.Close()
+		if err != nil {
+			return fmt.Errorf("fleet: decode poll response: %w", err)
+		}
+		switch next.Status {
+		case "queued", "running":
+			continue
+		}
+		*view = next
+		return nil
+	}
+}
+
+// forwardCancel best-effort cancels a worker-side scan after the
+// coordinator-side scan was cancelled, so the worker stops burning its
+// pool on work nobody wants. Failure is ignored: the worker's own
+// budgets bound the orphan. It deliberately uses a fresh context — the
+// caller's is the one that just died.
+func (f *Fleet) forwardCancel(owner, workerScanID string) {
+	if workerScanID == "" {
+		return
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), 2*time.Second)
+	defer cancel()
+	hreq, err := http.NewRequestWithContext(ctx, http.MethodPost, owner+"/v1/scans/"+workerScanID+"/cancel", nil)
+	if err != nil {
+		return
+	}
+	if resp, err := f.client.Do(hreq); err == nil {
+		resp.Body.Close()
+	}
+}
+
+// readError extracts the "error" field of an error envelope (or the
+// raw body when it is not one).
+func readError(r io.Reader) string {
+	b, _ := io.ReadAll(io.LimitReader(r, 4096))
+	var env struct {
+		Error string `json:"error"`
+	}
+	if json.Unmarshal(b, &env) == nil && env.Error != "" {
+		return env.Error
+	}
+	return string(b)
+}

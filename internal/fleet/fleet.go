@@ -1,0 +1,246 @@
+// Package fleet turns phpsafed into a horizontally scaled scan
+// service: one coordinator owning the client API and the durable
+// journal, N workers each running the full jobs-pool + analyzer stack
+// with their own scancache and incremental store.
+//
+// The coordinator reuses internal/server wholesale — acceptance,
+// journaling, retry budgets, in-flight dedup, trace timelines — and
+// replaces only the innermost step: instead of running the engine
+// locally, server.Config.Dispatch hands the attempt to this package,
+// which routes the scan's content digest over a consistent-hash ring
+// (ring.go) to its owning worker and executes it there via HTTP.
+// Because routing is by content digest, each worker's caches become
+// shards of one fleet-wide tier rather than N duplicated copies.
+//
+// Failure handling composes from parts that already exist. A worker
+// that stops answering heartbeats walks alive → suspect → dead
+// (health.go); dispatches to it fail with retryable errors, so the
+// coordinator's jobs-level retry re-runs the attempt, Dispatch
+// re-picks the ring owner among live workers, and the scan lands on
+// the next shard — that re-pick IS the ownership handoff, recorded in
+// the scan's trace as ownership_transferred + resubmitted_to_peer.
+// Coordinator crash-recovery is untouched: accepted scans are
+// journaled before dispatch, so replay resubmits them with their
+// attempt budget carried forward exactly as in the single-process
+// daemon.
+package fleet
+
+import (
+	"context"
+	"log/slog"
+	"net/http"
+	"sync"
+	"time"
+
+	"repro/internal/jobs"
+	"repro/internal/obs"
+)
+
+// Trace event types for fleet transitions, appended to the same flight
+// recorder (and with the same ordering discipline) as the server's
+// scan lifecycle events: an event is appended before the action it
+// announces, so timelines read dispatched → (work) → settled.
+const (
+	// EvDispatched: the coordinator is sending this attempt to a
+	// worker (Detail names the worker).
+	EvDispatched = "dispatched"
+	// EvHeartbeatLost: a worker stopped answering heartbeats. Appended
+	// once per transition at daemon level (no scan id), and per scan
+	// when an in-flight dispatch is severed by the loss.
+	EvHeartbeatLost = "heartbeat_lost"
+	// EvOwnershipTransferred: a scan's ring ownership moved because
+	// its previous owner is unreachable (Detail: "old -> new").
+	EvOwnershipTransferred = "ownership_transferred"
+	// EvResubmittedToPeer: the attempt is being re-sent to the new
+	// owner (always follows EvOwnershipTransferred for the same scan).
+	EvResubmittedToPeer = "resubmitted_to_peer"
+)
+
+// Worker health states. A worker starts alive (the fleet probes
+// immediately, so a configured-but-absent worker is demoted within one
+// interval), turns suspect after SuspectAfter consecutive misses, and
+// dead after DeadAfter. Dead workers leave the dispatch ring and their
+// in-flight dispatches are severed so the coordinator's retry machinery
+// can hand the scans to the next owner.
+const (
+	StateAlive   = "alive"
+	StateSuspect = "suspect"
+	StateDead    = "dead"
+)
+
+// Config shapes a coordinator's fleet.
+type Config struct {
+	// Workers are the worker base URLs (e.g. "http://127.0.0.1:9101").
+	// They are the consistent-hash ring members; order is irrelevant.
+	Workers []string
+	// Replicas is the virtual-node count per worker on the ring
+	// (DefaultReplicas when 0).
+	Replicas int
+	// HeartbeatInterval is the probe cadence (default 1s).
+	HeartbeatInterval time.Duration
+	// SuspectAfter / DeadAfter are the consecutive-miss thresholds for
+	// the alive→suspect and →dead transitions (defaults 1 and 3).
+	SuspectAfter int
+	DeadAfter    int
+	// ReconnectBackoff schedules probes of a dead worker: the same
+	// jittered exponential backoff the jobs pool uses between scan
+	// attempts, so a flapping worker is probed gently rather than
+	// hammered every interval. Zero values take the jobs defaults
+	// (100ms base, 5s cap); MaxAttempts is ignored — reconnect probing
+	// never gives up.
+	ReconnectBackoff jobs.RetryPolicy
+	// Recorder receives fleet metrics and trace events (required).
+	Recorder *obs.Recorder
+	// Logger receives fleet lifecycle logs (nil: slog.Default()).
+	Logger *slog.Logger
+	// HTTPClient performs dispatches and probes (nil: a client with
+	// sane fleet-internal timeouts).
+	HTTPClient *http.Client
+}
+
+// workerHealth is the monitor's view of one worker.
+type workerHealth struct {
+	addr      string
+	state     string
+	misses    int       // consecutive probe/dispatch failures
+	lastBeat  time.Time // last successful heartbeat or dispatch
+	nextProbe time.Time // dead workers: next reconnect attempt
+	probing   bool      // a probe for this worker is in flight
+
+	// Reported by the worker's heartbeat payload.
+	inflight   int
+	queueDepth int
+
+	// dispatches maps scan id → cancel for this worker's in-flight
+	// dispatch HTTP calls; severed wholesale when the worker dies.
+	dispatches map[string]context.CancelFunc
+}
+
+// Fleet is the coordinator-side dispatch + liveness layer.
+type Fleet struct {
+	cfg    Config
+	rec    *obs.Recorder
+	log    *slog.Logger
+	ring   *Ring
+	client *http.Client
+
+	quit chan struct{}
+	wg   sync.WaitGroup
+
+	mu      sync.Mutex
+	workers map[string]*workerHealth
+	// lastOwner remembers which worker last ran a scan id, so the next
+	// attempt can tell a plain retry (same owner) from a handoff.
+	lastOwner map[string]string
+	stopped   bool
+}
+
+// New builds a fleet over cfg.Workers. Call Start to begin heartbeat
+// monitoring and Stop on shutdown.
+func New(cfg Config) *Fleet {
+	if cfg.HeartbeatInterval <= 0 {
+		cfg.HeartbeatInterval = time.Second
+	}
+	if cfg.SuspectAfter <= 0 {
+		cfg.SuspectAfter = 1
+	}
+	if cfg.DeadAfter <= cfg.SuspectAfter {
+		cfg.DeadAfter = cfg.SuspectAfter + 2
+	}
+	log := cfg.Logger
+	if log == nil {
+		log = slog.Default()
+	}
+	client := cfg.HTTPClient
+	if client == nil {
+		client = &http.Client{} // per-call contexts carry the timeouts
+	}
+	f := &Fleet{
+		cfg:       cfg,
+		rec:       cfg.Recorder,
+		log:       log,
+		ring:      NewRing(cfg.Workers, cfg.Replicas),
+		client:    client,
+		quit:      make(chan struct{}),
+		workers:   make(map[string]*workerHealth, len(cfg.Workers)),
+		lastOwner: make(map[string]string),
+	}
+	now := f.rec.Now()
+	for _, addr := range f.ring.Members() {
+		f.workers[addr] = &workerHealth{
+			addr: addr, state: StateAlive, lastBeat: now,
+			dispatches: make(map[string]context.CancelFunc),
+		}
+	}
+	f.publishGaugesLocked()
+	return f
+}
+
+// Start launches the heartbeat monitor loop.
+func (f *Fleet) Start() {
+	f.wg.Add(1)
+	go f.monitor()
+}
+
+// Stop halts monitoring and severs in-flight dispatches.
+func (f *Fleet) Stop() {
+	f.mu.Lock()
+	if f.stopped {
+		f.mu.Unlock()
+		return
+	}
+	f.stopped = true
+	for _, w := range f.workers {
+		for id, cancel := range w.dispatches {
+			cancel()
+			delete(w.dispatches, id)
+		}
+	}
+	f.mu.Unlock()
+	close(f.quit)
+	f.wg.Wait()
+}
+
+// WorkerStatus is one worker's health as reported by /readyz.
+type WorkerStatus struct {
+	Addr       string    `json:"addr"`
+	State      string    `json:"state"`
+	Misses     int       `json:"misses,omitempty"`
+	LastBeat   time.Time `json:"last_heartbeat"`
+	Inflight   int       `json:"inflight"`
+	QueueDepth int       `json:"queue_depth"`
+	Dispatches int       `json:"dispatches_inflight"`
+}
+
+// Status reports per-worker health and whether the fleet can accept
+// work (at least one worker not dead). It has the server.Config
+// FleetStatus shape so /readyz embeds it directly.
+func (f *Fleet) Status() (any, bool) {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	out := make([]WorkerStatus, 0, len(f.workers))
+	ready := false
+	for _, addr := range f.ring.Members() {
+		w := f.workers[addr]
+		if w.state != StateDead {
+			ready = true
+		}
+		out = append(out, WorkerStatus{
+			Addr: w.addr, State: w.state, Misses: w.misses,
+			LastBeat: w.lastBeat, Inflight: w.inflight,
+			QueueDepth: w.queueDepth, Dispatches: len(w.dispatches),
+		})
+	}
+	return map[string]any{"workers": out}, ready
+}
+
+// publishGaugesLocked refreshes fleet_workers_alive; caller holds f.mu.
+func (f *Fleet) publishGaugesLocked() {
+	alive := 0
+	for _, w := range f.workers {
+		if w.state == StateAlive {
+			alive++
+		}
+	}
+	f.rec.Gauge("fleet_workers_alive").Set(float64(alive))
+}

@@ -1,0 +1,134 @@
+// Consistent-hash ring: the fleet's routing function. Every worker
+// contributes Replicas virtual nodes (points on a 64-bit circle hashed
+// from "addr#i"); a scan's content digest is hashed onto the circle
+// and owned by the first virtual node clockwise from it. Two
+// properties make this the right router for sharded caches:
+//
+//   - Determinism: ownership is a pure function of the member set and
+//     the key, independent of insertion order, so every coordinator
+//     (and every restart) routes a digest to the same worker — cache
+//     hits for a digest always land on the shard that computed it.
+//   - Minimal remap: adding or removing one of N members moves only
+//     ~1/N of the key space; every other digest keeps its shard, so a
+//     membership change does not flush the fleet's caches.
+//
+// Liveness is layered on top, not baked in: the ring always contains
+// every configured member, and OwnerWhere walks clockwise past members
+// the caller reports unusable. A dead worker's keys thus spill to the
+// next owner and return home the moment it revives.
+
+package fleet
+
+import (
+	"crypto/sha256"
+	"encoding/binary"
+	"sort"
+	"strconv"
+)
+
+// DefaultReplicas is the virtual-node count per member when the config
+// leaves it unset: enough points that 10k keys spread within a few
+// percent of fair share across 16 workers.
+const DefaultReplicas = 128
+
+// ringPoint is one virtual node: a position on the hash circle and the
+// member it belongs to.
+type ringPoint struct {
+	hash   uint64
+	member string
+}
+
+// Ring is an immutable consistent-hash ring over a member set. Build
+// with NewRing; all methods are safe for concurrent use.
+type Ring struct {
+	points  []ringPoint
+	members []string
+}
+
+// NewRing builds a ring over members with replicas virtual nodes each
+// (DefaultReplicas when non-positive). Duplicate members are folded;
+// member order does not affect ownership.
+func NewRing(members []string, replicas int) *Ring {
+	if replicas <= 0 {
+		replicas = DefaultReplicas
+	}
+	uniq := make([]string, 0, len(members))
+	seen := make(map[string]bool, len(members))
+	for _, m := range members {
+		if m == "" || seen[m] {
+			continue
+		}
+		seen[m] = true
+		uniq = append(uniq, m)
+	}
+	sort.Strings(uniq)
+	r := &Ring{
+		points:  make([]ringPoint, 0, len(uniq)*replicas),
+		members: uniq,
+	}
+	for _, m := range uniq {
+		for i := 0; i < replicas; i++ {
+			r.points = append(r.points, ringPoint{hash: pointHash(m, i), member: m})
+		}
+	}
+	sort.Slice(r.points, func(i, j int) bool {
+		if r.points[i].hash != r.points[j].hash {
+			return r.points[i].hash < r.points[j].hash
+		}
+		// A 64-bit collision between virtual nodes is vanishingly rare;
+		// break it by member name so ownership stays deterministic.
+		return r.points[i].member < r.points[j].member
+	})
+	return r
+}
+
+// Members returns the ring's member set, sorted.
+func (r *Ring) Members() []string {
+	out := make([]string, len(r.members))
+	copy(out, r.members)
+	return out
+}
+
+// Owner returns the member owning key (false only on an empty ring).
+func (r *Ring) Owner(key string) (string, bool) {
+	return r.OwnerWhere(key, nil)
+}
+
+// OwnerWhere returns the first member clockwise from key's position
+// that usable reports true for (a nil usable accepts every member).
+// It returns false when no member qualifies.
+func (r *Ring) OwnerWhere(key string, usable func(member string) bool) (string, bool) {
+	if len(r.points) == 0 {
+		return "", false
+	}
+	h := keyHash(key)
+	start := sort.Search(len(r.points), func(i int) bool { return r.points[i].hash >= h })
+	tried := make(map[string]bool, len(r.members))
+	for i := 0; i < len(r.points) && len(tried) < len(r.members); i++ {
+		p := r.points[(start+i)%len(r.points)]
+		if tried[p.member] {
+			continue
+		}
+		tried[p.member] = true
+		if usable == nil || usable(p.member) {
+			return p.member, true
+		}
+	}
+	return "", false
+}
+
+// pointHash positions one virtual node: SHA-256 of "member#i"
+// truncated to 64 bits. SHA-256 keeps the point set statistically
+// uniform even for near-identical member addresses (":8478"/":8479").
+func pointHash(member string, i int) uint64 {
+	sum := sha256.Sum256([]byte(member + "#" + strconv.Itoa(i)))
+	return binary.BigEndian.Uint64(sum[:8])
+}
+
+// keyHash positions a routing key. Keys are already hex digests
+// (scancache content addresses), but hashing again costs little and
+// keeps the ring correct for arbitrary keys.
+func keyHash(key string) uint64 {
+	sum := sha256.Sum256([]byte(key))
+	return binary.BigEndian.Uint64(sum[:8])
+}

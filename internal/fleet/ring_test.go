@@ -1,0 +1,154 @@
+package fleet
+
+import (
+	"fmt"
+	"testing"
+)
+
+// ringKeys generates n distinct digest-like keys.
+func ringKeys(n int) []string {
+	keys := make([]string, n)
+	for i := range keys {
+		keys[i] = fmt.Sprintf("sha256:%064x", i)
+	}
+	return keys
+}
+
+func ringMembers(n int) []string {
+	members := make([]string, n)
+	for i := range members {
+		members[i] = fmt.Sprintf("http://10.0.0.%d:8477", i+1)
+	}
+	return members
+}
+
+// TestRingUniformDistribution: for every fleet width 2..16, 10k keys
+// spread within 2x of fair share on every member (with 128 vnodes the
+// observed spread is far tighter; 2x is the correctness floor that
+// catches a broken hash or a missing vnode loop).
+func TestRingUniformDistribution(t *testing.T) {
+	keys := ringKeys(10000)
+	for n := 2; n <= 16; n++ {
+		r := NewRing(ringMembers(n), 0)
+		counts := make(map[string]int, n)
+		for _, k := range keys {
+			owner, ok := r.Owner(k)
+			if !ok {
+				t.Fatalf("n=%d: no owner for %s", n, k)
+			}
+			counts[owner]++
+		}
+		if len(counts) != n {
+			t.Fatalf("n=%d: only %d members own keys", n, len(counts))
+		}
+		fair := len(keys) / n
+		for m, c := range counts {
+			if c > 2*fair || c < fair/2 {
+				t.Errorf("n=%d: member %s owns %d keys, fair share %d", n, m, c, fair)
+			}
+		}
+	}
+}
+
+// TestRingMinimalRemapOnJoin: adding one member to an N-member ring
+// moves at most ~1/(N+1) of the keys (slack 1.5x for hash variance);
+// every moved key moves TO the new member, never between old members.
+func TestRingMinimalRemapOnJoin(t *testing.T) {
+	keys := ringKeys(10000)
+	for n := 2; n <= 16; n++ {
+		before := NewRing(ringMembers(n), 0)
+		after := NewRing(ringMembers(n+1), 0)
+		joined := ringMembers(n + 1)[n]
+		moved := 0
+		for _, k := range keys {
+			ob, _ := before.Owner(k)
+			oa, _ := after.Owner(k)
+			if ob == oa {
+				continue
+			}
+			moved++
+			if oa != joined {
+				t.Fatalf("n=%d: key %s moved %s -> %s, not to the joining member %s", n, k, ob, oa, joined)
+			}
+		}
+		budget := int(float64(len(keys)) / float64(n+1) * 1.5)
+		if moved > budget {
+			t.Errorf("n=%d: join moved %d keys, budget %d (~1/N)", n, moved, budget)
+		}
+	}
+}
+
+// TestRingMinimalRemapOnLeave: removing one member strands only that
+// member's keys; every key owned by a survivor stays put.
+func TestRingMinimalRemapOnLeave(t *testing.T) {
+	keys := ringKeys(10000)
+	for n := 3; n <= 16; n++ {
+		members := ringMembers(n)
+		before := NewRing(members, 0)
+		after := NewRing(members[:n-1], 0)
+		left := members[n-1]
+		for _, k := range keys {
+			ob, _ := before.Owner(k)
+			oa, _ := after.Owner(k)
+			if ob != left && ob != oa {
+				t.Fatalf("n=%d: key %s owned by survivor %s moved to %s on leave of %s", n, k, ob, oa, left)
+			}
+		}
+	}
+}
+
+// TestRingDeterministicOwnership: ownership is independent of member
+// order and stable across ring rebuilds.
+func TestRingDeterministicOwnership(t *testing.T) {
+	members := ringMembers(5)
+	shuffled := []string{members[3], members[0], members[4], members[2], members[1]}
+	a := NewRing(members, 0)
+	b := NewRing(shuffled, 0)
+	c := NewRing(members, 0)
+	for _, k := range ringKeys(1000) {
+		oa, _ := a.Owner(k)
+		ob, _ := b.Owner(k)
+		oc, _ := c.Owner(k)
+		if oa != ob || oa != oc {
+			t.Fatalf("key %s: owners diverge across identical member sets: %s / %s / %s", k, oa, ob, oc)
+		}
+	}
+}
+
+// TestRingOwnerWhere: a dead owner's keys fall to the next member
+// clockwise, deterministically, and return when it revives; with no
+// usable member OwnerWhere reports failure.
+func TestRingOwnerWhere(t *testing.T) {
+	members := ringMembers(4)
+	r := NewRing(members, 0)
+	for _, k := range ringKeys(500) {
+		home, _ := r.Owner(k)
+		fallback1, ok := r.OwnerWhere(k, func(m string) bool { return m != home })
+		if !ok || fallback1 == home {
+			t.Fatalf("key %s: no fallback owner past %s", k, home)
+		}
+		fallback2, ok := r.OwnerWhere(k, func(m string) bool { return m != home })
+		if !ok || fallback2 != fallback1 {
+			t.Fatalf("key %s: fallback not deterministic: %s vs %s", k, fallback1, fallback2)
+		}
+		back, _ := r.OwnerWhere(k, nil)
+		if back != home {
+			t.Fatalf("key %s: ownership did not return home after revival", k)
+		}
+	}
+	if _, ok := r.OwnerWhere("any", func(string) bool { return false }); ok {
+		t.Fatal("OwnerWhere found an owner with every member unusable")
+	}
+}
+
+// TestRingEmptyAndDuplicates: an empty ring owns nothing; duplicate
+// and empty member entries are folded.
+func TestRingEmptyAndDuplicates(t *testing.T) {
+	if _, ok := NewRing(nil, 0).Owner("k"); ok {
+		t.Fatal("empty ring returned an owner")
+	}
+	r := NewRing([]string{"a", "", "a", "b", "b"}, 16)
+	if got := r.Members(); len(got) != 2 || got[0] != "a" || got[1] != "b" {
+		t.Fatalf("Members() = %v, want [a b]", got)
+	}
+}

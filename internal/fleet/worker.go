@@ -1,0 +1,63 @@
+// Worker-side surface. A fleet worker is a complete phpsafed server —
+// jobs pool, analyzer stack, scancache shard, incremental store,
+// flight recorder — minus the durable journal (the coordinator owns
+// acceptance durability) and minus retry (MaxAttempts is forced to 1
+// by the caller so the coordinator's budget is the only one). This
+// handler adds two internal endpoints in front of it:
+//
+//	POST /internal/v1/scan      accept a dispatched scan (base64 file
+//	                            bytes, coordinator scan id for logs)
+//	GET  /internal/v1/heartbeat liveness + load for the monitor
+//
+// Everything else falls through to the standard API, which is what the
+// coordinator's poll loop uses (GET /v1/scans/{id}) and what makes a
+// worker individually debuggable (trace, metrics, /debug/events).
+
+package fleet
+
+import (
+	"encoding/json"
+	"net/http"
+
+	"repro/internal/analyzer"
+	"repro/internal/jobs"
+	"repro/internal/server"
+)
+
+// NewWorkerHandler wraps api with the fleet-internal endpoints.
+// advertise is the address the worker reports in heartbeats (how the
+// coordinator configured it, for cross-checking in logs); pool is the
+// worker's jobs pool, read for load reporting.
+func NewWorkerHandler(api *server.Server, pool *jobs.Pool, advertise string) http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("POST /internal/v1/scan", func(w http.ResponseWriter, r *http.Request) {
+		var wire dispatchWire
+		if err := json.NewDecoder(r.Body).Decode(&wire); err != nil {
+			http.Error(w, `{"error":"malformed dispatch body"}`, http.StatusBadRequest)
+			return
+		}
+		target := &analyzer.Target{Name: wire.Name, Files: make([]analyzer.SourceFile, 0, len(wire.Files))}
+		for _, f := range wire.Files {
+			target.Files = append(target.Files, analyzer.SourceFile{Path: f.Path, Content: string(f.Content)})
+		}
+		// Submit runs the full acceptance path — cache shard fast
+		// path, in-flight dedup, budget clamping — and writes the
+		// scan envelope (200 cached / 202 queued / 429 full) that the
+		// dispatcher understands.
+		api.Submit(w, server.SubmitSpec{
+			Name: wire.Name, Tool: wire.Tool, Profile: wire.Profile,
+			Target: target, Opts: wire.Opts,
+		})
+	})
+	mux.HandleFunc("GET /internal/v1/heartbeat", func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Type", "application/json")
+		json.NewEncoder(w).Encode(heartbeatPayload{
+			Advertise:  advertise,
+			Inflight:   pool.InFlight(),
+			QueueDepth: pool.QueueDepth(),
+			Workers:    pool.Workers(),
+		})
+	})
+	mux.Handle("/", api)
+	return mux
+}

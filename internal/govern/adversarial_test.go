@@ -133,45 +133,55 @@ func TestTinyBudgetsTruncateNotCrash(t *testing.T) {
 // minutes the full scan would take.
 func TestCancellationBounded(t *testing.T) {
 	giant := loadFixture(t, "giant_inline_html.php")
-	target := &analyzer.Target{Name: "adv-cancel"}
-	for i := 0; i < 25; i++ {
-		target.Files = append(target.Files, analyzer.SourceFile{
-			Path:    fmt.Sprintf("copy_%02d.php", i),
-			Content: giant.Content,
-		})
-	}
 	eng := taint.New(wordpress.Compiled(), taint.DefaultOptions())
-	ctx, cancel := context.WithCancel(context.Background())
-	defer cancel()
 
-	type outcome struct {
-		res     *analyzer.Result
-		err     error
-		settled time.Time
-	}
-	done := make(chan outcome, 1)
-	go func() {
-		res, err := analyzer.AnalyzeWith(ctx, eng, target, nil)
-		done <- outcome{res, err, time.Now()}
-	}()
+	// A fast machine can finish the whole target before a fixed sleep
+	// elapses, which proves nothing either way; grow the target until
+	// the cancellation actually lands mid-flight.
+	for copies := 25; ; copies *= 4 {
+		target := &analyzer.Target{Name: "adv-cancel"}
+		for i := 0; i < copies; i++ {
+			target.Files = append(target.Files, analyzer.SourceFile{
+				Path:    fmt.Sprintf("copy_%03d.php", i),
+				Content: giant.Content,
+			})
+		}
+		ctx, cancel := context.WithCancel(context.Background())
 
-	time.Sleep(25 * time.Millisecond)
-	cancelled := time.Now()
-	cancel()
+		type outcome struct {
+			res     *analyzer.Result
+			err     error
+			settled time.Time
+		}
+		done := make(chan outcome, 1)
+		go func() {
+			res, err := analyzer.AnalyzeWith(ctx, eng, target, nil)
+			done <- outcome{res, err, time.Now()}
+		}()
 
-	select {
-	case out := <-done:
-		if !errors.Is(out.err, context.Canceled) {
-			t.Fatalf("err = %v, want wrapped context.Canceled", out.err)
+		time.Sleep(25 * time.Millisecond)
+		cancelled := time.Now()
+		cancel()
+
+		select {
+		case out := <-done:
+			if out.err == nil && copies < 1600 {
+				// The scan outran the cancel; try a heavier target.
+				continue
+			}
+			if !errors.Is(out.err, context.Canceled) {
+				t.Fatalf("err = %v (copies=%d), want wrapped context.Canceled", out.err, copies)
+			}
+			if out.res == nil {
+				t.Error("cancelled scan dropped its partial result")
+			}
+			if lag := out.settled.Sub(cancelled); lag > 5*time.Second {
+				t.Errorf("cancellation took %v to surface", lag)
+			}
+			return
+		case <-time.After(30 * time.Second):
+			t.Fatal("cancelled scan never returned")
 		}
-		if out.res == nil {
-			t.Error("cancelled scan dropped its partial result")
-		}
-		if lag := out.settled.Sub(cancelled); lag > 5*time.Second {
-			t.Errorf("cancellation took %v to surface", lag)
-		}
-	case <-time.After(30 * time.Second):
-		t.Fatal("cancelled scan never returned")
 	}
 }
 

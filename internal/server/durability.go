@@ -50,6 +50,7 @@ type submissionPayload struct {
 type resultPayload struct {
 	State  scanState           `json:"state"`
 	Cached bool                `json:"cached,omitempty"`
+	Worker string              `json:"worker,omitempty"`
 	Result *analyzer.Result    `json:"result,omitempty"`
 	Inc    *incremental.Report `json:"incremental,omitempty"`
 	Error  string              `json:"error,omitempty"`
@@ -74,8 +75,8 @@ func (s *Server) acceptedRecord(sc *scan) durable.Record {
 // resultPayloadLocked marshals sc's settled outcome; caller holds s.mu.
 func (s *Server) resultPayloadLocked(sc *scan) json.RawMessage {
 	raw, _ := json.Marshal(resultPayload{
-		State: sc.State, Cached: sc.Cached, Result: sc.Result,
-		Inc: sc.Inc, Error: sc.Err,
+		State: sc.State, Cached: sc.Cached, Worker: sc.Worker,
+		Result: sc.Result, Inc: sc.Inc, Error: sc.Err,
 	})
 	return raw
 }
@@ -217,6 +218,7 @@ func (s *Server) Replay(records []durable.Record) (resubmitted, rehydrated, quar
 			sc.Result = res.Result
 			sc.Inc = res.Inc
 			sc.Cached = res.Cached
+			sc.Worker = res.Worker
 			sc.Err = res.Error
 			s.mu.Lock()
 			s.addScanLocked(sc)
@@ -469,7 +471,9 @@ func (s *Server) handleLivez(w http.ResponseWriter, _ *http.Request) {
 // scans correctly, it has just lost durability) when the journal has
 // failed over to in-memory mode. Every response carries live queue
 // occupancy detail, so a saturating queue is visible before it turns
-// into 429s.
+// into 429s. A coordinator additionally reports per-worker fleet
+// health (state, inflight, last heartbeat) and degrades to 503 only
+// when zero workers are reachable.
 func (s *Server) handleReadyz(w http.ResponseWriter, _ *http.Request) {
 	s.mu.Lock()
 	draining := s.draining
@@ -485,6 +489,15 @@ func (s *Server) handleReadyz(w http.ResponseWriter, _ *http.Request) {
 		body["status"] = "draining"
 		s.writeJSON(w, http.StatusServiceUnavailable, body)
 		return
+	}
+	if s.cfg.FleetStatus != nil {
+		detail, ready := s.cfg.FleetStatus()
+		body["fleet"] = detail
+		if !ready {
+			body["status"] = "no_workers"
+			s.writeJSON(w, http.StatusServiceUnavailable, body)
+			return
+		}
 	}
 	body["status"] = "ready"
 	if s.cfg.Journal != nil {

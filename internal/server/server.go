@@ -149,6 +149,51 @@ type Config struct {
 	// NewID generates scan ids (random hex when nil); tests pin it for
 	// deterministic traces.
 	NewID func() string
+	// Dispatch, when set, turns this server into a fleet coordinator:
+	// instead of running an accepted scan's engine locally, each attempt
+	// hands the scan to Dispatch (the fleet dispatcher routes it to a
+	// worker by consistent hash of the content digest and returns the
+	// worker's result). Everything else — journal, retry budget, cache,
+	// in-flight dedup, traces — is unchanged: a failed dispatch is a
+	// failed attempt, retried with backoff and re-routed, and an
+	// interrupted dispatch settles nothing so journal replay re-owns it.
+	Dispatch func(ctx context.Context, req *DispatchRequest) (*DispatchResult, error)
+	// FleetStatus, when set, contributes per-worker fleet health to
+	// /readyz. ready=false (zero workers reachable) turns readiness
+	// into 503; detail is embedded under the "fleet" key.
+	FleetStatus func() (detail any, ready bool)
+}
+
+// DispatchRequest is one scan attempt handed to a fleet dispatcher.
+type DispatchRequest struct {
+	// ScanID is the coordinator's scan id (trace events key off it).
+	ScanID string
+	// Key is the scan's content digest (the cache key); the dispatcher
+	// routes by consistent hash of it so a digest always lands on the
+	// same worker's cache shard.
+	Key string
+	// Attempt is the 1-based attempt number this dispatch executes.
+	Attempt int
+	// Name, Tool, Profile and Opts identify the submission exactly as
+	// the worker must run it; Opts carries the coordinator-clamped
+	// effective budgets.
+	Name    string
+	Tool    string
+	Profile string
+	Target  *analyzer.Target
+	Opts    *analyzer.ScanOptions
+}
+
+// DispatchResult is a worker's settled answer to one dispatch.
+type DispatchResult struct {
+	// Worker is the address of the worker that computed the result.
+	Worker string
+	// Result is the worker's scan result, byte-identical (after the
+	// JSON round trip) to what a standalone daemon would have produced.
+	Result *analyzer.Result
+	// Inc is the worker's incremental-reuse report, when its sharded
+	// artifact store reused per-file work.
+	Inc *incremental.Report
 }
 
 // DefaultMaxScans bounds the scan registry when Config.MaxScans is
@@ -190,6 +235,10 @@ type scan struct {
 	Inc      *incremental.Report
 	Err      string
 	Attempts int
+	// Worker is the fleet worker that computed the result (coordinator
+	// role only; empty in standalone mode or before the first dispatch
+	// succeeds).
+	Worker string
 
 	// queuedAt is when the scan (re-)entered the queue: acceptance,
 	// replay resubmission, or the projected end of a retry backoff.
@@ -337,6 +386,7 @@ type scanJSON struct {
 	Created  time.Time           `json:"created"`
 	Finished *time.Time          `json:"finished,omitempty"`
 	Attempts int                 `json:"attempts,omitempty"`
+	Worker   string              `json:"worker,omitempty"`
 	Budgets  *budgetJSON         `json:"budgets,omitempty"`
 	Result   *analyzer.Result    `json:"result,omitempty"`
 	Inc      *incremental.Report `json:"incremental,omitempty"`
@@ -354,6 +404,7 @@ func (sc *scan) viewLocked() scanJSON {
 		Cached:   sc.Cached,
 		Created:  sc.Created,
 		Attempts: sc.Attempts,
+		Worker:   sc.Worker,
 		Budgets:  budgetView(sc.Opts),
 		Result:   sc.Result,
 		Inc:      sc.Inc,
@@ -468,17 +519,61 @@ func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
 		s.error(w, http.StatusBadRequest, err.Error())
 		return
 	}
-	target := &analyzer.Target{Name: req.Name, Files: filesFromMap(req.Files)}
-	if len(target.Files) == 0 {
+	s.Submit(w, SubmitSpec{
+		Name:    req.Name,
+		Tool:    req.Tool,
+		Profile: req.Profile,
+		Target:  &analyzer.Target{Name: req.Name, Files: filesFromMap(req.Files)},
+		Opts:    req.scanOptions(),
+	})
+}
+
+// SubmitSpec is a programmatic submission: POST /v1/scans with the
+// HTTP parsing already done. The fleet worker's dispatch endpoint uses
+// it so file content arrives as raw bytes (never mangled through a
+// JSON string) and budgets arrive pre-clamped by the coordinator.
+type SubmitSpec struct {
+	// Name labels the target (default "upload").
+	Name string
+	// Tool picks the engine (default "phpsafe").
+	Tool string
+	// Profile is the rule-pack spec (default "wordpress").
+	Profile string
+	// Target carries the PHP sources to scan.
+	Target *analyzer.Target
+	// Opts are per-scan budget overrides, clamped against the server's
+	// caps exactly like request overrides (nil: the caps themselves).
+	Opts *analyzer.ScanOptions
+}
+
+// Submit accepts spec exactly like POST /v1/scans — cache fast path,
+// in-flight dedup, journaled acceptance, 202/200/429 — and writes the
+// scan envelope to w.
+func (s *Server) Submit(w http.ResponseWriter, spec SubmitSpec) {
+	if spec.Name == "" {
+		spec.Name = "upload"
+	}
+	if spec.Tool == "" {
+		spec.Tool = "phpsafe"
+	}
+	if spec.Profile == "" {
+		spec.Profile = "wordpress"
+	}
+	req := &spec
+	target := spec.Target
+	if target == nil || len(target.Files) == 0 {
 		s.error(w, http.StatusBadRequest, "no .php files in submission")
 		return
+	}
+	if target.Name == "" {
+		target.Name = spec.Name
 	}
 	engine, err := s.cfg.BuildTool(req.Tool, req.Profile, s.rec)
 	if err != nil {
 		s.error(w, http.StatusBadRequest, err.Error())
 		return
 	}
-	opts := s.effectiveBudgets(req.scanOptions())
+	opts := s.effectiveBudgets(req.Opts)
 	key := scancache.Key(target, fmt.Sprintf("%s|%s|%s|%s|%s",
 		s.cfg.Fingerprint, req.Tool, req.Profile, engineFingerprint(engine), budgetKey(opts)))
 
@@ -664,6 +759,7 @@ func (s *Server) runScanAttempt(ctx context.Context, sc *scan) error {
 	}()
 
 	var incRep *incremental.Report
+	var dispatchWorker string
 	res, hit, err := s.cfg.Cache.Do(sc.Key, func() (*analyzer.Result, error) {
 		// The scan span exists only when the engine actually runs:
 		// cache hits and joined flights record no span.
@@ -671,9 +767,28 @@ func (s *Server) runScanAttempt(ctx context.Context, sc *scan) error {
 		defer span.EndAndObserve("scan_seconds")
 		s.mu.Lock()
 		sc.span = span
+		attempt := sc.Attempts
 		s.mu.Unlock()
 		if err := scanCtx.Err(); err != nil {
 			return nil, err
+		}
+		// Coordinator role: route the attempt to a fleet worker instead
+		// of running the engine here. The worker owns the sharded
+		// scancache and incremental store for this digest; a dispatch
+		// failure is a failed attempt, classified and retried exactly
+		// like a local one.
+		if s.cfg.Dispatch != nil {
+			dr, derr := s.cfg.Dispatch(scanCtx, &DispatchRequest{
+				ScanID: sc.ID, Key: sc.Key, Attempt: attempt,
+				Name: sc.Target.Name, Tool: sc.Tool, Profile: sc.Profile,
+				Target: sc.Target, Opts: sc.Opts,
+			})
+			if derr != nil {
+				return nil, derr
+			}
+			incRep = dr.Inc
+			dispatchWorker = dr.Worker
+			return dr.Result, nil
 		}
 		// Incremental reuse kicks in below the whole-result cache:
 		// an exact resubmission hits the scan cache, while a new
@@ -744,10 +859,12 @@ func (s *Server) runScanAttempt(ctx context.Context, sc *scan) error {
 	sc.Cached = hit
 	if !hit {
 		sc.Inc = incRep
+		sc.Worker = dispatchWorker
 	}
 	delete(s.active, sc.Key)
 	payload := s.resultPayloadLocked(sc)
 	created, finished := sc.Created, sc.Finished
+	worker := sc.Worker
 	s.mu.Unlock()
 	s.rec.Counter("scans_completed_total").Inc()
 	if hit {
@@ -762,7 +879,8 @@ func (s *Server) runScanAttempt(ctx context.Context, sc *scan) error {
 	s.degradationEvents(sc.ID, res)
 	s.settleEvent(sc, stateDone, "", created, finished)
 	s.journal(durable.Record{
-		Type: durable.RecCompleted, ScanID: sc.ID, Attempt: sc.Attempts, Payload: payload,
+		Type: durable.RecCompleted, ScanID: sc.ID, Attempt: sc.Attempts,
+		Worker: worker, Payload: payload,
 	})
 	s.maybeCompact()
 	return nil
