@@ -60,11 +60,11 @@ func evaluations(b *testing.B) (*eval.Evaluation, *eval.Evaluation) {
 	b.Helper()
 	evalsOnceGuard.Do(func() {
 		c12, c14 := corpora()
-		benchEval2012, evalsErr = eval.EvaluateCorpus(c12)
+		benchEval2012, evalsErr = eval.EvaluateCorpusContext(context.Background(), c12, eval.EvalOptions{})
 		if evalsErr != nil {
 			return
 		}
-		benchEval2014, evalsErr = eval.EvaluateCorpus(c14)
+		benchEval2014, evalsErr = eval.EvaluateCorpusContext(context.Background(), c14, eval.EvalOptions{})
 	})
 	if evalsErr != nil {
 		b.Fatal(evalsErr)
@@ -102,7 +102,7 @@ func BenchmarkTableI(b *testing.B) {
 	c12, _ := corpora()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		if _, err := eval.EvaluateCorpus(c12); err != nil {
+		if _, err := eval.EvaluateCorpusContext(context.Background(), c12, eval.EvalOptions{}); err != nil {
 			b.Fatal(err)
 		}
 	}
@@ -202,7 +202,7 @@ func BenchmarkTableIII(b *testing.B) {
 				b.ResetTimer()
 				for i := 0; i < b.N; i++ {
 					for _, target := range ver.c.Targets {
-						if _, err := engine.Analyze(target); err != nil {
+						if _, err := engine.AnalyzeContext(context.Background(), target, nil); err != nil {
 							b.Fatal(err)
 						}
 					}
@@ -254,7 +254,7 @@ func BenchmarkAblationSummaries(b *testing.B) {
 			b.ResetTimer()
 			for i := 0; i < b.N; i++ {
 				for _, target := range c12.Targets {
-					if _, err := engine.Analyze(target); err != nil {
+					if _, err := engine.AnalyzeContext(context.Background(), target, nil); err != nil {
 						b.Fatal(err)
 					}
 				}

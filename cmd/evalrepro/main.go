@@ -32,10 +32,12 @@ import (
 	"fmt"
 	"os"
 	"os/signal"
+	"runtime"
 	"sort"
 	"strings"
 	"time"
 
+	"repro/internal/analyzer"
 	"repro/internal/corpus"
 	"repro/internal/eval"
 	"repro/internal/incremental"
@@ -56,6 +58,7 @@ func run() int {
 	parallel := flag.Int("parallel", 0, "worker pool size (0 = serial; parallel wall-clock is not comparable for Table III)")
 	summary := flag.String("summary", "", "also write machine-readable JSON summaries to <file>-2012.json and <file>-2014.json")
 	bench := flag.String("bench", "BENCH_eval.json", "write per-tool per-stage timings to this file (\"\" disables)")
+	fileWorkers := flag.Int("file-workers", 0, "per-scan file worker pool (0 = all cores, 1 = serial)")
 	progress := flag.Bool("progress", false, "print per-plugin progress lines to stderr")
 	flag.Parse()
 
@@ -95,6 +98,9 @@ func run() int {
 				recorders[tag][tool] = rec
 				return rec
 			},
+		}
+		if *fileWorkers != 0 {
+			opts.Budgets = &analyzer.ScanOptions{FileWorkers: *fileWorkers}
 		}
 		if *progress {
 			opts.Progress = func(ev eval.Progress) {
@@ -144,7 +150,12 @@ func run() int {
 			fmt.Fprintf(os.Stderr, "evalrepro: %v\n", err)
 			return 1
 		}
-		if err := writeBench(*bench, *seed, *parallel, recorders, inc, ev12, ev14); err != nil {
+		fw, err := measureFileWorkers(ctx, c14)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "evalrepro: %v\n", err)
+			return 1
+		}
+		if err := writeBench(*bench, *seed, *parallel, recorders, inc, fw, ev12, ev14); err != nil {
 			fmt.Fprintf(os.Stderr, "evalrepro: %v\n", err)
 			return 1
 		}
@@ -336,21 +347,68 @@ func measureIncremental() (*benchIncremental, error) {
 	return out, nil
 }
 
+// benchFileWorkers is the intra-scan parallel pipeline's cold-scan
+// comparison: the same full-corpus phpSAFE sweep at FileWorkers=1 vs
+// FileWorkers=GOMAXPROCS. Output is byte-identical either way; only
+// the wall clock moves, and only as far as the host's cores allow.
+type benchFileWorkers struct {
+	// Workers is GOMAXPROCS on the measuring host — the parallel run's
+	// pool size and the ceiling on any speedup.
+	Workers    int     `json:"workers"`
+	SerialMS   float64 `json:"serial_ms"`
+	ParallelMS float64 `json:"parallel_ms"`
+	Speedup    float64 `json:"speedup"`
+}
+
+// measureFileWorkers times the serial-vs-parallel cold sweep (best of
+// three rounds each, same corpus, same engine).
+func measureFileWorkers(ctx context.Context, c *corpus.Corpus) (*benchFileWorkers, error) {
+	tool, err := eval.BuildTool("phpsafe", "wordpress", eval.ToolOptions{})
+	if err != nil {
+		return nil, err
+	}
+	out := &benchFileWorkers{Workers: runtime.GOMAXPROCS(0)}
+	const rounds = 3
+	for i := 0; i < rounds; i++ {
+		for _, mode := range []struct {
+			workers int
+			ms      *float64
+		}{{1, &out.SerialMS}, {out.Workers, &out.ParallelMS}} {
+			start := time.Now()
+			if _, err := eval.Run(ctx, tool, c, eval.Options{
+				Budgets: &analyzer.ScanOptions{FileWorkers: mode.workers},
+			}); err != nil {
+				return nil, err
+			}
+			ms := float64(time.Since(start).Microseconds()) / 1000
+			if i == 0 || ms < *mode.ms {
+				*mode.ms = ms
+			}
+		}
+	}
+	if out.ParallelMS > 0 {
+		out.Speedup = out.SerialMS / out.ParallelMS
+	}
+	return out, nil
+}
+
 // benchDoc is the BENCH_eval.json schema: a perf trajectory point for
 // future PRs to compare against.
 type benchDoc struct {
 	Seed              int64                           `json:"seed"`
 	Parallel          int                             `json:"parallel"`
 	IncrementalRescan *benchIncremental               `json:"incremental_rescan,omitempty"`
+	FileWorkers       *benchFileWorkers               `json:"file_workers,omitempty"`
 	Corpora           map[string]map[string]benchTool `json:"corpora"`
 }
 
 // writeBench renders the per-tool, per-stage timing artifact.
 func writeBench(path string, seed int64, parallel int,
-	recorders map[string]map[string]*obs.Recorder, inc *benchIncremental, evs ...*eval.Evaluation) error {
+	recorders map[string]map[string]*obs.Recorder, inc *benchIncremental,
+	fw *benchFileWorkers, evs ...*eval.Evaluation) error {
 
 	doc := benchDoc{Seed: seed, Parallel: parallel, IncrementalRescan: inc,
-		Corpora: map[string]map[string]benchTool{}}
+		FileWorkers: fw, Corpora: map[string]map[string]benchTool{}}
 	for i, tag := range []string{"2012", "2014"} {
 		doc.Corpora[tag] = map[string]benchTool{}
 		for tool, rec := range recorders[tag] {

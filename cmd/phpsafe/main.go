@@ -52,6 +52,10 @@
 //	                             scan (0 = default 20M, -1 = unlimited)
 //	-file-slice D                wall-clock budget per file; exceeding it
 //	                             fails that file and the scan continues
+//	-file-workers N              per-scan worker pool fanning per-file
+//	                             lex/parse/analysis across cores
+//	                             (0 = all cores, 1 = serial); output is
+//	                             identical at any worker count
 //	-version                     print the version and exit
 //
 // The "rules lint" subcommand validates rule-pack files (builtin packs
@@ -118,6 +122,7 @@ func run() int {
 	maxDepth := flag.Int("max-depth", 0, "parser nesting budget per file (0 = default)")
 	maxSteps := flag.Int64("max-steps", 0, "interpreter step budget for the scan (0 = default, -1 = unlimited)")
 	fileSlice := flag.Duration("file-slice", 0, "wall-clock budget per file (0 = none)")
+	fileWorkers := flag.Int("file-workers", 0, "per-scan worker pool for file lex/parse/analysis (0 = all cores, 1 = serial)")
 	showVersion := flag.Bool("version", false, "print the version and exit")
 	flag.Parse()
 
@@ -189,12 +194,13 @@ func run() int {
 	// Scan budgets (nil = all defaults) and SIGINT-driven cancellation:
 	// the engine observes both at its governor checkpoints.
 	var opts *analyzer.ScanOptions
-	if *deadline != 0 || *maxDepth != 0 || *maxSteps != 0 || *fileSlice != 0 {
+	if *deadline != 0 || *maxDepth != 0 || *maxSteps != 0 || *fileSlice != 0 || *fileWorkers != 0 {
 		opts = &analyzer.ScanOptions{
 			Deadline:      *deadline,
 			MaxParseDepth: *maxDepth,
 			MaxSteps:      *maxSteps,
 			FileTimeSlice: *fileSlice,
+			FileWorkers:   *fileWorkers,
 		}
 	}
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt)
@@ -244,7 +250,7 @@ func run() int {
 			version.String()+"|"+spec, rec)}
 	}
 
-	res, err := analyzer.AnalyzeWith(ctx, scanner, target, opts)
+	res, err := scanner.AnalyzeContext(ctx, target, opts)
 	if err != nil {
 		fmt.Fprintf(os.Stderr, "phpsafe: %v\n", err)
 		return 2
@@ -410,7 +416,7 @@ func runDiff(ctx context.Context, tool analyzer.Analyzer, oldDir, newDir string,
 			fmt.Fprintf(os.Stderr, "phpsafe: no .php files found in %s\n", dir)
 			return nil, 2
 		}
-		res, err := analyzer.AnalyzeWith(ctx, tool, target, opts)
+		res, err := tool.AnalyzeContext(ctx, target, opts)
 		if err != nil {
 			fmt.Fprintf(os.Stderr, "phpsafe: %v\n", err)
 			return nil, 2

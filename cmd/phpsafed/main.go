@@ -132,6 +132,7 @@ func run() int {
 	maxSteps := flag.Int64("max-steps", 0, "cap on interpreter steps per scan (0 = default)")
 	maxFindings := flag.Int("max-findings", 0, "cap on findings per scan (0 = default)")
 	fileSlice := flag.Duration("file-slice", 0, "cap on wall-clock time per file (0 = off)")
+	fileWorkers := flag.Int("file-workers", 0, "default per-scan worker pool for file lex/parse/analysis (0 = all cores, 1 = serial)")
 	journalDir := flag.String("journal", "", "journal accepted scans to this directory (off when empty)")
 	maxAttempts := flag.Int("max-attempts", jobs.DefaultMaxAttempts, "attempts per scan before quarantine")
 	retryBase := flag.Duration("retry-base", jobs.DefaultRetryBase, "backoff before a scan's second attempt")
@@ -255,6 +256,7 @@ func run() int {
 			MaxSteps:      *maxSteps,
 			MaxFindings:   *maxFindings,
 			FileTimeSlice: *fileSlice,
+			FileWorkers:   *fileWorkers,
 		},
 		Logger:            logger,
 		SlowScanThreshold: *slowScan,

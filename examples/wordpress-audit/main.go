@@ -9,6 +9,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"os"
 	"sort"
@@ -41,7 +42,7 @@ func main() {
 	fmt.Printf("Ground truth: %d seeded vulnerabilities in this plugin\n\n", len(truthLines))
 
 	for _, tool := range eval.DefaultTools() {
-		res, err := tool.Analyze(target)
+		res, err := tool.AnalyzeContext(context.Background(), target, nil)
 		if err != nil {
 			fmt.Fprintf(os.Stderr, "%s: %v\n", tool.Name(), err)
 			os.Exit(1)

@@ -5,6 +5,7 @@ package repro
 // tools take.
 
 import (
+	"context"
 	"os"
 	"path/filepath"
 	"testing"
@@ -88,7 +89,7 @@ func TestAllToolsOnDiskTarget(t *testing.T) {
 		t.Fatal(err)
 	}
 	for _, tool := range eval.DefaultTools() {
-		res, err := tool.Analyze(loaded)
+		res, err := tool.AnalyzeContext(context.Background(), loaded, nil)
 		if err != nil {
 			t.Fatalf("%s: %v", tool.Name(), err)
 		}
@@ -140,7 +141,7 @@ func TestDeterministicEvaluation(t *testing.T) {
 		if err != nil {
 			t.Fatal(err)
 		}
-		ev, err := eval.EvaluateCorpus(c12)
+		ev, err := eval.EvaluateCorpusContext(context.Background(), c12, eval.EvalOptions{})
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -164,7 +165,7 @@ func TestAlternateSeedStillHoldsShape(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	ev, err := eval.EvaluateCorpus(c12)
+	ev, err := eval.EvaluateCorpusContext(context.Background(), c12, eval.EvalOptions{})
 	if err != nil {
 		t.Fatal(err)
 	}

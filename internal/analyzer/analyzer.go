@@ -8,6 +8,7 @@
 package analyzer
 
 import (
+	"context"
 	"fmt"
 	"sort"
 	"strings"
@@ -439,13 +440,27 @@ func (t *Target) File(path string) (SourceFile, bool) {
 	return SourceFile{}, false
 }
 
-// Analyzer is a static vulnerability analysis tool. Implementations must
-// be safe for concurrent use by multiple goroutines on distinct targets.
+// Analyzer is a static vulnerability analysis tool. The contract is
+// context-first: every scan observes a context and resource budgets.
+// Implementations must be safe for concurrent use by multiple
+// goroutines on distinct targets.
+//
+// AnalyzeContext returns a non-nil partial Result whenever any file
+// was processed, even alongside a non-nil error. Context cancellation
+// (or expiry) is the only budget reported as an error — the returned
+// error wraps ctx.Err() and the partial result is still valid. All
+// other exhausted budgets degrade: the scan stops early, the Result
+// carries Truncated/TruncatedBy, and the error is nil. Per-file
+// problems are recorded in the Result, never returned as errors
+// (robustness requirement, paper §IV.A).
+//
+// The engines in this repository additionally provide a concrete
+// Analyze(target) convenience method (background context, default
+// budgets); it is deliberately not part of the interface.
 type Analyzer interface {
 	// Name returns the tool's display name.
 	Name() string
-	// Analyze scans one target and returns its report. Analyze reports an
-	// error only for total failures; per-file problems are recorded in
-	// the Result (robustness requirement, paper §IV.A).
-	Analyze(target *Target) (*Result, error)
+	// AnalyzeContext scans one target under ctx and the given resource
+	// budgets (nil opts means defaults).
+	AnalyzeContext(ctx context.Context, t *Target, opts *ScanOptions) (*Result, error)
 }

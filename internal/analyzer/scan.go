@@ -1,7 +1,7 @@
 package analyzer
 
 import (
-	"context"
+	"runtime"
 	"time"
 )
 
@@ -48,6 +48,12 @@ type ScanOptions struct {
 	// Exceeding it fails that file (recorded in FilesFailed) and the
 	// scan continues with the next file. Zero disables the slice.
 	FileTimeSlice time.Duration `json:"file_time_slice,omitempty"`
+	// FileWorkers sizes the intra-scan worker pool that fans per-file
+	// lex/parse/analysis across goroutines. Zero or negative means
+	// GOMAXPROCS (use every core); 1 runs the scan strictly serially.
+	// Output is byte-identical regardless of the worker count: per-file
+	// results are merged in sorted path order.
+	FileWorkers int `json:"file_workers,omitempty"`
 }
 
 // DefaultScanOptions returns the default budgets spelled out; it is
@@ -82,6 +88,15 @@ func (o *ScanOptions) EffectiveMaxSteps() int64 {
 	return o.MaxSteps
 }
 
+// EffectiveFileWorkers resolves the worker-pool size: zero or negative
+// means GOMAXPROCS, anything else is taken literally.
+func (o *ScanOptions) EffectiveFileWorkers() int {
+	if o == nil || o.FileWorkers <= 0 {
+		return runtime.GOMAXPROCS(0)
+	}
+	return o.FileWorkers
+}
+
 // EffectiveMaxFindings resolves the zero-means-default convention.
 func (o *ScanOptions) EffectiveMaxFindings() int {
 	if o == nil || o.MaxFindings == 0 {
@@ -104,32 +119,8 @@ type RobustnessFailure struct {
 	Reason string `json:"reason"`
 }
 
-// ContextAnalyzer is an Analyzer whose scans observe a context and
-// resource budgets. All engines in this repository implement it; the
-// plain Analyze remains as a thin adapter for callers that need
-// neither.
-//
-// AnalyzeContext returns a non-nil partial Result whenever any file
-// was processed, even alongside a non-nil error. Context cancellation
-// (or expiry) is the only budget reported as an error — the returned
-// error wraps ctx.Err() and the partial result is still valid. All
-// other exhausted budgets degrade: the scan stops early, the Result
-// carries Truncated/TruncatedBy, and the error is nil.
-type ContextAnalyzer interface {
-	Analyzer
-	AnalyzeContext(ctx context.Context, t *Target, opts *ScanOptions) (*Result, error)
-}
-
-// AnalyzeWith runs a scan through the context-first contract when the
-// analyzer supports it, falling back to the legacy Analyze otherwise.
-// It is the single call sites use so every engine — including
-// third-party Analyzer implementations — is driven uniformly.
-func AnalyzeWith(ctx context.Context, a Analyzer, t *Target, opts *ScanOptions) (*Result, error) {
-	if ca, ok := a.(ContextAnalyzer); ok {
-		return ca.AnalyzeContext(ctx, t, opts)
-	}
-	if err := ctx.Err(); err != nil {
-		return nil, err
-	}
-	return a.Analyze(t)
-}
+// ContextAnalyzer is the historical name of the context-first contract
+// from the era when the interface also carried a legacy Analyze method.
+// Analyzer itself is now that contract; the alias keeps existing
+// declarations compiling.
+type ContextAnalyzer = Analyzer

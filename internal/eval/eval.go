@@ -50,11 +50,6 @@ type Options struct {
 	Budgets *analyzer.ScanOptions
 }
 
-// RunOptions is the pre-context name of Options.
-//
-// Deprecated: use Options with Run.
-type RunOptions = Options
-
 // Progress is one progress-callback event.
 type Progress struct {
 	// Tool is the running tool's display name.
@@ -85,7 +80,13 @@ func Run(ctx context.Context, tool analyzer.Analyzer, c *corpus.Corpus, opts Opt
 	start := time.Now()
 	for i, target := range c.Targets {
 		sp := rec.StartNamedSpan("plugin:", target.Name, nil)
-		res, err := analyzer.AnalyzeWith(ctx, tool, target, opts.Budgets)
+		// A context already dead skips the engine but still flows through
+		// the progress/error path, so cancellation between plugins is
+		// reported identically to cancellation inside one.
+		res, err := (*analyzer.Result)(nil), ctx.Err()
+		if err == nil {
+			res, err = tool.AnalyzeContext(ctx, target, opts.Budgets)
+		}
 		sp.EndAndObserve("eval_plugin_seconds")
 		rec.Counter("eval_plugins_total").Inc()
 		if opts.Progress != nil {
@@ -102,13 +103,6 @@ func Run(ctx context.Context, tool analyzer.Analyzer, c *corpus.Corpus, opts Opt
 	}
 	run.Duration = time.Since(start)
 	return run, nil
-}
-
-// RunWithOptions is the pre-context form of Run.
-//
-// Deprecated: use Run with a context.
-func RunWithOptions(tool analyzer.Analyzer, c *corpus.Corpus, opts Options) (*ToolRun, error) {
-	return Run(context.Background(), tool, c, opts)
 }
 
 // Counts is a TP/FP tally with derived metrics.

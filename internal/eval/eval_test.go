@@ -1,6 +1,7 @@
 package eval
 
 import (
+	"context"
 	"encoding/json"
 	"sync"
 	"testing"
@@ -22,10 +23,10 @@ func evals(t *testing.T) (*Evaluation, *Evaluation) {
 	evalOnce.Do(func() {
 		c12, c14 := corpus.MustGenerate()
 		var err error
-		if ev2012, err = EvaluateCorpus(c12); err != nil {
+		if ev2012, err = EvaluateCorpusContext(context.Background(), c12, EvalOptions{}); err != nil {
 			t.Fatalf("evaluate 2012: %v", err)
 		}
-		if ev2014, err = EvaluateCorpus(c14); err != nil {
+		if ev2014, err = EvaluateCorpusContext(context.Background(), c14, EvalOptions{}); err != nil {
 			t.Fatalf("evaluate 2014: %v", err)
 		}
 	})

@@ -12,16 +12,6 @@ import (
 	"repro/internal/corpus"
 )
 
-// RunParallel is the pre-context form of Run with a worker count.
-//
-// Deprecated: use Run with a context and Options.Workers.
-func RunParallel(tool analyzer.Analyzer, c *corpus.Corpus, workers int) (*ToolRun, error) {
-	if workers <= 0 {
-		workers = runtime.GOMAXPROCS(0)
-	}
-	return runParallel(context.Background(), tool, c, Options{Workers: workers})
-}
-
 // runParallel is the worker-pool implementation behind Run. Results
 // keep corpus order, so Evaluate consumes them identically to the
 // serial path; the recorded Duration is wall-clock, NOT comparable
@@ -66,7 +56,10 @@ func runParallel(ctx context.Context, tool analyzer.Analyzer, c *corpus.Corpus, 
 					rec.Observe("eval_queue_wait_seconds", time.Since(j.enqueued).Seconds())
 				}
 				sp := rec.StartNamedSpan("plugin:", j.target.Name, nil)
-				res, err := analyzer.AnalyzeWith(ctx, tool, j.target, opts.Budgets)
+				res, err := (*analyzer.Result)(nil), ctx.Err()
+				if err == nil {
+					res, err = tool.AnalyzeContext(ctx, j.target, opts.Budgets)
+				}
 				sp.EndAndObserve("eval_plugin_seconds")
 				rec.Counter("eval_plugins_total").Inc()
 				if err != nil {
@@ -109,11 +102,4 @@ func runParallel(ctx context.Context, tool analyzer.Analyzer, c *corpus.Corpus, 
 		return run, errors.Join(all...)
 	}
 	return run, nil
-}
-
-// EvaluateCorpusParallel is EvaluateCorpus with a bounded worker pool per
-// tool. Detection results are identical to the serial path; only the
-// timings differ.
-func EvaluateCorpusParallel(c *corpus.Corpus, workers int) (*Evaluation, error) {
-	return EvaluateCorpusWithOptions(c, EvalOptions{Workers: workers})
 }

@@ -21,7 +21,7 @@ func TestParallelMatchesSerial(t *testing.T) {
 	serial, _ := evals(t)
 
 	c12, _ := corpus.MustGenerate()
-	parallel, err := EvaluateCorpusParallel(c12, 4)
+	parallel, err := EvaluateCorpusContext(context.Background(), c12, EvalOptions{Workers: 4})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -50,7 +50,8 @@ func TestParallelMatchesSerial(t *testing.T) {
 // TestParallelWorkerDefaults checks the zero-worker default.
 func TestParallelWorkerDefaults(t *testing.T) {
 	c12, _ := corpus.MustGenerate()
-	run, err := RunParallel(DefaultTools()[1], c12, 0) // RIPS: cheapest
+	// Workers < 0 means GOMAXPROCS; RIPS is the cheapest tool.
+	run, err := Run(context.Background(), DefaultTools()[1], c12, Options{Workers: -1})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -73,7 +74,10 @@ type flakyTool struct {
 
 func (f *flakyTool) Name() string { return "flaky" }
 
-func (f *flakyTool) Analyze(target *analyzer.Target) (*analyzer.Result, error) {
+func (f *flakyTool) AnalyzeContext(ctx context.Context, target *analyzer.Target, _ *analyzer.ScanOptions) (*analyzer.Result, error) {
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
 	f.calls.Add(1)
 	if strings.HasPrefix(target.Name, f.failPrefix) {
 		return nil, fmt.Errorf("induced failure on %s", target.Name)
@@ -97,7 +101,7 @@ func TestParallelJoinsAllErrors(t *testing.T) {
 	c := failCorpus("bad-one", "good-one", "bad-two", "good-two", "bad-three")
 	tool := &flakyTool{failPrefix: "bad-"}
 
-	run, err := RunParallel(tool, c, 3)
+	run, err := Run(context.Background(), tool, c, Options{Workers: 3})
 	if err == nil {
 		t.Fatal("want error, got nil")
 	}
@@ -140,9 +144,9 @@ func TestSerialDurationOnError(t *testing.T) {
 	}
 }
 
-// TestRunContextCancellation checks the collapsed Run entry point
-// refuses to analyze under a dead context — even for legacy analyzers
-// that never look at contexts, via the AnalyzeWith fallback.
+// TestRunContextCancellation checks the single Run entry point refuses
+// to analyze under a dead context: the harness pre-checks ctx before
+// dispatching each plugin, so no engine work starts.
 func TestRunContextCancellation(t *testing.T) {
 	c := failCorpus("p1", "p2", "p3")
 	ctx, cancel := context.WithCancel(context.Background())
@@ -156,16 +160,16 @@ func TestRunContextCancellation(t *testing.T) {
 	}
 }
 
-// TestRunWithOptionsProgressAndMetrics exercises the harness-level
+// TestRunProgressAndMetrics exercises the harness-level
 // instrumentation: progress callbacks fire once per plugin (serially
 // observable thanks to the callback mutex) and the recorder accumulates
 // per-plugin spans plus queue-wait samples under the worker pool.
-func TestRunWithOptionsProgressAndMetrics(t *testing.T) {
+func TestRunProgressAndMetrics(t *testing.T) {
 	c := failCorpus("p1", "p2", "p3", "p4")
 	rec := obs.NewRecorder()
 	seen := map[string]bool{}
 	maxDone := 0
-	run, err := RunWithOptions(&flakyTool{failPrefix: "none"}, c, RunOptions{
+	run, err := Run(context.Background(), &flakyTool{failPrefix: "none"}, c, Options{
 		Workers:  2,
 		Recorder: rec,
 		Progress: func(ev Progress) {

@@ -103,12 +103,6 @@ type EvalOptions struct {
 	Budgets *analyzer.ScanOptions
 }
 
-// EvaluateCorpus runs the default tools over a corpus and matches the
-// results against its labels.
-func EvaluateCorpus(c *corpus.Corpus) (*Evaluation, error) {
-	return EvaluateCorpusContext(context.Background(), c, EvalOptions{})
-}
-
 // EvaluateCorpusContext runs the default tools over a corpus under ctx
 // and matches the results against its labels; cancelling ctx aborts
 // the sweep mid-tool with the wrapped context error.
@@ -134,14 +128,6 @@ func EvaluateCorpusContext(ctx context.Context, c *corpus.Corpus, opts EvalOptio
 		runs = append(runs, run)
 	}
 	return Evaluate(c, runs), nil
-}
-
-// EvaluateCorpusWithOptions is the pre-context form of
-// EvaluateCorpusContext.
-//
-// Deprecated: use EvaluateCorpusContext.
-func EvaluateCorpusWithOptions(c *corpus.Corpus, opts EvalOptions) (*Evaluation, error) {
-	return EvaluateCorpusContext(context.Background(), c, opts)
 }
 
 // observe rebinds a known engine to a recorder; tools without recorder

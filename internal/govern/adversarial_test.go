@@ -76,7 +76,7 @@ func TestAdversarialFixturesComplete(t *testing.T) {
 	for _, target := range fixtureTargets(t) {
 		for _, eng := range engines() {
 			t.Run(fmt.Sprintf("%s/%s", target.Name, eng.Name()), func(t *testing.T) {
-				res, err := analyzer.AnalyzeWith(context.Background(), eng, target, opts)
+				res, err := eng.AnalyzeContext(context.Background(), target, opts)
 				if err != nil {
 					t.Fatalf("scan errored (only cancellation may): %v", err)
 				}
@@ -109,7 +109,7 @@ func TestTinyBudgetsTruncateNotCrash(t *testing.T) {
 	}}
 	eng := taint.New(wordpress.Compiled(), taint.DefaultOptions())
 	opts := &analyzer.ScanOptions{MaxSteps: 300, MaxParseDepth: 64}
-	res, err := analyzer.AnalyzeWith(context.Background(), eng, target, opts)
+	res, err := eng.AnalyzeContext(context.Background(), target, opts)
 	if err != nil {
 		t.Fatalf("budget exhaustion must not be an error: %v", err)
 	}
@@ -155,7 +155,7 @@ func TestCancellationBounded(t *testing.T) {
 		}
 		done := make(chan outcome, 1)
 		go func() {
-			res, err := analyzer.AnalyzeWith(ctx, eng, target, nil)
+			res, err := eng.AnalyzeContext(ctx, target, nil)
 			done <- outcome{res, err, time.Now()}
 		}()
 
@@ -204,7 +204,7 @@ func TestFaultInjectionScanSurvives(t *testing.T) {
 	}}
 	for _, eng := range engines() {
 		t.Run(eng.Name(), func(t *testing.T) {
-			res, err := analyzer.AnalyzeWith(context.Background(), eng, target, nil)
+			res, err := eng.AnalyzeContext(context.Background(), target, nil)
 			if err != nil {
 				t.Fatalf("injected crash escalated to a scan error: %v", err)
 			}

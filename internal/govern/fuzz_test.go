@@ -41,7 +41,7 @@ func FuzzGovernedAnalyze(f *testing.F) {
 			Name:  "fuzz",
 			Files: []analyzer.SourceFile{{Path: "fuzz.php", Content: src}},
 		}
-		res, err := analyzer.AnalyzeWith(context.Background(), eng, target, opts)
+		res, err := eng.AnalyzeContext(context.Background(), target, opts)
 		if err != nil {
 			t.Fatalf("governed scan errored on fuzz input: %v", err)
 		}

@@ -1,0 +1,124 @@
+package govern
+
+import (
+	"sync"
+	"sync/atomic"
+)
+
+// Parallel per-file support. A Governor is single-goroutine by design,
+// so a parallel stage never shares one: each worker goroutine gets its
+// own child via Fork, runs its files under it (checkpoints, per-file
+// time slices and cancellation all hold per worker), and the parent
+// absorbs every child's accounting at the merge barrier via Join.
+
+// Fork returns a child governor for one worker goroutine of a parallel
+// per-file stage. The child shares the scan's context, absolute
+// deadline, findings/parse-depth limits, file-slice length and fault
+// hook; it gets the scan's remaining step budget (the step limit is a
+// pathological-input backstop, so it bounds each worker rather than
+// being rationed across them). A child of an already scan-halted
+// governor starts halted, so late-forked workers drain immediately.
+// Fork of a nil governor is nil — the ungoverned state propagates.
+func (g *Governor) Fork() *Governor {
+	if g == nil {
+		return nil
+	}
+	child := &Governor{
+		ctx:           g.ctx,
+		rec:           g.rec,
+		deadline:      g.deadline,
+		maxSteps:      g.maxSteps - g.steps,
+		maxFindings:   g.maxFindings,
+		maxParseDepth: g.maxParseDepth,
+		fileSlice:     g.fileSlice,
+		faultHook:     g.faultHook,
+	}
+	if child.maxSteps < 1 {
+		child.maxSteps = 1
+	}
+	if g.halted && !g.fileScoped {
+		child.halted = true
+		child.cancelErr = g.cancelErr
+	}
+	return child
+}
+
+// Join absorbs forked children at the merge barrier: steps are summed,
+// exhausted dimensions are unioned in join order (children already
+// counted them into the recorder, so no re-count here), and a child's
+// scan-scoped halt or cancellation halts the parent. Call it exactly
+// once per Fork generation, after every worker has finished.
+func (g *Governor) Join(children ...*Governor) {
+	if g == nil {
+		return
+	}
+	for _, c := range children {
+		if c == nil {
+			continue
+		}
+		g.steps += c.steps
+		for _, dim := range c.dims {
+			dup := false
+			for _, d := range g.dims {
+				if d == dim {
+					dup = true
+					break
+				}
+			}
+			if !dup {
+				g.dims = append(g.dims, dim)
+			}
+		}
+		if c.cancelErr != nil && g.cancelErr == nil {
+			g.cancelErr = c.cancelErr
+		}
+		if c.halted && !c.fileScoped {
+			g.halted = true
+			g.fileScoped = false
+		}
+	}
+}
+
+// ForkJoin fans n independent work items across a bounded pool of
+// workers governed by per-worker children of g, then joins them. fn is
+// called once per item with the worker's governor, the worker index
+// (for sync-free per-worker state like interner shards) and the item
+// index. Items are claimed from a shared counter (work stealing), so
+// callers must make output deterministic by indexing results per item
+// and merging in item order, never in completion order. With one
+// worker (or one item) it degenerates to a plain loop under g itself —
+// the exact serial semantics, no goroutines, no fork.
+func ForkJoin(g *Governor, workers, n int, fn func(child *Governor, worker, idx int)) {
+	if n <= 0 {
+		return
+	}
+	if workers > n {
+		workers = n
+	}
+	if workers <= 1 {
+		for i := 0; i < n; i++ {
+			fn(g, 0, i)
+		}
+		return
+	}
+	children := make([]*Governor, workers)
+	var next atomic.Int64
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		child := g.Fork()
+		children[w] = child
+		wg.Add(1)
+		go func(child *Governor, w int) {
+			defer wg.Done()
+			for {
+				i := int(next.Add(1)) - 1
+				if i >= n {
+					return
+				}
+				fn(child, w, i)
+			}
+		}(child, w)
+	}
+	wg.Wait()
+	g.Join(children...)
+}

@@ -1,0 +1,155 @@
+package govern
+
+import (
+	"context"
+	"errors"
+	"sync/atomic"
+	"testing"
+
+	"repro/internal/analyzer"
+)
+
+func TestForkSharesRemainingStepBudget(t *testing.T) {
+	g := New(context.Background(), &analyzer.ScanOptions{MaxSteps: 100}, nil)
+	for i := 0; i < 40; i++ {
+		g.Step()
+	}
+	child := g.Fork()
+	if child.maxSteps != 60 {
+		t.Errorf("child.maxSteps = %d, want the parent's remaining 60", child.maxSteps)
+	}
+	if child.steps != 0 {
+		t.Errorf("child.steps = %d, want a fresh 0", child.steps)
+	}
+
+	// An exhausted parent still hands out a minimal budget so the child
+	// reaches its first checkpoint and halts cleanly instead of
+	// dividing by a dead allowance.
+	spent := New(context.Background(), &analyzer.ScanOptions{MaxSteps: 10}, nil)
+	for i := 0; i < 50; i++ {
+		spent.Step()
+	}
+	if c := spent.Fork(); c.maxSteps < 1 {
+		t.Errorf("fork of an overspent parent got maxSteps = %d, want >= 1", c.maxSteps)
+	}
+}
+
+func TestForkOfHaltedGovernorStartsHalted(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	g := New(ctx, nil, nil)
+	cancel()
+	for i := 0; i < 2*checkIntervalSteps; i++ {
+		g.Step()
+	}
+	if !g.ScanHalted() {
+		t.Fatal("parent did not halt on cancellation")
+	}
+	child := g.Fork()
+	if !child.ScanHalted() {
+		t.Error("child of a scan-halted parent must start halted")
+	}
+	if !errors.Is(child.cancelErr, context.Canceled) {
+		t.Errorf("child.cancelErr = %v, want the parent's context.Canceled", child.cancelErr)
+	}
+}
+
+func TestForkNilGovernor(t *testing.T) {
+	var g *Governor
+	if g.Fork() != nil {
+		t.Error("Fork of nil must stay nil (ungoverned propagates)")
+	}
+	g.Join(nil) // must not panic
+	visited := 0
+	ForkJoin(nil, 4, 3, func(child *Governor, _, _ int) {
+		if child != nil {
+			t.Error("nil parent forked a non-nil child")
+		}
+		visited++
+	})
+	if visited != 3 {
+		t.Errorf("ungoverned ForkJoin visited %d items, want 3", visited)
+	}
+}
+
+func TestJoinAggregatesChildren(t *testing.T) {
+	g := New(context.Background(), &analyzer.ScanOptions{MaxSteps: 1 << 20}, nil)
+	a, b := g.Fork(), g.Fork()
+	for i := 0; i < 10; i++ {
+		a.Step()
+	}
+	for i := 0; i < 7; i++ {
+		b.Step()
+	}
+	a.dims = []string{DimSteps}
+	b.dims = []string{DimSteps, DimDeadline}
+	b.halted = true
+	b.cancelErr = context.Canceled
+
+	g.Join(a, b, nil)
+	if g.Steps() != 17 {
+		t.Errorf("joined steps = %d, want 17", g.Steps())
+	}
+	if len(g.dims) != 2 {
+		t.Errorf("joined dims = %v, want a duplicate-free union of 2", g.dims)
+	}
+	if !g.ScanHalted() {
+		t.Error("a child's scan-scoped halt must halt the parent")
+	}
+	if !errors.Is(g.cancelErr, context.Canceled) {
+		t.Errorf("parent did not adopt the child's cancelErr: %v", g.cancelErr)
+	}
+}
+
+func TestForkJoinVisitsEachItemExactlyOnce(t *testing.T) {
+	const workers, n = 4, 1000
+	g := New(context.Background(), nil, nil)
+	var visits [n]atomic.Int32
+	ForkJoin(g, workers, n, func(child *Governor, worker, idx int) {
+		if child == g {
+			t.Error("parallel ForkJoin handed a worker the parent governor")
+		}
+		if worker < 0 || worker >= workers {
+			t.Errorf("worker index %d out of range", worker)
+		}
+		visits[idx].Add(1)
+	})
+	for i := range visits {
+		if got := visits[i].Load(); got != 1 {
+			t.Fatalf("item %d visited %d times, want exactly once", i, got)
+		}
+	}
+}
+
+func TestForkJoinSerialFallback(t *testing.T) {
+	g := New(context.Background(), nil, nil)
+	var order []int
+	ForkJoin(g, 1, 5, func(child *Governor, worker, idx int) {
+		if child != g {
+			t.Error("serial fallback must run under the parent governor itself")
+		}
+		if worker != 0 {
+			t.Errorf("serial fallback worker = %d, want 0", worker)
+		}
+		order = append(order, idx)
+	})
+	for i, idx := range order {
+		if idx != i {
+			t.Fatalf("serial fallback visited %v, want strict 0..4 order", order)
+		}
+	}
+	if len(order) != 5 {
+		t.Fatalf("serial fallback visited %d items, want 5", len(order))
+	}
+
+	// A single item degenerates the same way even with a big pool.
+	calls := 0
+	ForkJoin(g, 8, 1, func(child *Governor, worker, idx int) {
+		if child != g || worker != 0 || idx != 0 {
+			t.Errorf("single-item ForkJoin got (worker=%d, idx=%d)", worker, idx)
+		}
+		calls++
+	})
+	if calls != 1 {
+		t.Fatalf("single-item ForkJoin ran %d times", calls)
+	}
+}

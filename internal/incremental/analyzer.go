@@ -40,10 +40,7 @@ type Analyzer struct {
 }
 
 // Compile-time checks that Analyzer implements the shared interfaces.
-var (
-	_ analyzer.Analyzer        = (*Analyzer)(nil)
-	_ analyzer.ContextAnalyzer = (*Analyzer)(nil)
-)
+var _ analyzer.Analyzer = (*Analyzer)(nil)
 
 // New returns an incremental analyzer over eng and store. fingerprint
 // must identify the tool build and configuration profile (the engine's

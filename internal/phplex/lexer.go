@@ -73,15 +73,32 @@ func Tokenize(src string) []phptoken.Token {
 
 // TokenizeCode lexes src and returns only syntactically meaningful tokens
 // (trivia removed), matching phpSAFE's cleaned AST input (paper §III.B).
+// The stream is filtered in a single pass straight into a pooled buffer;
+// callers that are done with the stream may return it with PutTokens.
 func TokenizeCode(src string) []phptoken.Token {
-	all := Tokenize(src)
-	code := make([]phptoken.Token, 0, len(all))
-	for _, t := range all {
+	code, _ := tokenizeCode(src)
+	return code
+}
+
+// tokenizeCode is the single-pass core shared by the TokenizeCode
+// variants: it lexes and drops trivia in one loop (no intermediate
+// all-tokens slice) and reports the total token count, trivia included,
+// for the lex_tokens_total counter.
+func tokenizeCode(src string) (code []phptoken.Token, total int) {
+	l := New(src)
+	// A rough pre-size: PHP averages about one code token per 6 bytes
+	// once whitespace and comments are dropped.
+	code = getTokenBuf(len(src)/6 + 8)
+	for {
+		t := l.Next()
+		total++
 		if !t.IsTrivia() {
 			code = append(code, t)
 		}
+		if t.Kind == phptoken.EOF {
+			return code, total
+		}
 	}
-	return code
 }
 
 // TokenizeCodeObserved is TokenizeCode with lexing cost recorded into a
@@ -93,16 +110,10 @@ func TokenizeCodeObserved(src string, rec *obs.Recorder, parent *obs.Span) []php
 		return TokenizeCode(src)
 	}
 	sp := rec.StartSpan("lex", parent)
-	all := Tokenize(src)
+	code, total := tokenizeCode(src)
 	sp.EndAndObserve("stage_lex_seconds")
-	rec.Counter("lex_tokens_total").Add(int64(len(all)))
+	rec.Counter("lex_tokens_total").Add(int64(total))
 	rec.Counter("lex_lines_total").Add(int64(strings.Count(src, "\n") + 1))
-	code := make([]phptoken.Token, 0, len(all))
-	for _, t := range all {
-		if !t.IsTrivia() {
-			code = append(code, t)
-		}
-	}
 	return code
 }
 
@@ -118,29 +129,28 @@ func TokenizeCodeGoverned(src string, rec *obs.Recorder, parent *obs.Span, gov *
 	}
 	sp := rec.StartSpan("lex", parent)
 	l := New(src)
-	all := make([]phptoken.Token, 0, len(src)/4+8)
+	code := getTokenBuf(len(src)/6 + 8)
+	total := 0
 	for {
 		gov.Step()
 		if gov.Halted() {
-			all = append(all, phptoken.Token{Kind: phptoken.EOF, Line: l.line, Offset: l.pos})
+			code = append(code, phptoken.Token{Kind: phptoken.EOF, Line: l.line, Offset: l.pos})
+			total++
 			break
 		}
 		t := l.Next()
-		all = append(all, t)
+		total++
+		if !t.IsTrivia() {
+			code = append(code, t)
+		}
 		if t.Kind == phptoken.EOF {
 			break
 		}
 	}
 	sp.EndAndObserve("stage_lex_seconds")
 	if rec != nil {
-		rec.Counter("lex_tokens_total").Add(int64(len(all)))
+		rec.Counter("lex_tokens_total").Add(int64(total))
 		rec.Counter("lex_lines_total").Add(int64(strings.Count(src, "\n") + 1))
-	}
-	code := make([]phptoken.Token, 0, len(all))
-	for _, t := range all {
-		if !t.IsTrivia() {
-			code = append(code, t)
-		}
 	}
 	return code
 }
@@ -726,7 +736,7 @@ func (l *Lexer) castAhead() (phptoken.Kind, int, bool) {
 	for i < len(l.src) && isIdentPart(l.src[i]) {
 		i++
 	}
-	word := strings.ToLower(l.src[wordStart:i])
+	word := LowerASCII(l.src[wordStart:i])
 	for i < len(l.src) && (l.src[i] == ' ' || l.src[i] == '\t') {
 		i++
 	}

@@ -47,6 +47,18 @@ func ParseObserved(name, src string, rec *obs.Recorder, parent *obs.Span) *phpas
 // malformed input. A nil governor still applies the default depth
 // budget, so the parser is stack-safe on hostile input everywhere.
 func ParseGoverned(name, src string, rec *obs.Recorder, parent *obs.Span, gov *govern.Governor) *phpast.File {
+	return ParseInterned(name, src, rec, parent, gov, nil)
+}
+
+// ParseInterned is ParseGoverned with an identifier intern table: the
+// case-folded names the parser materializes (function, class, method
+// and call-site names) are deduplicated through in, so each distinct
+// spelling is allocated once per scan instead of once per reference.
+// The interner is not synchronized — the parallel pipeline hands each
+// worker its own shard and merges them at the barrier. A nil interner
+// still folds case (with the same ASCII fast path), it just doesn't
+// deduplicate.
+func ParseInterned(name, src string, rec *obs.Recorder, parent *obs.Span, gov *govern.Governor, in *phplex.Interner) *phpast.File {
 	sp := rec.StartNamedSpan("parse:", name, parent)
 	p := &parser{
 		toks: phplex.TokenizeCodeGoverned(src, rec, sp, gov),
@@ -56,8 +68,14 @@ func ParseGoverned(name, src string, rec *obs.Recorder, parent *obs.Span, gov *g
 		},
 		gov:      gov,
 		maxDepth: gov.MaxParseDepth(),
+		in:       in,
 	}
 	p.file.Stmts = p.parseStmtList(func(t phptoken.Token) bool { return false })
+	// The AST holds no references into the token stream (names are
+	// substrings of src or interned copies), so the buffer can go back
+	// to the pool as soon as parsing is done.
+	phplex.PutTokens(p.toks)
+	p.toks = nil
 	sp.EndAndObserve("stage_parse_seconds")
 	if rec != nil {
 		rec.Counter("parse_files_total").Inc()
@@ -81,6 +99,18 @@ type parser struct {
 	depth        int
 	maxDepth     int
 	depthErrored bool
+
+	// in deduplicates case-folded identifiers (nil means fold without
+	// interning).
+	in *phplex.Interner
+}
+
+// lower case-folds an identifier through the intern table. It replaces
+// strings.ToLower on the hot path: already-lowercase names (the common
+// case) cost zero allocations, and distinct spellings are materialized
+// once per scan when an interner is attached.
+func (p *parser) lower(s string) string {
+	return p.in.Lower(s)
 }
 
 // enterNesting guards one level of parser recursion. It reports false —
@@ -741,7 +771,7 @@ func (p *parser) parseFuncDecl() phpast.Stmt {
 	}
 	if p.at(phptoken.Ident) {
 		node.OrigName = p.next().Text
-		node.Name = strings.ToLower(node.OrigName)
+		node.Name = p.lower(node.OrigName)
 	} else {
 		p.errorf("line %d: expected function name", p.cur().Line)
 	}
@@ -818,16 +848,16 @@ func (p *parser) parseClassDecl() phpast.Stmt {
 	}
 	if p.at(phptoken.Ident) {
 		node.OrigName = p.next().Text
-		node.Name = strings.ToLower(node.OrigName)
+		node.Name = p.lower(node.OrigName)
 	}
 	if p.accept(phptoken.KwExtends) {
 		if p.at(phptoken.Ident) {
-			node.Extends = strings.ToLower(p.next().Text)
+			node.Extends = p.lower(p.next().Text)
 		}
 	}
 	if p.accept(phptoken.KwImplements) {
 		for p.at(phptoken.Ident) {
-			node.Implements = append(node.Implements, strings.ToLower(p.next().Text))
+			node.Implements = append(node.Implements, p.lower(p.next().Text))
 			if !p.accept(phptoken.Comma) {
 				break
 			}
@@ -932,7 +962,7 @@ func (p *parser) parseClassMember(node *phpast.ClassDecl) {
 		}
 		if name, ok := p.memberName(); ok {
 			m.OrigName = name
-			m.Name = strings.ToLower(name)
+			m.Name = p.lower(name)
 		} else {
 			p.errorf("line %d: expected method name", p.cur().Line)
 		}
@@ -1221,7 +1251,7 @@ func (p *parser) parseNew() phpast.Expr {
 	node := &phpast.New{Position: phpast.NewPosition(line)}
 	switch {
 	case p.at(phptoken.Ident):
-		node.Class = strings.ToLower(p.next().Text)
+		node.Class = p.lower(p.next().Text)
 	case p.at(phptoken.KwStatic):
 		node.Class = "static"
 		p.next()
@@ -1340,7 +1370,7 @@ func (p *parser) parseMemberAccess(obj phpast.Expr, line int) phpast.Expr {
 	}
 	if p.at(phptoken.LParen) {
 		return &phpast.MethodCall{
-			Object: obj, Name: strings.ToLower(name), NameExpr: nameExpr,
+			Object: obj, Name: p.lower(name), NameExpr: nameExpr,
 			Args: p.parseArgs(), Position: phpast.NewPosition(line),
 		}
 	}
@@ -1448,7 +1478,7 @@ func (p *parser) parsePrimary() phpast.Expr {
 		}
 		if p.at(phptoken.LParen) {
 			return &phpast.FuncCall{
-				Name: strings.ToLower(t.Text), Args: p.parseArgs(),
+				Name: p.lower(t.Text), Args: p.parseArgs(),
 				Position: phpast.NewPosition(t.Line),
 			}
 		}
@@ -1471,7 +1501,7 @@ func (p *parser) parsePrimary() phpast.Expr {
 // parseStaticMember parses the continuation after "Class::".
 func (p *parser) parseStaticMember(class string, line int) phpast.Expr {
 	p.expect(phptoken.DoubleColon, "static member")
-	class = strings.ToLower(class)
+	class = p.lower(class)
 	switch {
 	case p.at(phptoken.Variable):
 		name := strings.TrimPrefix(p.next().Text, "$")
@@ -1482,7 +1512,7 @@ func (p *parser) parseStaticMember(class string, line int) phpast.Expr {
 		name := p.next().Text
 		if p.at(phptoken.LParen) {
 			return &phpast.StaticCall{
-				Class: class, Name: strings.ToLower(name), Args: p.parseArgs(),
+				Class: class, Name: p.lower(name), Args: p.parseArgs(),
 				Position: phpast.NewPosition(line),
 			}
 		}

@@ -1,0 +1,95 @@
+package pipeline
+
+import (
+	"fmt"
+	"reflect"
+	"testing"
+
+	"repro/internal/analyzer"
+	"repro/internal/phpast"
+	"repro/internal/phpparse"
+)
+
+func sources(n int) []analyzer.SourceFile {
+	files := make([]analyzer.SourceFile, n)
+	for i := range files {
+		files[i] = analyzer.SourceFile{
+			Path: fmt.Sprintf("file_%02d.php", i),
+			Content: fmt.Sprintf(
+				"<?php function Handler%d($x) { $q = $_GET['q%d']; echo $q . $x; }", i, i),
+		}
+	}
+	return files
+}
+
+// TestParseFilesMatchesSerial parses the same file set serially and on
+// a saturated pool and requires structurally identical ASTs — the
+// pipeline's determinism contract at the unit level.
+func TestParseFilesMatchesSerial(t *testing.T) {
+	files := sources(12)
+	serial, _ := ParseFiles(files, nil, nil, nil, nil, 1)
+	pooled, _ := ParseFiles(files, nil, nil, nil, nil, 8)
+	if len(serial) != len(pooled) {
+		t.Fatalf("serial parsed %d files, pooled %d", len(serial), len(pooled))
+	}
+	for path, want := range serial {
+		got := pooled[path]
+		if got == nil {
+			t.Fatalf("pooled run dropped %s", path)
+		}
+		if !reflect.DeepEqual(want, got) {
+			t.Errorf("%s: pooled AST differs from serial", path)
+		}
+	}
+}
+
+// TestParseFilesReusesPreparsed verifies the incremental fast path: a
+// preparsed AST is adopted by pointer identity and never re-parsed.
+func TestParseFilesReusesPreparsed(t *testing.T) {
+	files := sources(4)
+	cached := phpparse.ParseGoverned(files[2].Path, files[2].Content, nil, nil, nil)
+	pre := map[string]*phpast.File{files[2].Path: cached}
+	got, _ := ParseFiles(files, pre, nil, nil, nil, 8)
+	if got[files[2].Path] != cached {
+		t.Error("preparsed AST was not adopted by identity")
+	}
+	for _, sf := range files {
+		if got[sf.Path] == nil {
+			t.Errorf("%s missing from result", sf.Path)
+		}
+	}
+}
+
+// TestParseFilesMergesInternerShards checks that spellings folded on
+// different workers all land in the merged table.
+func TestParseFilesMergesInternerShards(t *testing.T) {
+	files := sources(16)
+	_, in := ParseFiles(files, nil, nil, nil, nil, 8)
+	if in == nil {
+		t.Fatal("nil interner")
+	}
+	// Every file contributes its own distinct handler name; all 16 must
+	// be present no matter which worker parsed which file.
+	if in.Len() < 16 {
+		t.Errorf("merged interner holds %d spellings, want at least 16", in.Len())
+	}
+	for i := 0; i < 16; i++ {
+		want := fmt.Sprintf("handler%d", i)
+		if got := in.Lower(fmt.Sprintf("Handler%d", i)); got != want {
+			t.Errorf("Lower(Handler%d) = %q, want %q", i, got, want)
+		}
+	}
+}
+
+// TestParseFilesEmptyAndClamped covers the degenerate shapes: zero
+// files, and worker counts below one clamping to a serial run.
+func TestParseFilesEmptyAndClamped(t *testing.T) {
+	if m, in := ParseFiles(nil, nil, nil, nil, nil, 8); len(m) != 0 || in == nil {
+		t.Errorf("empty input: got %d files, interner %v", len(m), in)
+	}
+	files := sources(3)
+	m, _ := ParseFiles(files, nil, nil, nil, nil, -1)
+	if len(m) != 3 {
+		t.Errorf("clamped run parsed %d files, want 3", len(m))
+	}
+}

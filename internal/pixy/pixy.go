@@ -33,7 +33,7 @@ import (
 	"repro/internal/govern"
 	"repro/internal/obs"
 	"repro/internal/phpast"
-	"repro/internal/phpparse"
+	"repro/internal/pipeline"
 )
 
 // maxCallDepth bounds inter-procedural descent.
@@ -49,10 +49,7 @@ type Engine struct {
 	rec *obs.Recorder
 }
 
-var (
-	_ analyzer.Analyzer        = (*Engine)(nil)
-	_ analyzer.ContextAnalyzer = (*Engine)(nil)
-)
+var _ analyzer.Analyzer = (*Engine)(nil)
 
 // New returns a Pixy engine with its 2007-era configuration.
 func New() *Engine {
@@ -110,6 +107,7 @@ func (e *Engine) AnalyzeContext(ctx context.Context, target *analyzer.Target, op
 		return nil, fmt.Errorf("pixy: nil target")
 	}
 	gov := govern.New(ctx, opts, e.rec)
+	workers := opts.EffectiveFileWorkers()
 	res := &analyzer.Result{Tool: e.Name(), Target: target.Name}
 
 	scan := e.rec.StartNamedSpan("scan:", target.Name, nil)
@@ -117,52 +115,62 @@ func (e *Engine) AnalyzeContext(ctx context.Context, target *analyzer.Target, op
 	// Parse everything up front; function definitions resolve per file
 	// only (Pixy does not build a whole-plugin model).
 	msp := scan.StartChild("model")
+	files, _ := pipeline.ParseFiles(target.Files, nil, e.rec, msp, gov, workers)
 	paths := make([]string, 0, len(target.Files))
-	files := make(map[string]*phpast.File, len(target.Files))
 	for _, sf := range target.Files {
-		files[sf.Path] = phpparse.ParseGoverned(sf.Path, sf.Content, e.rec, msp, gov)
 		paths = append(paths, sf.Path)
 	}
 	sort.Strings(paths)
 	msp.EndAndObserve("stage_model_seconds")
 
+	// Pixy keeps no whole-plugin state at all, so the per-file forward
+	// walk fans across the worker pool: one Result shard per file,
+	// merged in sorted path order for byte-identical output.
 	tsp := scan.StartChild("taint")
-	for _, path := range paths {
+	shards := make([]*analyzer.Result, len(paths))
+	govern.ForkJoin(gov, workers, len(paths), func(child *govern.Governor, _, idx int) {
+		path := paths[idx]
 		file := files[path]
+		shard := &analyzer.Result{}
+		shards[idx] = shard
 		if hasClassDecl(file) {
 			// OOP file: total parse failure, as the paper observed on 32
 			// of the 2014 files.
-			res.FilesFailed = append(res.FilesFailed, path)
-			res.Errors = append(res.Errors, fmt.Sprintf(
+			shard.FilesFailed = append(shard.FilesFailed, path)
+			shard.Errors = append(shard.Errors, fmt.Sprintf(
 				"%s: parse error: unexpected T_CLASS (object-oriented code is not supported)", path))
-			continue
+			return
 		}
-		gov.CheckNow()
-		if gov.ScanHalted() {
-			break
+		child.CheckNow()
+		if child.ScanHalted() {
+			return
 		}
-		path := path
 		fa := &fileAnalysis{
 			eng:  e,
-			res:  res,
+			res:  shard,
 			path: path,
 			fns:  collectFunctions(file),
 			vars: make(map[string]*cell),
-			gov:  gov,
+			gov:  child,
 		}
-		ok := govern.Protect(gov, path, res, func() {
-			gov.BeginFile(path)
+		ok := govern.Protect(child, path, shard, func() {
+			child.BeginFile(path)
 			fa.execStmts(file.Stmts)
 		})
-		if gov.EndFile() {
-			res.FilesFailed = append(res.FilesFailed, path)
-			res.Errors = append(res.Errors, fmt.Sprintf(
+		if child.EndFile() {
+			shard.FilesFailed = append(shard.FilesFailed, path)
+			shard.Errors = append(shard.Errors, fmt.Sprintf(
 				"%s: file time slice exhausted; file not fully analyzed", path))
-			continue
+			return
 		}
-		if ok && !gov.ScanHalted() {
-			res.FilesAnalyzed++
-			res.LinesAnalyzed += file.Lines
+		if ok && !child.ScanHalted() {
+			shard.FilesAnalyzed++
+			shard.LinesAnalyzed += file.Lines
+		}
+	})
+	for _, shard := range shards {
+		if shard != nil {
+			res.Merge(shard)
 		}
 	}
 	tsp.EndAndObserve("stage_taint_seconds")

@@ -1,6 +1,7 @@
 package report
 
 import (
+	"context"
 	"strings"
 	"sync"
 	"testing"
@@ -23,10 +24,10 @@ func evals(t *testing.T) (*eval.Evaluation, *eval.Evaluation) {
 	once.Do(func() {
 		c12, c14 := corpus.MustGenerate()
 		var err error
-		if e12, err = eval.EvaluateCorpus(c12); err != nil {
+		if e12, err = eval.EvaluateCorpusContext(context.Background(), c12, eval.EvalOptions{}); err != nil {
 			t.Fatal(err)
 		}
-		if e14, err = eval.EvaluateCorpus(c14); err != nil {
+		if e14, err = eval.EvaluateCorpusContext(context.Background(), c14, eval.EvalOptions{}); err != nil {
 			t.Fatal(err)
 		}
 	})

@@ -36,7 +36,7 @@ import (
 	"repro/internal/govern"
 	"repro/internal/obs"
 	"repro/internal/phpast"
-	"repro/internal/phpparse"
+	"repro/internal/pipeline"
 )
 
 // Engine is the RIPS-like analyzer. It is immutable and safe for
@@ -47,10 +47,7 @@ type Engine struct {
 	rec *obs.Recorder
 }
 
-var (
-	_ analyzer.Analyzer        = (*Engine)(nil)
-	_ analyzer.ContextAnalyzer = (*Engine)(nil)
-)
+var _ analyzer.Analyzer = (*Engine)(nil)
 
 // New returns a RIPS engine. RIPS only knows generic PHP, so the natural
 // configuration is config.Compile(config.Generic()).
@@ -89,6 +86,7 @@ func (e *Engine) AnalyzeContext(ctx context.Context, target *analyzer.Target, op
 		return nil, fmt.Errorf("rips: nil target")
 	}
 	gov := govern.New(ctx, opts, e.rec)
+	workers := opts.EffectiveFileWorkers()
 	res := &analyzer.Result{Tool: e.Name(), Target: target.Name}
 
 	scan := e.rec.StartNamedSpan("scan:", target.Name, nil)
@@ -96,30 +94,42 @@ func (e *Engine) AnalyzeContext(ctx context.Context, target *analyzer.Target, op
 	// RIPS builds a program model per file but resolves user functions
 	// across the whole plugin (inter-procedural analysis).
 	msp := scan.StartChild("model")
-	model := buildModel(target, e.rec, msp, gov)
+	model := buildModel(target, e.rec, msp, gov, workers)
 	msp.EndAndObserve("stage_model_seconds")
 
+	// The model is read-only from here on, so per-file backward slicing
+	// fans across the worker pool: each file accumulates into its own
+	// Result shard under its worker's forked governor, and the shards
+	// are merged in sorted path order — byte-identical to a serial run.
 	tsp := scan.StartChild("taint")
-	for _, file := range model.fileOrder {
-		gov.CheckNow()
-		if gov.ScanHalted() {
-			break
+	shards := make([]*analyzer.Result, len(model.fileOrder))
+	govern.ForkJoin(gov, workers, len(model.fileOrder), func(child *govern.Governor, _, idx int) {
+		child.CheckNow()
+		if child.ScanHalted() {
+			return
 		}
-		file := file
-		fa := &fileAnalysis{eng: e, model: model, res: res, gov: gov}
-		ok := govern.Protect(gov, file, res, func() {
-			gov.BeginFile(file)
+		file := model.fileOrder[idx]
+		shard := &analyzer.Result{}
+		shards[idx] = shard
+		fa := &fileAnalysis{eng: e, model: model, res: shard, gov: child}
+		ok := govern.Protect(child, file, shard, func() {
+			child.BeginFile(file)
 			fa.analyzeFile(file)
 		})
-		if gov.EndFile() {
-			res.FilesFailed = append(res.FilesFailed, file)
-			res.Errors = append(res.Errors, fmt.Sprintf(
+		if child.EndFile() {
+			shard.FilesFailed = append(shard.FilesFailed, file)
+			shard.Errors = append(shard.Errors, fmt.Sprintf(
 				"%s: file time slice exhausted; file not fully analyzed", file))
-			continue
+			return
 		}
-		if ok && !gov.ScanHalted() {
-			res.FilesAnalyzed++
-			res.LinesAnalyzed += model.files[file].Lines
+		if ok && !child.ScanHalted() {
+			shard.FilesAnalyzed++
+			shard.LinesAnalyzed += model.files[file].Lines
+		}
+	})
+	for _, shard := range shards {
+		if shard != nil {
+			res.Merge(shard)
 		}
 	}
 	tsp.EndAndObserve("stage_taint_seconds")
@@ -203,16 +213,14 @@ type event struct {
 // buildModel parses all files and flattens every function and every
 // top-level flow. The recorder and parent span (both possibly nil)
 // observe the per-file parses; the governor (possibly nil) bounds them.
-func buildModel(target *analyzer.Target, rec *obs.Recorder, parent *obs.Span, gov *govern.Governor) *model {
+func buildModel(target *analyzer.Target, rec *obs.Recorder, parent *obs.Span, gov *govern.Governor, workers int) *model {
 	m := &model{
-		files:     make(map[string]*phpast.File, len(target.Files)),
 		funcs:     make(map[string]*funcModel),
 		callSites: make(map[string][]callSite),
 		mains:     make(map[string]*funcModel, len(target.Files)),
 	}
+	m.files, _ = pipeline.ParseFiles(target.Files, nil, rec, parent, gov, workers)
 	for _, sf := range target.Files {
-		f := phpparse.ParseGoverned(sf.Path, sf.Content, rec, parent, gov)
-		m.files[sf.Path] = f
 		m.fileOrder = append(m.fileOrder, sf.Path)
 	}
 	// Deterministic order.

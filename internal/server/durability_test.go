@@ -263,7 +263,7 @@ func TestShutdownInterruptedScanReplaysAfterRestart(t *testing.T) {
 type healingAnalyzer struct{ healed *atomic.Bool }
 
 func (h healingAnalyzer) Name() string { return "healing" }
-func (h healingAnalyzer) Analyze(tg *analyzer.Target) (*analyzer.Result, error) {
+func (h healingAnalyzer) AnalyzeContext(ctx context.Context, tg *analyzer.Target, opts *analyzer.ScanOptions) (*analyzer.Result, error) {
 	if !h.healed.Load() {
 		return nil, fmt.Errorf("transient backend failure")
 	}

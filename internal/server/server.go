@@ -359,6 +359,7 @@ type budgetJSON struct {
 	MaxSteps      int64 `json:"max_steps,omitempty"`
 	MaxFindings   int   `json:"max_findings,omitempty"`
 	FileSliceMS   int64 `json:"file_slice_ms,omitempty"`
+	FileWorkers   int   `json:"file_workers,omitempty"`
 }
 
 // budgetView renders effective ScanOptions for the wire.
@@ -372,6 +373,7 @@ func budgetView(o *analyzer.ScanOptions) *budgetJSON {
 		MaxSteps:      o.EffectiveMaxSteps(),
 		MaxFindings:   o.EffectiveMaxFindings(),
 		FileSliceMS:   o.FileTimeSlice.Milliseconds(),
+		FileWorkers:   o.FileWorkers,
 	}
 }
 
@@ -442,13 +444,17 @@ type submitRequest struct {
 	MaxSteps      int64 `json:"max_steps"`
 	MaxFindings   int   `json:"max_findings"`
 	FileSliceMS   int64 `json:"file_slice_ms"`
+	// FileWorkers sizes the intra-scan worker pool (0 takes the server
+	// default, 1 forces a serial scan). It is a throughput knob, not a
+	// budget: results are identical at any worker count.
+	FileWorkers int `json:"file_workers"`
 }
 
 // scanOptions converts the request's budget overrides to ScanOptions
 // (nil when no override was given).
 func (r *submitRequest) scanOptions() *analyzer.ScanOptions {
 	if r.DeadlineMS == 0 && r.MaxParseDepth == 0 && r.MaxSteps == 0 &&
-		r.MaxFindings == 0 && r.FileSliceMS == 0 {
+		r.MaxFindings == 0 && r.FileSliceMS == 0 && r.FileWorkers == 0 {
 		return nil
 	}
 	return &analyzer.ScanOptions{
@@ -457,6 +463,7 @@ func (r *submitRequest) scanOptions() *analyzer.ScanOptions {
 		MaxSteps:      r.MaxSteps,
 		MaxFindings:   r.MaxFindings,
 		FileTimeSlice: time.Duration(r.FileSliceMS) * time.Millisecond,
+		FileWorkers:   r.FileWorkers,
 	}
 }
 
@@ -493,18 +500,27 @@ func (s *Server) effectiveBudgets(req *analyzer.ScanOptions) *analyzer.ScanOptio
 	if req != nil {
 		r = *req
 	}
+	fw := r.FileWorkers
+	if fw <= 0 {
+		// Not a cap: the request either picks a pool size or inherits
+		// the server's configured default (0 = every core).
+		fw = caps.FileWorkers
+	}
 	return &analyzer.ScanOptions{
 		Deadline:      tighterDuration(r.Deadline, caps.Deadline),
 		MaxParseDepth: int(tighterLimit(int64(r.EffectiveMaxParseDepth()), int64(caps.EffectiveMaxParseDepth()))),
 		MaxSteps:      tighterLimit(r.EffectiveMaxSteps(), caps.EffectiveMaxSteps()),
 		MaxFindings:   int(tighterLimit(int64(r.EffectiveMaxFindings()), int64(caps.EffectiveMaxFindings()))),
 		FileTimeSlice: tighterDuration(r.FileTimeSlice, caps.FileTimeSlice),
+		FileWorkers:   fw,
 	}
 }
 
 // budgetKey folds the effective budgets into the cache key so a
 // truncated result is only ever served to submissions that would run
-// under the same budgets.
+// under the same budgets. FileWorkers is deliberately excluded: the
+// worker count never changes a scan's output, so cached results flow
+// freely across pool sizes.
 func budgetKey(o *analyzer.ScanOptions) string {
 	return fmt.Sprintf("d%d:p%d:s%d:f%d:t%d",
 		o.Deadline, o.EffectiveMaxParseDepth(), o.EffectiveMaxSteps(),
@@ -801,7 +817,7 @@ func (s *Server) runScanAttempt(ctx context.Context, sc *scan) error {
 				fmt.Sprintf("%s|%s|%s", s.cfg.Fingerprint, sc.Tool, sc.Profile), s.rec)
 			r, incRep, aerr = inc.AnalyzeWithReportContext(scanCtx, sc.Target, sc.Opts)
 		} else {
-			r, aerr = analyzer.AnalyzeWith(scanCtx, sc.Engine, sc.Target, sc.Opts)
+			r, aerr = sc.Engine.AnalyzeContext(scanCtx, sc.Target, sc.Opts)
 		}
 		if aerr == nil && r != nil && len(r.RobustnessFailures) > 0 {
 			// Crash-grade file failures fail the attempt (and are

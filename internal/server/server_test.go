@@ -325,7 +325,7 @@ type blockingAnalyzer struct {
 
 func (b blockingAnalyzer) Name() string { return "blocking" }
 
-func (b blockingAnalyzer) Analyze(t *analyzer.Target) (*analyzer.Result, error) {
+func (b blockingAnalyzer) AnalyzeContext(_ context.Context, t *analyzer.Target, _ *analyzer.ScanOptions) (*analyzer.Result, error) {
 	if b.started != nil {
 		select {
 		case b.started <- struct{}{}:
@@ -443,7 +443,7 @@ func TestFailedScanRetriesThenQuarantines(t *testing.T) {
 type failingAnalyzer struct{}
 
 func (failingAnalyzer) Name() string { return "failing" }
-func (failingAnalyzer) Analyze(*analyzer.Target) (*analyzer.Result, error) {
+func (failingAnalyzer) AnalyzeContext(context.Context, *analyzer.Target, *analyzer.ScanOptions) (*analyzer.Result, error) {
 	return nil, fmt.Errorf("engine exploded")
 }
 

@@ -60,7 +60,7 @@ type scriptedAnalyzer struct {
 }
 
 func (a *scriptedAnalyzer) Name() string { return "scripted" }
-func (a *scriptedAnalyzer) Analyze(tg *analyzer.Target) (*analyzer.Result, error) {
+func (a *scriptedAnalyzer) AnalyzeContext(_ context.Context, tg *analyzer.Target, _ *analyzer.ScanOptions) (*analyzer.Result, error) {
 	a.clock.Advance(a.advance)
 	if a.failures.Add(-1) >= 0 {
 		return nil, fmt.Errorf("scripted transient failure")

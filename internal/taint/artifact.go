@@ -109,6 +109,7 @@ func (e *Engine) analyze(ctx context.Context, target *analyzer.Target, opts *ana
 	}
 	a := newAnalysis(e, target)
 	a.gov = govern.New(ctx, opts, e.rec)
+	a.fileWorkers = opts.EffectiveFileWorkers()
 	if seed != nil {
 		a.skip = seed.Skip
 		a.preparsed = seed.Parsed

@@ -35,7 +35,7 @@ import (
 	"repro/internal/govern"
 	"repro/internal/obs"
 	"repro/internal/phpast"
-	"repro/internal/phpparse"
+	"repro/internal/pipeline"
 )
 
 // Options tune the engine. The zero value is not meaningful; start from
@@ -85,10 +85,7 @@ type Engine struct {
 }
 
 // Compile-time checks that Engine implements the shared interfaces.
-var (
-	_ analyzer.Analyzer        = (*Engine)(nil)
-	_ analyzer.ContextAnalyzer = (*Engine)(nil)
-)
+var _ analyzer.Analyzer = (*Engine)(nil)
 
 // New returns an engine over the given compiled configuration.
 func New(cfg *config.Compiled, opts Options) *Engine {
@@ -271,6 +268,9 @@ type analysis struct {
 	// ungoverned call path gets a background-context governor with
 	// default budgets.
 	gov *govern.Governor
+	// fileWorkers sizes the parallel parse front end (see
+	// ScanOptions.FileWorkers); 1 means strictly serial.
+	fileWorkers int
 	// completed marks files whose analysis finished (replayed skips
 	// included): only these count into FilesAnalyzed/LinesAnalyzed and
 	// only these may export artifacts.
@@ -305,17 +305,14 @@ func newAnalysis(e *Engine, target *analyzer.Target) *analysis {
 
 // buildModel is the model-construction stage (§III.B): parse every file,
 // inventory declarations and call sites. The model span (nil when
-// unobserved) parents the per-file parse spans.
+// unobserved) parents the per-file parse spans. Parsing fans across the
+// scan's worker pool — files are independent until the declaration
+// inventory below links them into one model, which runs serially over
+// the sorted file order exactly as before.
 func (a *analysis) buildModel(modelSpan *obs.Span) {
+	files, _ := pipeline.ParseFiles(a.target.Files, a.preparsed, a.eng.rec, modelSpan, a.gov, a.fileWorkers)
+	a.files = files
 	for _, sf := range a.target.Files {
-		f := a.preparsed[sf.Path]
-		if f == nil {
-			// Under a halted governor the governed parser degenerates to
-			// an empty (but well-formed) AST, so a cancelled scan drains
-			// the model stage in O(files).
-			f = phpparse.ParseGoverned(sf.Path, sf.Content, a.eng.rec, modelSpan, a.gov)
-		}
-		a.files[sf.Path] = f
 		a.fileOrder = append(a.fileOrder, sf.Path)
 	}
 	sort.Strings(a.fileOrder)
