@@ -16,17 +16,33 @@
 //	                    scans to workers over a consistent-hash ring)
 //	                    or worker (runs the analyzer stack behind
 //	                    /internal/v1/scan for one coordinator)
-//	-workers N|URLS     standalone/worker: scan worker goroutines
-//	                    (default NumCPU); coordinator: comma-separated
-//	                    worker base URLs (required), e.g.
-//	                    http://10.0.0.2:8477,http://10.0.0.3:8477
-//	-advertise URL      worker: base URL reported in heartbeats so the
-//	                    coordinator's logs name this worker the way it
-//	                    was configured (optional)
+//	-pool-workers N     scan worker goroutines (default NumCPU;
+//	                    coordinator default: sized by fleet width)
+//	-fleet-workers URLS coordinator: comma-separated worker base URLs,
+//	                    e.g. http://10.0.0.2:8477,http://10.0.0.3:8477.
+//	                    Optional when workers auto-register with -join;
+//	                    journaled members are merged in on restart
+//	-workers N|URLS     deprecated alias: worker count for
+//	                    standalone/worker roles, worker URLs for the
+//	                    coordinator. Use -pool-workers / -fleet-workers
+//	-join URL           worker: coordinator base URL to announce to
+//	                    (retries with backoff, then re-announces
+//	                    periodically); requires -advertise
+//	-advertise URL      worker: base URL this worker serves on, reported
+//	                    in heartbeats and announced via -join
+//	-hedge-delay D      coordinator: duplicate a dispatch to the next
+//	                    ring owner when the primary has not settled
+//	                    after D; first result wins (0 = off)
+//	-replicas N         coordinator: dispatch replication factor; 2
+//	                    sends every scan to both first ring owners
+//	                    immediately (default 1)
 //	-heartbeat-interval D
 //	                    coordinator: worker heartbeat probe cadence
 //	                    (default 1s); dead workers are re-probed on the
 //	                    jittered -retry-base/-retry-cap backoff curve
+//	-revive-after K     coordinator: consecutive successful probes a
+//	                    suspect/dead worker must answer before it
+//	                    re-enters the ring (default 2; flap damping)
 //	-queue N            queued-scan bound; beyond it submissions get
 //	                    HTTP 429 (default 64)
 //	-job-timeout D      per-scan context timeout (default 2m)
@@ -52,7 +68,12 @@
 //	-journal DIR        journal accepted scans to DIR so they survive a
 //	                    crash: on restart the daemon replays the journal,
 //	                    rehydrates finished results and resubmits
-//	                    interrupted scans (off without the flag)
+//	                    interrupted scans (off without the flag). For
+//	                    -role=worker the directory holds the dispatch
+//	                    journal instead: in-progress dispatches are
+//	                    recorded so a restarted worker replays its own
+//	                    unfinished attempts and a restarted coordinator
+//	                    can adopt them
 //	-max-attempts N     attempts per scan before it is quarantined
 //	                    (default 3)
 //	-retry-base D       backoff before a scan's second attempt; doubled
@@ -119,9 +140,15 @@ func main() {
 func run() int {
 	addr := flag.String("addr", ":8477", "listen address")
 	role := flag.String("role", "standalone", "process role: standalone, coordinator or worker")
-	workersFlag := flag.String("workers", "0", "standalone/worker: scan worker goroutines (0 = NumCPU); coordinator: comma-separated worker base URLs")
-	advertise := flag.String("advertise", "", "worker: base URL reported in heartbeats")
+	poolWorkersFlag := flag.Int("pool-workers", 0, "scan worker goroutines (0 = NumCPU; coordinator: sized by fleet width)")
+	fleetWorkersFlag := flag.String("fleet-workers", "", "coordinator: comma-separated worker base URLs (optional with auto-registration)")
+	workersFlag := flag.String("workers", "0", "deprecated alias: worker count (standalone/worker) or worker URLs (coordinator); use -pool-workers / -fleet-workers")
+	joinURL := flag.String("join", "", "worker: coordinator base URL to announce to (requires -advertise)")
+	advertise := flag.String("advertise", "", "worker: base URL this worker serves on, reported in heartbeats and announced via -join")
+	hedgeDelay := flag.Duration("hedge-delay", 0, "coordinator: duplicate a dispatch to the next ring owner after this delay (0 = off)")
+	replicas := flag.Int("replicas", 1, "coordinator: dispatch replication factor (2 = dispatch to two owners immediately)")
 	heartbeatInterval := flag.Duration("heartbeat-interval", time.Second, "coordinator: worker heartbeat probe cadence")
+	reviveAfter := flag.Int("revive-after", 2, "coordinator: consecutive successful probes before a suspect/dead worker revives")
 	queue := flag.Int("queue", 64, "max queued scans before submissions get 429")
 	jobTimeout := flag.Duration("job-timeout", 2*time.Minute, "per-scan context timeout")
 	cacheMB := flag.Int64("cache-mb", 256, "result cache budget in MiB")
@@ -156,41 +183,69 @@ func run() int {
 	}
 	dlog := logger.With("component", "phpsafed")
 
-	// Resolve the role before building anything: it decides how
-	// -workers parses and which layers this process runs.
-	var fleetWorkers []string
-	poolWorkers := 0
-	switch *role {
-	case "standalone", "worker":
-		if n, perr := strconv.Atoi(*workersFlag); perr == nil && n >= 0 {
-			poolWorkers = n
-		} else {
-			fmt.Fprintf(os.Stderr, "phpsafed: -role=%s needs -workers to be a worker count, got %q\n", *role, *workersFlag)
-			return 2
+	// Resolve the role before building anything: it decides which
+	// layers this process runs. -workers is a deprecated dual-mode
+	// alias (count or URL list depending on role); the split flags win
+	// when both are given.
+	workersSet := false
+	flag.Visit(func(f *flag.Flag) {
+		if f.Name == "workers" {
+			workersSet = true
 		}
-	case "coordinator":
-		for _, u := range strings.Split(*workersFlag, ",") {
+	})
+	if workersSet {
+		dlog.Warn("-workers is deprecated; use -pool-workers (goroutine count) and -fleet-workers (worker URLs)")
+	}
+	splitURLs := func(s string) []string {
+		var out []string
+		for _, u := range strings.Split(s, ",") {
 			if u = strings.TrimSpace(u); u != "" && u != "0" {
-				fleetWorkers = append(fleetWorkers, strings.TrimRight(u, "/"))
+				out = append(out, strings.TrimRight(u, "/"))
 			}
 		}
-		if len(fleetWorkers) == 0 {
-			fmt.Fprintln(os.Stderr, "phpsafed: -role=coordinator needs -workers with at least one worker URL")
-			return 2
+		return out
+	}
+	var fleetWorkers []string
+	poolWorkers := *poolWorkersFlag
+	switch *role {
+	case "standalone", "worker":
+		if workersSet && poolWorkers == 0 {
+			n, perr := strconv.Atoi(*workersFlag)
+			if perr != nil || n < 0 {
+				fmt.Fprintf(os.Stderr, "phpsafed: -role=%s needs -workers to be a worker count, got %q\n", *role, *workersFlag)
+				return 2
+			}
+			poolWorkers = n
 		}
-		// Coordinator pool slots hold network waits, not CPU: size by
-		// fleet width so a small coordinator host can still keep every
-		// worker's queue fed.
-		poolWorkers = 4 * len(fleetWorkers)
+	case "coordinator":
+		fleetWorkers = splitURLs(*fleetWorkersFlag)
+		if len(fleetWorkers) == 0 && workersSet {
+			fleetWorkers = splitURLs(*workersFlag)
+		}
+		if len(fleetWorkers) == 0 && *journalDir == "" {
+			dlog.Warn("coordinator starting with no workers; the fleet is empty until workers announce via -join")
+		}
+		if poolWorkers == 0 {
+			// Coordinator pool slots hold network waits, not CPU: size by
+			// fleet width so a small coordinator host can still keep every
+			// worker's queue fed. With auto-registration the width is not
+			// known up front; default wide.
+			poolWorkers = 4 * len(fleetWorkers)
+			if poolWorkers < 16 {
+				poolWorkers = 16
+			}
+		}
 	default:
 		fmt.Fprintf(os.Stderr, "phpsafed: unknown -role %q (want standalone, coordinator or worker)\n", *role)
 		return 2
 	}
-	if *role == "worker" && *journalDir != "" {
-		// Acceptance durability lives on the coordinator; a worker
-		// journal would resurrect scans nobody will poll.
-		dlog.Warn("-journal is ignored for -role=worker; the coordinator owns the journal")
-		*journalDir = ""
+	if *joinURL != "" && *role != "worker" {
+		fmt.Fprintln(os.Stderr, "phpsafed: -join is only meaningful with -role=worker")
+		return 2
+	}
+	if *joinURL != "" && *advertise == "" {
+		fmt.Fprintln(os.Stderr, "phpsafed: -join requires -advertise (the URL the coordinator should dispatch to)")
+		return 2
 	}
 
 	// A daemon is always instrumented: /metrics is part of the API.
@@ -234,12 +289,38 @@ func run() int {
 	}
 	var fl *fleet.Fleet
 	if *role == "coordinator" {
+		// Journaled members survive a coordinator restart: merge them
+		// with the configured list so the ring is rebuilt before any
+		// worker re-announces.
+		members := fleetWorkers
+		if journal != nil {
+			for _, m := range fleet.MembersFromRecords(replayRecords) {
+				members = append(members, m)
+			}
+		}
 		fl = fleet.New(fleet.Config{
-			Workers:           fleetWorkers,
+			Workers:           members,
 			HeartbeatInterval: *heartbeatInterval,
+			ReviveAfter:       *reviveAfter,
+			HedgeDelay:        *hedgeDelay,
+			DispatchReplicas:  *replicas,
 			ReconnectBackoff:  jobs.RetryPolicy{Base: *retryBase, Cap: *retryCap},
+			Journal:           journal,
 			Recorder:          rec,
 			Logger:            logger.With("component", "fleet"),
+		})
+	}
+	var wk *fleet.Worker
+	if *role == "worker" {
+		// The worker's journal is its dispatch journal: in-progress
+		// dispatches recorded for coordinator adoption and worker-side
+		// replay, not scan lifecycle durability (the coordinator owns
+		// that).
+		wk = fleet.NewWorker(fleet.WorkerConfig{
+			Advertise: *advertise,
+			Journal:   journal,
+			Recorder:  rec,
+			Logger:    logger,
 		})
 	}
 	srvCfg := server.Config{
@@ -248,7 +329,6 @@ func run() int {
 		Recorder:       rec,
 		MaxUploadBytes: *maxUploadMB << 20,
 		IncStore:       incStore,
-		Journal:        journal,
 		Retry:          retry,
 		Budgets: analyzer.ScanOptions{
 			Deadline:      *scanDeadline,
@@ -261,12 +341,19 @@ func run() int {
 		Logger:            logger,
 		SlowScanThreshold: *slowScan,
 	}
+	if *role != "worker" {
+		srvCfg.Journal = journal
+	}
 	if fl != nil {
 		srvCfg.Dispatch = fl.Dispatch
 		srvCfg.FleetStatus = fl.Status
+		srvCfg.ExtraLiveRecords = fl.MemberRecords
+	}
+	if wk != nil {
+		srvCfg.OnSettle = wk.OnSettle
 	}
 	api := server.New(srvCfg)
-	if journal != nil {
+	if srvCfg.Journal != nil {
 		resubmitted, rehydrated, quarantined := api.Replay(replayRecords)
 		if resubmitted+rehydrated+quarantined > 0 {
 			dlog.Info("journal replay finished",
@@ -275,10 +362,17 @@ func run() int {
 	}
 
 	var handler http.Handler = api
-	if *role == "worker" {
-		handler = fleet.NewWorkerHandler(api, pool, *advertise)
+	if wk != nil {
+		wk.Bind(api, pool)
+		if journal != nil {
+			if replayed := wk.Replay(replayRecords); replayed > 0 {
+				dlog.Info("dispatch journal replay finished", "replayed", replayed)
+			}
+		}
+		handler = wk.Handler()
 	}
 	if fl != nil {
+		handler = fleet.NewCoordinatorHandler(api, fl)
 		fl.Start()
 	}
 
@@ -290,6 +384,11 @@ func run() int {
 
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
 	defer stop()
+
+	if *joinURL != "" {
+		go fleet.Announce(ctx, nil, strings.TrimRight(*joinURL, "/"), *advertise,
+			jobs.RetryPolicy{Base: *retryBase, Cap: *retryCap}, logger)
+	}
 
 	errCh := make(chan error, 1)
 	go func() { errCh <- httpSrv.ListenAndServe() }()
@@ -320,7 +419,7 @@ func run() int {
 		// After the pool drained no dispatches remain; stop probing.
 		fl.Stop()
 	}
-	if journal != nil {
+	if srvCfg.Journal != nil {
 		// A clean exit leaves a compact journal: the next start replays
 		// one snapshot instead of the whole WAL.
 		api.CompactJournal()

@@ -1,0 +1,318 @@
+package repro
+
+// Coordinator-restart adoption smoke test: boot a real coordinator +
+// 2 real workers as separate phpsafed processes (workers with their
+// own dispatch journals), put a batch of scans in flight, SIGKILL the
+// coordinator, restart it on the same journal — and require that the
+// replayed scans are ADOPTED from the workers' in-flight tables rather
+// than resubmitted: every scan settles done, at least one trace
+// records an adopted event, and each scan has exactly one
+// dispatch_started record across all worker journals (a resubmission
+// would have left a second).
+
+import (
+	"bufio"
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"net"
+	"net/http"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"syscall"
+	"testing"
+	"time"
+
+	"repro/internal/obs"
+)
+
+// adoptPHP is much heavier than fleetPHP: the batch must still be in
+// flight on single-slot workers when the coordinator is killed, so
+// each scan needs hundreds of milliseconds of analysis.
+func adoptPHP(name string) string {
+	var b bytes.Buffer
+	fmt.Fprintf(&b, "<?php // %s\n", name)
+	b.WriteString("$base = $_GET['q'];\n")
+	for i := 0; i < 2500; i++ {
+		fmt.Fprintf(&b, "$v%d = $base . 'x%d';\n", i, i)
+	}
+	b.WriteString("echo $v2499;\n")
+	b.WriteString("mysql_query(\"SELECT * FROM t WHERE k='\" . $_POST['user'] . \"'\");\n")
+	return b.String()
+}
+
+func TestCoordinatorRestartAdoptsInflight(t *testing.T) {
+	if testing.Short() {
+		t.Skip("subprocess integration test")
+	}
+	bins := binaries(t)
+	daemon := filepath.Join(bins, "phpsafed")
+	coordJournal := t.TempDir()
+	w1Journal := t.TempDir()
+	w2Journal := t.TempDir()
+
+	reserve := func() string {
+		ln, err := net.Listen("tcp", "127.0.0.1:0")
+		if err != nil {
+			t.Fatal(err)
+		}
+		addr := ln.Addr().String()
+		ln.Close()
+		return addr
+	}
+	w1Addr, w2Addr, coordAddr := reserve(), reserve(), reserve()
+
+	var logs syncBuffer
+	start := func(args ...string) *exec.Cmd {
+		cmd := exec.Command(daemon, args...)
+		cmd.Stdout = &logs
+		cmd.Stderr = &logs
+		if err := cmd.Start(); err != nil {
+			t.Fatalf("starting phpsafed %v: %v", args, err)
+		}
+		return cmd
+	}
+	stop := func(cmd *exec.Cmd) {
+		if cmd == nil || cmd.ProcessState != nil {
+			return
+		}
+		cmd.Process.Signal(os.Interrupt)
+		done := make(chan struct{})
+		go func() { cmd.Wait(); close(done) }()
+		select {
+		case <-done:
+		case <-time.After(15 * time.Second):
+			cmd.Process.Kill()
+			cmd.Wait()
+		}
+	}
+	waitHealthy := func(addr string) {
+		t.Helper()
+		deadline := time.Now().Add(15 * time.Second)
+		for time.Now().Before(deadline) {
+			resp, err := http.Get("http://" + addr + "/healthz")
+			if err == nil {
+				resp.Body.Close()
+				if resp.StatusCode == http.StatusOK {
+					return
+				}
+			}
+			time.Sleep(50 * time.Millisecond)
+		}
+		t.Fatalf("daemon on %s never became healthy; logs:\n%s", addr, logs.String())
+	}
+
+	// Workers: single pool slot so the batch queues deep (scans still in
+	// flight when the coordinator dies), each with its own dispatch
+	// journal. -pool-workers is the new spelling of the old -workers
+	// count.
+	worker1 := start("-role=worker", "-addr", w1Addr, "-pool-workers", "1", "-queue", "32",
+		"-advertise", "http://"+w1Addr, "-journal", w1Journal)
+	defer stop(worker1)
+	worker2 := start("-role=worker", "-addr", w2Addr, "-pool-workers", "1", "-queue", "32",
+		"-advertise", "http://"+w2Addr, "-journal", w2Journal)
+	defer stop(worker2)
+	waitHealthy(w1Addr)
+	waitHealthy(w2Addr)
+
+	coordArgs := []string{"-role=coordinator", "-addr", coordAddr,
+		"-fleet-workers", "http://" + w1Addr + ",http://" + w2Addr,
+		"-journal", coordJournal, "-queue", "64",
+		"-heartbeat-interval", "100ms",
+		"-max-attempts", "8", "-retry-base", "20ms", "-retry-cap", "200ms"}
+	coord := start(coordArgs...)
+	coordStopped := false
+	defer func() {
+		if !coordStopped {
+			stop(coord)
+		}
+	}()
+	waitHealthy(coordAddr)
+
+	submit := func(name string) string {
+		t.Helper()
+		body, _ := json.Marshal(map[string]any{
+			"name":  name,
+			"files": map[string]string{name + ".php": adoptPHP(name)},
+		})
+		resp, err := http.Post("http://"+coordAddr+"/v1/scans", "application/json", bytes.NewReader(body))
+		if err != nil {
+			t.Fatalf("submitting %s: %v", name, err)
+		}
+		defer resp.Body.Close()
+		var sc crashScanView
+		if err := json.NewDecoder(resp.Body).Decode(&sc); err != nil {
+			t.Fatalf("decoding %s submission: %v", name, err)
+		}
+		if sc.ID == "" {
+			t.Fatalf("submission %s returned no id (HTTP %d)", name, resp.StatusCode)
+		}
+		return sc.ID
+	}
+
+	names := make([]string, 0, 8)
+	ids := make(map[string]string, 8)
+	for i := 0; i < 8; i++ {
+		name := fmt.Sprintf("adopt%02d", i)
+		names = append(names, name)
+		ids[name] = submit(name)
+	}
+
+	// Wait until the workers actually carry unsettled dispatches — the
+	// kill must land with work in flight for adoption to have anything
+	// to adopt.
+	unsettledInflight := func() int {
+		n := 0
+		for _, wa := range []string{w1Addr, w2Addr} {
+			resp, err := http.Get("http://" + wa + "/internal/v1/inflight")
+			if err != nil {
+				continue
+			}
+			var body struct {
+				Dispatches []struct {
+					State string `json:"state"`
+				} `json:"dispatches"`
+			}
+			err = json.NewDecoder(resp.Body).Decode(&body)
+			resp.Body.Close()
+			if err != nil {
+				continue
+			}
+			for _, d := range body.Dispatches {
+				switch d.State {
+				case "queued", "running":
+					n++
+				}
+			}
+		}
+		return n
+	}
+	deadline := time.Now().Add(10 * time.Second)
+	for unsettledInflight() < 2 {
+		if time.Now().After(deadline) {
+			t.Fatalf("workers never reported unsettled dispatches; logs:\n%s", logs.String())
+		}
+		time.Sleep(20 * time.Millisecond)
+	}
+
+	// SIGKILL the coordinator mid-batch and restart it on the same
+	// journal and address.
+	if err := coord.Process.Signal(syscall.SIGKILL); err != nil {
+		t.Fatalf("killing coordinator: %v", err)
+	}
+	coord.Wait()
+	coordStopped = true
+
+	coord2 := start(coordArgs...)
+	defer stop(coord2)
+	waitHealthy(coordAddr)
+
+	// Every scan settles done on the restarted coordinator.
+	waitSettled := func(id string) crashScanView {
+		t.Helper()
+		settleBy := time.Now().Add(60 * time.Second)
+		for time.Now().Before(settleBy) {
+			resp, err := http.Get("http://" + coordAddr + "/v1/scans/" + id)
+			if err != nil {
+				time.Sleep(25 * time.Millisecond)
+				continue
+			}
+			var sc crashScanView
+			err = json.NewDecoder(resp.Body).Decode(&sc)
+			resp.Body.Close()
+			if err != nil {
+				t.Fatalf("decoding scan %s: %v", id, err)
+			}
+			switch sc.Status {
+			case "done", "failed", "cancelled", "quarantined":
+				return sc
+			}
+			time.Sleep(25 * time.Millisecond)
+		}
+		t.Fatalf("scan %s never settled after restart; logs:\n%s", id, logs.String())
+		return crashScanView{}
+	}
+	for _, name := range names {
+		sc := waitSettled(ids[name])
+		if sc.Status != "done" {
+			t.Fatalf("scan %s = %s (%s) after coordinator restart, want done; logs:\n%s",
+				name, sc.Status, sc.Error, logs.String())
+		}
+	}
+
+	// At least one replayed scan must have been adopted from a worker's
+	// in-flight table — the restart happened mid-batch, so the workers
+	// were still carrying work.
+	adopted := 0
+	for _, name := range names {
+		resp, err := http.Get("http://" + coordAddr + "/v1/scans/" + ids[name] + "/trace")
+		if err != nil {
+			t.Fatalf("trace %s: %v", name, err)
+		}
+		var tr struct {
+			Events []obs.Event `json:"events"`
+		}
+		err = json.NewDecoder(resp.Body).Decode(&tr)
+		resp.Body.Close()
+		if err != nil {
+			t.Fatalf("decoding trace %s: %v", name, err)
+		}
+		for _, ev := range tr.Events {
+			if ev.Type == "adopted" {
+				adopted++
+				break
+			}
+		}
+	}
+	if adopted == 0 {
+		t.Errorf("no scan trace records an adopted event after coordinator restart; logs:\n%s", logs.String())
+	}
+	t.Logf("adopted %d of %d scans", adopted, len(names))
+
+	// The no-duplicate-attempt check: across both worker dispatch
+	// journals, every scan has exactly one dispatch_started record. A
+	// coordinator that resubmitted instead of adopting would have left
+	// a second record (on this worker via a fresh attempt epoch, or on
+	// the peer via handoff).
+	idToName := make(map[string]string, len(ids))
+	for name, id := range ids {
+		idToName[id] = name
+	}
+	started := make(map[string]int, len(ids))
+	for _, dir := range []string{w1Journal, w2Journal} {
+		for _, file := range []string{"wal.jsonl", "snapshot.jsonl"} {
+			f, err := os.Open(filepath.Join(dir, file))
+			if err != nil {
+				continue
+			}
+			scanner := bufio.NewScanner(f)
+			scanner.Buffer(make([]byte, 0, 1<<20), 1<<24)
+			for scanner.Scan() {
+				// Journal lines are "crc8hex json" — strip the checksum
+				// prefix before decoding.
+				line := scanner.Bytes()
+				if sp := bytes.IndexByte(line, ' '); sp >= 0 {
+					line = line[sp+1:]
+				}
+				var rec struct {
+					Type string `json:"type"`
+					Scan string `json:"scan"`
+				}
+				if json.Unmarshal(line, &rec) != nil {
+					continue
+				}
+				if rec.Type == "dispatch_started" {
+					started[rec.Scan]++
+				}
+			}
+			f.Close()
+		}
+	}
+	for name, id := range ids {
+		if got := started[id]; got != 1 {
+			t.Errorf("scan %s: %d dispatch_started records across worker journals, want exactly 1 (adoption, not resubmission)",
+				name, got)
+		}
+	}
+}

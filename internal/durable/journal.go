@@ -74,6 +74,20 @@ const (
 	// RecQuarantined marks the scan dead-lettered after exhausting its
 	// attempts (or failing terminally).
 	RecQuarantined RecordType = "quarantined"
+	// RecFleetMember marks a worker joining the coordinator's fleet
+	// (Worker carries the address). Replaying these rebuilds the
+	// dispatch ring after a coordinator restart, so auto-registered
+	// workers survive without re-announcing.
+	RecFleetMember RecordType = "fleet_member"
+	// RecDispatchStarted is a fleet worker's local record of one
+	// dispatched attempt it accepted (ScanID is the coordinator's scan
+	// id; the payload carries the submission). A worker restart replays
+	// unfinished dispatches so the coordinator finds the work still
+	// running instead of vanished.
+	RecDispatchStarted RecordType = "dispatch_started"
+	// RecDispatchSettled closes a RecDispatchStarted: the worker-side
+	// scan reached a terminal state.
+	RecDispatchSettled RecordType = "dispatch_settled"
 	// recSnapshot is the meta record heading a snapshot file; it
 	// carries the highest sequence number the snapshot absorbed.
 	recSnapshot RecordType = "snapshot"

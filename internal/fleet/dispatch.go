@@ -74,14 +74,43 @@ type workerScanView struct {
 }
 
 // Dispatch executes one scan attempt on the ring owner of req.Key.
+// When hedging is configured a second branch races the primary after
+// the hedge delay (immediately under DispatchReplicas >= 2); the first
+// settled result wins and the loser is cancelled. A replayed scan
+// (req.Resubmitted) first reconciles with the workers' in-flight
+// tables and adopts a still-running pre-restart dispatch instead of
+// starting a duplicate.
 func (f *Fleet) Dispatch(ctx context.Context, req *server.DispatchRequest) (*server.DispatchResult, error) {
-	owner, ok := f.pickOwner(req)
+	if req.Resubmitted {
+		if res, err, adopted := f.adopt(ctx, req); adopted {
+			return res, err
+		}
+	}
+
+	hedged := f.cfg.HedgeDelay > 0 || f.cfg.DispatchReplicas >= 2
+	want := 1
+	if hedged {
+		want = 2
+	}
+	owners, ok := f.pickOwners(req, want)
 	if !ok {
 		return nil, errors.New("fleet: no workers reachable")
 	}
+	if len(owners) == 1 {
+		res, err := f.dispatchOne(ctx, owners[0], req)
+		if err == nil {
+			f.forgetOwner(req.ScanID)
+		}
+		return res, err
+	}
+	return f.dispatchHedged(ctx, owners, req)
+}
 
-	// Register this dispatch so worker death severs it; the severed
-	// context is how a mid-scan kill turns into a retry + handoff.
+// dispatchOne runs one dispatch branch to owner with severing wired in:
+// the health monitor declaring owner dead cancels dctx, which this
+// function translates into a plain retryable error (never a
+// context.Canceled the jobs layer would mistake for a client cancel).
+func (f *Fleet) dispatchOne(ctx context.Context, owner string, req *server.DispatchRequest) (*server.DispatchResult, error) {
 	dctx, cancel := context.WithCancel(ctx)
 	f.register(owner, req.ScanID, cancel)
 	defer func() {
@@ -95,9 +124,9 @@ func (f *Fleet) Dispatch(ctx context.Context, req *server.DispatchRequest) (*ser
 	if err != nil {
 		// Disambiguate whose cancellation aborted the exchange.
 		if ctx.Err() != nil {
-			// The scan itself was cancelled or the coordinator is
-			// draining: propagate so jobs settles it as
-			// cancelled/interrupted (the poll loop already forwarded a
+			// The scan itself was cancelled, the coordinator is draining,
+			// or (inside a hedge) the other branch won: propagate so the
+			// caller classifies it (the poll loop already forwarded a
 			// best-effort cancel to the worker when it had a scan id).
 			return nil, ctx.Err()
 		}
@@ -111,23 +140,128 @@ func (f *Fleet) Dispatch(ctx context.Context, req *server.DispatchRequest) (*ser
 		return nil, err
 	}
 	f.ReportSuccess(owner)
-	f.forgetOwner(req.ScanID)
 	return res, nil
 }
 
-// pickOwner routes req to the live ring owner of its content digest,
-// recording handoff trace events when ownership moved since the scan's
-// previous attempt. Events are appended before the dispatch happens so
-// the timeline reads transferred → resubmitted → dispatched → outcome.
-func (f *Fleet) pickOwner(req *server.DispatchRequest) (string, bool) {
+// hedgeOutcome is one branch's answer inside a hedged dispatch.
+type hedgeOutcome struct {
+	owner string
+	res   *server.DispatchResult
+	err   error
+}
+
+// dispatchHedged races up to two dispatch branches: the primary starts
+// immediately, the hedge to the next ring owner after HedgeDelay
+// (immediately under replication). The first successful branch wins and
+// the other is cancelled; when the primary fails before the hedge timer
+// fires, the hedge fires early rather than wasting the budgeted
+// attempt. Only when every launched branch has failed does the attempt
+// fail.
+func (f *Fleet) dispatchHedged(ctx context.Context, owners []string, req *server.DispatchRequest) (*server.DispatchResult, error) {
+	branchCtx, cancelBranches := context.WithCancel(ctx)
+	defer cancelBranches()
+
+	results := make(chan hedgeOutcome, len(owners))
+	launch := func(owner string) {
+		go func() {
+			res, err := f.dispatchOne(branchCtx, owner, req)
+			results <- hedgeOutcome{owner: owner, res: res, err: err}
+		}()
+	}
+	launch(owners[0])
+	outstanding := 1
+	hedgeLaunched := false
+
+	fireHedge := func(why string) {
+		hedgeLaunched = true
+		f.rec.Counter("fleet_hedges_total").Inc()
+		f.rec.Events().Append(obs.Event{
+			Scan: req.ScanID, Type: EvHedgeFired,
+			Attempt: req.Attempt, Detail: owners[1] + " (" + why + ")",
+		})
+		f.rec.Events().Append(obs.Event{
+			Scan: req.ScanID, Type: EvDispatched,
+			Attempt: req.Attempt, Detail: owners[1],
+		})
+		f.log.Info("fleet hedge fired",
+			"scan_id", req.ScanID, "hedge_worker", owners[1], "reason", why)
+		launch(owners[1])
+		outstanding++
+	}
+
+	delay := f.cfg.HedgeDelay
+	if f.cfg.DispatchReplicas >= 2 {
+		delay = 0
+	}
+	timer := time.NewTimer(delay)
+	defer timer.Stop()
+	timerC := timer.C
+
+	var firstErr error
+	for outstanding > 0 {
+		select {
+		case <-timerC:
+			timerC = nil
+			fireHedge("hedge delay elapsed")
+		case out := <-results:
+			outstanding--
+			if out.err == nil {
+				// First settled result wins byte-for-byte; the loser's
+				// branch context is cancelled on return. Record the win
+				// only when the race was actually on.
+				if hedgeLaunched {
+					f.rec.Counter("fleet_hedge_wins_total").Inc()
+					f.rec.Events().Append(obs.Event{
+						Scan: req.ScanID, Type: EvHedgeWon,
+						Attempt: req.Attempt, Detail: out.owner,
+					})
+					loser := owners[0]
+					if out.owner == owners[0] {
+						loser = owners[1]
+					}
+					f.rec.Events().Append(obs.Event{
+						Scan: req.ScanID, Type: EvHedgeCancelled,
+						Attempt: req.Attempt, Detail: loser,
+					})
+				}
+				f.forgetOwner(req.ScanID)
+				return out.res, nil
+			}
+			if ctx.Err() != nil {
+				// The scan itself died (client cancel or drain), not a
+				// branch: settle it, don't retry it.
+				return nil, ctx.Err()
+			}
+			if firstErr == nil {
+				firstErr = out.err
+			}
+			if !hedgeLaunched && timerC != nil {
+				// The primary failed before the hedge timer: spend the
+				// hedge now instead of failing an attempt while a live
+				// fallback owner is known.
+				timerC = nil
+				fireHedge("primary failed")
+			}
+		}
+	}
+	return nil, firstErr
+}
+
+// pickOwners routes req to up to want live ring owners of its content
+// digest in clockwise preference order, recording handoff trace events
+// when primary ownership moved since the scan's previous attempt.
+// Events are appended before the dispatch happens so the timeline reads
+// transferred → resubmitted → dispatched → outcome.
+func (f *Fleet) pickOwners(req *server.DispatchRequest, want int) ([]string, bool) {
 	f.mu.Lock()
 	defer f.mu.Unlock()
-	owner, ok := f.ring.OwnerWhere(req.Key, func(m string) bool {
+	owners := f.ring.OwnersWhere(req.Key, want, func(m string) bool {
 		return f.workers[m].state != StateDead
 	})
-	if !ok {
-		return "", false
+	if len(owners) == 0 {
+		return nil, false
 	}
+	owner := owners[0]
 	if prev, had := f.lastOwner[req.ScanID]; had && prev != owner {
 		f.rec.Counter("fleet_handoffs_total").Inc()
 		f.rec.Events().Append(obs.Event{
@@ -151,7 +285,154 @@ func (f *Fleet) pickOwner(req *server.DispatchRequest) (string, bool) {
 		Scan: req.ScanID, Type: EvDispatched,
 		Attempt: req.Attempt, Detail: owner,
 	})
-	return owner, true
+	return owners, true
+}
+
+// inflightEntry is one row of a worker's dispatch table, as served by
+// GET /internal/v1/inflight: which coordinator scan maps to which local
+// scan, and how far it has gotten.
+type inflightEntry struct {
+	ScanID       string `json:"scan_id"`
+	WorkerScanID string `json:"worker_scan_id"`
+	State        string `json:"state"`
+}
+
+// adopt reconciles a replayed scan with the workers' in-flight tables:
+// if some worker still carries req.ScanID from a dispatch the previous
+// coordinator process started, attach to that scan — poll it to
+// settlement and take its result — instead of resubmitting the work.
+// The third return reports whether an adoption happened; false sends
+// the caller down the normal dispatch path.
+func (f *Fleet) adopt(ctx context.Context, req *server.DispatchRequest) (*server.DispatchResult, error, bool) {
+	f.mu.Lock()
+	candidates := make([]string, 0, len(f.workers))
+	for _, addr := range f.ring.Members() {
+		if w, ok := f.workers[addr]; ok && w.state != StateDead {
+			candidates = append(candidates, addr)
+		}
+	}
+	f.mu.Unlock()
+
+	for _, addr := range candidates {
+		entry, ok := f.queryInflight(ctx, addr, req.ScanID)
+		if !ok {
+			continue
+		}
+		f.rec.Counter("fleet_adoptions_total").Inc()
+		f.rec.Events().Append(obs.Event{
+			Scan: req.ScanID, Type: EvAdopted, Attempt: req.Attempt,
+			Detail: addr + " " + entry.WorkerScanID,
+		})
+		f.log.Info("fleet scan adopted",
+			"scan_id", req.ScanID, "worker", addr,
+			"worker_scan_id", entry.WorkerScanID, "state", entry.State)
+		f.mu.Lock()
+		f.lastOwner[req.ScanID] = addr
+		f.mu.Unlock()
+
+		res, err := f.attach(ctx, addr, entry.WorkerScanID)
+		if err == nil {
+			f.ReportSuccess(addr)
+			f.forgetOwner(req.ScanID)
+		}
+		return res, err, true
+	}
+	return nil, nil, false
+}
+
+// queryInflight asks one worker whether it carries scanID in its
+// dispatch table. Errors and 404s both report false: an unreachable
+// worker is indistinguishable from one that never saw the scan, and
+// the caller's fallback (a fresh dispatch) is safe either way — the
+// worker-side content dedup joins a duplicate to the surviving attempt
+// if the worker comes back.
+func (f *Fleet) queryInflight(ctx context.Context, addr, scanID string) (inflightEntry, bool) {
+	qctx, cancel := context.WithTimeout(ctx, 2*time.Second)
+	defer cancel()
+	hreq, err := http.NewRequestWithContext(qctx, http.MethodGet,
+		addr+"/internal/v1/inflight?scan="+scanID, nil)
+	if err != nil {
+		return inflightEntry{}, false
+	}
+	resp, err := f.client.Do(hreq)
+	if err != nil {
+		return inflightEntry{}, false
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return inflightEntry{}, false
+	}
+	var entry inflightEntry
+	if err := json.NewDecoder(resp.Body).Decode(&entry); err != nil || entry.WorkerScanID == "" {
+		return inflightEntry{}, false
+	}
+	return entry, true
+}
+
+// attach follows an adopted worker scan to settlement: fetch its
+// current view, poll while it is still queued/running (with severing
+// registered, so the worker dying mid-adoption turns into a retryable
+// error and a normal handoff), and map the settled state exactly like
+// a fresh dispatch.
+func (f *Fleet) attach(ctx context.Context, owner, workerScanID string) (*server.DispatchResult, error) {
+	dctx, cancel := context.WithCancel(ctx)
+	f.register(owner, workerScanID, cancel)
+	defer func() {
+		cancel()
+		f.unregister(owner, workerScanID)
+	}()
+
+	hreq, err := http.NewRequestWithContext(dctx, http.MethodGet, owner+"/v1/scans/"+workerScanID, nil)
+	if err != nil {
+		return nil, err
+	}
+	resp, err := f.client.Do(hreq)
+	if err != nil {
+		// Disambiguate exactly like dispatchOne: a cancellation must
+		// never leak out of the fleet layer unless the scan's own
+		// context died, or the jobs lifecycle would misread a severed
+		// adoption as a client cancel or a shutdown.
+		if ctx.Err() != nil {
+			return nil, ctx.Err()
+		}
+		if dctx.Err() != nil {
+			return nil, fmt.Errorf("fleet: adoption from %s severed: worker declared dead", owner)
+		}
+		f.ReportFailure(owner, err)
+		return nil, fmt.Errorf("fleet: adopt from %s: %w", owner, err)
+	}
+	var view workerScanView
+	derr := json.NewDecoder(resp.Body).Decode(&view)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return nil, fmt.Errorf("fleet: adopt from %s: HTTP %d", owner, resp.StatusCode)
+	}
+	if derr != nil {
+		return nil, fmt.Errorf("fleet: adopt from %s: decode: %w", owner, derr)
+	}
+	if view.Status == "queued" || view.Status == "running" {
+		if err := f.pollUntilSettled(dctx, owner, &view); err != nil {
+			if ctx.Err() != nil {
+				return nil, ctx.Err()
+			}
+			if dctx.Err() != nil {
+				return nil, fmt.Errorf("fleet: adoption from %s severed: worker declared dead", owner)
+			}
+			return nil, err
+		}
+	}
+	switch view.Status {
+	case "done":
+		return &server.DispatchResult{Worker: owner, Result: view.Result, Inc: view.Inc}, nil
+	case "failed", "quarantined", "cancelled":
+		msg := view.Error
+		if msg == "" {
+			msg = "scan " + view.Status + " on worker"
+		}
+		return nil, fmt.Errorf("fleet: adopted scan on %s: %s", owner, msg)
+	default:
+		return nil, fmt.Errorf("fleet: adopted scan on %s settled in unexpected state %q", owner, view.Status)
+	}
 }
 
 func (f *Fleet) register(owner, scanID string, cancel context.CancelFunc) {
@@ -199,7 +480,12 @@ func (f *Fleet) dispatchTo(ctx context.Context, owner string, req *server.Dispat
 	hreq.Header.Set("Content-Type", "application/json")
 	resp, err := f.client.Do(hreq)
 	if err != nil {
-		f.ReportFailure(owner, err)
+		// A cancelled dispatch (hedge loser, severed owner, client
+		// cancel) says nothing about the worker's health — only count
+		// a liveness miss when the transport itself failed.
+		if ctx.Err() == nil {
+			f.ReportFailure(owner, err)
+		}
 		return nil, fmt.Errorf("fleet: dispatch to %s: %w", owner, err)
 	}
 	defer resp.Body.Close()
@@ -262,7 +548,9 @@ func (f *Fleet) pollUntilSettled(ctx context.Context, owner string, view *worker
 		}
 		resp, err := f.client.Do(hreq)
 		if err != nil {
-			f.ReportFailure(owner, err)
+			if ctx.Err() == nil {
+				f.ReportFailure(owner, err)
+			}
 			return fmt.Errorf("fleet: poll %s: %w", owner, err)
 		}
 		if resp.StatusCode != http.StatusOK {

@@ -32,6 +32,7 @@ import (
 	"sync"
 	"time"
 
+	"repro/internal/durable"
 	"repro/internal/jobs"
 	"repro/internal/obs"
 )
@@ -54,6 +55,23 @@ const (
 	// EvResubmittedToPeer: the attempt is being re-sent to the new
 	// owner (always follows EvOwnershipTransferred for the same scan).
 	EvResubmittedToPeer = "resubmitted_to_peer"
+	// EvHedgeFired: the primary dispatch outlived the hedge delay (or
+	// replication is on) and a duplicate dispatch is being sent to the
+	// next ring owner (Detail names it).
+	EvHedgeFired = "hedge_fired"
+	// EvHedgeWon: one branch of a hedged dispatch settled first and its
+	// result was taken (Detail names the winning worker).
+	EvHedgeWon = "hedge_won"
+	// EvHedgeCancelled: the losing branch of a hedged dispatch was
+	// cancelled (Detail names the cancelled worker).
+	EvHedgeCancelled = "hedge_cancelled"
+	// EvAdopted: a restarted coordinator found this replayed scan still
+	// running on a worker and attached to it instead of resubmitting
+	// (Detail: "worker worker_scan_id").
+	EvAdopted = "adopted"
+	// EvWorkerJoined: a worker announced itself and entered the ring.
+	// Daemon-level (no scan id); Detail names the worker.
+	EvWorkerJoined = "worker_joined"
 )
 
 // Worker health states. A worker starts alive (the fleet probes
@@ -72,8 +90,10 @@ const (
 type Config struct {
 	// Workers are the worker base URLs (e.g. "http://127.0.0.1:9101").
 	// They are the consistent-hash ring members; order is irrelevant.
+	// The set may start empty when workers auto-register via the join
+	// endpoint (AddWorker).
 	Workers []string
-	// Replicas is the virtual-node count per worker on the ring
+	// Replicas is the virtual-node count per worker at weight 1
 	// (DefaultReplicas when 0).
 	Replicas int
 	// HeartbeatInterval is the probe cadence (default 1s).
@@ -82,6 +102,21 @@ type Config struct {
 	// the alive→suspect and →dead transitions (defaults 1 and 3).
 	SuspectAfter int
 	DeadAfter    int
+	// ReviveAfter is the consecutive-success threshold for the
+	// suspect/dead → alive transition (default 2): a flapping link must
+	// answer K probes in a row before the worker re-enters the ring, so
+	// one lucky packet cannot thrash ownership back and forth. Suppressed
+	// revivals count in fleet_flaps_suppressed_total.
+	ReviveAfter int
+	// HedgeDelay, when positive, arms hedged dispatch: an attempt still
+	// unsettled after the delay is duplicated to the next ring owner and
+	// the first result wins. Zero disables hedging (unless
+	// DispatchReplicas forces it).
+	HedgeDelay time.Duration
+	// DispatchReplicas, when >= 2, replicates every dispatch to the two
+	// first live ring owners immediately (a zero hedge delay), trading
+	// duplicated work for the best possible tail latency.
+	DispatchReplicas int
 	// ReconnectBackoff schedules probes of a dead worker: the same
 	// jittered exponential backoff the jobs pool uses between scan
 	// attempts, so a flapping worker is probed gently rather than
@@ -89,6 +124,11 @@ type Config struct {
 	// (100ms base, 5s cap); MaxAttempts is ignored — reconnect probing
 	// never gives up.
 	ReconnectBackoff jobs.RetryPolicy
+	// Journal, when set, persists the member set: every AddWorker
+	// appends a fleet_member record, and the server's compaction calls
+	// MemberRecords to carry the set across WAL resets, so a restarted
+	// coordinator rebuilds its ring before any worker re-announces.
+	Journal *durable.Journal
 	// Recorder receives fleet metrics and trace events (required).
 	Recorder *obs.Recorder
 	// Logger receives fleet lifecycle logs (nil: slog.Default()).
@@ -103,6 +143,7 @@ type workerHealth struct {
 	addr      string
 	state     string
 	misses    int       // consecutive probe/dispatch failures
+	revives   int       // consecutive successes while suspect/dead
 	lastBeat  time.Time // last successful heartbeat or dispatch
 	nextProbe time.Time // dead workers: next reconnect attempt
 	probing   bool      // a probe for this worker is in flight
@@ -110,6 +151,11 @@ type workerHealth struct {
 	// Reported by the worker's heartbeat payload.
 	inflight   int
 	queueDepth int
+	capacity   int // pool worker count, the basis of the ring weight
+
+	// weight is the quantized ring weight derived from capacity and
+	// queue depth; the ring is rebuilt only when it changes.
+	weight int
 
 	// dispatches maps scan id → cancel for this worker's in-flight
 	// dispatch HTTP calls; severed wholesale when the worker dies.
@@ -147,6 +193,9 @@ func New(cfg Config) *Fleet {
 	if cfg.DeadAfter <= cfg.SuspectAfter {
 		cfg.DeadAfter = cfg.SuspectAfter + 2
 	}
+	if cfg.ReviveAfter <= 0 {
+		cfg.ReviveAfter = 2
+	}
 	log := cfg.Logger
 	if log == nil {
 		log = slog.Default()
@@ -168,12 +217,93 @@ func New(cfg Config) *Fleet {
 	now := f.rec.Now()
 	for _, addr := range f.ring.Members() {
 		f.workers[addr] = &workerHealth{
-			addr: addr, state: StateAlive, lastBeat: now,
+			addr: addr, state: StateAlive, lastBeat: now, weight: MinWeight,
 			dispatches: make(map[string]context.CancelFunc),
 		}
 	}
 	f.publishGaugesLocked()
 	return f
+}
+
+// AddWorker registers a worker announced via the join endpoint: a new
+// address enters the ring alive (the next heartbeat sweep demotes it if
+// the announcement lied) and is journaled so the membership survives a
+// coordinator restart. Re-announcements of a known member are idempotent
+// and refresh nothing — liveness stays the heartbeat monitor's job.
+// It reports whether the member was new.
+func (f *Fleet) AddWorker(addr string) bool {
+	if addr == "" {
+		return false
+	}
+	f.mu.Lock()
+	if _, ok := f.workers[addr]; ok {
+		f.mu.Unlock()
+		return false
+	}
+	f.workers[addr] = &workerHealth{
+		addr: addr, state: StateAlive, lastBeat: f.rec.Now(), weight: MinWeight,
+		dispatches: make(map[string]context.CancelFunc),
+	}
+	f.rebuildRingLocked()
+	f.publishGaugesLocked()
+	f.mu.Unlock()
+
+	f.rec.Counter("fleet_joins_total").Inc()
+	f.rec.Events().Append(obs.Event{Type: EvWorkerJoined, Detail: addr})
+	f.log.Info("fleet worker joined", "worker", addr)
+	if f.cfg.Journal != nil {
+		if err := f.cfg.Journal.Append(durable.Record{
+			Type: durable.RecFleetMember, Time: f.rec.Now(), Worker: addr,
+		}); err != nil {
+			f.rec.Counter("journal_append_errors_total").Inc()
+		}
+	}
+	return true
+}
+
+// MemberRecords snapshots the membership as journal records, one
+// fleet_member per worker. The server's compaction appends them to every
+// snapshot (Config.ExtraLiveRecords) so the member set survives WAL
+// resets.
+func (f *Fleet) MemberRecords() []durable.Record {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	out := make([]durable.Record, 0, len(f.workers))
+	for _, addr := range f.ring.Members() {
+		out = append(out, durable.Record{Type: durable.RecFleetMember, Worker: addr})
+	}
+	return out
+}
+
+// MembersFromRecords extracts the journaled member set from replayed
+// records (last-writer set semantics: every fleet_member record adds its
+// worker). The coordinator merges it with the configured -fleet-workers
+// list at boot.
+func MembersFromRecords(records []durable.Record) []string {
+	seen := make(map[string]bool)
+	var out []string
+	for _, r := range records {
+		if r.Type == durable.RecFleetMember && r.Worker != "" && !seen[r.Worker] {
+			seen[r.Worker] = true
+			out = append(out, r.Worker)
+		}
+	}
+	return out
+}
+
+// rebuildRingLocked reconstitutes the ring from the current member set
+// and quantized weights; caller holds f.mu.
+func (f *Fleet) rebuildRingLocked() {
+	members := make([]string, 0, len(f.workers))
+	for addr := range f.workers {
+		members = append(members, addr)
+	}
+	f.ring = NewWeightedRing(members, f.cfg.Replicas, func(m string) int {
+		if w, ok := f.workers[m]; ok && w.weight > 0 {
+			return w.weight
+		}
+		return MinWeight
+	})
 }
 
 // Start launches the heartbeat monitor loop.
@@ -209,6 +339,7 @@ type WorkerStatus struct {
 	LastBeat   time.Time `json:"last_heartbeat"`
 	Inflight   int       `json:"inflight"`
 	QueueDepth int       `json:"queue_depth"`
+	Weight     int       `json:"weight"`
 	Dispatches int       `json:"dispatches_inflight"`
 }
 
@@ -228,7 +359,8 @@ func (f *Fleet) Status() (any, bool) {
 		out = append(out, WorkerStatus{
 			Addr: w.addr, State: w.state, Misses: w.misses,
 			LastBeat: w.lastBeat, Inflight: w.inflight,
-			QueueDepth: w.queueDepth, Dispatches: len(w.dispatches),
+			QueueDepth: w.queueDepth, Weight: w.weight,
+			Dispatches: len(w.dispatches),
 		})
 	}
 	return map[string]any{"workers": out}, ready

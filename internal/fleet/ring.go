@@ -26,10 +26,18 @@ import (
 	"strconv"
 )
 
-// DefaultReplicas is the virtual-node count per member when the config
-// leaves it unset: enough points that 10k keys spread within a few
-// percent of fair share across 16 workers.
+// DefaultReplicas is the virtual-node count per member (at weight 1)
+// when the config leaves it unset: enough points that 10k keys spread
+// within a few percent of fair share across 16 workers.
 const DefaultReplicas = 128
+
+// Weight bounds for load-aware vnode scaling. A member's vnode count is
+// replicas * weight; clamping keeps one beefy worker from absorbing the
+// whole key space and keeps every member with at least one vnode.
+const (
+	MinWeight = 1
+	MaxWeight = 8
+)
 
 // ringPoint is one virtual node: a position on the hash circle and the
 // member it belongs to.
@@ -39,7 +47,8 @@ type ringPoint struct {
 }
 
 // Ring is an immutable consistent-hash ring over a member set. Build
-// with NewRing; all methods are safe for concurrent use.
+// with NewRing or NewWeightedRing; all methods are safe for concurrent
+// use.
 type Ring struct {
 	points  []ringPoint
 	members []string
@@ -49,6 +58,19 @@ type Ring struct {
 // (DefaultReplicas when non-positive). Duplicate members are folded;
 // member order does not affect ownership.
 func NewRing(members []string, replicas int) *Ring {
+	return NewWeightedRing(members, replicas, nil)
+}
+
+// NewWeightedRing builds a ring where each member contributes
+// replicas * weight(member) virtual nodes. Weights are clamped to
+// [MinWeight, MaxWeight] (a nil weight function, or one returning <= 0,
+// means weight 1), so a worker reporting more capacity owns a
+// proportionally larger — but bounded — key-space share. Because a
+// member's vnodes at weight w are the prefix of its vnodes at weight
+// w+1, raising a weight only pulls keys toward that member and lowering
+// it only sheds them: a weight change never shuffles keys between two
+// unrelated members.
+func NewWeightedRing(members []string, replicas int, weight func(member string) int) *Ring {
 	if replicas <= 0 {
 		replicas = DefaultReplicas
 	}
@@ -67,7 +89,16 @@ func NewRing(members []string, replicas int) *Ring {
 		members: uniq,
 	}
 	for _, m := range uniq {
-		for i := 0; i < replicas; i++ {
+		w := MinWeight
+		if weight != nil {
+			if got := weight(m); got > w {
+				w = got
+			}
+		}
+		if w > MaxWeight {
+			w = MaxWeight
+		}
+		for i := 0; i < replicas*w; i++ {
 			r.points = append(r.points, ringPoint{hash: pointHash(m, i), member: m})
 		}
 	}
@@ -98,12 +129,27 @@ func (r *Ring) Owner(key string) (string, bool) {
 // that usable reports true for (a nil usable accepts every member).
 // It returns false when no member qualifies.
 func (r *Ring) OwnerWhere(key string, usable func(member string) bool) (string, bool) {
-	if len(r.points) == 0 {
+	owners := r.OwnersWhere(key, 1, usable)
+	if len(owners) == 0 {
 		return "", false
+	}
+	return owners[0], true
+}
+
+// OwnersWhere returns up to n distinct usable members in clockwise
+// preference order from key's position: the first element is the key's
+// owner, the second is where the key would land if the owner died — and
+// therefore the natural target for a hedged duplicate dispatch, since a
+// result computed there warms the shard that would inherit the key.
+// A nil usable accepts every member; fewer than n members may qualify.
+func (r *Ring) OwnersWhere(key string, n int, usable func(member string) bool) []string {
+	if len(r.points) == 0 || n <= 0 {
+		return nil
 	}
 	h := keyHash(key)
 	start := sort.Search(len(r.points), func(i int) bool { return r.points[i].hash >= h })
 	tried := make(map[string]bool, len(r.members))
+	var owners []string
 	for i := 0; i < len(r.points) && len(tried) < len(r.members); i++ {
 		p := r.points[(start+i)%len(r.points)]
 		if tried[p.member] {
@@ -111,10 +157,13 @@ func (r *Ring) OwnerWhere(key string, usable func(member string) bool) (string, 
 		}
 		tried[p.member] = true
 		if usable == nil || usable(p.member) {
-			return p.member, true
+			owners = append(owners, p.member)
+			if len(owners) == n {
+				break
+			}
 		}
 	}
-	return "", false
+	return owners
 }
 
 // pointHash positions one virtual node: SHA-256 of "member#i"

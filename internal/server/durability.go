@@ -163,6 +163,10 @@ func (s *Server) CompactJournal() {
 	}
 	s.mu.Unlock()
 
+	if s.cfg.ExtraLiveRecords != nil {
+		live = append(live, s.cfg.ExtraLiveRecords()...)
+	}
+
 	if err := s.cfg.Journal.Compact(live); err != nil {
 		s.rec.Counter("journal_compact_errors_total").Inc()
 		return
@@ -252,10 +256,13 @@ func (s *Server) Replay(records []durable.Record) (resubmitted, rehydrated, quar
 		}
 
 		// Unsettled: the crash interrupted it. Rebuild the engine and
-		// resubmit with the journaled attempt budget already spent.
+		// resubmit with the journaled attempt budget already spent. The
+		// resubmitted mark rides the first dispatch so a fleet layer can
+		// adopt a still-running remote attempt instead of duplicating it.
 		sc.State = stateQueued
 		sc.Attempts = st.Attempts
 		sc.queuedAt = s.now()
+		sc.resubmitted = true
 		s.recordEvent(obs.Event{Scan: sc.ID, Type: evAccepted, Time: sc.Created, Detail: sc.Target.Name})
 		engine, err := s.cfg.BuildTool(sc.Tool, sc.Profile, s.rec)
 		if err != nil {

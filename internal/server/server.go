@@ -162,6 +162,17 @@ type Config struct {
 	// /readyz. ready=false (zero workers reachable) turns readiness
 	// into 503; detail is embedded under the "fleet" key.
 	FleetStatus func() (detail any, ready bool)
+	// OnSettle, when set, fires after every live terminal transition
+	// (done, cancelled, quarantined) with the scan id and final state.
+	// Fleet workers hook it to close their local dispatch journal
+	// records; replay-rehydrated settles (which happened in a previous
+	// process lifetime) do not fire it.
+	OnSettle func(scanID, state string)
+	// ExtraLiveRecords, when set, contributes additional records to
+	// every journal compaction's live set — state owned by a layer
+	// above the scan registry (the fleet's member set) that must
+	// survive the WAL reset.
+	ExtraLiveRecords func() []durable.Record
 }
 
 // DispatchRequest is one scan attempt handed to a fleet dispatcher.
@@ -174,6 +185,12 @@ type DispatchRequest struct {
 	Key string
 	// Attempt is the 1-based attempt number this dispatch executes.
 	Attempt int
+	// Resubmitted marks an attempt born from journal replay: the scan
+	// was accepted by a previous coordinator process and may already be
+	// running on a worker. A fleet dispatcher should reconcile with the
+	// workers' in-flight tables and adopt a live dispatch rather than
+	// start a duplicate one.
+	Resubmitted bool
 	// Name, Tool, Profile and Opts identify the submission exactly as
 	// the worker must run it; Opts carries the coordinator-clamped
 	// effective budgets.
@@ -247,6 +264,12 @@ type scan struct {
 	// span is the span tree of the scan's last executed attempt,
 	// stitched into the trace endpoint's response.
 	span *obs.Span
+
+	// resubmitted marks a scan re-owned by journal replay; the first
+	// dispatch after replay carries it so the fleet layer can adopt a
+	// still-running remote attempt instead of duplicating it. Cleared
+	// after that first dispatch.
+	resubmitted bool
 
 	// cancelReq marks a cancellation request; set while queued it makes
 	// runScan settle immediately, set while running it is paired with a
@@ -566,6 +589,17 @@ type SubmitSpec struct {
 // in-flight dedup, journaled acceptance, 202/200/429 — and writes the
 // scan envelope to w.
 func (s *Server) Submit(w http.ResponseWriter, spec SubmitSpec) {
+	_, status, body := s.Accept(spec)
+	s.writeJSON(w, status, body)
+}
+
+// Accept runs the full submission pipeline — cache fast path, in-flight
+// dedup, journaled acceptance — and returns the accepted (or joined)
+// scan id, the HTTP status a handler should answer with, and the
+// response body. Fleet workers call it directly so they learn the local
+// scan id a dispatch mapped to (the wire envelope only carries views).
+// id is "" when the submission was rejected outright.
+func (s *Server) Accept(spec SubmitSpec) (id string, status int, body any) {
 	if spec.Name == "" {
 		spec.Name = "upload"
 	}
@@ -578,16 +612,14 @@ func (s *Server) Submit(w http.ResponseWriter, spec SubmitSpec) {
 	req := &spec
 	target := spec.Target
 	if target == nil || len(target.Files) == 0 {
-		s.error(w, http.StatusBadRequest, "no .php files in submission")
-		return
+		return "", http.StatusBadRequest, errorBody("no .php files in submission")
 	}
 	if target.Name == "" {
 		target.Name = spec.Name
 	}
 	engine, err := s.cfg.BuildTool(req.Tool, req.Profile, s.rec)
 	if err != nil {
-		s.error(w, http.StatusBadRequest, err.Error())
-		return
+		return "", http.StatusBadRequest, errorBody(err.Error())
 	}
 	opts := s.effectiveBudgets(req.Opts)
 	key := scancache.Key(target, fmt.Sprintf("%s|%s|%s|%s|%s",
@@ -609,8 +641,7 @@ func (s *Server) Submit(w http.ResponseWriter, spec SubmitSpec) {
 		s.recordEvent(obs.Event{Scan: sc.ID, Type: evAccepted, Detail: sc.Target.Name})
 		s.recordEvent(obs.Event{Scan: sc.ID, Type: evCacheHit, Detail: "served from result cache"})
 		s.settleEvent(sc, stateDone, "", now, now)
-		s.writeJSON(w, http.StatusOK, view)
-		return
+		return sc.ID, http.StatusOK, view
 	}
 
 	// Duplicate of an in-flight submission: answer with the existing
@@ -621,8 +652,7 @@ func (s *Server) Submit(w http.ResponseWriter, spec SubmitSpec) {
 		s.mu.Unlock()
 		s.rec.Counter("scans_joined_inflight_total").Inc()
 		s.recordEvent(obs.Event{Scan: id, Type: evJoinedInflight, Detail: "duplicate submission joined"})
-		s.writeJSON(w, http.StatusAccepted, view)
-		return
+		return id, http.StatusAccepted, view
 	}
 	now := s.now()
 	sc := &scan{
@@ -657,13 +687,12 @@ func (s *Server) Submit(w http.ResponseWriter, spec SubmitSpec) {
 		switch {
 		case errors.Is(err, jobs.ErrQueueFull):
 			s.rec.Counter("scans_rejected_total").Inc()
-			s.error(w, http.StatusTooManyRequests, "scan queue is full, retry later")
+			return "", http.StatusTooManyRequests, errorBody("scan queue is full, retry later")
 		case errors.Is(err, jobs.ErrClosed):
-			s.error(w, http.StatusServiceUnavailable, "daemon is shutting down")
+			return "", http.StatusServiceUnavailable, errorBody("daemon is shutting down")
 		default:
-			s.error(w, http.StatusInternalServerError, err.Error())
+			return "", http.StatusInternalServerError, errorBody(err.Error())
 		}
-		return
 	}
 	s.rec.Counter("scans_accepted_total").Inc()
 	s.log.Info("scan accepted",
@@ -672,7 +701,7 @@ func (s *Server) Submit(w http.ResponseWriter, spec SubmitSpec) {
 	s.mu.Lock()
 	view := sc.viewLocked()
 	s.mu.Unlock()
-	s.writeJSON(w, http.StatusAccepted, view)
+	return sc.ID, http.StatusAccepted, view
 }
 
 // robustnessRetryError classifies a scan whose per-file analysis
@@ -794,8 +823,12 @@ func (s *Server) runScanAttempt(ctx context.Context, sc *scan) error {
 		// failure is a failed attempt, classified and retried exactly
 		// like a local one.
 		if s.cfg.Dispatch != nil {
+			s.mu.Lock()
+			resub := sc.resubmitted
+			sc.resubmitted = false
+			s.mu.Unlock()
 			dr, derr := s.cfg.Dispatch(scanCtx, &DispatchRequest{
-				ScanID: sc.ID, Key: sc.Key, Attempt: attempt,
+				ScanID: sc.ID, Key: sc.Key, Attempt: attempt, Resubmitted: resub,
 				Name: sc.Target.Name, Tool: sc.Tool, Profile: sc.Profile,
 				Target: sc.Target, Opts: sc.Opts,
 			})
@@ -841,11 +874,26 @@ func (s *Server) runScanAttempt(ctx context.Context, sc *scan) error {
 				s.settleCancelledLocked(sc, err, res)
 				return nil
 			}
-			// Only shutdown cancels the pool's base context, so this
-			// cancellation is drain-deadline pressure, not a decision
-			// about the scan. Leave it unsettled — no terminal journal
-			// record — so replay resubmits it after restart, exactly as
-			// if the process had been killed mid-attempt.
+			if ctx.Err() == nil {
+				// The cancel sentinel did not come from this attempt's
+				// context — it leaked out of some inner exchange (a
+				// dispatch branch a fleet layer cancelled, a dependency
+				// aborting internally) while the coordinator is alive and
+				// nobody decided anything about this scan. Treating it as
+				// an interruption would strand the scan queued forever (no
+				// restart is coming to replay it); hand the retry
+				// lifecycle a plain failed attempt instead.
+				if res != nil {
+					sc.Result = res
+				}
+				s.mu.Unlock()
+				return fmt.Errorf("attempt aborted by cancelled inner exchange: %v", err)
+			}
+			// The pool's base context is cancelled: shutdown. This is
+			// drain-deadline pressure, not a decision about the scan.
+			// Leave it unsettled — no terminal journal record — so replay
+			// resubmits it after restart, exactly as if the process had
+			// been killed mid-attempt.
 			sc.State = stateQueued
 			if res != nil {
 				sc.Result = res
@@ -1305,7 +1353,12 @@ func (s *Server) writeJSON(w http.ResponseWriter, status int, v any) {
 
 // error sends a JSON error body.
 func (s *Server) error(w http.ResponseWriter, status int, msg string) {
-	s.writeJSON(w, status, map[string]string{"error": msg})
+	s.writeJSON(w, status, errorBody(msg))
+}
+
+// errorBody is the JSON error envelope shared by handlers and Accept.
+func errorBody(msg string) map[string]string {
+	return map[string]string{"error": msg}
 }
 
 // newID returns a 16-hex-char random scan id.

@@ -62,6 +62,9 @@ func (s *Server) settleEvent(sc *scan, state scanState, errMsg string, created, 
 		Scan: sc.ID, Type: evSettled, Detail: string(state),
 		Err: errMsg, DurMS: elapsed.Milliseconds(),
 	})
+	if s.cfg.OnSettle != nil {
+		s.cfg.OnSettle(sc.ID, string(state))
+	}
 	s.rec.Observe("scan_settle_seconds", elapsed.Seconds())
 	logf := s.log.Info
 	if state == stateQuarantined {
